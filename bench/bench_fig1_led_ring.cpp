@@ -1,0 +1,77 @@
+// FIG1 — Figure 1 reproduction: the all-round LED ring in Danger (all red)
+// and Navigation modes. The paper's figure is two photographs; the
+// reproducible content is the per-LED colour assignment as a function of
+// the course over ground, printed here for the full heading circle, plus an
+// update-rate micro-benchmark showing the indicator logic is negligible for
+// a flight-controller loop.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "drone/led_ring.hpp"
+#include "util/geometry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using hdc::drone::LedColor;
+using hdc::drone::LedRing;
+using hdc::drone::RingMode;
+
+void print_mode_map() {
+  std::cout << "=== FIG1: LED ring colour maps ===\n";
+  std::cout << "Paper: \"Depending on the direction of controlled flight, the position\n"
+               "of red, green and white lighting will change\"; all-red on safety\n"
+               "trigger (and as the power-on default).\n\n";
+
+  LedRing ring;
+  std::cout << "Danger (default/safety): " << ring.to_line() << "\n\n";
+
+  ring.set_mode(RingMode::kNavigation);
+  hdc::util::TextTable table({"course (deg)", "LED colours (R=red G=green W=white)"});
+  for (int course = 0; course < 360; course += 30) {
+    ring.set_course(hdc::util::deg_to_rad(course));
+    table.add_row({std::to_string(course), ring.to_line()});
+  }
+  table.print(std::cout);
+
+  ring.set_mode(RingMode::kAllGreen);
+  std::cout << "\nAll-green (paper: \"no consensus\" option): " << ring.to_line()
+            << "\n";
+  ring.set_mode(RingMode::kOff);
+  std::cout << "Rotors-off (lights extinguished):          " << ring.to_line()
+            << "\n\n";
+}
+
+void BM_NavigationUpdate(benchmark::State& state) {
+  LedRing ring;
+  ring.set_mode(RingMode::kNavigation);
+  double course = 0.0;
+  for (auto _ : state) {
+    course += 0.01;
+    ring.set_course(course);
+    benchmark::DoNotOptimize(ring.leds());
+  }
+}
+BENCHMARK(BM_NavigationUpdate);
+
+void BM_ModeSwitch(benchmark::State& state) {
+  LedRing ring;
+  bool danger = false;
+  for (auto _ : state) {
+    danger = !danger;
+    ring.set_mode(danger ? RingMode::kDanger : RingMode::kNavigation);
+    benchmark::DoNotOptimize(ring.leds());
+  }
+}
+BENCHMARK(BM_ModeSwitch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_mode_map();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

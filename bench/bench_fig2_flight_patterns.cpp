@@ -1,0 +1,125 @@
+// FIG2 — Figure 2 reproduction: the standard flight patterns, led by the
+// landing pattern the paper illustrates (1: reduce altitude, 2: landed,
+// 3: rotors off -> navigation lights extinguished). Also verifies the §III
+// claim that the communicative patterns are "unmistakable" by flying every
+// pattern and classifying the observed trajectory (confusion matrix), with
+// and without wind gusts.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "drone/drone.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc::drone;
+using hdc::util::TextTable;
+using hdc::util::Vec2;
+using hdc::util::Vec3;
+
+void print_landing_sequence() {
+  std::cout << "=== FIG2: landing flight pattern (altitude + lights vs time) ===\n";
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  while (drone.pattern_active()) drone.step(0.02);
+  drone.clear_trajectory();
+  drone.command_pattern(PatternType::kLanding);
+
+  TextTable table({"t (s)", "altitude (m)", "rotors", "ring mode", "ring"});
+  double t = 0.0;
+  int next_print = 0;
+  while ((drone.pattern_active() || drone.rotors_on()) && t < 30.0) {
+    if (t >= next_print * 0.5) {
+      table.add_row({hdc::util::fmt(t, 1),
+                     hdc::util::fmt(drone.state().position.z, 2),
+                     drone.rotors_on() ? "on" : "off",
+                     to_string(drone.led_ring().mode()), drone.led_ring().to_line()});
+      ++next_print;
+    }
+    drone.step(0.02);
+    t += 0.02;
+  }
+  table.add_row({hdc::util::fmt(t, 1), hdc::util::fmt(drone.state().position.z, 2),
+                 drone.rotors_on() ? "on" : "off",
+                 to_string(drone.led_ring().mode()), drone.led_ring().to_line()});
+  table.print(std::cout);
+  std::cout << "(expected: altitude ramps to 0, then rotors off and ring Off -- the\n"
+               " paper's step 3: \"once the rotors are switched off the navigation\n"
+               " lights are extinguished\")\n\n";
+}
+
+Trajectory fly_pattern(PatternType type, double gusts, std::uint64_t seed) {
+  DroneKinematics kin;
+  const Vec3 origin =
+      type == PatternType::kTakeOff ? Vec3{0, 0, 0} : Vec3{0, 0, 2.2};
+  kin.mutable_state().position = origin;
+  WindModel wind(0.0, gusts, seed);
+  PatternExecutor executor(
+      make_pattern(type, origin, {0.0, 1.0}, PatternParams{}, {6.0, 2.0, 0.0}));
+  Trajectory trajectory;
+  double t = 0.0;
+  trajectory.push_back({t, origin});
+  while (!executor.finished() && t < 240.0) {
+    executor.step(kin, 0.02, gusts > 0.0 ? wind.step(0.02) : Vec3{});
+    t += 0.02;
+    trajectory.push_back({t, kin.state().position});
+  }
+  return trajectory;
+}
+
+void print_confusion(double gusts, int seeds) {
+  std::cout << "--- pattern classification, wind gusts = " << gusts << " m/s ("
+            << seeds << " runs each) ---\n";
+  std::vector<std::string> header = {"flown \\ classified"};
+  for (PatternType t : kAllPatterns) header.emplace_back(to_string(t));
+  TextTable table(header);
+  int correct = 0, total = 0;
+  for (PatternType flown : kAllPatterns) {
+    std::map<PatternType, int> counts;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto trajectory = fly_pattern(flown, gusts, static_cast<std::uint64_t>(seed));
+      const PatternType got = classify_trajectory(trajectory).type;
+      ++counts[got];
+      ++total;
+      if (got == flown) ++correct;
+    }
+    std::vector<std::string> row = {std::string(to_string(flown))};
+    for (PatternType got : kAllPatterns) {
+      row.push_back(std::to_string(counts[got]));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "accuracy: " << hdc::util::fmt(100.0 * correct / total, 1) << "%\n\n";
+}
+
+void BM_PatternGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_pattern(PatternType::kRectangleRequest, {0, 0, 2.2}, {0.0, 1.0}));
+  }
+}
+BENCHMARK(BM_PatternGeneration);
+
+void BM_TrajectoryClassification(benchmark::State& state) {
+  const auto trajectory = fly_pattern(PatternType::kNodYes, 0.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_trajectory(trajectory));
+  }
+}
+BENCHMARK(BM_TrajectoryClassification);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== FIG2 / SEC-III: flight patterns as embodied statements ===\n\n";
+  print_landing_sequence();
+  print_confusion(0.0, 3);
+  print_confusion(0.4, 5);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

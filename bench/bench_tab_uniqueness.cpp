@@ -1,0 +1,167 @@
+// T-UNIQ — the paper's §IV claim: "Preliminary results also suggest that
+// the strings retrievable from the three signs are unique."
+//
+// This bench quantifies that claim: (a) the canonical SAX words and their
+// pairwise symbolic distances; (b) a cross-condition confusion matrix over
+// the working envelope (azimuth/altitude/jitter sweep); (c) a
+// nearest-neighbour uniqueness check in signature space (every rendered
+// sample's nearest template must be its own sign).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "recognition/recognizer.hpp"
+#include "signs/scene.hpp"
+#include "signs/sign_poses.hpp"
+#include "timeseries/motif.hpp"
+#include "timeseries/normalize.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc;
+using recognition::DatabaseBuildOptions;
+using recognition::RecognizerConfig;
+using recognition::SaxSignRecognizer;
+using signs::HumanSign;
+
+void print_canonical_words(const SaxSignRecognizer& recognizer) {
+  std::cout << "--- (a) canonical SAX words and pairwise MINDIST ---\n";
+  const auto& db = recognizer.database();
+  util::TextTable words({"sign", "SAX word"});
+  for (const auto& t : db.templates()) {
+    words.add_row({std::string(signs::to_string(t.sign)), t.word.text});
+  }
+  words.print(std::cout);
+
+  std::vector<std::string> header = {"plain MINDIST"};
+  for (const auto& t : db.templates()) header.emplace_back(signs::to_string(t.sign));
+  util::TextTable matrix(header);
+  for (const auto& a : db.templates()) {
+    std::vector<std::string> row = {std::string(signs::to_string(a.sign))};
+    for (const auto& b : db.templates()) {
+      row.push_back(util::fmt(db.encoder().mindist(a.word, b.word), 2));
+    }
+    matrix.add_row(row);
+  }
+  matrix.print(std::cout);
+
+  std::vector<std::string> header_rot = {"rot-inv MINDIST"};
+  for (const auto& t : db.templates()) {
+    header_rot.emplace_back(signs::to_string(t.sign));
+  }
+  util::TextTable matrix_rot(header_rot);
+  for (const auto& a : db.templates()) {
+    std::vector<std::string> row = {std::string(signs::to_string(a.sign))};
+    for (const auto& b : db.templates()) {
+      row.push_back(
+          util::fmt(db.encoder().mindist_rotation_invariant(a.word, b.word), 2));
+    }
+    matrix_rot.add_row(row);
+  }
+  matrix_rot.print(std::cout);
+  std::cout << "(the four words are unique as strings and separate under the plain\n"
+               " MINDIST — the paper's preliminary claim. Under *rotation-invariant*\n"
+               " symbolic distance one pair [AttentionGained/No] can align to 0,\n"
+               " which is exactly why the pipeline re-ranks symbolic candidates with\n"
+               " the exact rotation-invariant Euclidean distance before accepting.)\n\n";
+}
+
+void print_confusion(const SaxSignRecognizer& recognizer) {
+  std::cout << "--- (b) cross-condition confusion matrix (az in [-40,40], alt 2-5, "
+               "worker jitter, 40 samples/sign) ---\n";
+  util::Rng rng(42);
+  std::vector<std::string> header = {"actual \\ recognised"};
+  for (HumanSign s : signs::kAllSigns) header.emplace_back(signs::to_string(s));
+  header.emplace_back("rejected");
+  util::TextTable table(header);
+
+  int accepted_wrong = 0, total = 0;
+  for (const HumanSign actual : signs::kAllSigns) {
+    std::map<HumanSign, int> counts;
+    int rejected = 0;
+    for (int i = 0; i < 40; ++i) {
+      signs::ViewGeometry view;
+      view.altitude_m = rng.uniform(2.0, 5.0);
+      view.distance_m = rng.uniform(2.5, 3.5);
+      view.relative_azimuth_deg = rng.uniform(-40.0, 40.0);
+      const auto pose = signs::sample_pose(actual, signs::worker_jitter(), rng);
+      const auto frame = signs::render_scene(pose, signs::BodyDimensions{}, view,
+                                             signs::RenderOptions{}, &rng);
+      const auto result = recognizer.recognize(frame);
+      ++total;
+      if (!result.accepted && result.reject_reason !=
+                                  recognition::RejectReason::kNone) {
+        ++rejected;
+      } else {
+        ++counts[result.sign];
+        if (result.accepted && result.sign != actual) ++accepted_wrong;
+      }
+    }
+    std::vector<std::string> row = {std::string(signs::to_string(actual))};
+    for (HumanSign s : signs::kAllSigns) row.push_back(std::to_string(counts[s]));
+    row.push_back(std::to_string(rejected));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "accepted-but-wrong rate: "
+            << util::fmt(100.0 * accepted_wrong / total, 2) << "% of " << total
+            << " frames (the safety-critical error mode)\n\n";
+}
+
+void print_nearest_neighbour_uniqueness(const SaxSignRecognizer& recognizer) {
+  std::cout << "--- (c) signature-space nearest-neighbour check ---\n";
+  // Pool: 12 samples per sign across conditions; each sample's nearest
+  // *other* pool member should share its sign label.
+  util::Rng rng(7);
+  std::vector<timeseries::Series> pool;
+  std::vector<HumanSign> labels;
+  for (const HumanSign sign : signs::kCommunicativeSigns) {
+    for (int i = 0; i < 12; ++i) {
+      signs::ViewGeometry view;
+      view.altitude_m = rng.uniform(2.0, 5.0);
+      view.distance_m = 3.0;
+      view.relative_azimuth_deg = rng.uniform(-30.0, 30.0);
+      const auto frame = signs::render_sign(sign, view, signs::RenderOptions{});
+      const auto signature = recognizer.extract_signature(frame);
+      if (signature.empty()) continue;
+      pool.push_back(timeseries::z_normalize(signature));
+      labels.push_back(sign);
+    }
+  }
+  const auto nns = timeseries::all_nearest_neighbours(
+      pool, recognizer.database().encoder());
+  int same = 0;
+  for (std::size_t i = 0; i < nns.size(); ++i) {
+    if (labels[nns[i].index] == labels[i]) ++same;
+  }
+  std::cout << "nearest neighbour shares the sign label: " << same << "/"
+            << nns.size() << " ("
+            << util::fmt(100.0 * same / static_cast<double>(nns.size()), 1)
+            << "%)\n\n";
+}
+
+void BM_UniquenessQuery(benchmark::State& state) {
+  static const SaxSignRecognizer recognizer{RecognizerConfig{}, DatabaseBuildOptions{}};
+  const auto frame = signs::render_sign(HumanSign::kYes, {3.0, 3.0, 15.0}, {});
+  const auto signature = recognizer.extract_signature(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recognizer.database().query(signature, false));
+  }
+}
+BENCHMARK(BM_UniquenessQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== T-UNIQ: uniqueness of the three sign strings ===\n\n";
+  const SaxSignRecognizer recognizer(RecognizerConfig{}, DatabaseBuildOptions{});
+  print_canonical_words(recognizer);
+  print_confusion(recognizer);
+  print_nearest_neighbour_uniqueness(recognizer);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// LED signal demo: the drone->human indicator vocabulary over a full
+// flight, printed as a timeline of the 10-LED all-round ring (and the
+// deprecated vertical array, so its confusability is visible).
+//
+// Sequence: power-on (fail-safe all-red) -> preflight -> take-off palette
+// -> navigation colours while flying a square route (watch the sectors
+// rotate with the course) -> an injected fault (all-red) -> recovery ->
+// landing palette -> touch-down, lights out.
+//
+//   $ ./led_signal_demo
+#include <cstdio>
+
+#include "drone/drone.hpp"
+
+namespace {
+
+using namespace hdc::drone;
+
+void show(const Drone& drone, double t, const char* note) {
+  std::printf("[%6.1f s] ring %-19s  legs %s  %-12s alt %4.1f m  %s\n", t,
+              drone.led_ring().to_line().c_str(),
+              drone.vertical_array().to_line().c_str(), to_string(drone.phase()),
+              drone.state().position.z, note);
+}
+
+void run_for(Drone& drone, double& t, double seconds, const char* note,
+             double print_every = 1.0) {
+  double next_print = 0.0;
+  for (double local = 0.0; local < seconds; local += 0.02) {
+    drone.step(0.02);
+    t += 0.02;
+    if (local >= next_print) {
+      show(drone, t, note);
+      next_print += print_every;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== LED signalling demo (ring: R=red G=green W=white A=amber "
+              ".=off) ===\n\n");
+  Drone drone;
+  double t = 0.0;
+
+  drone.step(0.02);
+  show(drone, t, "power-on: fail-safe all-red (paper: default setting)");
+
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  run_for(drone, t, 3.5, "take-off palette (extension replacing vertical array)");
+
+  // Fly a square: the navigation sectors must rotate with the course.
+  const hdc::util::Vec3 corners[] = {
+      {15.0, 0.0, 5.0}, {15.0, 15.0, 5.0}, {0.0, 15.0, 5.0}, {0.0, 0.0, 5.0}};
+  const char* notes[] = {"flying east: green starboard(S), red port(N), white aft",
+                         "flying north", "flying west", "flying south"};
+  for (int leg = 0; leg < 4; ++leg) {
+    drone.command_goto(corners[leg]);
+    run_for(drone, t, 4.0, notes[leg], 2.0);
+  }
+
+  drone.inject_fault(true);
+  run_for(drone, t, 2.0, "INJECTED FAULT: safety ring all-red", 1.0);
+  drone.inject_fault(false);
+  run_for(drone, t, 1.0, "fault cleared: back to navigation", 1.0);
+
+  drone.command_pattern(PatternType::kLanding);
+  run_for(drone, t, 4.0, "landing palette + vertical array sweep");
+  run_for(drone, t, 1.0, "touch-down: rotors off, lights extinguished (Fig. 2)");
+
+  std::printf("\nNote the two vertical-array animations (take-off vs landing)\n"
+              "read as 'a moving dot' either way -- the ambiguity that made the\n"
+              "paper's user study discard the component.\n");
+  return 0;
+}

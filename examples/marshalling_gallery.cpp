@@ -1,0 +1,63 @@
+// Marshalling gallery: a visual training manual for the sign vocabulary.
+//
+// Renders every marshalling sign from several viewpoints, writes the camera
+// frames and extracted silhouettes as PGM images (viewable anywhere), and
+// prints each view's SAX word so the symbolic representation can be
+// inspected next to the picture it came from.
+//
+//   $ ./marshalling_gallery [output_dir]
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "imaging/filter.hpp"
+#include "imaging/image_io.hpp"
+#include "recognition/recognizer.hpp"
+#include "signs/scene.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdc;
+
+  const std::string out_dir = argc > 1 ? argv[1] : "gallery";
+  std::filesystem::create_directories(out_dir);
+
+  const recognition::SaxSignRecognizer recognizer(recognition::RecognizerConfig{},
+                                                  recognition::DatabaseBuildOptions{});
+
+  std::printf("=== marshalling sign gallery ===\n");
+  std::printf("writing frames + silhouettes to %s/\n\n", out_dir.c_str());
+
+  util::TextTable table({"sign", "azimuth", "altitude", "SAX word", "recognised",
+                         "distance"});
+  for (const signs::HumanSign sign : signs::kAllSigns) {
+    for (const double azimuth : {0.0, 30.0, 65.0}) {
+      const signs::ViewGeometry view{3.5, 3.0, azimuth};
+      const auto frame = signs::render_sign(sign, view, signs::RenderOptions{});
+
+      const std::string stem = out_dir + "/" + std::string(signs::to_string(sign)) +
+                               "_az" + std::to_string(static_cast<int>(azimuth));
+      imaging::write_pgm(frame, stem + ".pgm");
+
+      recognition::RecognitionTrace trace;
+      const auto result = recognizer.recognize(frame, &trace);
+      if (!trace.silhouette.empty()) {
+        imaging::write_pgm(trace.silhouette, stem + "_mask.pgm");
+      }
+      table.add_row({std::string(signs::to_string(sign)), util::fmt(azimuth, 0),
+                     util::fmt(view.altitude_m, 1), result.sax_word,
+                     std::string(signs::to_string(result.sign)) +
+                         (result.accepted ? "" : " (rejected)"),
+                     util::fmt(result.distance, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nreading the table: head-on (az 0) words match their canonical\n"
+      "templates; by az 65 the words drift -- the dead-angle effect of the\n"
+      "paper's Figure 4. Open the .pgm files to see why: the silhouette's\n"
+      "limb lobes merge as the viewpoint swings around the signaller.\n");
+  return 0;
+}

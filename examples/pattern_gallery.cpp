@@ -1,0 +1,88 @@
+// Pattern gallery: generates all seven flight patterns (three standard +
+// four communicative), flies each on the simulated airframe, writes the
+// trajectories as CSV for plotting, prints compact ASCII altitude/lateral
+// traces, and classifies each trajectory back — demonstrating the paper's
+// "unmistakable embodied statement" property.
+//
+//   $ ./pattern_gallery [output_dir]
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "drone/flight_pattern.hpp"
+#include "drone/kinematics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc::drone;
+using hdc::util::Vec3;
+
+Trajectory fly(PatternType type, const Vec3& origin) {
+  DroneKinematics kin;
+  kin.mutable_state().position = origin;
+  PatternExecutor executor(
+      make_pattern(type, origin, {0.0, 1.0}, PatternParams{}, {8.0, 3.0, 0.0}));
+  Trajectory trajectory;
+  double t = 0.0;
+  trajectory.push_back({t, origin});
+  while (!executor.finished() && t < 240.0) {
+    executor.step(kin, 0.02);
+    t += 0.02;
+    trajectory.push_back({t, kin.state().position});
+  }
+  return trajectory;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "patterns";
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("=== flight pattern gallery ===\n");
+  std::printf("trajectory CSVs -> %s/\n\n", out_dir.c_str());
+
+  hdc::util::TextTable table({"pattern", "duration (s)", "path (m)", "classified",
+                              "confidence"});
+  for (const PatternType type : kAllPatterns) {
+    const Vec3 origin =
+        type == PatternType::kTakeOff ? Vec3{0, 0, 0} : Vec3{0, 0, 2.2};
+    const Trajectory trajectory = fly(type, origin);
+
+    // CSV for external plotting.
+    hdc::util::CsvWriter csv(out_dir + "/" + std::string(to_string(type)) + ".csv");
+    csv.write_row({"t", "x", "y", "z"});
+    for (const TrajectorySample& s : trajectory) {
+      csv.write_row({hdc::util::fmt(s.t, 3), hdc::util::fmt(s.position.x, 3),
+                     hdc::util::fmt(s.position.y, 3), hdc::util::fmt(s.position.z, 3)});
+    }
+
+    const TrajectoryFeatures features = extract_features(trajectory);
+    const PatternClassification verdict = classify_trajectory(trajectory);
+    table.add_row({std::string(to_string(type)),
+                   hdc::util::fmt(trajectory.back().t, 1),
+                   hdc::util::fmt(features.path_length, 1),
+                   std::string(to_string(verdict.type)),
+                   hdc::util::fmt(verdict.confidence, 2)});
+
+    // ASCII trace: altitude for vertical patterns, lateral offset for the
+    // rest (the axis that carries the pattern's meaning).
+    std::vector<double> trace;
+    const bool vertical = type == PatternType::kTakeOff ||
+                          type == PatternType::kLanding ||
+                          type == PatternType::kNodYes;
+    for (const TrajectorySample& s : trajectory) {
+      trace.push_back(vertical ? s.position.z : s.position.x);
+    }
+    std::printf("%s (%s axis):\n", std::string(to_string(type)).c_str(),
+                vertical ? "altitude" : "lateral");
+    std::cout << hdc::util::ascii_plot(trace, 7, 72) << "\n";
+  }
+  table.print(std::cout);
+  std::printf("\nEvery row classifying as itself = the vocabulary is mutually\n"
+              "unmistakable, the property the paper demands of an embodied\n"
+              "statement of intent.\n");
+  return 0;
+}

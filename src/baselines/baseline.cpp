@@ -1,0 +1,18 @@
+#include "baselines/baseline.hpp"
+
+#include "imaging/components.hpp"
+#include "imaging/filter.hpp"
+#include "imaging/morphology.hpp"
+
+namespace hdc::baselines {
+
+imaging::BinaryImage extract_silhouette(const imaging::GrayImage& frame,
+                                        std::size_t min_area) {
+  const imaging::GrayImage inverted = imaging::invert(frame);
+  imaging::BinaryImage binary = imaging::otsu_threshold(inverted);
+  binary = imaging::close(binary, 1);
+  binary = imaging::open(binary, 1);
+  return imaging::largest_component_mask(binary, min_area);
+}
+
+}  // namespace hdc::baselines

@@ -1,0 +1,35 @@
+// Freeman chain-code recogniser: the contour is encoded as 8-direction
+// moves; the histogram of direction *changes* (discrete curvature) is
+// rotation invariant and very cheap, but discards where along the contour
+// the curvature occurs — a weaker descriptor than the SAX signature.
+#pragma once
+
+#include <array>
+
+#include "baselines/baseline.hpp"
+
+namespace hdc::baselines {
+
+/// 8-direction Freeman chain code of a pixel contour (consecutive points
+/// must be 8-neighbours, as produced by Moore tracing).
+[[nodiscard]] std::vector<int> freeman_chain_code(const imaging::Contour& contour);
+
+/// Normalised histogram of chain-code first differences (mod 8).
+[[nodiscard]] std::array<double, 8> curvature_histogram(const std::vector<int>& code);
+
+class ChainCodeRecognizer final : public BaselineRecognizer {
+ public:
+  void train(const signs::ViewGeometry& view,
+             const signs::RenderOptions& options) override;
+  [[nodiscard]] BaselineResult classify(const imaging::GrayImage& frame) const override;
+  [[nodiscard]] std::string name() const override { return "chain-code"; }
+
+ private:
+  struct Template {
+    signs::HumanSign sign;
+    std::array<double, 8> histogram;
+  };
+  std::vector<Template> templates_;
+};
+
+}  // namespace hdc::baselines

@@ -1,0 +1,46 @@
+#include "core/hdc_system.hpp"
+
+#include <cmath>
+
+#include "signs/sign_poses.hpp"
+
+namespace hdc::core {
+
+signs::ViewGeometry view_geometry_from(const PerceptionScene& scene) {
+  signs::ViewGeometry view;
+  view.altitude_m = scene.drone_position.z;
+  const util::Vec2 to_drone = scene.drone_position.xy() - scene.human_position;
+  view.distance_m = to_drone.norm();
+  const double bearing = std::atan2(to_drone.y, to_drone.x);
+  view.relative_azimuth_deg =
+      util::rad_to_deg(util::wrap_angle(bearing - scene.human_facing_rad));
+  return view;
+}
+
+HdcSystem::HdcSystem(const HdcConfig& config)
+    : config_([&] {
+        HdcConfig c = config;
+        c.database.render = c.camera;  // the DB must match the carried camera
+        return c;
+      }()),
+      recognizer_(config_.recognizer, config_.database) {}
+
+recognition::RecognitionResult HdcSystem::perceive(const PerceptionScene& scene,
+                                                   const signs::BodyPose& pose,
+                                                   util::Rng* rng) const {
+  const signs::ViewGeometry view = view_geometry_from(scene);
+  const imaging::GrayImage frame =
+      signs::render_scene(pose, signs::BodyDimensions{}, view, config_.camera, rng);
+  return recognizer_.recognize(frame);
+}
+
+std::optional<signs::HumanSign> CameraSignChannel::sense(signs::HumanSign actual) {
+  ++frames_;
+  const signs::BodyPose pose =
+      sampler_ ? sampler_(actual) : signs::canonical_pose(actual);
+  const recognition::RecognitionResult result = system_.perceive(scene_, pose, &rng_);
+  if (!result.accepted) return std::nullopt;
+  return result.sign;
+}
+
+}  // namespace hdc::core

@@ -1,0 +1,105 @@
+// HdcSystem — the public facade of the HDC library.
+//
+// Ties the paper's pieces together behind one object:
+//   - drone -> human signalling: LED ring semantics + flight patterns
+//     (delegated to hdc::drone)
+//   - human -> drone signalling: the SAX marshalling-sign recogniser
+//   - the geometry bridge between world state and camera frames
+// plus CameraSignChannel, the full-fidelity perception channel that renders
+// the actual scene and runs the recogniser — the orchard simulation and the
+// integration tests plug it straight into the protocol FSMs.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "protocol/channels.hpp"
+#include "recognition/recognizer.hpp"
+#include "signs/scene.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::core {
+
+/// Library version.
+inline constexpr const char* kVersion = "1.0.0";
+
+/// Top-level configuration.
+struct HdcConfig {
+  recognition::RecognizerConfig recognizer{};
+  recognition::DatabaseBuildOptions database{};
+  signs::RenderOptions camera{};  ///< the camera the drone carries
+};
+
+/// World-state inputs needed to render the drone's view of a signaller.
+struct PerceptionScene {
+  util::Vec3 drone_position{};
+  util::Vec2 human_position{};
+  double human_facing_rad{0.0};  ///< world yaw of the human's facing direction
+};
+
+/// Computes the paper's experiment coordinates (altitude / horizontal
+/// distance / relative azimuth) from world positions. The relative azimuth
+/// is the angle between the human's facing direction and the human->drone
+/// ground direction.
+[[nodiscard]] signs::ViewGeometry view_geometry_from(const PerceptionScene& scene);
+
+class HdcSystem {
+ public:
+  explicit HdcSystem(const HdcConfig& config = {});
+
+  /// Recognises a sign in an externally supplied camera frame.
+  [[nodiscard]] recognition::RecognitionResult recognize(
+      const imaging::GrayImage& frame) const {
+    return recognizer_.recognize(frame);
+  }
+
+  /// Renders what the drone camera sees of `pose` in `scene` and runs the
+  /// recogniser on it. `rng` drives sensor noise when the camera options
+  /// request it.
+  [[nodiscard]] recognition::RecognitionResult perceive(const PerceptionScene& scene,
+                                                        const signs::BodyPose& pose,
+                                                        util::Rng* rng = nullptr) const;
+
+  [[nodiscard]] const recognition::SaxSignRecognizer& recognizer() const noexcept {
+    return recognizer_;
+  }
+  [[nodiscard]] const HdcConfig& config() const noexcept { return config_; }
+
+ private:
+  HdcConfig config_;
+  recognition::SaxSignRecognizer recognizer_;
+};
+
+/// Full-fidelity sign channel: renders the signaller with the pose the
+/// human is actually executing (jitter included) at the current scene
+/// geometry and reports what the recogniser accepts. The world loop updates
+/// the context every tick via set_context()/set_pose_sampler().
+class CameraSignChannel final : public protocol::SignChannel {
+ public:
+  using PoseSampler = std::function<signs::BodyPose(signs::HumanSign)>;
+
+  CameraSignChannel(const HdcSystem& system, std::uint64_t seed)
+      : system_(system), rng_(seed) {}
+
+  void set_context(const PerceptionScene& scene) { scene_ = scene; }
+
+  /// Installs the sampler that turns the ground-truth sign into the body
+  /// pose the human actually holds (role-specific jitter). Defaults to the
+  /// canonical pose.
+  void set_pose_sampler(PoseSampler sampler) { sampler_ = std::move(sampler); }
+
+  [[nodiscard]] std::optional<signs::HumanSign> sense(signs::HumanSign actual) override;
+
+  /// Count of frames processed (for bench reporting).
+  [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
+
+ private:
+  const HdcSystem& system_;
+  util::Rng rng_;
+  PerceptionScene scene_{};
+  PoseSampler sampler_;
+  std::uint64_t frames_{0};
+};
+
+}  // namespace hdc::core

@@ -1,0 +1,85 @@
+// Battery model: hover draw plus speed-dependent draw, with a reserve
+// threshold that feeds the safety monitor. The LED-power experiment (ABL-3)
+// also draws its per-LED consumption numbers from here.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/geometry.hpp"
+
+namespace hdc::drone {
+
+/// Battery parameters (top-level so brace-default arguments work in-class).
+struct BatteryParams {
+  double capacity_wh{70.0};        ///< usable pack energy
+  double hover_power_w{180.0};     ///< steady hover draw
+  double speed_power_coeff{3.5};   ///< extra W per (m/s)^2
+  double avionics_power_w{8.0};    ///< computer + radios, always on
+  double reserve_fraction{0.15};   ///< land-now threshold
+};
+
+/// Simple energy model for an H520-class hexacopter.
+class Battery {
+ public:
+  using Params = BatteryParams;
+
+  explicit Battery(Params params = {}) : params_(params), energy_wh_(params.capacity_wh) {}
+
+  /// Drains for `dt` seconds: avionics always; hover + speed term when the
+  /// rotors run; `payload_w` adds lights/camera draw.
+  void drain(double dt, bool rotors_on, double speed_mps, double payload_w = 0.0) {
+    double power = params_.avionics_power_w + payload_w;
+    if (rotors_on) {
+      power += params_.hover_power_w + params_.speed_power_coeff * speed_mps * speed_mps;
+    }
+    energy_wh_ -= power * dt / 3600.0;
+    if (energy_wh_ < 0.0) energy_wh_ = 0.0;
+  }
+
+  [[nodiscard]] double state_of_charge() const noexcept {
+    return params_.capacity_wh > 0.0 ? energy_wh_ / params_.capacity_wh : 0.0;
+  }
+  [[nodiscard]] double energy_wh() const noexcept { return energy_wh_; }
+  [[nodiscard]] bool reserve_reached() const noexcept {
+    return state_of_charge() <= params_.reserve_fraction;
+  }
+  [[nodiscard]] bool empty() const noexcept { return energy_wh_ <= 0.0; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  double energy_wh_;
+};
+
+/// Luminous model for the LED ring's power/visibility trade-off (paper §II:
+/// "Power requirements with respect to illumination distance is an issue
+/// that needs further consideration"). Approximates a point source over
+/// distance with an ambient-dependent detection threshold.
+struct LedPowerModel {
+  double watts_per_led{0.35};            ///< electrical draw per lit LED
+  double luminous_efficacy_lm_w{90.0};   ///< LED efficacy
+  double beam_solid_angle_sr{2.5};       ///< wide-angle indicator optics
+
+  /// Illuminance (lux) delivered at `distance_m`.
+  [[nodiscard]] double illuminance_at(double distance_m, double drive_w) const {
+    if (distance_m <= 0.0) return 0.0;
+    const double luminous_intensity =
+        drive_w * luminous_efficacy_lm_w / beam_solid_angle_sr;  // candela
+    return luminous_intensity / (distance_m * distance_m);
+  }
+
+  /// Maximum distance (m) at which the LED stays above the contrast
+  /// threshold for the given ambient illuminance (lux). Daylight ~1e4 lux
+  /// needs far more drive power than dusk ~10 lux.
+  [[nodiscard]] double visibility_range(double drive_w, double ambient_lux) const {
+    // Detection when point-source illuminance >= k * ambient (Weber-like).
+    constexpr double kContrast = 2e-6;
+    const double threshold = std::max(1e-7, kContrast * ambient_lux);
+    const double luminous_intensity =
+        drive_w * luminous_efficacy_lm_w / beam_solid_angle_sr;
+    return std::sqrt(luminous_intensity / threshold);
+  }
+};
+
+}  // namespace hdc::drone

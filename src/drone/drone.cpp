@@ -1,0 +1,172 @@
+#include "drone/drone.hpp"
+
+namespace hdc::drone {
+
+Drone::Drone(DroneConfig config)
+    : config_(config),
+      kinematics_(config.limits),
+      battery_(config.battery),
+      safety_(config.safety),
+      imu_(config.seed ^ 0x1a2bULL),
+      wind_(config.wind_mean, config.wind_gusts, config.seed ^ 0x3c4dULL) {}
+
+void Drone::preflight_complete() { safety_.mark_healthy(); }
+
+bool Drone::command_pattern(PatternType type, const hdc::util::Vec2& facing,
+                            const Vec3& transit_target) {
+  if (battery_.empty()) return false;
+  // The startup hold blocks nothing once preflight ran; all other danger
+  // causes block new patterns except an immediate landing.
+  if (safety_.danger() && safety_.cause() != SafetyCause::kStartupCheck &&
+      type != PatternType::kLanding) {
+    return false;
+  }
+  executor_.start(make_pattern(type, kinematics_.state().position, facing,
+                               config_.pattern_params, transit_target));
+  if (type == PatternType::kTakeOff) rotors_on_ = true;
+  update_phase();
+  return true;
+}
+
+bool Drone::command_goto(const Vec3& target, double speed_scale) {
+  if (battery_.empty()) return false;
+  if (safety_.danger() && safety_.cause() != SafetyCause::kStartupCheck) return false;
+  FlightPattern pattern;
+  pattern.type = PatternType::kHorizontalTransit;
+  pattern.waypoints.push_back({target, speed_scale});
+  executor_.start(std::move(pattern));
+  update_phase();
+  return true;
+}
+
+void Drone::reset_position(const Vec3& position) {
+  kinematics_.mutable_state().position = position;
+  kinematics_.mutable_state().velocity = {};
+  kinematics_.reset_tracking();
+  previous_velocity_ = {};
+  hover_hold_.reset();
+}
+
+void Drone::step(double dt, const std::vector<hdc::util::Vec2>& human_positions) {
+  if (dt <= 0.0) return;
+  sim_time_ += dt;
+
+  const Vec3 wind = rotors_on_ ? wind_.step(dt) : Vec3{};
+
+  if (!executor_.finished()) {
+    executor_.step(kinematics_, dt, wind);
+    // Landing completes when the vehicle touches down: the waypoint is
+    // captured just above the surface, the skids settle, rotors cut.
+    // Figure 2 step 3 ("once the rotors are switched off the navigation
+    // lights are extinguished") is handled in update_lights().
+    if (executor_.finished() && executor_.pattern().type == PatternType::kLanding &&
+        kinematics_.state().position.z <= 1.5 * config_.limits.position_tolerance) {
+      kinematics_.mutable_state().position.z = 0.0;
+      kinematics_.mutable_state().velocity = {};
+      rotors_on_ = false;
+    }
+  } else if (rotors_on_) {
+    // Hold position (hover) when idle in the air; PI tracking rejects
+    // steady wind.
+    if (!hover_hold_.has_value()) hover_hold_ = kinematics_.state().position;
+    kinematics_.step_towards(dt, *hover_hold_, 1.0, wind);
+  }
+  if (!executor_.finished()) hover_hold_.reset();
+
+  // Sensors and estimators.
+  const Vec3 accel = dt > 0.0 ? (kinematics_.state().velocity - previous_velocity_) / dt
+                              : Vec3{};
+  previous_velocity_ = kinematics_.state().velocity;
+  estimator_.update(imu_.sample(accel, rotors_on_));
+
+  // Energy: lit LEDs draw payload power.
+  int lit = 0;
+  for (const LedColor led : ring_.leds()) {
+    if (led != LedColor::kOff) ++lit;
+  }
+  const double led_power = LedPowerModel{}.watts_per_led * lit;
+  battery_.drain(dt, rotors_on_, kinematics_.state().ground_speed(), led_power);
+
+  // Safety evaluation and indicator update.
+  safety_.evaluate(kinematics_.state().position,
+                   estimator_.state() == FlightState::kInFlight, human_positions,
+                   battery_.reserve_reached());
+  update_phase();
+  update_lights();
+  ring_.tick(dt);
+  vertical_array_.tick(dt);
+
+  if (config_.record_trajectory) {
+    trajectory_.push_back({sim_time_, kinematics_.state().position});
+  }
+}
+
+void Drone::update_phase() {
+  if (!rotors_on_) {
+    phase_ = DronePhase::kParked;
+    return;
+  }
+  if (executor_.finished()) {
+    phase_ = DronePhase::kHover;
+    return;
+  }
+  switch (executor_.pattern().type) {
+    case PatternType::kTakeOff:
+      phase_ = DronePhase::kTakingOff;
+      break;
+    case PatternType::kLanding:
+      phase_ = DronePhase::kLanding;
+      break;
+    case PatternType::kHorizontalTransit:
+      phase_ = DronePhase::kTransit;
+      break;
+    default:
+      phase_ = DronePhase::kCommunicating;
+      break;
+  }
+}
+
+void Drone::update_lights() {
+  // Safety wins over everything (the all-red rule).
+  if (safety_.danger() && safety_.cause() != SafetyCause::kStartupCheck) {
+    ring_.set_mode(RingMode::kDanger);
+    return;
+  }
+  if (!rotors_on_) {
+    // Rotors off -> lights extinguished (Figure 2, step 3). Before
+    // preflight the startup hold shows all-red instead.
+    ring_.set_mode(safety_.cause() == SafetyCause::kStartupCheck ? RingMode::kDanger
+                                                                 : RingMode::kOff);
+    vertical_array_.set_animation(VerticalLedArray::Animation::kOff);
+    return;
+  }
+  switch (phase_) {
+    case DronePhase::kTakingOff:
+      ring_.set_mode(RingMode::kTakeoff);
+      if (vertical_array_.animation() != VerticalLedArray::Animation::kTakeoff) {
+        vertical_array_.set_animation(VerticalLedArray::Animation::kTakeoff);
+      }
+      break;
+    case DronePhase::kLanding:
+      ring_.set_mode(RingMode::kLanding);
+      if (vertical_array_.animation() != VerticalLedArray::Animation::kLanding) {
+        vertical_array_.set_animation(VerticalLedArray::Animation::kLanding);
+      }
+      break;
+    default:
+      // Navigation sectors track the course over ground while moving;
+      // IMU-estimated "actual flight" gates the display (extension of the
+      // paper's open IMU question).
+      if (estimator_.state() == FlightState::kInFlight &&
+          kinematics_.state().ground_speed() > 0.3) {
+        ring_.set_course(kinematics_.state().course());
+      }
+      ring_.set_mode(RingMode::kNavigation);
+      if (vertical_array_.animation() != VerticalLedArray::Animation::kOff) {
+        vertical_array_.set_animation(VerticalLedArray::Animation::kOff);
+      }
+      break;
+  }
+}
+
+}  // namespace hdc::drone

@@ -1,0 +1,130 @@
+// The integrated drone: kinematics + patterns + LED ring + vertical array +
+// IMU/flight-state estimation + battery + safety monitor, stepped on the
+// simulation clock. This is the vehicle object the protocol and orchard
+// layers command.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "drone/battery.hpp"
+#include "drone/flight_pattern.hpp"
+#include "drone/imu.hpp"
+#include "drone/kinematics.hpp"
+#include "drone/led_ring.hpp"
+#include "drone/safety.hpp"
+#include "drone/vertical_array.hpp"
+#include "util/geometry.hpp"
+
+namespace hdc::drone {
+
+/// Configuration for a simulated drone.
+struct DroneConfig {
+  DroneLimits limits{};
+  PatternParams pattern_params{};
+  Battery::Params battery{};
+  SafetyLimits safety{};
+  double wind_mean{0.0};
+  double wind_gusts{0.0};
+  std::uint64_t seed{0x0d0e};
+  bool record_trajectory{true};
+};
+
+/// Gross behaviour phase, driven by the active pattern.
+enum class DronePhase : std::uint8_t {
+  kParked = 0,
+  kTakingOff,
+  kTransit,
+  kHover,
+  kCommunicating,
+  kLanding,
+};
+
+[[nodiscard]] constexpr const char* to_string(DronePhase phase) noexcept {
+  switch (phase) {
+    case DronePhase::kParked: return "Parked";
+    case DronePhase::kTakingOff: return "TakingOff";
+    case DronePhase::kTransit: return "Transit";
+    case DronePhase::kHover: return "Hover";
+    case DronePhase::kCommunicating: return "Communicating";
+    case DronePhase::kLanding: return "Landing";
+  }
+  return "?";
+}
+
+class Drone {
+ public:
+  explicit Drone(DroneConfig config = {});
+
+  /// Runs pre-flight checks; clears the startup safety hold.
+  void preflight_complete();
+
+  /// Commands a flight pattern. `facing` orients communicative patterns
+  /// toward the human; `transit_target` is used by kHorizontalTransit.
+  /// Returns false (and ignores the command) while the safety monitor is in
+  /// a danger state other than the startup hold, or the battery is empty.
+  bool command_pattern(PatternType type, const hdc::util::Vec2& facing = {0.0, 1.0},
+                       const Vec3& transit_target = {});
+
+  /// Commands a direct flight to `target` (a one-waypoint ad-hoc pattern,
+  /// reported as kHorizontalTransit). Same safety gating as
+  /// command_pattern.
+  bool command_goto(const Vec3& target, double speed_scale = 1.0);
+
+  /// Advances the whole vehicle one tick. `human_positions` feed the
+  /// separation check.
+  void step(double dt, const std::vector<hdc::util::Vec2>& human_positions = {});
+
+  // -- Observations ---------------------------------------------------------
+  [[nodiscard]] const DroneState& state() const noexcept { return kinematics_.state(); }
+  [[nodiscard]] DronePhase phase() const noexcept { return phase_; }
+  [[nodiscard]] bool pattern_active() const noexcept { return !executor_.finished(); }
+  [[nodiscard]] std::optional<PatternType> active_pattern() const noexcept {
+    return executor_.finished() ? std::nullopt
+                                : std::make_optional(executor_.pattern().type);
+  }
+  [[nodiscard]] const LedRing& led_ring() const noexcept { return ring_; }
+  [[nodiscard]] const VerticalLedArray& vertical_array() const noexcept {
+    return vertical_array_;
+  }
+  [[nodiscard]] const Battery& battery() const noexcept { return battery_; }
+  [[nodiscard]] const SafetyMonitor& safety() const noexcept { return safety_; }
+  [[nodiscard]] FlightState flight_state() const noexcept {
+    return estimator_.state();
+  }
+  [[nodiscard]] bool rotors_on() const noexcept { return rotors_on_; }
+  [[nodiscard]] const Trajectory& trajectory() const noexcept { return trajectory_; }
+  [[nodiscard]] const DroneConfig& config() const noexcept { return config_; }
+
+  /// Clears the recorded trajectory (e.g. between patterns in benches).
+  void clear_trajectory() { trajectory_.clear(); }
+
+  /// Injects an external fault (failure-injection tests).
+  void inject_fault(bool fault) { safety_.set_external_fault(fault); }
+
+  /// Teleports the vehicle (test/bench setup only).
+  void reset_position(const Vec3& position);
+
+ private:
+  void update_phase();
+  void update_lights();
+
+  DroneConfig config_;
+  DroneKinematics kinematics_;
+  PatternExecutor executor_;
+  LedRing ring_;
+  VerticalLedArray vertical_array_;
+  Battery battery_;
+  SafetyMonitor safety_;
+  ImuModel imu_;
+  FlightStateEstimator estimator_;
+  WindModel wind_;
+  DronePhase phase_{DronePhase::kParked};
+  Trajectory trajectory_;
+  std::optional<Vec3> hover_hold_;  ///< latched hover position when idle
+  Vec3 previous_velocity_{};
+  double sim_time_{0.0};
+  bool rotors_on_{false};
+};
+
+}  // namespace hdc::drone

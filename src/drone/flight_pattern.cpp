@@ -1,0 +1,265 @@
+#include "drone/flight_pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "drone/kinematics.hpp"
+
+namespace hdc::drone {
+
+using hdc::util::Vec2;
+
+FlightPattern make_pattern(PatternType type, const Vec3& origin, const Vec2& facing,
+                           const PatternParams& params, const Vec3& transit_target) {
+  FlightPattern pattern;
+  pattern.type = type;
+  auto& wp = pattern.waypoints;
+  const Vec2 f = facing.normalized();
+  const Vec2 lateral = f.perp();
+  const double slow = params.comm_speed_scale;
+
+  const auto push = [&wp](const Vec3& p, double scale) {
+    wp.push_back({p, scale});
+  };
+
+  switch (type) {
+    case PatternType::kTakeOff:
+      // Vertical lift-off to flying height (Figure 2 mirrored).
+      push({origin.x, origin.y, params.flight_altitude}, 1.0);
+      break;
+
+    case PatternType::kHorizontalTransit:
+      push({origin.x, origin.y, params.flight_altitude}, 1.0);
+      push({transit_target.x, transit_target.y, params.flight_altitude}, 1.0);
+      break;
+
+    case PatternType::kLanding:
+      // "The drone reduces altitude until landed" — straight down.
+      push({origin.x, origin.y, 0.0}, 0.6);
+      break;
+
+    case PatternType::kPoke: {
+      // Short darts toward the human and back: enough approach to trip the
+      // human's looming reflex, repeated for salience.
+      const Vec3 out = origin + Vec3{f.x, f.y, 0.0} * params.poke_advance;
+      for (int i = 0; i < std::max(1, params.repeat_count - 1); ++i) {
+        push(out, slow * 1.6);  // the dart is brisk on purpose
+        push(origin, slow * 1.6);
+      }
+      break;
+    }
+
+    case PatternType::kNodYes: {
+      const Vec3 up = origin + Vec3{0.0, 0.0, params.nod_amplitude};
+      const Vec3 down = origin - Vec3{0.0, 0.0, params.nod_amplitude};
+      for (int i = 0; i < params.repeat_count; ++i) {
+        push(up, slow);
+        push(down, slow);
+      }
+      push(origin, slow);
+      break;
+    }
+
+    case PatternType::kTurnNo: {
+      const Vec3 right = origin + Vec3{lateral.x, lateral.y, 0.0} * params.shake_amplitude;
+      const Vec3 left = origin - Vec3{lateral.x, lateral.y, 0.0} * params.shake_amplitude;
+      for (int i = 0; i < params.repeat_count; ++i) {
+        push(right, slow);
+        push(left, slow);
+      }
+      push(origin, slow);
+      break;
+    }
+
+    case PatternType::kRectangleRequest: {
+      // Outline of the requested area, flown as a closed loop starting and
+      // ending at the drone's hold point.
+      const Vec3 fw{f.x, f.y, 0.0};
+      const Vec3 side{lateral.x, lateral.y, 0.0};
+      const double w = params.rectangle_width;
+      const double d = params.rectangle_depth;
+      push(origin + side * (w / 2.0), slow);
+      push(origin + side * (w / 2.0) + fw * d, slow);
+      push(origin - side * (w / 2.0) + fw * d, slow);
+      push(origin - side * (w / 2.0), slow);
+      push(origin, slow);
+      break;
+    }
+  }
+  return pattern;
+}
+
+TrajectoryFeatures extract_features(const Trajectory& trajectory) {
+  TrajectoryFeatures features{};
+  if (trajectory.size() < 2) return features;
+
+  double min_z = trajectory.front().position.z, max_z = min_z;
+  Vec2 min_xy = trajectory.front().position.xy();
+  Vec2 max_xy = min_xy;
+  double path = 0.0;
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    const Vec3& p = trajectory[i].position;
+    min_z = std::min(min_z, p.z);
+    max_z = std::max(max_z, p.z);
+    min_xy.x = std::min(min_xy.x, p.x);
+    min_xy.y = std::min(min_xy.y, p.y);
+    max_xy.x = std::max(max_xy.x, p.x);
+    max_xy.y = std::max(max_xy.y, p.y);
+    if (i > 0) path += p.distance_to(trajectory[i - 1].position);
+  }
+  features.vertical_range = max_z - min_z;
+  features.horizontal_range = (max_xy - min_xy).norm();
+  features.net_displacement =
+      trajectory.back().position.distance_to(trajectory.front().position);
+  features.path_length = path;
+  features.closure_ratio = path > 1e-9 ? features.net_displacement / path : 0.0;
+  features.starts_on_ground = trajectory.front().position.z < 0.15;
+  features.ends_on_ground = trajectory.back().position.z < 0.15;
+
+  // Dominant horizontal axis from the xy displacement covariance.
+  Vec2 mean{};
+  for (const auto& s : trajectory) mean += s.position.xy();
+  mean = mean / static_cast<double>(trajectory.size());
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const auto& s : trajectory) {
+    const Vec2 d = s.position.xy() - mean;
+    sxx += d.x * d.x;
+    sxy += d.x * d.y;
+    syy += d.y * d.y;
+  }
+  // Principal eigenvector of [[sxx, sxy], [sxy, syy]].
+  const double theta = 0.5 * std::atan2(2.0 * sxy, sxx - syy);
+  const Vec2 axis{std::cos(theta), std::sin(theta)};
+
+  // Reversal counting on accumulated displacement: a direction is only
+  // confirmed once `kDeadBand` metres have been covered since the last
+  // confirmation, so controller dither and tiny per-tick steps are ignored
+  // regardless of the sampling rate.
+  constexpr double kDeadBand = 0.15;  // metres of confirmed travel
+  int sign_v = 0, sign_l = 0;
+  double accum_v = 0.0, accum_l = 0.0;
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    const Vec3 step = trajectory[i].position - trajectory[i - 1].position;
+    accum_v += step.z;
+    if (std::abs(accum_v) > kDeadBand) {
+      const int s = accum_v > 0.0 ? 1 : -1;
+      if (sign_v != 0 && s != sign_v) ++features.vertical_reversals;
+      sign_v = s;
+      accum_v = 0.0;
+    }
+    accum_l += step.xy().dot(axis);
+    if (std::abs(accum_l) > kDeadBand) {
+      const int s = accum_l > 0.0 ? 1 : -1;
+      if (sign_l != 0 && s != sign_l) ++features.lateral_reversals;
+      sign_l = s;
+      accum_l = 0.0;
+    }
+  }
+  return features;
+}
+
+namespace {
+
+/// Soft indicator: 1 inside [lo, hi], decaying linearly to 0 over `soft`
+/// outside the band.
+[[nodiscard]] double band_score(double value, double lo, double hi, double soft) {
+  if (value >= lo && value <= hi) return 1.0;
+  const double out = value < lo ? lo - value : value - hi;
+  return std::max(0.0, 1.0 - out / soft);
+}
+
+}  // namespace
+
+PatternClassification classify_trajectory(const Trajectory& trajectory,
+                                          const PatternParams& params) {
+  const TrajectoryFeatures f = extract_features(trajectory);
+
+  // Per-type scores in [0, 1]: the product of the soft checks that define
+  // each pattern's shape. Parameters give the expected scales.
+  std::array<double, kAllPatterns.size()> scores{};
+
+  const double nod_stroke = 2.0 * params.nod_amplitude;
+  const double shake_stroke = 2.0 * params.shake_amplitude;
+  const double rect_diag = std::hypot(params.rectangle_width, params.rectangle_depth);
+  const double rect_perimeter =
+      2.0 * (params.rectangle_width + params.rectangle_depth);
+
+  // TakeOff: climbs from the ground, little horizontal motion.
+  scores[0] = (f.starts_on_ground && !f.ends_on_ground ? 1.0 : 0.0) *
+              band_score(f.vertical_range, 0.5 * params.flight_altitude,
+                         1.5 * params.flight_altitude, params.flight_altitude) *
+              band_score(f.horizontal_range, 0.0, 0.6, 1.0);
+
+  // HorizontalTransit: large net displacement, high closure ratio and a
+  // genuinely horizontal extent (distinguishes it from a straight descent).
+  // The vertical band tolerates the initial climb to flight altitude.
+  scores[1] = band_score(f.closure_ratio, 0.7, 1.0, 0.3) *
+              band_score(f.net_displacement, 1.5, 1e9, 1.0) *
+              band_score(f.horizontal_range, 1.0, 1e9, 0.8) *
+              band_score(f.vertical_range, 0.0, 0.7 * params.flight_altitude,
+                         0.6 * params.flight_altitude);
+
+  // Landing: descends to the ground, little horizontal motion.
+  scores[2] = (!f.starts_on_ground && f.ends_on_ground ? 1.0 : 0.0) *
+              band_score(f.horizontal_range, 0.0, 0.6, 1.0);
+
+  // Poke: small closed dart along one horizontal axis, few reversals.
+  scores[3] = band_score(f.horizontal_range,
+                         0.5 * params.poke_advance, 1.8 * params.poke_advance, 0.5) *
+              band_score(f.vertical_range, 0.0, 0.3, 0.3) *
+              band_score(static_cast<double>(f.lateral_reversals), 1.0, 5.0, 2.0) *
+              band_score(f.closure_ratio, 0.0, 0.3, 0.3);
+
+  // Axis-dominance ratios make the oscillation patterns robust to wind
+  // drift: gusts add horizontal wander to a nod (and vice versa), but the
+  // commanded axis still dominates.
+  const double vertical_dominance =
+      f.vertical_range / std::max(f.horizontal_range, 0.05);
+  const double horizontal_dominance =
+      f.horizontal_range / std::max(f.vertical_range, 0.05);
+
+  // NodYes: repeated vertical strokes; vertical motion comparable to or
+  // exceeding any wind-induced horizontal wander.
+  scores[4] = band_score(f.vertical_range, 0.6 * nod_stroke, 1.6 * nod_stroke, 0.4) *
+              band_score(static_cast<double>(f.vertical_reversals), 3.0, 1e9, 2.0) *
+              band_score(vertical_dominance, 0.7, 1e9, 0.4);
+
+  // TurnNo: repeated lateral strokes, flat altitude (strong horizontal
+  // dominance separates it from a wind-blown nod).
+  scores[5] =
+      band_score(f.horizontal_range, 0.6 * shake_stroke, 1.8 * shake_stroke, 0.6) *
+      band_score(static_cast<double>(f.lateral_reversals), 3.0, 1e9, 2.0) *
+      band_score(horizontal_dominance, 2.5, 1e9, 1.2);
+
+  // RectangleRequest: closed loop with substantial extent in both axes and
+  // path length near the perimeter.
+  scores[6] = band_score(f.closure_ratio, 0.0, 0.25, 0.25) *
+              band_score(f.horizontal_range, 0.6 * rect_diag, 1.6 * rect_diag, 0.8) *
+              band_score(f.path_length, 0.8 * rect_perimeter, 2.0 * rect_perimeter,
+                         rect_perimeter) *
+              band_score(f.vertical_range, 0.0, 0.3, 0.3);
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  double second = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i != best) second = std::max(second, scores[i]);
+  }
+  PatternClassification result;
+  result.type = kAllPatterns[best];
+  result.confidence =
+      scores[best] <= 0.0 ? 0.0 : (scores[best] - second) / scores[best];
+  return result;
+}
+
+bool PatternExecutor::step(DroneKinematics& kinematics, double dt, const Vec3& wind) {
+  if (finished()) return false;
+  const PatternWaypoint& wp = pattern_.waypoints[next_waypoint_];
+  kinematics.step_towards(dt, wp.position, wp.speed_scale, wind);
+  if (kinematics.reached(wp.position)) ++next_waypoint_;
+  return !finished();
+}
+
+}  // namespace hdc::drone

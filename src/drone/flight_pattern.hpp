@@ -1,0 +1,156 @@
+// Flight patterns — the drone->human half of the embodied language
+// (paper §III).
+//
+// Three standard patterns: vertical take-off to flying height, horizontal
+// flight, and vertical landing (Figure 2). Four communicative patterns:
+//   poke       — a short dart toward the human to attract attention
+//   nod (yes)  — vertical bobbing, the aerial "nod"
+//   turn (no)  — yaw-like lateral shake, the aerial "head shake"
+//   rectangle  — flying the outline of an area the drone wants to occupy
+// "The communicative flight patterns are unmistakable flight patterns and
+// thus can be considered an embodied statement of intent by the drone." The
+// PatternClassifier below verifies exactly that property (bench FIG2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace hdc::drone {
+
+using hdc::util::Vec3;
+
+enum class PatternType : std::uint8_t {
+  kTakeOff = 0,
+  kHorizontalTransit,
+  kLanding,
+  kPoke,
+  kNodYes,
+  kTurnNo,
+  kRectangleRequest,
+};
+
+inline constexpr std::array<PatternType, 7> kAllPatterns = {
+    PatternType::kTakeOff,   PatternType::kHorizontalTransit,
+    PatternType::kLanding,   PatternType::kPoke,
+    PatternType::kNodYes,    PatternType::kTurnNo,
+    PatternType::kRectangleRequest,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PatternType type) noexcept {
+  switch (type) {
+    case PatternType::kTakeOff: return "TakeOff";
+    case PatternType::kHorizontalTransit: return "HorizontalTransit";
+    case PatternType::kLanding: return "Landing";
+    case PatternType::kPoke: return "Poke";
+    case PatternType::kNodYes: return "NodYes";
+    case PatternType::kTurnNo: return "TurnNo";
+    case PatternType::kRectangleRequest: return "RectangleRequest";
+  }
+  return "?";
+}
+
+/// Parameters shared by the pattern generators.
+struct PatternParams {
+  double flight_altitude{5.0};     ///< standard transit height, m
+  double comm_altitude{2.2};       ///< eye-friendly height for communication
+  double poke_advance{0.8};        ///< forward dart distance, m
+  double nod_amplitude{0.5};       ///< vertical bob half-stroke, m
+  double shake_amplitude{0.7};     ///< lateral shake half-stroke, m
+  int repeat_count{3};             ///< bobs/shakes per pattern
+  double rectangle_width{2.0};     ///< requested-area outline, m
+  double rectangle_depth{1.5};
+  double comm_speed_scale{0.35};   ///< slow-down for readability
+};
+
+/// A waypoint with a per-leg speed scale (communicative legs fly slowly so
+/// the pattern reads clearly).
+struct PatternWaypoint {
+  Vec3 position{};
+  double speed_scale{1.0};
+};
+
+/// A generated pattern: ordered waypoints + bookkeeping.
+struct FlightPattern {
+  PatternType type{PatternType::kTakeOff};
+  std::vector<PatternWaypoint> waypoints;
+};
+
+/// Generates the waypoint script of `type`, anchored at the drone's current
+/// position `origin`. For communicative patterns `facing` is the horizontal
+/// unit direction from the drone toward the human observer; for transit
+/// patterns it is the direction of travel. `transit_target` is only used by
+/// kHorizontalTransit.
+[[nodiscard]] FlightPattern make_pattern(PatternType type, const Vec3& origin,
+                                         const hdc::util::Vec2& facing,
+                                         const PatternParams& params = {},
+                                         const Vec3& transit_target = {});
+
+/// A recorded trajectory sample.
+struct TrajectorySample {
+  double t{0.0};
+  Vec3 position{};
+};
+
+using Trajectory = std::vector<TrajectorySample>;
+
+/// Summary features extracted from a trajectory (exposed for tests/benches).
+struct TrajectoryFeatures {
+  double vertical_range{0.0};       ///< max z - min z
+  double horizontal_range{0.0};     ///< diagonal of the xy bounding box
+  double net_displacement{0.0};     ///< |end - start|
+  double path_length{0.0};
+  int vertical_reversals{0};        ///< sign changes of dz
+  int lateral_reversals{0};         ///< sign changes along the dominant xy axis
+  double closure_ratio{0.0};        ///< net displacement / path length
+  bool starts_on_ground{false};
+  bool ends_on_ground{false};
+};
+
+[[nodiscard]] TrajectoryFeatures extract_features(const Trajectory& trajectory);
+
+/// Rule-based classifier that maps an observed trajectory back to the
+/// pattern vocabulary. Returns the best-matching type and a confidence in
+/// [0, 1] (margin-based). Used to verify the "unmistakable" property and by
+/// the human-agent model to "read" drone intent.
+struct PatternClassification {
+  PatternType type{PatternType::kHorizontalTransit};
+  double confidence{0.0};
+};
+
+[[nodiscard]] PatternClassification classify_trajectory(const Trajectory& trajectory,
+                                                        const PatternParams& params = {});
+
+/// Executes a pattern against DroneKinematics: call step() repeatedly; the
+/// executor feeds waypoint velocity commands and reports completion.
+class DroneKinematics;  // fwd
+
+class PatternExecutor {
+ public:
+  PatternExecutor() = default;
+  explicit PatternExecutor(FlightPattern pattern) : pattern_(std::move(pattern)) {}
+
+  void start(FlightPattern pattern) {
+    pattern_ = std::move(pattern);
+    next_waypoint_ = 0;
+  }
+
+  /// Advances the kinematics one tick along the pattern; returns true while
+  /// the pattern is still running, false once complete (or empty).
+  bool step(DroneKinematics& kinematics, double dt, const Vec3& wind = {});
+
+  [[nodiscard]] bool finished() const noexcept {
+    return next_waypoint_ >= pattern_.waypoints.size();
+  }
+  [[nodiscard]] const FlightPattern& pattern() const noexcept { return pattern_; }
+  [[nodiscard]] std::size_t next_waypoint() const noexcept { return next_waypoint_; }
+
+ private:
+  FlightPattern pattern_{};
+  std::size_t next_waypoint_{0};
+};
+
+}  // namespace hdc::drone

@@ -1,0 +1,49 @@
+#include "drone/imu.hpp"
+
+#include <cmath>
+
+namespace hdc::drone {
+
+ImuSample ImuModel::sample(const Vec3& true_accel, bool rotors_on) {
+  ImuSample out;
+  const double vib = rotors_on ? kRotorVibration : 0.0;
+  // Specific force = acceleration - gravity; accelerometers at rest read +g
+  // upward in this sign convention.
+  const Vec3 specific = true_accel + Vec3{0.0, 0.0, 9.81};
+  out.accel = specific + bias_accel_ +
+              Vec3{rng_.gaussian(0.0, kAccelNoise + vib),
+                   rng_.gaussian(0.0, kAccelNoise + vib),
+                   rng_.gaussian(0.0, kAccelNoise + vib)};
+  out.gyro = bias_gyro_ + Vec3{rng_.gaussian(0.0, kGyroNoise + vib * 0.01),
+                               rng_.gaussian(0.0, kGyroNoise + vib * 0.01),
+                               rng_.gaussian(0.0, kGyroNoise + vib * 0.01)};
+  return out;
+}
+
+FlightState FlightStateEstimator::update(const ImuSample& sample) {
+  magnitudes_.push_back(sample.accel.norm());
+  if (magnitudes_.size() > window_) magnitudes_.pop_front();
+  if (magnitudes_.size() < window_) return state_;
+
+  double mean = 0.0;
+  for (double m : magnitudes_) mean += m;
+  mean /= static_cast<double>(magnitudes_.size());
+  double var = 0.0;
+  for (double m : magnitudes_) var += (m - mean) * (m - mean);
+  var /= static_cast<double>(magnitudes_.size());
+  energy_ = var;
+
+  const FlightState indicated =
+      var > kEnergyThreshold ? FlightState::kInFlight : FlightState::kLanded;
+  if (indicated != state_) {
+    if (++streak_ >= kSwitchStreak) {
+      state_ = indicated;
+      streak_ = 0;
+    }
+  } else {
+    streak_ = 0;
+  }
+  return state_;
+}
+
+}  // namespace hdc::drone

@@ -1,0 +1,82 @@
+// IMU sensor model + flight-state estimator.
+//
+// The paper notes (§II): "The integration of an appropriate sensor like an
+// IMU to indicate actual flight is yet to be discussed in greater detail."
+// This module implements that integration as a documented extension: a
+// noisy accelerometer/gyro model driven by the kinematic state, and an
+// estimator that decides Landed / InFlight from vibration energy and
+// specific force, so the navigation lights can indicate *actual* flight
+// rather than commanded flight.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::drone {
+
+using hdc::util::Vec3;
+
+/// One IMU sample (body frame approximated by the world frame for a
+/// yaw-held multicopter).
+struct ImuSample {
+  Vec3 accel{};  ///< specific force, m/s^2 (gravity-included)
+  Vec3 gyro{};   ///< angular rate, rad/s
+};
+
+/// Accel/gyro error model: constant bias plus white noise; rotors add
+/// vibration proportional to throttle.
+class ImuModel {
+ public:
+  explicit ImuModel(std::uint64_t seed) : rng_(seed) {
+    bias_accel_ = {rng_.gaussian(0.0, 0.05), rng_.gaussian(0.0, 0.05),
+                   rng_.gaussian(0.0, 0.05)};
+    bias_gyro_ = {rng_.gaussian(0.0, 0.002), rng_.gaussian(0.0, 0.002),
+                  rng_.gaussian(0.0, 0.002)};
+  }
+
+  /// Produces a sample given the true acceleration (world, without gravity)
+  /// and whether rotors are spinning (vibration source).
+  [[nodiscard]] ImuSample sample(const Vec3& true_accel, bool rotors_on);
+
+ private:
+  hdc::util::Rng rng_;
+  Vec3 bias_accel_{};
+  Vec3 bias_gyro_{};
+  static constexpr double kAccelNoise = 0.08;      // m/s^2 1-sigma
+  static constexpr double kGyroNoise = 0.004;      // rad/s 1-sigma
+  static constexpr double kRotorVibration = 0.45;  // m/s^2 1-sigma extra
+};
+
+/// Estimated gross flight state.
+enum class FlightState : std::uint8_t { kLanded = 0, kInFlight };
+
+[[nodiscard]] constexpr const char* to_string(FlightState state) noexcept {
+  return state == FlightState::kLanded ? "Landed" : "InFlight";
+}
+
+/// Decides Landed vs InFlight from a short window of IMU samples: rotors
+/// induce vibration energy, and climb/descent shows in the specific force.
+/// Hysteresis prevents flicker at the transitions.
+class FlightStateEstimator {
+ public:
+  explicit FlightStateEstimator(std::size_t window = 25) : window_(window) {}
+
+  FlightState update(const ImuSample& sample);
+
+  [[nodiscard]] FlightState state() const noexcept { return state_; }
+  [[nodiscard]] double vibration_energy() const noexcept { return energy_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> magnitudes_;
+  FlightState state_{FlightState::kLanded};
+  double energy_{0.0};
+  int streak_{0};
+  static constexpr double kEnergyThreshold = 0.12;  // accel variance, (m/s^2)^2
+  static constexpr int kSwitchStreak = 10;          // consecutive agreeing windows
+};
+
+}  // namespace hdc::drone

@@ -1,0 +1,101 @@
+#include "drone/kinematics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdc::drone {
+
+Vec3 WindModel::step(double dt) {
+  // OU process per horizontal axis around a fixed mean direction; vertical
+  // gusts are second-order for this use case and omitted.
+  const double sqrt_dt = std::sqrt(std::max(dt, 0.0));
+  const Vec3 mean{mean_speed_, 0.0, 0.0};
+  wind_.x += kRelaxation * (mean.x - wind_.x) * dt +
+             gust_intensity_ * sqrt_dt * rng_.gaussian();
+  wind_.y += kRelaxation * (mean.y - wind_.y) * dt +
+             gust_intensity_ * sqrt_dt * rng_.gaussian();
+  wind_.z = 0.0;
+  return wind_;
+}
+
+void DroneKinematics::step(double dt, const Vec3& commanded_velocity, const Vec3& wind) {
+  if (dt <= 0.0) return;
+
+  // Clamp the command to the airframe envelope.
+  Vec3 target = commanded_velocity;
+  const double h_speed = target.xy().norm();
+  if (h_speed > limits_.max_horizontal_speed) {
+    const double scale = limits_.max_horizontal_speed / h_speed;
+    target.x *= scale;
+    target.y *= scale;
+  }
+  target.z = hdc::util::clamp(target.z, -limits_.max_vertical_speed,
+                              limits_.max_vertical_speed);
+
+  // Acceleration-limited approach to the commanded velocity.
+  const Vec3 delta = target - state_.velocity;
+  const double delta_norm = delta.norm();
+  const double max_delta = limits_.max_acceleration * dt;
+  const Vec3 applied =
+      delta_norm <= max_delta ? delta : delta * (max_delta / delta_norm);
+  state_.velocity += applied;
+
+  // Integrate position with the wind disturbance superimposed.
+  state_.position += (state_.velocity + wind) * dt;
+
+  if (state_.position.z <= 0.0) {
+    state_.position.z = 0.0;
+    if (state_.velocity.z < 0.0) state_.velocity.z = 0.0;
+  }
+}
+
+Vec3 DroneKinematics::velocity_command_to(const Vec3& target, double speed_scale) const {
+  const Vec3 error = target - state_.position;
+  Vec3 command = error * kPositionGain;
+  const double cap_h = limits_.max_horizontal_speed * speed_scale;
+  const double cap_v = limits_.max_vertical_speed * speed_scale;
+  const double h = command.xy().norm();
+  if (h > cap_h && h > 0.0) {
+    const double scale = cap_h / h;
+    command.x *= scale;
+    command.y *= scale;
+  }
+  command.z = hdc::util::clamp(command.z, -cap_v, cap_v);
+  return command;
+}
+
+void DroneKinematics::step_towards(double dt, const Vec3& target, double speed_scale,
+                                   const Vec3& wind) {
+  if (dt <= 0.0) return;
+  const Vec3 error = target - state_.position;
+  // Conditional integration: only integrate close to the target, where the
+  // residual is wind-induced. Integrating during a long approach winds the
+  // term up and overshoots the waypoint.
+  constexpr double kIntegrationZone = 1.5;  // metres
+  if (error.norm() < kIntegrationZone) {
+    integral_ += error * dt;
+    integral_.x = hdc::util::clamp(integral_.x, -kIntegralLimit, kIntegralLimit);
+    integral_.y = hdc::util::clamp(integral_.y, -kIntegralLimit, kIntegralLimit);
+    integral_.z = hdc::util::clamp(integral_.z, -kIntegralLimit, kIntegralLimit);
+  } else {
+    integral_ = integral_ * std::max(0.0, 1.0 - dt);  // bleed off stale windup
+  }
+
+  Vec3 command = error * kPositionGain + integral_ * kIntegralGain;
+  const double cap_h = limits_.max_horizontal_speed * speed_scale;
+  const double cap_v = limits_.max_vertical_speed * speed_scale;
+  const double h = command.xy().norm();
+  if (h > cap_h && h > 0.0) {
+    const double scale = cap_h / h;
+    command.x *= scale;
+    command.y *= scale;
+  }
+  command.z = hdc::util::clamp(command.z, -cap_v, cap_v);
+  step(dt, command, wind);
+}
+
+bool DroneKinematics::reached(const Vec3& target) const {
+  return state_.position.distance_to(target) <= limits_.position_tolerance;
+}
+
+}  // namespace hdc::drone

@@ -1,0 +1,99 @@
+// Point-mass quadrotor kinematics with velocity/acceleration limits, a
+// waypoint P-controller and a wind-gust disturbance model.
+//
+// This substitutes for the paper's Yuneec H520 airframe (DESIGN.md §1): the
+// communication experiments only observe the drone's trajectory and lights,
+// so first-order translational dynamics with realistic limits suffice.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::drone {
+
+using hdc::util::Vec3;
+
+/// Physical limits of the simulated airframe (H520-like defaults).
+struct DroneLimits {
+  double max_horizontal_speed{8.0};   ///< m/s
+  double max_vertical_speed{2.5};     ///< m/s
+  double max_acceleration{4.0};       ///< m/s^2 per axis group
+  double position_tolerance{0.12};    ///< waypoint capture radius, m
+};
+
+/// Translational state of the airframe.
+struct DroneState {
+  Vec3 position{};
+  Vec3 velocity{};
+  /// Course over ground (radians CCW from +x); meaningful when moving.
+  [[nodiscard]] double course() const noexcept {
+    return std::atan2(velocity.y, velocity.x);
+  }
+  [[nodiscard]] double ground_speed() const noexcept { return velocity.xy().norm(); }
+};
+
+/// Ornstein-Uhlenbeck wind gusts: a slowly-varying horizontal disturbance
+/// velocity added to the commanded velocity each step.
+class WindModel {
+ public:
+  WindModel(double mean_speed, double gust_intensity, std::uint64_t seed)
+      : mean_speed_(mean_speed), gust_intensity_(gust_intensity), rng_(seed) {}
+
+  /// Advances the process and returns the current wind velocity.
+  Vec3 step(double dt);
+
+  [[nodiscard]] Vec3 current() const noexcept { return wind_; }
+
+ private:
+  double mean_speed_;
+  double gust_intensity_;
+  hdc::util::Rng rng_;
+  Vec3 wind_{};
+  static constexpr double kRelaxation = 0.5;  // 1/s mean-reversion rate
+};
+
+/// Velocity-command kinematics integrator.
+class DroneKinematics {
+ public:
+  explicit DroneKinematics(DroneLimits limits = {}) : limits_(limits) {}
+
+  /// Advances one step toward `commanded_velocity` (acceleration-limited),
+  /// optionally perturbed by wind. Altitude is clamped at ground level;
+  /// hitting the ground zeroes vertical velocity (skids absorb it).
+  void step(double dt, const Vec3& commanded_velocity, const Vec3& wind = {});
+
+  /// P-controller velocity command toward `target`; `speed_scale` in (0, 1]
+  /// slows communicative patterns so humans can read them.
+  [[nodiscard]] Vec3 velocity_command_to(const Vec3& target,
+                                         double speed_scale = 1.0) const;
+
+  /// PI waypoint tracking step: like step(velocity_command_to(...)) but
+  /// with integral action so steady wind does not leave a permanent
+  /// position offset (a pure P controller stalls short of the waypoint in
+  /// wind). The integrator carries across calls; reset_tracking() clears it.
+  void step_towards(double dt, const Vec3& target, double speed_scale = 1.0,
+                    const Vec3& wind = {});
+
+  /// Clears the PI integrator (e.g. after a teleport).
+  void reset_tracking() noexcept { integral_ = {}; }
+
+  /// True when within the waypoint capture radius of `target`.
+  [[nodiscard]] bool reached(const Vec3& target) const;
+
+  [[nodiscard]] const DroneState& state() const noexcept { return state_; }
+  [[nodiscard]] DroneState& mutable_state() noexcept { return state_; }
+  [[nodiscard]] const DroneLimits& limits() const noexcept { return limits_; }
+
+ private:
+  DroneLimits limits_;
+  DroneState state_{};
+  Vec3 integral_{};
+  static constexpr double kPositionGain = 1.6;    // 1/s
+  static constexpr double kIntegralGain = 0.5;    // 1/s^2
+  static constexpr double kIntegralLimit = 6.0;   // m*s, anti-windup clamp
+};
+
+}  // namespace hdc::drone

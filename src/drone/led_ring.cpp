@@ -1,0 +1,67 @@
+#include "drone/led_ring.hpp"
+
+#include <cmath>
+
+namespace hdc::drone {
+
+LedColor LedRing::navigation_color(double relative_bearing_rad) noexcept {
+  const double bearing = hdc::util::wrap_angle(relative_bearing_rad);
+  const double side_limit = hdc::util::deg_to_rad(kSideSectorDeg);
+  if (bearing >= 0.0 && bearing <= side_limit) return LedColor::kRed;    // port
+  if (bearing < 0.0 && bearing >= -side_limit) return LedColor::kGreen;  // starboard
+  return LedColor::kWhite;                                               // aft
+}
+
+void LedRing::apply() {
+  switch (mode_) {
+    case RingMode::kDanger:
+      leds_.fill(LedColor::kRed);
+      break;
+    case RingMode::kAllGreen:
+      leds_.fill(LedColor::kGreen);
+      break;
+    case RingMode::kOff:
+      leds_.fill(LedColor::kOff);
+      break;
+    case RingMode::kNavigation:
+      for (std::size_t i = 0; i < kLedCount; ++i) {
+        leds_[i] = navigation_color(led_azimuth(i) - course_rad_);
+      }
+      break;
+    case RingMode::kTakeoff: {
+      // 1 Hz green pulse travelling around the ring: unambiguous "spinning
+      // up" cue (extension replacing the discarded vertical array).
+      const auto head = static_cast<std::size_t>(
+          std::fmod(animation_clock_, 1.0) * kLedCount);
+      for (std::size_t i = 0; i < kLedCount; ++i) {
+        leds_[i] = (i == head % kLedCount) ? LedColor::kWhite : LedColor::kGreen;
+      }
+      break;
+    }
+    case RingMode::kLanding: {
+      const auto head = static_cast<std::size_t>(
+          std::fmod(animation_clock_, 1.0) * kLedCount);
+      for (std::size_t i = 0; i < kLedCount; ++i) {
+        leds_[i] = (i == head % kLedCount) ? LedColor::kWhite : LedColor::kAmber;
+      }
+      break;
+    }
+  }
+}
+
+std::string LedRing::to_line() const {
+  std::string line;
+  for (std::size_t i = 0; i < kLedCount; ++i) {
+    if (i > 0) line += ' ';
+    switch (leds_[i]) {
+      case LedColor::kOff: line += '.'; break;
+      case LedColor::kRed: line += 'R'; break;
+      case LedColor::kGreen: line += 'G'; break;
+      case LedColor::kWhite: line += 'W'; break;
+      case LedColor::kAmber: line += 'A'; break;
+    }
+  }
+  return line;
+}
+
+}  // namespace hdc::drone

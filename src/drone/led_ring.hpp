@@ -1,0 +1,120 @@
+// Drone -> human visual indicator: the all-round LED ring (paper §II).
+//
+// "Based on FAA regulations, a ring with 10 tri-colour light emitting diodes
+// was constructed" — depending on the direction of controlled flight the
+// position of red, green and white lighting changes; the ring turns all red
+// when a safety function triggers (and all-red is the power-on default, a
+// fail-safe). Aviation position-light sectors are used:
+//   green : starboard,  0..+110 deg relative to the course
+//   red   : port,       0..-110 deg
+//   white : aft,        the remaining 140-deg tail sector
+// A multicopter has no aerodynamic "nose", so sectors are anchored to the
+// commanded course over ground, exactly as the paper describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/geometry.hpp"
+
+namespace hdc::drone {
+
+/// Colour a tri-colour (RGW) indicator LED can show.
+enum class LedColor : std::uint8_t { kOff = 0, kRed, kGreen, kWhite, kAmber };
+
+[[nodiscard]] constexpr const char* to_string(LedColor color) noexcept {
+  switch (color) {
+    case LedColor::kOff: return "off";
+    case LedColor::kRed: return "red";
+    case LedColor::kGreen: return "green";
+    case LedColor::kWhite: return "white";
+    case LedColor::kAmber: return "amber";
+  }
+  return "?";
+}
+
+/// Ring display modes.
+enum class RingMode : std::uint8_t {
+  kDanger = 0,     ///< all red; fail-safe default and safety-trigger state
+  kNavigation,     ///< FAA-style sectors anchored to the course
+  kTakeoff,        ///< extension: phase palette (green/white pulse)
+  kLanding,        ///< extension: phase palette (amber/white pulse)
+  kAllGreen,       ///< "no consensus" option from the paper, kept selectable
+  kOff,            ///< rotors off, lights extinguished (end of Figure 2)
+};
+
+[[nodiscard]] constexpr const char* to_string(RingMode mode) noexcept {
+  switch (mode) {
+    case RingMode::kDanger: return "Danger";
+    case RingMode::kNavigation: return "Navigation";
+    case RingMode::kTakeoff: return "Takeoff";
+    case RingMode::kLanding: return "Landing";
+    case RingMode::kAllGreen: return "AllGreen";
+    case RingMode::kOff: return "Off";
+  }
+  return "?";
+}
+
+/// The 10-LED all-round ring.
+class LedRing {
+ public:
+  static constexpr std::size_t kLedCount = 10;
+
+  /// Sector half-widths per FAA position-light convention (degrees).
+  static constexpr double kSideSectorDeg = 110.0;
+
+  LedRing() { apply(); }  // boots in kDanger (fail-safe default)
+
+  /// Switches mode. Navigation keeps the last commanded course.
+  void set_mode(RingMode mode) {
+    mode_ = mode;
+    apply();
+  }
+
+  /// Updates the course over ground (radians, world frame) used to anchor
+  /// the navigation sectors.
+  void set_course(double course_rad) {
+    course_rad_ = course_rad;
+    apply();
+  }
+
+  /// Advances the animation clock (takeoff/landing palettes pulse at 1 Hz).
+  void tick(double dt_seconds) {
+    animation_clock_ += dt_seconds;
+    if (mode_ == RingMode::kTakeoff || mode_ == RingMode::kLanding) apply();
+  }
+
+  [[nodiscard]] RingMode mode() const noexcept { return mode_; }
+  [[nodiscard]] double course() const noexcept { return course_rad_; }
+  [[nodiscard]] const std::array<LedColor, kLedCount>& leds() const noexcept {
+    return leds_;
+  }
+
+  /// World azimuth that LED `index` points toward (radians, counter-
+  /// clockwise from +x like every other angle in HDC). The flight
+  /// controller holds the airframe yaw, so these directions are constant.
+  [[nodiscard]] static double led_azimuth(std::size_t index) noexcept {
+    return hdc::util::kTwoPi * static_cast<double>(index) /
+           static_cast<double>(kLedCount);
+  }
+
+  /// The sector colour for an LED pointing `relative_bearing_rad` away from
+  /// the course (counter-clockwise positive). Positive bearings are to
+  /// port (left of travel) -> red; negative to starboard -> green; the
+  /// tail sector beyond +/-110 deg -> white.
+  [[nodiscard]] static LedColor navigation_color(double relative_bearing_rad) noexcept;
+
+  /// One-line rendering such as "R R W G G G W R R R" for logs/examples.
+  [[nodiscard]] std::string to_line() const;
+
+ private:
+  void apply();
+
+  RingMode mode_{RingMode::kDanger};
+  double course_rad_{0.0};
+  double animation_clock_{0.0};
+  std::array<LedColor, kLedCount> leds_{};
+};
+
+}  // namespace hdc::drone

@@ -1,0 +1,50 @@
+#include "drone/safety.hpp"
+
+#include <cmath>
+
+namespace hdc::drone {
+
+SafetyCause SafetyMonitor::evaluate(const Vec3& drone_position, bool in_flight,
+                                    const std::vector<hdc::util::Vec2>& human_positions,
+                                    bool battery_reserve) {
+  // Priority order: external fault > proximity > geofence > ceiling >
+  // battery > startup. The highest-priority active condition is reported.
+  if (external_fault_) {
+    cause_ = SafetyCause::kExternalFault;
+    return cause_;
+  }
+  if (in_flight) {
+    for (const auto& human : human_positions) {
+      // Separation is evaluated in 3-D: a drone hovering 3 m above a person
+      // is not "too close" in the sense of rotor risk.
+      const double dx = drone_position.x - human.x;
+      const double dy = drone_position.y - human.y;
+      const double dz = drone_position.z - 1.7;  // head height
+      const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (dist < limits_.min_human_separation) {
+        cause_ = SafetyCause::kHumanTooClose;
+        return cause_;
+      }
+    }
+    if (!limits_.geofence.contains(drone_position.xy())) {
+      cause_ = SafetyCause::kGeofenceBreach;
+      return cause_;
+    }
+    if (drone_position.z > limits_.altitude_ceiling) {
+      cause_ = SafetyCause::kAltitudeCeiling;
+      return cause_;
+    }
+  }
+  if (battery_reserve) {
+    cause_ = SafetyCause::kBatteryReserve;
+    return cause_;
+  }
+  if (!startup_cleared_) {
+    cause_ = SafetyCause::kStartupCheck;
+    return cause_;
+  }
+  cause_ = SafetyCause::kNone;
+  return cause_;
+}
+
+}  // namespace hdc::drone

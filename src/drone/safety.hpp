@@ -1,0 +1,79 @@
+// Safety monitor (paper §II): "The ring can be turned to all red should a
+// safety function be triggered, which can be achieved as a default setting."
+//
+// Monitored conditions: geofence breach, altitude ceiling, minimum human
+// separation, battery reserve, and an external fault input. Any active
+// condition forces the safety state; the LED ring and the behaviour layer
+// subscribe to it. The monitor starts in the Danger state by design — a
+// drone must prove healthy before showing navigation colours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace hdc::drone {
+
+using hdc::util::Box2;
+using hdc::util::Vec3;
+
+enum class SafetyCause : std::uint8_t {
+  kNone = 0,
+  kStartupCheck,      ///< not yet proven healthy (the default-red rule)
+  kGeofenceBreach,
+  kAltitudeCeiling,
+  kHumanTooClose,
+  kBatteryReserve,
+  kExternalFault,
+};
+
+[[nodiscard]] constexpr const char* to_string(SafetyCause cause) noexcept {
+  switch (cause) {
+    case SafetyCause::kNone: return "None";
+    case SafetyCause::kStartupCheck: return "StartupCheck";
+    case SafetyCause::kGeofenceBreach: return "GeofenceBreach";
+    case SafetyCause::kAltitudeCeiling: return "AltitudeCeiling";
+    case SafetyCause::kHumanTooClose: return "HumanTooClose";
+    case SafetyCause::kBatteryReserve: return "BatteryReserve";
+    case SafetyCause::kExternalFault: return "ExternalFault";
+  }
+  return "?";
+}
+
+/// Limits the monitor enforces.
+struct SafetyLimits {
+  Box2 geofence{{-100.0, -100.0}, {100.0, 100.0}};
+  double altitude_ceiling{30.0};       ///< m AGL
+  double min_human_separation{1.5};    ///< m, hard floor (poke keeps outside this)
+};
+
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(SafetyLimits limits = {}) : limits_(limits) {}
+
+  /// Clears the startup check after pre-flight tests pass.
+  void mark_healthy() noexcept { startup_cleared_ = true; }
+
+  void set_external_fault(bool fault) noexcept { external_fault_ = fault; }
+
+  /// Evaluates all conditions. `human_positions` are ground positions of
+  /// people near the work area; `battery_reserve` is the battery's
+  /// reserve_reached() flag.
+  SafetyCause evaluate(const Vec3& drone_position, bool in_flight,
+                       const std::vector<hdc::util::Vec2>& human_positions,
+                       bool battery_reserve);
+
+  [[nodiscard]] bool danger() const noexcept { return cause_ != SafetyCause::kNone; }
+  [[nodiscard]] SafetyCause cause() const noexcept { return cause_; }
+  [[nodiscard]] const SafetyLimits& limits() const noexcept { return limits_; }
+
+ private:
+  SafetyLimits limits_;
+  SafetyCause cause_{SafetyCause::kStartupCheck};
+  bool startup_cleared_{false};
+  bool external_fault_{false};
+};
+
+}  // namespace hdc::drone

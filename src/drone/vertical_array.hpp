@@ -1,0 +1,68 @@
+// Vertical LED array on the drone's legs (paper §II).
+//
+// The paper added a vertical array animating bottom->top for take-off and
+// top->bottom for landing, but reports: "user-feedback indicated that they
+// are difficult to distinguish, do not serve clarity, indeed serve to
+// confuse, and so will be discarded in future versions."
+//
+// The component is retained here (clearly marked deprecated) because the
+// ablation bench that demonstrates *why* it was discarded — the two
+// animations are nearly indistinguishable at a glance — needs it. New code
+// should use the LedRing take-off/landing palettes instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hdc::drone {
+
+/// [[deprecated-by-user-study]] Animated vertical indicator strip.
+class VerticalLedArray {
+ public:
+  static constexpr std::size_t kLedCount = 6;
+
+  enum class Animation : std::uint8_t { kOff = 0, kTakeoff, kLanding };
+
+  void set_animation(Animation animation) noexcept {
+    animation_ = animation;
+    clock_ = 0.0;
+  }
+
+  void tick(double dt_seconds) noexcept { clock_ += dt_seconds; }
+
+  [[nodiscard]] Animation animation() const noexcept { return animation_; }
+
+  /// LED states bottom (index 0) to top. One LED is lit at a time and the
+  /// lit position sweeps at `kSweepHz`.
+  [[nodiscard]] std::array<bool, kLedCount> states() const noexcept {
+    std::array<bool, kLedCount> lit{};
+    if (animation_ == Animation::kOff) return lit;
+    const double phase = clock_ * kSweepHz;
+    const auto step =
+        static_cast<std::size_t>((phase - static_cast<std::size_t>(phase)) * kLedCount);
+    const std::size_t index =
+        animation_ == Animation::kTakeoff ? step : (kLedCount - 1 - step);
+    lit[index] = true;
+    return lit;
+  }
+
+  /// Rendering such as "[.|.|#|.|.|.]" bottom->top for logs.
+  [[nodiscard]] std::string to_line() const {
+    std::string line = "[";
+    const auto lit = states();
+    for (std::size_t i = 0; i < kLedCount; ++i) {
+      if (i > 0) line += '|';
+      line += lit[i] ? '#' : '.';
+    }
+    line += ']';
+    return line;
+  }
+
+ private:
+  static constexpr double kSweepHz = 1.5;
+  Animation animation_{Animation::kOff};
+  double clock_{0.0};
+};
+
+}  // namespace hdc::drone

@@ -1,0 +1,137 @@
+#include "imaging/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hdc::imaging {
+
+namespace {
+
+/// Union-find over provisional labels.
+class DisjointSet {
+ public:
+  std::int32_t make_set() {
+    parent_.push_back(static_cast<std::int32_t>(parent_.size()));
+    return parent_.back();
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::int32_t> parent_;
+};
+
+}  // namespace
+
+Labeling label_components(const BinaryImage& binary) {
+  Labeling result{Image<std::int32_t>(binary.width(), binary.height(), 0), {}};
+  auto& labels = result.labels;
+  DisjointSet sets;
+  sets.make_set();  // slot 0 = background
+
+  // Pass 1: provisional labels; merge across the 4 already-visited
+  // 8-connectivity neighbours (W, NW, N, NE).
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      if (binary(x, y) != kForeground) continue;
+      std::int32_t neighbour_label = 0;
+      constexpr int offsets[4][2] = {{-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
+      for (const auto& off : offsets) {
+        const int nx = x + off[0];
+        const int ny = y + off[1];
+        if (!binary.in_bounds(nx, ny)) continue;
+        const std::int32_t nl = labels(nx, ny);
+        if (nl == 0) continue;
+        if (neighbour_label == 0) {
+          neighbour_label = nl;
+        } else {
+          sets.unite(neighbour_label, nl);
+        }
+      }
+      labels(x, y) = neighbour_label != 0 ? neighbour_label : sets.make_set();
+    }
+  }
+
+  // Pass 2: flatten labels to 1..n and gather statistics.
+  std::vector<std::int32_t> remap;  // root -> compact label
+  std::vector<Component>& comps = result.components;
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      std::int32_t l = labels(x, y);
+      if (l == 0) continue;
+      const std::int32_t root = sets.find(l);
+      if (static_cast<std::size_t>(root) >= remap.size()) {
+        remap.resize(static_cast<std::size_t>(root) + 1, 0);
+      }
+      if (remap[static_cast<std::size_t>(root)] == 0) {
+        remap[static_cast<std::size_t>(root)] =
+            static_cast<std::int32_t>(comps.size()) + 1;
+        comps.push_back(Component{static_cast<std::int32_t>(comps.size()) + 1, 0, x, y,
+                                  x, y, {}});
+      }
+      const std::int32_t compact = remap[static_cast<std::size_t>(root)];
+      labels(x, y) = compact;
+      Component& comp = comps[static_cast<std::size_t>(compact - 1)];
+      ++comp.area;
+      comp.min_x = std::min(comp.min_x, x);
+      comp.min_y = std::min(comp.min_y, y);
+      comp.max_x = std::max(comp.max_x, x);
+      comp.max_y = std::max(comp.max_y, y);
+      comp.centroid.x += x;
+      comp.centroid.y += y;
+    }
+  }
+  for (Component& comp : comps) {
+    if (comp.area > 0) {
+      comp.centroid.x /= static_cast<double>(comp.area);
+      comp.centroid.y /= static_cast<double>(comp.area);
+    }
+  }
+  return result;
+}
+
+BinaryImage largest_component_mask(const BinaryImage& binary, std::size_t min_area) {
+  const Labeling labeling = label_components(binary);
+  BinaryImage mask(binary.width(), binary.height(), kBackground);
+  const Component* largest = nullptr;
+  for (const Component& comp : labeling.components) {
+    if (comp.area >= min_area && (largest == nullptr || comp.area > largest->area)) {
+      largest = &comp;
+    }
+  }
+  if (largest == nullptr) return mask;
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      if (labeling.labels(x, y) == largest->label) mask(x, y) = kForeground;
+    }
+  }
+  return mask;
+}
+
+BinaryImage remove_small_components(const BinaryImage& binary, std::size_t min_area) {
+  const Labeling labeling = label_components(binary);
+  BinaryImage out(binary.width(), binary.height(), kBackground);
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      const std::int32_t label = labeling.labels(x, y);
+      if (label == 0) continue;
+      if (labeling.components[static_cast<std::size_t>(label - 1)].area >= min_area) {
+        out(x, y) = kForeground;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc::imaging

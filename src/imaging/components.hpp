@@ -1,0 +1,42 @@
+// Connected-component labelling of binary images (8-connectivity) and the
+// largest-component extractor that isolates the signaller silhouette from
+// background clutter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "util/geometry.hpp"
+
+namespace hdc::imaging {
+
+/// One labelled connected component.
+struct Component {
+  std::int32_t label{0};
+  std::size_t area{0};
+  int min_x{0}, min_y{0}, max_x{0}, max_y{0};
+  hdc::util::Vec2 centroid{};
+};
+
+/// Result of labelling: a label raster (0 = background, 1..n components) and
+/// per-component statistics.
+struct Labeling {
+  Image<std::int32_t> labels;
+  std::vector<Component> components;  ///< indexed by label-1
+};
+
+/// Two-pass 8-connectivity labelling with union-find.
+[[nodiscard]] Labeling label_components(const BinaryImage& binary);
+
+/// Returns a binary mask of the largest component (empty image -> all
+/// background). Components below `min_area` pixels are ignored; if none
+/// qualify the mask is all background.
+[[nodiscard]] BinaryImage largest_component_mask(const BinaryImage& binary,
+                                                 std::size_t min_area = 1);
+
+/// Removes every component smaller than `min_area` (despeckle).
+[[nodiscard]] BinaryImage remove_small_components(const BinaryImage& binary,
+                                                  std::size_t min_area);
+
+}  // namespace hdc::imaging

@@ -1,0 +1,135 @@
+#include "imaging/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdc::imaging {
+
+void draw_line(GrayImage& image, int x0, int y0, int x1, int y1, std::uint8_t value) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    image.set_if_inside(x0, y0, value);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void fill_rect(GrayImage& image, int x0, int y0, int x1, int y1, std::uint8_t value) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  const int cx0 = std::max(0, x0);
+  const int cy0 = std::max(0, y0);
+  const int cx1 = std::min(image.width() - 1, x1);
+  const int cy1 = std::min(image.height() - 1, y1);
+  for (int y = cy0; y <= cy1; ++y) {
+    for (int x = cx0; x <= cx1; ++x) image(x, y) = value;
+  }
+}
+
+void fill_disc(GrayImage& image, Vec2 center, double radius, std::uint8_t value) {
+  if (radius <= 0.0) return;
+  const int x0 = std::max(0, static_cast<int>(std::floor(center.x - radius)));
+  const int x1 = std::min(image.width() - 1, static_cast<int>(std::ceil(center.x + radius)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(center.y - radius)));
+  const int y1 = std::min(image.height() - 1, static_cast<int>(std::ceil(center.y + radius)));
+  const double r_sq = radius * radius;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = static_cast<double>(x) + 0.5 - center.x;
+      const double dy = static_cast<double>(y) + 0.5 - center.y;
+      if (dx * dx + dy * dy <= r_sq) image(x, y) = value;
+    }
+  }
+}
+
+void fill_capsule(GrayImage& image, Vec2 a, Vec2 b, double radius, std::uint8_t value) {
+  if (radius <= 0.0) return;
+  const double min_x = std::min(a.x, b.x) - radius;
+  const double max_x = std::max(a.x, b.x) + radius;
+  const double min_y = std::min(a.y, b.y) - radius;
+  const double max_y = std::max(a.y, b.y) + radius;
+  const int x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+  const int x1 = std::min(image.width() - 1, static_cast<int>(std::ceil(max_x)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y1 = std::min(image.height() - 1, static_cast<int>(std::ceil(max_y)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const Vec2 p{static_cast<double>(x) + 0.5, static_cast<double>(y) + 0.5};
+      if (hdc::util::point_segment_distance(p, a, b) <= radius) image(x, y) = value;
+    }
+  }
+}
+
+void fill_polygon(GrayImage& image, const std::vector<Vec2>& vertices,
+                  std::uint8_t value) {
+  if (vertices.size() < 3) return;
+  double min_y = vertices[0].y, max_y = vertices[0].y;
+  for (const Vec2& v : vertices) {
+    min_y = std::min(min_y, v.y);
+    max_y = std::max(max_y, v.y);
+  }
+  const int y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y1 = std::min(image.height() - 1, static_cast<int>(std::ceil(max_y)));
+
+  std::vector<double> crossings;
+  for (int y = y0; y <= y1; ++y) {
+    const double scan_y = static_cast<double>(y) + 0.5;
+    crossings.clear();
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const Vec2& p = vertices[i];
+      const Vec2& q = vertices[(i + 1) % vertices.size()];
+      // Half-open rule avoids double-counting vertices on the scanline.
+      if ((p.y <= scan_y && q.y > scan_y) || (q.y <= scan_y && p.y > scan_y)) {
+        const double t = (scan_y - p.y) / (q.y - p.y);
+        crossings.push_back(p.x + t * (q.x - p.x));
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (std::size_t i = 0; i + 1 < crossings.size(); i += 2) {
+      const int x_begin = std::max(0, static_cast<int>(std::ceil(crossings[i] - 0.5)));
+      const int x_end =
+          std::min(image.width() - 1, static_cast<int>(std::floor(crossings[i + 1] - 0.5)));
+      for (int x = x_begin; x <= x_end; ++x) image(x, y) = value;
+    }
+  }
+}
+
+void draw_polygon(GrayImage& image, const std::vector<Vec2>& vertices,
+                  std::uint8_t value) {
+  if (vertices.size() < 2) return;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vec2& p = vertices[i];
+    const Vec2& q = vertices[(i + 1) % vertices.size()];
+    draw_line(image, static_cast<int>(std::lround(p.x)), static_cast<int>(std::lround(p.y)),
+              static_cast<int>(std::lround(q.x)), static_cast<int>(std::lround(q.y)), value);
+  }
+}
+
+void draw_cross(RgbImage& image, int x, int y, int half_size, Rgb color) {
+  for (int d = -half_size; d <= half_size; ++d) {
+    if (image.in_bounds(x + d, y)) image(x + d, y) = color;
+    if (image.in_bounds(x, y + d)) image(x, y + d) = color;
+  }
+}
+
+void draw_points(RgbImage& image, const std::vector<Vec2>& points, Rgb color) {
+  for (const Vec2& p : points) {
+    const int x = static_cast<int>(std::lround(p.x));
+    const int y = static_cast<int>(std::lround(p.y));
+    if (image.in_bounds(x, y)) image(x, y) = color;
+  }
+}
+
+}  // namespace hdc::imaging

@@ -1,0 +1,43 @@
+// Rasterisation primitives used by the synthetic scene renderer: lines,
+// discs, capsules (thick limbs of the stick-figure signaller), convex
+// polygons and rectangles.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "util/geometry.hpp"
+
+namespace hdc::imaging {
+
+using hdc::util::Vec2;
+
+/// Bresenham line from (x0, y0) to (x1, y1); clips against the raster.
+void draw_line(GrayImage& image, int x0, int y0, int x1, int y1, std::uint8_t value);
+
+/// Filled axis-aligned rectangle [x0, x1] x [y0, y1] (inclusive, clipped).
+void fill_rect(GrayImage& image, int x0, int y0, int x1, int y1, std::uint8_t value);
+
+/// Filled disc of the given centre/radius (clipped).
+void fill_disc(GrayImage& image, Vec2 center, double radius, std::uint8_t value);
+
+/// Filled capsule: all pixels within `radius` of the segment [a, b]. This is
+/// the primitive for rendering limbs (a bone with thickness).
+void fill_capsule(GrayImage& image, Vec2 a, Vec2 b, double radius, std::uint8_t value);
+
+/// Filled simple polygon via even-odd scanline; vertices in image
+/// coordinates. Handles convex and concave (non-self-intersecting) shapes.
+void fill_polygon(GrayImage& image, const std::vector<Vec2>& vertices,
+                  std::uint8_t value);
+
+/// 1-pixel polygon outline.
+void draw_polygon(GrayImage& image, const std::vector<Vec2>& vertices,
+                  std::uint8_t value);
+
+/// Draws a marker cross for annotation output.
+void draw_cross(RgbImage& image, int x, int y, int half_size, Rgb color);
+
+/// Draws a contour (pixel chain) onto an RGB image for visual inspection.
+void draw_points(RgbImage& image, const std::vector<Vec2>& points, Rgb color);
+
+}  // namespace hdc::imaging

@@ -1,0 +1,137 @@
+#include "imaging/filter.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/geometry.hpp"
+
+namespace hdc::imaging {
+
+namespace {
+
+/// Horizontal box pass with clamp-to-edge; the vertical pass runs the same
+/// code on the transposed access pattern.
+GrayImage box_pass_horizontal(const GrayImage& src, int radius) {
+  GrayImage out(src.width(), src.height());
+  const int window = 2 * radius + 1;
+  for (int y = 0; y < src.height(); ++y) {
+    int sum = 0;
+    for (int x = -radius; x <= radius; ++x) sum += src.clamped(x, y);
+    for (int x = 0; x < src.width(); ++x) {
+      out(x, y) = static_cast<std::uint8_t>(sum / window);
+      sum += src.clamped(x + radius + 1, y) - src.clamped(x - radius, y);
+    }
+  }
+  return out;
+}
+
+GrayImage box_pass_vertical(const GrayImage& src, int radius) {
+  GrayImage out(src.width(), src.height());
+  const int window = 2 * radius + 1;
+  for (int x = 0; x < src.width(); ++x) {
+    int sum = 0;
+    for (int y = -radius; y <= radius; ++y) sum += src.clamped(x, y);
+    for (int y = 0; y < src.height(); ++y) {
+      out(x, y) = static_cast<std::uint8_t>(sum / window);
+      sum += src.clamped(x, y + radius + 1) - src.clamped(x, y - radius);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GrayImage box_blur(const GrayImage& src, int radius) {
+  if (radius <= 0) return src;
+  return box_pass_vertical(box_pass_horizontal(src, radius), radius);
+}
+
+GrayImage gaussian_blur(const GrayImage& src, double sigma) {
+  if (sigma <= 0.0) return src;
+  // Ideal box width for 3 passes: w = sqrt(12 sigma^2 / 3 + 1).
+  const double ideal = std::sqrt(4.0 * sigma * sigma + 1.0);
+  int radius = static_cast<int>((ideal - 1.0) / 2.0);
+  if (radius < 1) radius = 1;
+  GrayImage out = box_blur(src, radius);
+  out = box_blur(out, radius);
+  out = box_blur(out, radius);
+  return out;
+}
+
+BinaryImage threshold(const GrayImage& src, std::uint8_t value) {
+  BinaryImage out(src.width(), src.height());
+  for (std::size_t i = 0; i < src.data().size(); ++i) {
+    out.data()[i] = src.data()[i] >= value ? kForeground : kBackground;
+  }
+  return out;
+}
+
+BinaryImage otsu_threshold(const GrayImage& src, std::uint8_t* chosen) {
+  std::array<std::uint64_t, 256> histogram{};
+  for (std::uint8_t v : src.data()) ++histogram[v];
+
+  const double total = static_cast<double>(src.data().size());
+  double sum_all = 0.0;
+  for (int v = 0; v < 256; ++v) sum_all += static_cast<double>(v) * static_cast<double>(histogram[v]);
+
+  double sum_background = 0.0;
+  double weight_background = 0.0;
+  double best_variance = -1.0;
+  int best_threshold = 128;
+
+  for (int t = 0; t < 256; ++t) {
+    weight_background += static_cast<double>(histogram[t]);
+    if (weight_background == 0.0) continue;
+    const double weight_foreground = total - weight_background;
+    if (weight_foreground == 0.0) break;
+    sum_background += static_cast<double>(t) * static_cast<double>(histogram[t]);
+    const double mean_background = sum_background / weight_background;
+    const double mean_foreground = (sum_all - sum_background) / weight_foreground;
+    const double diff = mean_background - mean_foreground;
+    const double variance = weight_background * weight_foreground * diff * diff;
+    if (variance > best_variance) {
+      best_variance = variance;
+      best_threshold = t + 1;  // foreground is >= threshold
+    }
+  }
+  if (chosen != nullptr) *chosen = static_cast<std::uint8_t>(best_threshold);
+  return threshold(src, static_cast<std::uint8_t>(best_threshold));
+}
+
+GrayImage invert(const GrayImage& src) {
+  GrayImage out(src.width(), src.height());
+  for (std::size_t i = 0; i < src.data().size(); ++i) {
+    out.data()[i] = static_cast<std::uint8_t>(255 - src.data()[i]);
+  }
+  return out;
+}
+
+GrayImage add_gaussian_noise(const GrayImage& src, double stddev, hdc::util::Rng& rng) {
+  if (stddev <= 0.0) return src;
+  GrayImage out(src.width(), src.height());
+  for (std::size_t i = 0; i < src.data().size(); ++i) {
+    const double noisy = src.data()[i] + rng.gaussian(0.0, stddev);
+    out.data()[i] = static_cast<std::uint8_t>(hdc::util::clamp(noisy, 0.0, 255.0));
+  }
+  return out;
+}
+
+GrayImage add_salt_pepper(const GrayImage& src, double fraction, hdc::util::Rng& rng) {
+  GrayImage out = src;
+  if (fraction <= 0.0) return out;
+  for (std::uint8_t& v : out.data()) {
+    if (rng.chance(fraction)) v = rng.chance(0.5) ? 255 : 0;
+  }
+  return out;
+}
+
+GrayImage adjust_lighting(const GrayImage& src, double gain, double bias) {
+  GrayImage out(src.width(), src.height());
+  for (std::size_t i = 0; i < src.data().size(); ++i) {
+    const double adjusted = gain * src.data()[i] + bias;
+    out.data()[i] = static_cast<std::uint8_t>(hdc::util::clamp(adjusted, 0.0, 255.0));
+  }
+  return out;
+}
+
+}  // namespace hdc::imaging

@@ -1,0 +1,44 @@
+// Image filters: blur, thresholding (fixed and Otsu) and pixel-wise ops.
+// These are the pre-processing steps of the recognition pipeline ("the
+// pre-processing of the image ... initially appears expensive", paper §IV).
+#pragma once
+
+#include "imaging/image.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::imaging {
+
+/// Separable box blur with window (2*radius+1); radius 0 returns the input.
+[[nodiscard]] GrayImage box_blur(const GrayImage& src, int radius);
+
+/// Gaussian blur approximated by three successive box blurs (standard
+/// technique; error vs true Gaussian < 3% per Kovesi). sigma <= 0 returns
+/// the input.
+[[nodiscard]] GrayImage gaussian_blur(const GrayImage& src, double sigma);
+
+/// Fixed-threshold binarisation: pixel >= threshold -> kForeground.
+[[nodiscard]] BinaryImage threshold(const GrayImage& src, std::uint8_t value);
+
+/// Otsu's automatic threshold (maximises between-class variance).
+/// Returns the chosen threshold via `chosen` when non-null.
+[[nodiscard]] BinaryImage otsu_threshold(const GrayImage& src,
+                                         std::uint8_t* chosen = nullptr);
+
+/// Photometric inversion (255 - v).
+[[nodiscard]] GrayImage invert(const GrayImage& src);
+
+/// Adds zero-mean Gaussian pixel noise with the given stddev (clamped to
+/// [0, 255]). Models sensor noise for robustness tests.
+[[nodiscard]] GrayImage add_gaussian_noise(const GrayImage& src, double stddev,
+                                           hdc::util::Rng& rng);
+
+/// Flips a `fraction` of pixels to pure black/white (salt-and-pepper),
+/// modelling dead/hot pixels and compression artefacts.
+[[nodiscard]] GrayImage add_salt_pepper(const GrayImage& src, double fraction,
+                                        hdc::util::Rng& rng);
+
+/// Multiplies intensities by `gain` and adds `bias` (clamped) — crude
+/// global illumination change for lighting-robustness tests.
+[[nodiscard]] GrayImage adjust_lighting(const GrayImage& src, double gain, double bias);
+
+}  // namespace hdc::imaging

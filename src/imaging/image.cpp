@@ -1,0 +1,55 @@
+#include "imaging/image.hpp"
+
+namespace hdc::imaging {
+
+GrayImage to_gray(const RgbImage& rgb) {
+  GrayImage out(rgb.width(), rgb.height());
+  for (int y = 0; y < rgb.height(); ++y) {
+    for (int x = 0; x < rgb.width(); ++x) {
+      const Rgb& p = rgb(x, y);
+      const double luma = 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+      out(x, y) = static_cast<std::uint8_t>(luma + 0.5);
+    }
+  }
+  return out;
+}
+
+RgbImage to_rgb(const GrayImage& gray) {
+  RgbImage out(gray.width(), gray.height());
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const std::uint8_t v = gray(x, y);
+      out(x, y) = Rgb{v, v, v};
+    }
+  }
+  return out;
+}
+
+GrayImage downscale(const GrayImage& src, int factor) {
+  if (factor < 1) throw std::invalid_argument("downscale: factor must be >= 1");
+  if (factor == 1) return src;
+  const int w = std::max(1, src.width() / factor);
+  const int h = std::max(1, src.height() / factor);
+  GrayImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Average the factor x factor block for a cheap anti-aliased reduce.
+      int sum = 0;
+      int count = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        for (int dx = 0; dx < factor; ++dx) {
+          const int sx = x * factor + dx;
+          const int sy = y * factor + dy;
+          if (src.in_bounds(sx, sy)) {
+            sum += src(sx, sy);
+            ++count;
+          }
+        }
+      }
+      out(x, y) = static_cast<std::uint8_t>(count > 0 ? sum / count : 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc::imaging

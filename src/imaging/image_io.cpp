@@ -1,0 +1,101 @@
+#include "imaging/image_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace hdc::imaging {
+
+namespace {
+
+/// Skips whitespace and '#' comment lines in a PNM header.
+void skip_pnm_separators(std::istream& in) {
+  while (true) {
+    const int c = in.peek();
+    if (c == '#') {
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+struct PnmHeader {
+  int width{0};
+  int height{0};
+  int maxval{0};
+};
+
+PnmHeader read_pnm_header(std::istream& in, const std::string& magic,
+                          const std::string& path) {
+  std::string found(2, '\0');
+  in.read(found.data(), 2);
+  if (!in || found != magic) {
+    throw std::runtime_error("PNM: bad magic in " + path);
+  }
+  PnmHeader header;
+  skip_pnm_separators(in);
+  in >> header.width;
+  skip_pnm_separators(in);
+  in >> header.height;
+  skip_pnm_separators(in);
+  in >> header.maxval;
+  if (!in || header.width <= 0 || header.height <= 0 || header.maxval != 255) {
+    throw std::runtime_error("PNM: unsupported header in " + path);
+  }
+  in.get();  // single whitespace byte before pixel data
+  return header;
+}
+
+}  // namespace
+
+void write_pgm(const GrayImage& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.data().data()),
+            static_cast<std::streamsize>(image.data().size()));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+void write_ppm(const RgbImage& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  for (const Rgb& p : image.data()) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  const PnmHeader header = read_pnm_header(in, "P5", path);
+  GrayImage image(header.width, header.height);
+  in.read(reinterpret_cast<char*>(image.data().data()),
+          static_cast<std::streamsize>(image.data().size()));
+  if (!in) throw std::runtime_error("read_pgm: truncated pixel data in " + path);
+  return image;
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  const PnmHeader header = read_pnm_header(in, "P6", path);
+  RgbImage image(header.width, header.height);
+  for (Rgb& p : image.data()) {
+    char rgb[3];
+    in.read(rgb, 3);
+    p = Rgb{static_cast<std::uint8_t>(rgb[0]), static_cast<std::uint8_t>(rgb[1]),
+            static_cast<std::uint8_t>(rgb[2])};
+  }
+  if (!in) throw std::runtime_error("read_ppm: truncated pixel data in " + path);
+  return image;
+}
+
+}  // namespace hdc::imaging

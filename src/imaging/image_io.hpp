@@ -1,0 +1,23 @@
+// Binary PGM (P5) / PPM (P6) readers and writers — dependency-free image IO
+// so examples can dump frames inspectable with any viewer.
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace hdc::imaging {
+
+/// Writes 8-bit grayscale as binary PGM (P5). Throws std::runtime_error on IO failure.
+void write_pgm(const GrayImage& image, const std::string& path);
+
+/// Writes 8-bit RGB as binary PPM (P6). Throws std::runtime_error on IO failure.
+void write_ppm(const RgbImage& image, const std::string& path);
+
+/// Reads a binary PGM (P5) file. Throws std::runtime_error on malformed input.
+[[nodiscard]] GrayImage read_pgm(const std::string& path);
+
+/// Reads a binary PPM (P6) file. Throws std::runtime_error on malformed input.
+[[nodiscard]] RgbImage read_ppm(const std::string& path);
+
+}  // namespace hdc::imaging

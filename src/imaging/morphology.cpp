@@ -1,0 +1,86 @@
+#include "imaging/morphology.hpp"
+
+namespace hdc::imaging {
+
+namespace {
+
+enum class MorphOp { kErode, kDilate };
+
+/// Separable square-element pass: horizontal min/max then vertical min/max.
+BinaryImage morph(const BinaryImage& src, int radius, MorphOp op) {
+  if (radius <= 0) return src;
+  const bool is_erode = op == MorphOp::kErode;
+  const std::uint8_t outside = is_erode ? kBackground : kBackground;
+
+  BinaryImage horizontal(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      std::uint8_t value = is_erode ? kForeground : kBackground;
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int sx = x + dx;
+        const std::uint8_t sample = src.in_bounds(sx, y) ? src(sx, y) : outside;
+        if (is_erode) {
+          if (sample == kBackground) {
+            value = kBackground;
+            break;
+          }
+        } else if (sample == kForeground) {
+          value = kForeground;
+          break;
+        }
+      }
+      horizontal(x, y) = value;
+    }
+  }
+
+  BinaryImage out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      std::uint8_t value = is_erode ? kForeground : kBackground;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        const int sy = y + dy;
+        const std::uint8_t sample =
+            horizontal.in_bounds(x, sy) ? horizontal(x, sy) : outside;
+        if (is_erode) {
+          if (sample == kBackground) {
+            value = kBackground;
+            break;
+          }
+        } else if (sample == kForeground) {
+          value = kForeground;
+          break;
+        }
+      }
+      out(x, y) = value;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BinaryImage erode(const BinaryImage& src, int radius) {
+  return morph(src, radius, MorphOp::kErode);
+}
+
+BinaryImage dilate(const BinaryImage& src, int radius) {
+  return morph(src, radius, MorphOp::kDilate);
+}
+
+BinaryImage open(const BinaryImage& src, int radius) {
+  return dilate(erode(src, radius), radius);
+}
+
+BinaryImage close(const BinaryImage& src, int radius) {
+  return erode(dilate(src, radius), radius);
+}
+
+std::size_t foreground_area(const BinaryImage& src) {
+  std::size_t count = 0;
+  for (std::uint8_t v : src.data()) {
+    if (v == kForeground) ++count;
+  }
+  return count;
+}
+
+}  // namespace hdc::imaging

@@ -1,0 +1,26 @@
+// Binary morphology (square structuring element). Used to clean silhouettes
+// before contour tracing: opening removes salt noise, closing bridges small
+// gaps between limb segments.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace hdc::imaging {
+
+/// Erosion with a (2r+1)x(2r+1) square element; pixels outside the raster
+/// count as background.
+[[nodiscard]] BinaryImage erode(const BinaryImage& src, int radius = 1);
+
+/// Dilation with a (2r+1)x(2r+1) square element.
+[[nodiscard]] BinaryImage dilate(const BinaryImage& src, int radius = 1);
+
+/// Opening: erode then dilate (removes specks smaller than the element).
+[[nodiscard]] BinaryImage open(const BinaryImage& src, int radius = 1);
+
+/// Closing: dilate then erode (fills holes/gaps smaller than the element).
+[[nodiscard]] BinaryImage close(const BinaryImage& src, int radius = 1);
+
+/// Number of foreground pixels.
+[[nodiscard]] std::size_t foreground_area(const BinaryImage& src);
+
+}  // namespace hdc::imaging

@@ -1,0 +1,71 @@
+#include "imaging/signature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/geometry.hpp"
+
+namespace hdc::imaging {
+
+hdc::timeseries::Series centroid_distance_signature(const Contour& contour,
+                                                    std::size_t samples) {
+  if (contour.size() < 3 || samples == 0) return {};
+  const Contour resampled = resample_by_arc_length(contour, samples);
+  const Vec2 centroid = contour_centroid(contour);
+  hdc::timeseries::Series signature;
+  signature.reserve(samples);
+  for (const Vec2& p : resampled) signature.push_back(p.distance_to(centroid));
+  return signature;
+}
+
+Contour normalize_contour_aspect(const Contour& contour, double side) {
+  if (contour.empty()) return contour;
+  double min_x = contour[0].x, max_x = contour[0].x;
+  double min_y = contour[0].y, max_y = contour[0].y;
+  for (const Vec2& p : contour) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double width = max_x - min_x;
+  const double height = max_y - min_y;
+  if (width <= 0.0 || height <= 0.0) return contour;
+  Contour out;
+  out.reserve(contour.size());
+  for (const Vec2& p : contour) {
+    out.push_back({(p.x - min_x) / width * side, (p.y - min_y) / height * side});
+  }
+  return out;
+}
+
+hdc::timeseries::Series centroid_angle_signature(const Contour& contour,
+                                                 std::size_t samples) {
+  if (contour.size() < 3 || samples == 0) return {};
+  const Contour resampled = resample_by_arc_length(contour, samples);
+  const Vec2 centroid = contour_centroid(contour);
+  hdc::timeseries::Series signature;
+  signature.reserve(samples);
+  double prev = 0.0;
+  double offset = 0.0;
+  bool first = true;
+  for (const Vec2& p : resampled) {
+    const double angle = (p - centroid).angle();
+    if (!first) {
+      // Unwrap: keep the series continuous across the -pi/pi seam.
+      double delta = angle - prev;
+      while (delta > hdc::util::kPi) delta -= hdc::util::kTwoPi;
+      while (delta < -hdc::util::kPi) delta += hdc::util::kTwoPi;
+      offset += delta;
+      signature.push_back(signature.front() + offset);
+    } else {
+      signature.push_back(angle);
+      offset = 0.0;
+      first = false;
+    }
+    prev = angle;
+  }
+  return signature;
+}
+
+}  // namespace hdc::imaging

@@ -1,0 +1,58 @@
+// Fly-trap pest-monitoring model (paper ref [9]: drones collect data from
+// fly traps in cherry plantations to decide whether spraying is needed).
+// Captures accumulate as a Poisson process whose rate reflects local pest
+// pressure; a read samples the current count without resetting the trap.
+#pragma once
+
+#include <cstdint>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::orchard {
+
+class FlyTrap {
+ public:
+  /// `daily_rate`: expected captures per day; per-trap pressure varies.
+  FlyTrap(int tree_id, util::Vec2 position, double daily_rate, std::uint64_t seed)
+      : tree_id_(tree_id), position_(position), daily_rate_(daily_rate), rng_(seed) {}
+
+  /// Advances trap time by `dt` seconds; captures arrive stochastically.
+  void step(double dt_seconds) {
+    elapsed_days_ += dt_seconds / 86400.0;
+    pending_days_ += dt_seconds / 86400.0;
+    // Sample arrivals in day-sized quanta to keep the Poisson draws cheap.
+    if (pending_days_ > 0.01) {
+      count_ += rng_.poisson(daily_rate_ * pending_days_);
+      pending_days_ = 0.0;
+    }
+  }
+
+  /// A drone read: returns the current capture count and records the visit.
+  [[nodiscard]] int read() {
+    ++reads_;
+    return count_;
+  }
+
+  /// Spray decision threshold used by the mission report (captures per
+  /// trap before action is recommended).
+  static constexpr int kSprayThreshold = 12;
+
+  [[nodiscard]] int tree_id() const noexcept { return tree_id_; }
+  [[nodiscard]] util::Vec2 position() const noexcept { return position_; }
+  [[nodiscard]] int count() const noexcept { return count_; }
+  [[nodiscard]] int reads() const noexcept { return reads_; }
+  [[nodiscard]] bool needs_spray() const noexcept { return count_ >= kSprayThreshold; }
+
+ private:
+  int tree_id_;
+  util::Vec2 position_;
+  double daily_rate_;
+  util::Rng rng_;
+  double elapsed_days_{0.0};
+  double pending_days_{0.0};
+  int count_{0};
+  int reads_{0};
+};
+
+}  // namespace hdc::orchard

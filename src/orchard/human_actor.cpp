@@ -1,0 +1,81 @@
+#include "orchard/human_actor.hpp"
+
+#include <cmath>
+
+namespace hdc::orchard {
+
+HumanActor::HumanActor(int id, protocol::HumanRole role, Vec2 position,
+                       std::vector<Vec2> work_sites, std::uint64_t seed)
+    : id_(id),
+      responder_(role, seed ^ 0x5a5aULL),
+      rng_(seed),
+      position_(position),
+      work_sites_(std::move(work_sites)) {
+  if (work_sites_.empty()) work_sites_.push_back(position);
+  work_left_s_ = rng_.exponential(params_.work_duration_mean_s);
+}
+
+void HumanActor::face_towards(const Vec2& point) {
+  const Vec2 d = point - position_;
+  if (d.norm() > 1e-6) facing_rad_ = d.angle();
+}
+
+void HumanActor::pick_next_site() {
+  current_site_ = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(work_sites_.size()) - 1));
+  walk_target_ = work_sites_[current_site_];
+}
+
+void HumanActor::step_aside(const Vec2& away_from) {
+  // Move perpendicular-ish away from the requested spot.
+  Vec2 dir = position_ - away_from;
+  if (dir.norm() < 1e-6) dir = {1.0, 0.0};
+  return_position_ = position_;
+  walk_target_ = position_ + dir.normalized() * params_.step_aside_distance;
+  aside_left_s_ = params_.step_aside_duration_s;
+}
+
+void HumanActor::step(double dt, std::optional<drone::PatternType> perceived_pattern) {
+  // Protocol behaviour first (may change displayed sign).
+  responder_.step(dt, perceived_pattern);
+
+  // An attentive human interrupts work; they stand and face the drone, so
+  // no wandering while a negotiation is live.
+  const bool engaged_in_protocol =
+      responder_.attentive() && aside_left_s_ <= 0.0 && !return_position_.has_value();
+
+  // Step-aside countdown; afterwards walk back to the saved spot.
+  if (aside_left_s_ > 0.0) {
+    aside_left_s_ -= dt;
+    if (aside_left_s_ <= 0.0 && return_position_.has_value()) {
+      walk_target_ = return_position_;
+      return_position_.reset();
+    }
+  }
+
+  // Movement toward the current walk target.
+  if (walk_target_.has_value()) {
+    const Vec2 to_target = *walk_target_ - position_;
+    const double dist = to_target.norm();
+    const double step_len = params_.walk_speed * dt;
+    if (dist <= step_len) {
+      position_ = *walk_target_;
+      walk_target_.reset();
+    } else {
+      position_ += to_target * (step_len / dist);
+      facing_rad_ = to_target.angle();
+    }
+    return;
+  }
+
+  if (engaged_in_protocol) return;  // standing still, facing the drone
+
+  // Work at the current site; move on when done.
+  work_left_s_ -= dt;
+  if (work_left_s_ <= 0.0) {
+    work_left_s_ = rng_.exponential(params_.work_duration_mean_s);
+    pick_next_site();
+  }
+}
+
+}  // namespace hdc::orchard

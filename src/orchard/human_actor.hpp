@@ -1,0 +1,76 @@
+// A human in the orchard: position + movement + the protocol responder.
+// Actors work at trees (potentially blocking the drone's access to traps),
+// answer negotiations per their role model, and physically step aside when
+// they grant access.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "protocol/human_agent.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::orchard {
+
+using hdc::util::Vec2;
+
+/// Movement/behaviour parameters.
+struct ActorParams {
+  double walk_speed{1.2};        ///< m/s
+  double work_duration_mean_s{45.0};
+  double blocking_radius{1.8};   ///< within this of a trap = blocks access
+  double step_aside_distance{2.5};
+  double step_aside_duration_s{25.0};  ///< stays clear this long after granting
+};
+
+class HumanActor {
+ public:
+  HumanActor(int id, protocol::HumanRole role, Vec2 position,
+             std::vector<Vec2> work_sites, std::uint64_t seed);
+
+  /// Advances movement + the responder.
+  /// `perceived_pattern`: drone pattern this actor currently reads.
+  void step(double dt, std::optional<drone::PatternType> perceived_pattern);
+
+  /// Orders the actor to clear the area (they granted access).
+  void step_aside(const Vec2& away_from);
+
+  [[nodiscard]] bool blocks(const Vec2& point) const {
+    return position_.distance_to(point) <= params_.blocking_radius;
+  }
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] Vec2 position() const noexcept { return position_; }
+  [[nodiscard]] double facing() const noexcept { return facing_rad_; }
+  [[nodiscard]] protocol::HumanResponder& responder() noexcept { return responder_; }
+  [[nodiscard]] const protocol::HumanResponder& responder() const noexcept {
+    return responder_;
+  }
+  [[nodiscard]] signs::HumanSign displayed_sign() const noexcept {
+    return responder_.displayed_sign();
+  }
+  [[nodiscard]] const ActorParams& params() const noexcept { return params_; }
+
+  /// Turns the actor to face a world point (humans face the drone once
+  /// attentive).
+  void face_towards(const Vec2& point);
+
+ private:
+  void pick_next_site();
+
+  int id_;
+  ActorParams params_{};
+  protocol::HumanResponder responder_;
+  util::Rng rng_;
+  Vec2 position_{};
+  double facing_rad_{0.0};
+  std::vector<Vec2> work_sites_;
+  std::size_t current_site_{0};
+  double work_left_s_{0.0};
+  std::optional<Vec2> walk_target_;
+  double aside_left_s_{0.0};
+  std::optional<Vec2> return_position_;
+};
+
+}  // namespace hdc::orchard

@@ -1,0 +1,225 @@
+#include "orchard/mission.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hdc::orchard {
+
+MissionController::MissionController(MissionConfig config, Vec2 base_station,
+                                     std::vector<std::pair<int, Vec2>> traps)
+    : config_(config), base_(base_station), negotiator_(config.negotiation) {
+  for (const auto& [id, pos] : traps) queue_.push_back({id, pos, 0});
+  stats_.traps_total = static_cast<int>(queue_.size());
+  plan_route(base_);
+}
+
+void MissionController::plan_route(const Vec2& from) {
+  // Greedy nearest-neighbour ordering; adequate for orchard-scale routes.
+  std::vector<TrapTask> route;
+  std::vector<TrapTask> remaining = queue_;
+  Vec2 cursor = from;
+  while (!remaining.empty()) {
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const double d = cursor.distance_to(remaining[i].position);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    route.push_back(remaining[best]);
+    cursor = remaining[best].position;
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  queue_ = std::move(route);
+}
+
+void MissionController::enter(MissionPhase next) {
+  phase_ = next;
+  phase_clock_ = 0.0;
+  pattern_pending_ = false;
+}
+
+MissionDirective MissionController::step(double dt, drone::Drone& drone,
+                                         const MissionWorldView& view) {
+  MissionDirective directive;
+  mission_clock_ += dt;
+  phase_clock_ += dt;
+
+  // Distance bookkeeping.
+  const Vec3 pos = drone.state().position;
+  stats_.distance_flown_m += pos.distance_to(last_position_);
+  last_position_ = pos;
+  stats_.mission_time_s = mission_clock_;
+
+  // Global timeout: head home whatever the phase.
+  if (mission_clock_ > config_.mission_timeout_s &&
+      phase_ != MissionPhase::kReturnHome && phase_ != MissionPhase::kLand &&
+      phase_ != MissionPhase::kDone) {
+    stats_.traps_skipped += static_cast<int>(queue_.size());
+    queue_.clear();
+    enter(MissionPhase::kReturnHome);
+  }
+
+  switch (phase_) {
+    case MissionPhase::kPreflight:
+      drone.preflight_complete();
+      enter(MissionPhase::kTakeOff);
+      drone.command_pattern(drone::PatternType::kTakeOff);
+      break;
+
+    case MissionPhase::kTakeOff:
+      if (!drone.pattern_active()) {
+        if (queue_.empty()) {
+          enter(MissionPhase::kReturnHome);
+        } else {
+          enter(MissionPhase::kTransit);
+          const Vec2 target = queue_front().position;
+          drone.command_pattern(drone::PatternType::kHorizontalTransit, {0.0, 1.0},
+                                {target.x, target.y, 0.0});
+        }
+      }
+      break;
+
+    case MissionPhase::kTransit:
+      if (!drone.pattern_active()) enter(MissionPhase::kAssess);
+      break;
+
+    case MissionPhase::kAssess: {
+      if (queue_.empty()) {
+        enter(MissionPhase::kReturnHome);
+        break;
+      }
+      if (view.blocker_position.has_value()) {
+        // Someone blocks the trap: approach to the boundary of the safe
+        // distance (paper §III), then open the negotiation from there.
+        ++stats_.negotiations;
+        negotiation_actor_ = view.blocker_id.value_or(-1);
+        const Vec2 human = *view.blocker_position;
+        Vec2 dir = pos.xy() - human;
+        if (dir.norm() < 1e-6) dir = {0.0, -1.0};
+        const Vec2 station_xy = human + dir.normalized() * config_.comm_distance_m;
+        enter(MissionPhase::kApproachStation);
+        drone.command_goto({station_xy.x, station_xy.y, config_.comm_altitude_m}, 0.7);
+        directive.kind = MissionDirective::Kind::kNegotiationStarted;
+        directive.actor_id = negotiation_actor_;
+        directive.tree_id = queue_front().tree_id;
+      } else {
+        enter(MissionPhase::kRead);
+        read_left_ = config_.read_duration_s;
+      }
+      break;
+    }
+
+    case MissionPhase::kApproachStation:
+      if (!drone.pattern_active()) {
+        negotiator_.begin();
+        enter(MissionPhase::kNegotiate);
+      }
+      break;
+
+    case MissionPhase::kNegotiate: {
+      const Vec2 human = view.blocker_position.value_or(queue_front().position);
+      const Vec2 facing = (human - pos.xy()).normalized();
+      const protocol::NegotiatorCommand command =
+          negotiator_.step(dt, view.perceived_sign, drone.pattern_active());
+      if (command.kind == protocol::NegotiatorCommand::Kind::kFlyPattern) {
+        drone.command_pattern(command.pattern, facing);
+      }
+      if (negotiator_.finished()) {
+        TrapTask task = queue_front();
+        queue_.erase(queue_.begin());
+        switch (negotiator_.outcome()) {
+          case protocol::Outcome::kGranted:
+            ++stats_.granted;
+            directive.kind = MissionDirective::Kind::kAccessGranted;
+            directive.actor_id = negotiation_actor_;
+            directive.tree_id = task.tree_id;
+            queue_.insert(queue_.begin(), task);  // read it now
+            enter(MissionPhase::kRead);
+            read_left_ = config_.read_duration_s;
+            break;
+          case protocol::Outcome::kDenied:
+            ++stats_.denied;
+            if (task.visits < config_.max_revisits) {
+              ++task.visits;
+              queue_.push_back(task);  // retry later
+            } else {
+              ++stats_.traps_skipped;
+            }
+            enter(queue_.empty() ? MissionPhase::kReturnHome : MissionPhase::kTransit);
+            if (!queue_.empty()) {
+              drone.command_pattern(drone::PatternType::kHorizontalTransit, {0.0, 1.0},
+                                    {queue_front().position.x, queue_front().position.y, 0.0});
+            }
+            break;
+          default:
+            if (negotiator_.outcome() == protocol::Outcome::kNoAttention) {
+              ++stats_.no_attention;
+            } else if (negotiator_.outcome() == protocol::Outcome::kNoAnswer) {
+              ++stats_.no_answer;
+            } else {
+              ++stats_.aborted;
+            }
+            if (task.visits < config_.max_revisits) {
+              ++task.visits;
+              queue_.push_back(task);
+            } else {
+              ++stats_.traps_skipped;
+            }
+            enter(queue_.empty() ? MissionPhase::kReturnHome : MissionPhase::kTransit);
+            if (!queue_.empty()) {
+              drone.command_pattern(drone::PatternType::kHorizontalTransit, {0.0, 1.0},
+                                    {queue_front().position.x, queue_front().position.y, 0.0});
+            }
+            break;
+        }
+      }
+      break;
+    }
+
+    case MissionPhase::kRead:
+      read_left_ -= dt;
+      if (read_left_ <= 0.0) {
+        ++stats_.traps_read;
+        directive.kind = MissionDirective::Kind::kTrapRead;
+        directive.tree_id = queue_front().tree_id;
+        queue_.erase(queue_.begin());
+        if (queue_.empty()) {
+          enter(MissionPhase::kReturnHome);
+        } else {
+          enter(MissionPhase::kTransit);
+          drone.command_pattern(drone::PatternType::kHorizontalTransit, {0.0, 1.0},
+                                {queue_front().position.x, queue_front().position.y, 0.0});
+        }
+      }
+      break;
+
+    case MissionPhase::kReturnHome:
+      if (!pattern_pending_) {
+        drone.command_pattern(drone::PatternType::kHorizontalTransit, {0.0, 1.0},
+                              {base_.x, base_.y, 0.0});
+        pattern_pending_ = true;
+      }
+      if (pattern_pending_ && !drone.pattern_active()) {
+        enter(MissionPhase::kLand);
+        drone.command_pattern(drone::PatternType::kLanding);
+      }
+      break;
+
+    case MissionPhase::kLand:
+      if (!drone.pattern_active() && !drone.rotors_on()) {
+        stats_.energy_used_wh =
+            drone.battery().params().capacity_wh - drone.battery().energy_wh();
+        enter(MissionPhase::kDone);
+      }
+      break;
+
+    case MissionPhase::kDone:
+      break;
+  }
+  return directive;
+}
+
+}  // namespace hdc::orchard

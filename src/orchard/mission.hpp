@@ -1,0 +1,148 @@
+// Trap-monitoring mission controller: plan a route over all fly traps,
+// negotiate with any human blocking a trap (the paper's core scenario),
+// read the traps, return home. Drives the Drone and the DroneNegotiator;
+// the World owns the perception channels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drone/drone.hpp"
+#include "protocol/drone_negotiator.hpp"
+#include "signs/sign.hpp"
+#include "util/geometry.hpp"
+
+namespace hdc::orchard {
+
+using hdc::util::Vec2;
+using hdc::util::Vec3;
+
+/// Mission-level tuning.
+struct MissionConfig {
+  double comm_distance_m{3.0};    ///< paper's negotiation stand-off distance
+  double comm_altitude_m{3.5};    ///< canonical recognition altitude
+  double read_altitude_m{1.8};    ///< hover height when reading a trap
+  double read_duration_s{4.0};
+  int max_revisits{1};            ///< re-queue attempts for denied/blocked traps
+  double mission_timeout_s{3600.0};
+  protocol::NegotiationConfig negotiation{};
+};
+
+/// Mission phases.
+enum class MissionPhase : std::uint8_t {
+  kPreflight = 0,
+  kTakeOff,
+  kTransit,
+  kAssess,           ///< arrived near a trap; check for blockers
+  kApproachStation,  ///< move to the negotiation stand-off point
+  kNegotiate,
+  kRead,
+  kReturnHome,
+  kLand,
+  kDone,
+};
+
+[[nodiscard]] constexpr const char* to_string(MissionPhase phase) noexcept {
+  switch (phase) {
+    case MissionPhase::kPreflight: return "Preflight";
+    case MissionPhase::kTakeOff: return "TakeOff";
+    case MissionPhase::kTransit: return "Transit";
+    case MissionPhase::kAssess: return "Assess";
+    case MissionPhase::kApproachStation: return "ApproachStation";
+    case MissionPhase::kNegotiate: return "Negotiate";
+    case MissionPhase::kRead: return "Read";
+    case MissionPhase::kReturnHome: return "ReturnHome";
+    case MissionPhase::kLand: return "Land";
+    case MissionPhase::kDone: return "Done";
+  }
+  return "?";
+}
+
+/// Aggregate statistics of one mission run.
+struct MissionStats {
+  int traps_total{0};
+  int traps_read{0};
+  int traps_skipped{0};
+  int negotiations{0};
+  int granted{0};
+  int denied{0};
+  int no_attention{0};
+  int no_answer{0};
+  int aborted{0};
+  double mission_time_s{0.0};
+  double energy_used_wh{0.0};
+  double distance_flown_m{0.0};
+  std::vector<std::pair<int, int>> trap_readings;  ///< (tree id, count)
+  int traps_needing_spray{0};
+};
+
+/// Per-tick view of the world the controller needs.
+struct MissionWorldView {
+  std::optional<Vec2> blocker_position;  ///< human blocking the current trap
+  std::optional<int> blocker_id;
+  std::optional<signs::HumanSign> perceived_sign;  ///< from the sign channel
+};
+
+/// What the controller asks of the world this tick.
+struct MissionDirective {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kNegotiationStarted,  ///< world should bind channels to blocker_id
+    kAccessGranted,       ///< world should make the blocker step aside
+    kTrapRead,            ///< world should record the reading
+  };
+  Kind kind{Kind::kNone};
+  int actor_id{-1};
+  int tree_id{-1};
+};
+
+class MissionController {
+ public:
+  MissionController(MissionConfig config, Vec2 base_station,
+                    std::vector<std::pair<int, Vec2>> traps);
+
+  /// Advances the mission one tick against the vehicle. The caller supplies
+  /// a per-tick world view and applies the returned directive.
+  MissionDirective step(double dt, drone::Drone& drone, const MissionWorldView& view);
+
+  [[nodiscard]] MissionPhase phase() const noexcept { return phase_; }
+  [[nodiscard]] bool done() const noexcept { return phase_ == MissionPhase::kDone; }
+  [[nodiscard]] const MissionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] MissionStats& stats() noexcept { return stats_; }
+  [[nodiscard]] std::optional<int> current_trap() const noexcept {
+    return queue_empty() ? std::nullopt : std::make_optional(queue_front().tree_id);
+  }
+  [[nodiscard]] const protocol::DroneNegotiator& negotiator() const noexcept {
+    return negotiator_;
+  }
+  [[nodiscard]] const MissionConfig& config() const noexcept { return config_; }
+
+ private:
+  struct TrapTask {
+    int tree_id{0};
+    Vec2 position{};
+    int visits{0};
+  };
+
+  void enter(MissionPhase next);
+  void plan_route(const Vec2& from);
+  [[nodiscard]] bool queue_empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] const TrapTask& queue_front() const { return queue_.front(); }
+
+  MissionConfig config_;
+  Vec2 base_;
+  std::vector<TrapTask> queue_;
+  protocol::DroneNegotiator negotiator_;
+  MissionStats stats_{};
+  MissionPhase phase_{MissionPhase::kPreflight};
+  double phase_clock_{0.0};
+  double mission_clock_{0.0};
+  double read_left_{0.0};
+  Vec3 last_position_{};
+  bool pattern_pending_{false};
+  int negotiation_actor_{-1};
+};
+
+}  // namespace hdc::orchard

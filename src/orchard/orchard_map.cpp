@@ -1,0 +1,43 @@
+#include "orchard/orchard_map.hpp"
+
+#include <stdexcept>
+
+namespace hdc::orchard {
+
+OrchardMap::OrchardMap(const OrchardLayout& layout) : layout_(layout) {
+  if (layout.rows <= 0 || layout.trees_per_row <= 0) {
+    throw std::invalid_argument("OrchardMap: layout must have trees");
+  }
+  if (layout.trap_every_n_trees <= 0) {
+    throw std::invalid_argument("OrchardMap: trap_every_n_trees must be >= 1");
+  }
+  trees_.reserve(static_cast<std::size_t>(layout.rows) *
+                 static_cast<std::size_t>(layout.trees_per_row));
+  int id = 0;
+  for (int row = 0; row < layout.rows; ++row) {
+    for (int i = 0; i < layout.trees_per_row; ++i) {
+      Tree tree;
+      tree.id = id;
+      tree.position = {i * layout.tree_spacing_m, row * layout.row_spacing_m};
+      tree.has_trap = (id % layout.trap_every_n_trees) == 0;
+      trees_.push_back(tree);
+      ++id;
+    }
+  }
+  // Base station sits before the first row, clear of the canopy.
+  base_ = {-2.0 * layout.tree_spacing_m, -layout.row_spacing_m};
+
+  const double max_x = (layout.trees_per_row - 1) * layout.tree_spacing_m;
+  const double max_y = (layout.rows - 1) * layout.row_spacing_m;
+  geofence_ = Box2{{base_.x, base_.y}, {max_x, max_y}}.inflated(layout.geofence_margin_m);
+}
+
+std::vector<int> OrchardMap::trap_tree_ids() const {
+  std::vector<int> ids;
+  for (const Tree& tree : trees_) {
+    if (tree.has_trap) ids.push_back(tree.id);
+  }
+  return ids;
+}
+
+}  // namespace hdc::orchard

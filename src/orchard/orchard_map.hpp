@@ -1,0 +1,52 @@
+// The cherry-orchard world of the paper's use case (§I): rows of trees,
+// fly traps on a subset of them (pest monitoring per ref [9]), a drone base
+// station and the geofence enclosing it all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace hdc::orchard {
+
+using hdc::util::Box2;
+using hdc::util::Vec2;
+
+/// Orchard layout parameters.
+struct OrchardLayout {
+  int rows{4};
+  int trees_per_row{10};
+  double row_spacing_m{4.0};     ///< distance between rows
+  double tree_spacing_m{3.0};    ///< distance between trees in a row
+  int trap_every_n_trees{4};     ///< a fly trap on every n-th tree
+  double geofence_margin_m{10.0};
+};
+
+/// One tree.
+struct Tree {
+  int id{0};
+  Vec2 position{};
+  bool has_trap{false};
+};
+
+/// Static orchard geometry.
+class OrchardMap {
+ public:
+  explicit OrchardMap(const OrchardLayout& layout = {});
+
+  [[nodiscard]] const std::vector<Tree>& trees() const noexcept { return trees_; }
+  [[nodiscard]] std::vector<int> trap_tree_ids() const;
+  [[nodiscard]] const Tree& tree(int id) const { return trees_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] Vec2 base_station() const noexcept { return base_; }
+  [[nodiscard]] Box2 geofence() const noexcept { return geofence_; }
+  [[nodiscard]] const OrchardLayout& layout() const noexcept { return layout_; }
+
+ private:
+  OrchardLayout layout_;
+  std::vector<Tree> trees_;
+  Vec2 base_{};
+  Box2 geofence_{};
+};
+
+}  // namespace hdc::orchard

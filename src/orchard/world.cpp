@@ -1,0 +1,220 @@
+#include "orchard/world.hpp"
+
+#include <stdexcept>
+
+namespace hdc::orchard {
+
+World::World(const WorldConfig& config, const core::HdcSystem* system)
+    : config_(config),
+      clock_(config.tick_s),
+      map_(config.layout),
+      drone_([&] {
+        drone::DroneConfig dc = config.drone;
+        dc.safety.geofence = OrchardMap(config.layout).geofence();
+        return dc;
+      }()),
+      mission_([&] {
+        std::vector<std::pair<int, util::Vec2>> traps;
+        for (int id : OrchardMap(config.layout).trap_tree_ids()) {
+          traps.emplace_back(id, OrchardMap(config.layout).tree(id).position);
+        }
+        return MissionController(config.mission, OrchardMap(config.layout).base_station(),
+                                 std::move(traps));
+      }()),
+      system_(system) {
+  util::Rng rng(config.seed);
+
+  // Traps mirror the map's trap trees; pest pressure varies per trap, and
+  // captures have accumulated since the last monitoring round.
+  for (int id : map_.trap_tree_ids()) {
+    traps_.emplace_back(id, map_.tree(id).position,
+                        rng.uniform(0.5, 2.0) * config.trap_daily_rate, rng.next());
+    traps_.back().step(config.trap_preload_days * 86400.0);
+  }
+
+  // Actors: a supervisor, `workers` workers, `visitors` visitors.
+  // Trained staff service the trap trees (their work sites are the traps,
+  // which is exactly why they end up blocking the drone's access); visitors
+  // wander among all trees.
+  std::vector<util::Vec2> trap_sites;
+  for (int id : map_.trap_tree_ids()) trap_sites.push_back(map_.tree(id).position);
+  std::vector<util::Vec2> all_sites;
+  for (const Tree& tree : map_.trees()) all_sites.push_back(tree.position);
+  int next_id = 0;
+  const auto spawn = [&](protocol::HumanRole role,
+                         const std::vector<util::Vec2>& sites) {
+    const util::Vec2 start =
+        sites[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(sites.size()) - 1))];
+    actors_.emplace_back(next_id++, role, start, sites, rng.next());
+  };
+  spawn(protocol::HumanRole::kSupervisor, trap_sites);
+  for (int i = 0; i < config.workers; ++i) spawn(protocol::HumanRole::kWorker, trap_sites);
+  for (int i = 0; i < config.visitors; ++i) spawn(protocol::HumanRole::kVisitor, all_sites);
+
+  // Perception channels.
+  switch (config.perception) {
+    case PerceptionMode::kPerfect:
+      sign_channel_ = std::make_unique<protocol::PerfectSignChannel>();
+      break;
+    case PerceptionMode::kNoisy:
+      sign_channel_ = std::make_unique<protocol::NoisySignChannel>(
+          config.noisy_miss_rate, config.noisy_confusion_rate, rng.next());
+      break;
+    case PerceptionMode::kCamera: {
+      if (system_ == nullptr) {
+        throw std::invalid_argument("World: kCamera perception needs an HdcSystem");
+      }
+      auto channel = std::make_unique<core::CameraSignChannel>(*system_, rng.next());
+      camera_channel_ = channel.get();
+      sign_channel_ = std::move(channel);
+      break;
+    }
+  }
+  pattern_channel_ = std::make_unique<protocol::NoisyPatternChannel>(
+      config.human_pattern_miss_rate, config.human_pattern_confusion_rate, rng.next());
+
+  // Drone starts parked on the base station.
+  drone_.reset_position(
+      {map_.base_station().x, map_.base_station().y, 0.0});
+}
+
+void World::log(const std::string& text) { events_.push_back({clock_.seconds(), text}); }
+
+HumanActor* World::find_actor(int id) {
+  for (HumanActor& actor : actors_) {
+    if (actor.id() == id) return &actor;
+  }
+  return nullptr;
+}
+
+HumanActor* World::blocker_for(const util::Vec2& trap_position) {
+  for (HumanActor& actor : actors_) {
+    if (actor.blocks(trap_position)) return &actor;
+  }
+  return nullptr;
+}
+
+void World::step() {
+  const double dt = clock_.tick_seconds();
+  clock_.advance();
+
+  // Traps accumulate captures continuously.
+  for (FlyTrap& trap : traps_) trap.step(dt);
+
+  // Humans: those near the drone read its pattern; only the negotiation
+  // partner is addressed, others just watch (and may get out of the way on
+  // their own in a richer model).
+  const std::optional<drone::PatternType> active = drone_.active_pattern();
+  for (HumanActor& actor : actors_) {
+    std::optional<drone::PatternType> perceived;
+    const double dist =
+        actor.position().distance_to(drone_.state().position.xy());
+    if (active.has_value() && dist < 12.0) {
+      perceived = pattern_channel_->sense(active);
+    }
+    // Only the addressed human treats patterns as addressed to them.
+    if (actor.id() != negotiating_actor_) {
+      if (perceived == drone::PatternType::kPoke ||
+          perceived == drone::PatternType::kRectangleRequest) {
+        perceived.reset();
+      }
+    }
+    actor.step(dt, perceived);
+    if (actor.id() == negotiating_actor_ && actor.responder().attentive()) {
+      actor.face_towards(drone_.state().position.xy());
+    }
+  }
+
+  // Mission world view: blocking + perceived sign of the current partner.
+  MissionWorldView view;
+  if (const auto trap_id = mission_.current_trap()) {
+    const util::Vec2 trap_pos = map_.tree(*trap_id).position;
+    if (HumanActor* blocker = blocker_for(trap_pos)) {
+      view.blocker_position = blocker->position();
+      view.blocker_id = blocker->id();
+    }
+  }
+  if (negotiating_actor_ >= 0) {
+    HumanActor* partner = find_actor(negotiating_actor_);
+    if (partner != nullptr) {
+      // Camera perception runs at its own frame rate; between frames the
+      // last reading holds (a tracking recogniser would do the same).
+      if (camera_channel_ != nullptr) {
+        camera_accumulator_ += dt;
+        if (camera_accumulator_ >= config_.camera_period_s) {
+          camera_accumulator_ = 0.0;
+          camera_channel_->set_context({drone_.state().position, partner->position(),
+                                        partner->facing()});
+          camera_channel_->set_pose_sampler(
+              [partner](signs::HumanSign) { return partner->responder().sample_displayed_pose(); });
+          last_perceived_ = camera_channel_->sense(partner->displayed_sign());
+        }
+      } else {
+        last_perceived_ = sign_channel_->sense(partner->displayed_sign());
+      }
+      view.perceived_sign = last_perceived_;
+      if (view.blocker_id != negotiating_actor_) {
+        // Keep negotiating with the same partner even if they shifted a
+        // little; the mission controller needs a consistent position.
+        view.blocker_position = partner->position();
+        view.blocker_id = partner->id();
+      }
+    }
+  }
+
+  // Mission controller acts on the vehicle.
+  const MissionDirective directive = mission_.step(dt, drone_, view);
+  switch (directive.kind) {
+    case MissionDirective::Kind::kNegotiationStarted:
+      negotiating_actor_ = directive.actor_id;
+      last_perceived_.reset();
+      log("negotiation started with actor " + std::to_string(directive.actor_id) +
+          " at tree " + std::to_string(directive.tree_id));
+      break;
+    case MissionDirective::Kind::kAccessGranted:
+      if (HumanActor* partner = find_actor(directive.actor_id)) {
+        partner->step_aside(map_.tree(directive.tree_id).position);
+        partner->responder().reset();
+      }
+      log("access granted at tree " + std::to_string(directive.tree_id));
+      negotiating_actor_ = -1;
+      break;
+    case MissionDirective::Kind::kTrapRead:
+      for (FlyTrap& trap : traps_) {
+        if (trap.tree_id() == directive.tree_id) {
+          const int count = trap.read();
+          mission_.stats().trap_readings.emplace_back(directive.tree_id, count);
+          if (trap.needs_spray()) ++mission_.stats().traps_needing_spray;
+          log("trap " + std::to_string(directive.tree_id) + " read: " +
+              std::to_string(count) + " captures");
+          break;
+        }
+      }
+      break;
+    case MissionDirective::Kind::kNone:
+      break;
+  }
+  // A finished negotiation (non-granted paths) releases the partner.
+  if (negotiating_actor_ >= 0 && mission_.phase() != MissionPhase::kNegotiate &&
+      mission_.phase() != MissionPhase::kApproachStation) {
+    if (HumanActor* partner = find_actor(negotiating_actor_)) {
+      partner->responder().reset();
+    }
+    negotiating_actor_ = -1;
+    last_perceived_.reset();
+  }
+
+  // Vehicle: advance with humans for the separation check.
+  std::vector<util::Vec2> human_positions;
+  human_positions.reserve(actors_.size());
+  for (const HumanActor& actor : actors_) human_positions.push_back(actor.position());
+  drone_.step(dt, human_positions);
+}
+
+const MissionStats& World::run(double max_seconds) {
+  while (!mission_.done() && clock_.seconds() < max_seconds) step();
+  return mission_.stats();
+}
+
+}  // namespace hdc::orchard

@@ -1,0 +1,103 @@
+// The orchard world simulation: drone + humans + traps + mission controller
+// stepped on a fixed clock, with perception channels wired between them.
+// This is the end-to-end harness for the paper's use case and the FIG3
+// bench's high-fidelity mode.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hdc_system.hpp"
+#include "drone/drone.hpp"
+#include "orchard/fly_trap.hpp"
+#include "orchard/human_actor.hpp"
+#include "orchard/mission.hpp"
+#include "orchard/orchard_map.hpp"
+#include "protocol/channels.hpp"
+#include "util/sim_clock.hpp"
+
+namespace hdc::orchard {
+
+/// Perception fidelity for the drone's sign reading.
+enum class PerceptionMode : std::uint8_t {
+  kPerfect = 0,  ///< ground-truth channel
+  kNoisy,        ///< stochastic channel (fast Monte-Carlo)
+  kCamera,       ///< full render -> SAX recognition loop
+};
+
+/// World construction parameters.
+struct WorldConfig {
+  OrchardLayout layout{};
+  MissionConfig mission{};
+  drone::DroneConfig drone{};
+  int workers{2};
+  int visitors{1};
+  double trap_daily_rate{3.0};          ///< mean captures/day
+  double trap_preload_days{3.0};        ///< days since the last read
+  double tick_s{0.05};
+  PerceptionMode perception{PerceptionMode::kNoisy};
+  double noisy_miss_rate{0.25};
+  double noisy_confusion_rate{0.03};
+  double camera_period_s{0.2};          ///< recognition frame interval
+  double human_pattern_miss_rate{0.1};
+  double human_pattern_confusion_rate{0.03};
+  std::uint64_t seed{0xfeedULL};
+};
+
+/// One world event for the run log.
+struct WorldEvent {
+  double t{0.0};
+  std::string text;
+};
+
+class World {
+ public:
+  /// `system` is required (and borrowed) only for kCamera perception.
+  explicit World(const WorldConfig& config, const core::HdcSystem* system = nullptr);
+
+  /// Advances one tick.
+  void step();
+
+  /// Runs until the mission completes or `max_seconds` elapses.
+  /// Returns the final mission statistics.
+  const MissionStats& run(double max_seconds = 3600.0);
+
+  [[nodiscard]] const MissionStats& stats() const noexcept {
+    return mission_.stats();
+  }
+  [[nodiscard]] const MissionController& mission() const noexcept { return mission_; }
+  [[nodiscard]] const drone::Drone& drone() const noexcept { return drone_; }
+  [[nodiscard]] const std::vector<HumanActor>& actors() const noexcept {
+    return actors_;
+  }
+  [[nodiscard]] const std::vector<FlyTrap>& traps() const noexcept { return traps_; }
+  [[nodiscard]] const OrchardMap& map() const noexcept { return map_; }
+  [[nodiscard]] double time() const noexcept { return clock_.seconds(); }
+  [[nodiscard]] const std::vector<WorldEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  void log(const std::string& text);
+  [[nodiscard]] HumanActor* find_actor(int id);
+  [[nodiscard]] HumanActor* blocker_for(const util::Vec2& trap_position);
+
+  WorldConfig config_;
+  util::SimClock clock_;
+  OrchardMap map_;
+  drone::Drone drone_;
+  std::vector<HumanActor> actors_;
+  std::vector<FlyTrap> traps_;
+  MissionController mission_;
+  std::unique_ptr<protocol::SignChannel> sign_channel_;
+  std::unique_ptr<protocol::PatternChannel> pattern_channel_;
+  core::CameraSignChannel* camera_channel_{nullptr};  ///< non-owning view
+  const core::HdcSystem* system_;
+  std::vector<WorldEvent> events_;
+  int negotiating_actor_{-1};
+  double camera_accumulator_{0.0};
+  std::optional<signs::HumanSign> last_perceived_;
+};
+
+}  // namespace hdc::orchard

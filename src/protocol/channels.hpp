@@ -1,0 +1,113 @@
+// Perception channels: how the drone senses the human's sign and how the
+// human reads the drone's flight pattern. Interfaces allow the same FSMs to
+// run over a perfect channel (unit tests), a stochastic channel calibrated
+// to the recogniser's measured error rates (Monte-Carlo benches), or the
+// full render->recognise loop (core::CameraSignChannel).
+#pragma once
+
+#include <optional>
+
+#include "drone/flight_pattern.hpp"
+#include "signs/sign.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::protocol {
+
+/// Drone-side perception of the human's currently displayed sign.
+class SignChannel {
+ public:
+  virtual ~SignChannel() = default;
+  /// Returns what the recogniser reports for one frame: the accepted sign,
+  /// or nullopt when nothing is accepted. `actual` is ground truth.
+  [[nodiscard]] virtual std::optional<signs::HumanSign> sense(
+      signs::HumanSign actual) = 0;
+};
+
+/// Human-side perception of the drone's active pattern.
+class PatternChannel {
+ public:
+  virtual ~PatternChannel() = default;
+  [[nodiscard]] virtual std::optional<drone::PatternType> sense(
+      std::optional<drone::PatternType> actual) = 0;
+};
+
+/// Ground truth passthrough.
+class PerfectSignChannel final : public SignChannel {
+ public:
+  [[nodiscard]] std::optional<signs::HumanSign> sense(signs::HumanSign actual) override {
+    if (actual == signs::HumanSign::kNeutral) return std::nullopt;
+    return actual;
+  }
+};
+
+class PerfectPatternChannel final : public PatternChannel {
+ public:
+  [[nodiscard]] std::optional<drone::PatternType> sense(
+      std::optional<drone::PatternType> actual) override {
+    return actual;
+  }
+};
+
+/// Frame-wise stochastic sign channel: with `miss_rate` the frame is
+/// rejected; with `confusion_rate` a wrong sign is reported. Rates can be
+/// calibrated from the recogniser's measured per-view accuracy.
+class NoisySignChannel final : public SignChannel {
+ public:
+  NoisySignChannel(double miss_rate, double confusion_rate, std::uint64_t seed)
+      : miss_rate_(miss_rate), confusion_rate_(confusion_rate), rng_(seed) {}
+
+  [[nodiscard]] std::optional<signs::HumanSign> sense(signs::HumanSign actual) override {
+    if (actual == signs::HumanSign::kNeutral) {
+      // False positives on a neutral stance are rare; model at 10% of the
+      // confusion rate.
+      if (rng_.chance(confusion_rate_ * 0.1)) {
+        return signs::kCommunicativeSigns[static_cast<std::size_t>(
+            rng_.uniform_int(0, 2))];
+      }
+      return std::nullopt;
+    }
+    if (rng_.chance(miss_rate_)) return std::nullopt;
+    if (rng_.chance(confusion_rate_)) {
+      // Report one of the other communicative signs.
+      signs::HumanSign wrong = actual;
+      while (wrong == actual) {
+        wrong = signs::kCommunicativeSigns[static_cast<std::size_t>(
+            rng_.uniform_int(0, 2))];
+      }
+      return wrong;
+    }
+    return actual;
+  }
+
+ private:
+  double miss_rate_;
+  double confusion_rate_;
+  hdc::util::Rng rng_;
+};
+
+/// Human pattern perception with a miss rate (looking away, occlusion) and
+/// a confusion rate between the two easily-confused communicative shakes.
+class NoisyPatternChannel final : public PatternChannel {
+ public:
+  NoisyPatternChannel(double miss_rate, double confusion_rate, std::uint64_t seed)
+      : miss_rate_(miss_rate), confusion_rate_(confusion_rate), rng_(seed) {}
+
+  [[nodiscard]] std::optional<drone::PatternType> sense(
+      std::optional<drone::PatternType> actual) override {
+    if (!actual.has_value()) return std::nullopt;
+    if (rng_.chance(miss_rate_)) return std::nullopt;
+    if (rng_.chance(confusion_rate_)) {
+      // Nod and head-shake are the plausible human confusion pair.
+      if (*actual == drone::PatternType::kNodYes) return drone::PatternType::kTurnNo;
+      if (*actual == drone::PatternType::kTurnNo) return drone::PatternType::kNodYes;
+    }
+    return actual;
+  }
+
+ private:
+  double miss_rate_;
+  double confusion_rate_;
+  hdc::util::Rng rng_;
+};
+
+}  // namespace hdc::protocol

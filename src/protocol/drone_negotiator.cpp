@@ -1,0 +1,173 @@
+#include "protocol/drone_negotiator.hpp"
+
+namespace hdc::protocol {
+
+void DroneNegotiator::begin() {
+  state_ = NegotiationState::kIdle;
+  outcome_ = Outcome::kPending;
+  transcript_.clear();
+  clock_ = 0.0;
+  state_clock_ = 0.0;
+  sign_hold_ = 0.0;
+  candidate_ = signs::HumanSign::kNeutral;
+  sign_gap_ = 0.0;
+  pokes_done_ = 0;
+  requests_done_ = 0;
+  pattern_commanded_ = false;
+  log("begin");
+}
+
+void DroneNegotiator::abort() {
+  if (state_ == NegotiationState::kFinished) return;
+  outcome_ = Outcome::kAborted;
+  enter(NegotiationState::kFinished);
+}
+
+void DroneNegotiator::log(const std::string& event) {
+  transcript_.push_back({clock_, "drone", event});
+}
+
+void DroneNegotiator::enter(NegotiationState next) {
+  state_ = next;
+  state_clock_ = 0.0;
+  sign_hold_ = 0.0;
+  sign_gap_ = 0.0;
+  candidate_ = signs::HumanSign::kNeutral;
+  latched_ = signs::HumanSign::kNeutral;
+  pattern_commanded_ = false;
+  log(std::string("state:") + to_string(next));
+}
+
+NegotiatorCommand DroneNegotiator::fly(drone::PatternType pattern) {
+  pattern_commanded_ = true;
+  log(std::string("pattern:") + std::string(drone::to_string(pattern)));
+  return {NegotiatorCommand::Kind::kFlyPattern, pattern};
+}
+
+NegotiatorCommand DroneNegotiator::step(double dt,
+                                        std::optional<signs::HumanSign> perceived,
+                                        bool pattern_running) {
+  clock_ += dt;
+  state_clock_ += dt;
+
+  // Debounce the perceived sign. Frames are lossy, so missing detections
+  // only reset the candidate after sign_gap_tolerance_s of silence; a
+  // *different* recognised sign switches the candidate immediately.
+  if (perceived.has_value()) {
+    if (*perceived == candidate_) {
+      sign_hold_ += dt + sign_gap_;  // bridge the gap we just closed
+    } else {
+      candidate_ = *perceived;
+      sign_hold_ = dt;
+    }
+    sign_gap_ = 0.0;
+  } else if (candidate_ != signs::HumanSign::kNeutral) {
+    sign_gap_ += dt;
+    if (sign_gap_ > config_.sign_gap_tolerance_s) {
+      candidate_ = signs::HumanSign::kNeutral;
+      sign_hold_ = 0.0;
+      sign_gap_ = 0.0;
+    }
+  }
+
+  // Latch signs confirmed while a pattern is still flying: the human may
+  // answer before the drone finishes the pattern, and that answer must not
+  // be lost to the state transition.
+  if ((state_ == NegotiationState::kPoking || state_ == NegotiationState::kRequesting) &&
+      candidate_ != signs::HumanSign::kNeutral &&
+      sign_hold_ >= config_.answer_confirm_s) {
+    latched_ = candidate_;
+  }
+
+  switch (state_) {
+    case NegotiationState::kIdle:
+      enter(NegotiationState::kPoking);
+      ++pokes_done_;
+      return fly(drone::PatternType::kPoke);
+
+    case NegotiationState::kPoking:
+      if (!pattern_running && pattern_commanded_) {
+        if (latched_ == signs::HumanSign::kAttentionGained) {
+          log("observed:AttentionGained");
+          enter(NegotiationState::kRequesting);
+          ++requests_done_;
+          return fly(drone::PatternType::kRectangleRequest);
+        }
+        enter(NegotiationState::kAwaitAttention);
+      }
+      return {NegotiatorCommand::Kind::kHover, {}};
+
+    case NegotiationState::kAwaitAttention:
+      if (candidate_ == signs::HumanSign::kAttentionGained &&
+          sign_hold_ >= config_.answer_confirm_s) {
+        log("observed:AttentionGained");
+        enter(NegotiationState::kRequesting);
+        ++requests_done_;
+        return fly(drone::PatternType::kRectangleRequest);
+      }
+      if (state_clock_ >= config_.attention_timeout_s) {
+        if (pokes_done_ < config_.poke_retries) {
+          log("attention-timeout:retry");
+          enter(NegotiationState::kPoking);
+          ++pokes_done_;
+          return fly(drone::PatternType::kPoke);
+        }
+        log("attention-timeout:give-up");
+        outcome_ = Outcome::kNoAttention;
+        enter(NegotiationState::kFinished);
+      }
+      return {NegotiatorCommand::Kind::kHover, {}};
+
+    case NegotiationState::kRequesting:
+      if (!pattern_running && pattern_commanded_) {
+        if (latched_ == signs::HumanSign::kYes) {
+          log("observed:Yes");
+          outcome_ = Outcome::kGranted;
+          enter(NegotiationState::kFinished);
+          return {NegotiatorCommand::Kind::kHover, {}};
+        }
+        if (latched_ == signs::HumanSign::kNo) {
+          log("observed:No");
+          outcome_ = Outcome::kDenied;
+          enter(NegotiationState::kFinished);
+          return {NegotiatorCommand::Kind::kHover, {}};
+        }
+        enter(NegotiationState::kAwaitAnswer);
+      }
+      return {NegotiatorCommand::Kind::kHover, {}};
+
+    case NegotiationState::kAwaitAnswer:
+      if (sign_hold_ >= config_.answer_confirm_s) {
+        if (candidate_ == signs::HumanSign::kYes) {
+          log("observed:Yes");
+          outcome_ = Outcome::kGranted;
+          enter(NegotiationState::kFinished);
+          return {NegotiatorCommand::Kind::kHover, {}};
+        }
+        if (candidate_ == signs::HumanSign::kNo) {
+          log("observed:No");
+          outcome_ = Outcome::kDenied;
+          enter(NegotiationState::kFinished);
+          return {NegotiatorCommand::Kind::kHover, {}};
+        }
+      }
+      if (state_clock_ >= config_.answer_timeout_s) {
+        if (requests_done_ < config_.request_retries) {
+          log("answer-timeout:retry");
+          enter(NegotiationState::kRequesting);
+          ++requests_done_;
+          return fly(drone::PatternType::kRectangleRequest);
+        }
+        log("answer-timeout:give-up");
+        outcome_ = Outcome::kNoAnswer;
+        enter(NegotiationState::kFinished);
+      }
+      return {NegotiatorCommand::Kind::kHover, {}};
+
+    case NegotiationState::kFinished:
+      return {NegotiatorCommand::Kind::kNone, {}};
+  }
+  return {NegotiatorCommand::Kind::kNone, {}};
+}
+
+}  // namespace hdc::protocol

@@ -1,0 +1,98 @@
+// Drone-side negotiation state machine.
+//
+// The FSM consumes perception inputs (the recognised human sign, whether a
+// commanded flight pattern finished) and emits pattern commands; it never
+// touches the vehicle directly, so it runs identically against the perfect
+// channel (protocol unit tests), the noisy channel (FIG3 Monte-Carlo) and
+// the full render->recognise loop (orchard integration).
+#pragma once
+
+#include <optional>
+
+#include "drone/flight_pattern.hpp"
+#include "protocol/messages.hpp"
+#include "signs/sign.hpp"
+
+namespace hdc::protocol {
+
+/// Negotiator states (paper §III narrative order).
+enum class NegotiationState : std::uint8_t {
+  kIdle = 0,
+  kPoking,          ///< flying the poke pattern
+  kAwaitAttention,  ///< watching for the AttentionGained sign
+  kRequesting,      ///< flying the rectangle (area request) pattern
+  kAwaitAnswer,     ///< watching for Yes / No
+  kFinished,
+};
+
+[[nodiscard]] constexpr const char* to_string(NegotiationState state) noexcept {
+  switch (state) {
+    case NegotiationState::kIdle: return "Idle";
+    case NegotiationState::kPoking: return "Poking";
+    case NegotiationState::kAwaitAttention: return "AwaitAttention";
+    case NegotiationState::kRequesting: return "Requesting";
+    case NegotiationState::kAwaitAnswer: return "AwaitAnswer";
+    case NegotiationState::kFinished: return "Finished";
+  }
+  return "?";
+}
+
+/// What the negotiator wants the vehicle to do this tick.
+struct NegotiatorCommand {
+  enum class Kind : std::uint8_t { kNone = 0, kFlyPattern, kHover };
+  Kind kind{Kind::kNone};
+  drone::PatternType pattern{drone::PatternType::kPoke};
+};
+
+class DroneNegotiator {
+ public:
+  explicit DroneNegotiator(NegotiationConfig config = {}) : config_(config) {}
+
+  /// Starts a new negotiation (resets all counters).
+  void begin();
+
+  /// Advances the FSM by `dt` seconds.
+  /// `perceived`: the sign the recogniser currently reports (accepted frames
+  ///   only), or nullopt when nothing is recognised.
+  /// `pattern_running`: true while the vehicle is still flying the last
+  ///   commanded pattern.
+  /// Returns the command for this tick. At most one kFlyPattern command is
+  /// emitted per pattern; callers must feed `pattern_running` faithfully.
+  NegotiatorCommand step(double dt, std::optional<signs::HumanSign> perceived,
+                         bool pattern_running);
+
+  /// Marks the negotiation aborted (safety/battery); the FSM finishes.
+  void abort();
+
+  [[nodiscard]] NegotiationState state() const noexcept { return state_; }
+  [[nodiscard]] Outcome outcome() const noexcept { return outcome_; }
+  [[nodiscard]] bool finished() const noexcept {
+    return state_ == NegotiationState::kFinished;
+  }
+  [[nodiscard]] const Transcript& transcript() const noexcept { return transcript_; }
+  [[nodiscard]] double clock() const noexcept { return clock_; }
+
+ private:
+  void log(const std::string& event);
+  void enter(NegotiationState next);
+  NegotiatorCommand fly(drone::PatternType pattern);
+
+  NegotiationConfig config_;
+  NegotiationState state_{NegotiationState::kIdle};
+  Outcome outcome_{Outcome::kPending};
+  Transcript transcript_;
+  double clock_{0.0};
+  double state_clock_{0.0};
+  double sign_hold_{0.0};  ///< how long the current candidate answer persisted
+  double sign_gap_{0.0};   ///< time since the candidate was last confirmed
+  signs::HumanSign candidate_{signs::HumanSign::kNeutral};
+  /// A sign confirmed while a pattern was still flying; consumed when the
+  /// pattern completes (humans often answer before the drone finishes
+  /// "speaking").
+  signs::HumanSign latched_{signs::HumanSign::kNeutral};
+  int pokes_done_{0};
+  int requests_done_{0};
+  bool pattern_commanded_{false};
+};
+
+}  // namespace hdc::protocol

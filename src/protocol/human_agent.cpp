@@ -1,0 +1,136 @@
+#include "protocol/human_agent.hpp"
+
+namespace hdc::protocol {
+
+HumanParams role_params(HumanRole role) {
+  HumanParams params;
+  switch (role) {
+    case HumanRole::kSupervisor:
+      params.notice_probability = 0.95;
+      params.reaction_mean_s = 1.0;
+      params.reaction_stddev_s = 0.3;
+      params.grant_probability = 0.85;
+      params.wrong_sign_probability = 0.01;
+      params.ignore_probability = 0.0;
+      params.sign_hold_s = 3.5;
+      params.pose_jitter = signs::supervisor_jitter();
+      break;
+    case HumanRole::kWorker:
+      params.notice_probability = 0.85;
+      params.reaction_mean_s = 1.8;
+      params.reaction_stddev_s = 0.6;
+      params.grant_probability = 0.75;
+      params.wrong_sign_probability = 0.04;
+      params.ignore_probability = 0.02;
+      params.sign_hold_s = 3.0;
+      params.pose_jitter = signs::worker_jitter();
+      break;
+    case HumanRole::kVisitor:
+      params.notice_probability = 0.6;
+      params.reaction_mean_s = 3.0;
+      params.reaction_stddev_s = 1.2;
+      params.grant_probability = 0.55;
+      params.wrong_sign_probability = 0.12;
+      params.ignore_probability = 0.15;
+      params.sign_hold_s = 2.0;
+      params.pose_jitter = signs::visitor_jitter();
+      break;
+  }
+  return params;
+}
+
+HumanResponder::HumanResponder(HumanRole role, HumanParams params, std::uint64_t seed)
+    : role_(role), params_(params), rng_(seed) {
+  reset();
+}
+
+void HumanResponder::reset() {
+  clock_ = 0.0;
+  attentive_ = false;
+  displayed_ = signs::HumanSign::kNeutral;
+  pending_ = signs::HumanSign::kNeutral;
+  reaction_left_ = 0.0;
+  hold_left_ = 0.0;
+  engaged_ = !rng_.chance(params_.ignore_probability);
+  will_grant_ = rng_.chance(params_.grant_probability);
+  answer_wrong_ = rng_.chance(params_.wrong_sign_probability);
+  transcript_.clear();
+}
+
+void HumanResponder::log(const std::string& event) {
+  transcript_.push_back({clock_, "human", event});
+}
+
+signs::BodyPose HumanResponder::sample_displayed_pose() {
+  return signs::sample_pose(displayed_, params_.pose_jitter, rng_);
+}
+
+signs::HumanSign HumanResponder::step(double dt,
+                                      std::optional<drone::PatternType> perceived) {
+  clock_ += dt;
+
+  // Hold/expire the currently displayed sign.
+  if (displayed_ != signs::HumanSign::kNeutral) {
+    hold_left_ -= dt;
+    if (hold_left_ <= 0.0) {
+      displayed_ = signs::HumanSign::kNeutral;
+      log("sign:lowered");
+    }
+  }
+
+  // A queued response becomes visible after the reaction delay.
+  if (pending_ != signs::HumanSign::kNeutral) {
+    reaction_left_ -= dt;
+    if (reaction_left_ <= 0.0) {
+      displayed_ = pending_;
+      pending_ = signs::HumanSign::kNeutral;
+      hold_left_ = params_.sign_hold_s;
+      log(std::string("sign:") + std::string(signs::to_string(displayed_)));
+    }
+  }
+
+  if (!engaged_ || !perceived.has_value()) return displayed_;
+
+  const auto queue_sign = [this](signs::HumanSign sign) {
+    pending_ = sign;
+    reaction_left_ =
+        std::max(0.1, rng_.gaussian(params_.reaction_mean_s, params_.reaction_stddev_s));
+  };
+
+  switch (*perceived) {
+    case drone::PatternType::kPoke:
+      if (!attentive_) {
+        if (rng_.chance(params_.notice_probability)) {
+          attentive_ = true;
+          log("noticed-poke");
+          queue_sign(signs::HumanSign::kAttentionGained);
+        } else {
+          log("missed-poke");
+        }
+      } else if (displayed_ == signs::HumanSign::kNeutral &&
+                 pending_ == signs::HumanSign::kNeutral) {
+        // Re-poked after the first acknowledgement expired: show it again
+        // (quickly — the human is already engaged).
+        log("re-acknowledge");
+        pending_ = signs::HumanSign::kAttentionGained;
+        reaction_left_ = std::max(0.1, 0.4 * params_.reaction_mean_s);
+      }
+      break;
+
+    case drone::PatternType::kRectangleRequest:
+      if (attentive_ && pending_ == signs::HumanSign::kNeutral) {
+        bool grant = will_grant_;
+        if (answer_wrong_) grant = !grant;  // execution slip
+        log(std::string("decided:") + (will_grant_ ? "yes" : "no") +
+            (answer_wrong_ ? " (slip)" : ""));
+        queue_sign(grant ? signs::HumanSign::kYes : signs::HumanSign::kNo);
+      }
+      break;
+
+    default:
+      break;  // other patterns carry no addressed request
+  }
+  return displayed_;
+}
+
+}  // namespace hdc::protocol

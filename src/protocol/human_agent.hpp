@@ -1,0 +1,93 @@
+// Human-side behavioural model for the three user-story roles (paper §II):
+// orchard supervisor (well trained), orchard worker (partially trained),
+// orchard visitor (untrained). Each role differs in how reliably it notices
+// the drone's poke, how quickly and correctly it answers, and how cleanly
+// it executes the marshalling signs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "drone/flight_pattern.hpp"
+#include "protocol/messages.hpp"
+#include "signs/sign.hpp"
+#include "signs/sign_poses.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::protocol {
+
+enum class HumanRole : std::uint8_t { kSupervisor = 0, kWorker, kVisitor };
+
+[[nodiscard]] constexpr const char* to_string(HumanRole role) noexcept {
+  switch (role) {
+    case HumanRole::kSupervisor: return "Supervisor";
+    case HumanRole::kWorker: return "Worker";
+    case HumanRole::kVisitor: return "Visitor";
+  }
+  return "?";
+}
+
+/// Behaviour parameters; defaults per role from role_params().
+struct HumanParams {
+  double notice_probability{0.9};   ///< chance one poke gains attention
+  double reaction_mean_s{1.5};      ///< delay before showing a sign
+  double reaction_stddev_s{0.5};
+  double grant_probability{0.8};    ///< answers Yes with this probability
+  double wrong_sign_probability{0.02};  ///< shows the opposite answer by mistake
+  double ignore_probability{0.0};   ///< never engages at all (visitors)
+  double sign_hold_s{3.0};          ///< how long a sign is held
+  signs::PoseJitter pose_jitter{};  ///< execution sloppiness
+};
+
+[[nodiscard]] HumanParams role_params(HumanRole role);
+
+/// Steppable human agent: consumes the drone pattern it currently perceives
+/// and exposes the sign it is displaying (kNeutral when idle/working).
+class HumanResponder {
+ public:
+  HumanResponder(HumanRole role, std::uint64_t seed)
+      : HumanResponder(role, role_params(role), seed) {}
+  HumanResponder(HumanRole role, HumanParams params, std::uint64_t seed);
+
+  /// Advances by dt. `perceived_pattern` is the drone pattern the human
+  /// currently reads (already run through the pattern channel).
+  /// Returns the sign displayed during this tick.
+  signs::HumanSign step(double dt, std::optional<drone::PatternType> perceived_pattern);
+
+  /// The answer this human will give when asked (fixed per session so
+  /// retries are consistent, as a real person would be).
+  [[nodiscard]] bool will_grant() const noexcept { return will_grant_; }
+
+  /// True once the human has noticed the drone (post-poke).
+  [[nodiscard]] bool attentive() const noexcept { return attentive_; }
+
+  [[nodiscard]] signs::HumanSign displayed_sign() const noexcept { return displayed_; }
+  [[nodiscard]] HumanRole role() const noexcept { return role_; }
+  [[nodiscard]] const HumanParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Transcript& transcript() const noexcept { return transcript_; }
+
+  /// Resets for a new encounter (new session decision, attention lost).
+  void reset();
+
+  /// Samples the displayed sign's executed body pose (with role jitter).
+  [[nodiscard]] signs::BodyPose sample_displayed_pose();
+
+ private:
+  void log(const std::string& event);
+
+  HumanRole role_;
+  HumanParams params_;
+  hdc::util::Rng rng_;
+  Transcript transcript_;
+  double clock_{0.0};
+  bool engaged_{true};       ///< false = ignores the drone entirely
+  bool attentive_{false};
+  bool will_grant_{false};
+  bool answer_wrong_{false};
+  double reaction_left_{0.0};
+  double hold_left_{0.0};
+  signs::HumanSign displayed_{signs::HumanSign::kNeutral};
+  signs::HumanSign pending_{signs::HumanSign::kNeutral};
+};
+
+}  // namespace hdc::protocol

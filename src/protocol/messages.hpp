@@ -1,0 +1,62 @@
+// Protocol vocabulary and transcript types for the human-drone negotiation
+// (paper §III, Figure 3): the drone pokes for attention, the human shows
+// "attention gained", the drone flies the rectangle pattern to request the
+// human's space, the human answers Yes or No.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drone/flight_pattern.hpp"
+#include "signs/sign.hpp"
+
+namespace hdc::protocol {
+
+/// Negotiation outcome.
+enum class Outcome : std::uint8_t {
+  kPending = 0,
+  kGranted,        ///< human answered Yes; space is available
+  kDenied,         ///< human answered No; drone must keep clear
+  kNoAttention,    ///< poke retries exhausted without attention
+  kNoAnswer,       ///< request retries exhausted without a readable answer
+  kAborted,        ///< safety or battery abort
+};
+
+[[nodiscard]] constexpr const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kPending: return "Pending";
+    case Outcome::kGranted: return "Granted";
+    case Outcome::kDenied: return "Denied";
+    case Outcome::kNoAttention: return "NoAttention";
+    case Outcome::kNoAnswer: return "NoAnswer";
+    case Outcome::kAborted: return "Aborted";
+  }
+  return "?";
+}
+
+/// Timing / retry policy of the drone-side negotiator. Values derive from
+/// the user stories: an orchard worker should never be hurried, but a
+/// blocked drone must give up in bounded time and re-plan.
+struct NegotiationConfig {
+  int poke_retries{3};             ///< pokes before giving up on attention
+  double attention_timeout_s{6.0}; ///< wait after each poke
+  int request_retries{2};          ///< rectangle patterns before giving up
+  double answer_timeout_s{10.0};   ///< wait after each request
+  double answer_confirm_s{0.8};    ///< a sign must persist this long to count
+  /// Frames are lossy (the recogniser rejects some); a candidate sign
+  /// survives detection gaps up to this long before the hold resets.
+  double sign_gap_tolerance_s{1.0};
+  double decision_hold_s{1.5};     ///< hover pause between protocol steps
+};
+
+/// One transcript entry; the sequence of these is the Figure-3 exchange.
+struct TranscriptEvent {
+  double t{0.0};
+  std::string actor;   ///< "drone" or "human"
+  std::string event;   ///< e.g. "poke", "sign:Yes", "state:AwaitAnswer"
+};
+
+using Transcript = std::vector<TranscriptEvent>;
+
+}  // namespace hdc::protocol

@@ -1,0 +1,63 @@
+#include "protocol/negotiation.hpp"
+
+#include <algorithm>
+
+namespace hdc::protocol {
+
+SessionResult run_negotiation(DroneNegotiator& negotiator, HumanResponder& human,
+                              SignChannel& sign_channel, PatternChannel& pattern_channel,
+                              const SessionTiming& timing) {
+  SessionResult result;
+  negotiator.begin();
+
+  double t = 0.0;
+  double pattern_left = 0.0;
+  std::optional<drone::PatternType> active_pattern;
+
+  while (!negotiator.finished() && t < timing.max_session_s) {
+    t += timing.tick_s;
+
+    // Pattern execution model: a commanded pattern simply takes its nominal
+    // duration.
+    if (active_pattern.has_value()) {
+      pattern_left -= timing.tick_s;
+      if (pattern_left <= 0.0) active_pattern.reset();
+    }
+
+    // Human reads the drone (only patterns currently being flown).
+    const std::optional<drone::PatternType> seen_pattern =
+        pattern_channel.sense(active_pattern);
+    const signs::HumanSign displayed = human.step(timing.tick_s, seen_pattern);
+
+    // Drone reads the human.
+    const std::optional<signs::HumanSign> seen_sign = sign_channel.sense(displayed);
+
+    const NegotiatorCommand command =
+        negotiator.step(timing.tick_s, seen_sign, active_pattern.has_value());
+    if (command.kind == NegotiatorCommand::Kind::kFlyPattern) {
+      active_pattern = command.pattern;
+      pattern_left = command.pattern == drone::PatternType::kPoke
+                         ? timing.poke_duration_s
+                         : timing.rectangle_duration_s;
+      if (command.pattern == drone::PatternType::kPoke) ++result.pokes;
+      if (command.pattern == drone::PatternType::kRectangleRequest) ++result.requests;
+    }
+  }
+
+  result.outcome =
+      negotiator.finished() ? negotiator.outcome() : Outcome::kNoAnswer;
+  result.duration_s = t;
+
+  // Merge the two transcripts by timestamp.
+  result.transcript = negotiator.transcript();
+  const Transcript& human_events = human.transcript();
+  result.transcript.insert(result.transcript.end(), human_events.begin(),
+                           human_events.end());
+  std::stable_sort(result.transcript.begin(), result.transcript.end(),
+                   [](const TranscriptEvent& a, const TranscriptEvent& b) {
+                     return a.t < b.t;
+                   });
+  return result;
+}
+
+}  // namespace hdc::protocol

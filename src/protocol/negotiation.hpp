@@ -1,0 +1,42 @@
+// NegotiationSession: couples the drone negotiator and a human responder
+// through perception channels and an abstract pattern-duration model —
+// the geometry-free harness used by the FIG3 Monte-Carlo bench and the
+// protocol integration tests. (The orchard world instead drives the FSMs
+// against the real simulated vehicle.)
+#pragma once
+
+#include <memory>
+
+#include "protocol/channels.hpp"
+#include "protocol/drone_negotiator.hpp"
+#include "protocol/human_agent.hpp"
+
+namespace hdc::protocol {
+
+/// Session parameters: nominal durations of the communicative patterns
+/// (matching the PatternParams defaults executed by the real vehicle).
+struct SessionTiming {
+  double tick_s{0.1};
+  double poke_duration_s{4.0};
+  double rectangle_duration_s{9.0};
+  double max_session_s{120.0};
+};
+
+/// Result of a completed session.
+struct SessionResult {
+  Outcome outcome{Outcome::kPending};
+  double duration_s{0.0};
+  int pokes{0};
+  int requests{0};
+  Transcript transcript;  ///< merged drone + human events, time ordered
+};
+
+/// Runs one complete negotiation. The channels are injected so callers can
+/// choose fidelity; agents are taken by reference and mutated.
+[[nodiscard]] SessionResult run_negotiation(DroneNegotiator& negotiator,
+                                            HumanResponder& human,
+                                            SignChannel& sign_channel,
+                                            PatternChannel& pattern_channel,
+                                            const SessionTiming& timing = {});
+
+}  // namespace hdc::protocol

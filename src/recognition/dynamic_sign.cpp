@@ -1,0 +1,106 @@
+#include "recognition/dynamic_sign.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "signs/scene.hpp"
+#include "timeseries/normalize.hpp"
+
+namespace hdc::recognition {
+
+signs::BodyPose wave_pose(double phase01) {
+  signs::BodyPose pose;
+  // Arm swings 105 deg <-> 165 deg abduction, sinusoidally.
+  const double swing =
+      std::sin(2.0 * std::numbers::pi * phase01);  // -1 .. 1
+  pose.right_arm = {135.0 + 30.0 * swing, 0.0};
+  pose.left_arm = {8.0, 5.0};
+  return pose;
+}
+
+namespace {
+
+/// Builds a database holding the two wave keyframes. HumanSign labels are
+/// repurposed as class tags: kYes = wave-high, kNo = wave-low (the dynamic
+/// layer never surfaces them as static signs).
+SignDatabase build_wave_database(const timeseries::SaxEncoder& encoder,
+                                 const DatabaseBuildOptions& options,
+                                 const SignatureExtractor& extractor) {
+  SignDatabase db(encoder);
+  struct Keyframe {
+    double phase;
+    signs::HumanSign tag;
+    const char* label;
+  };
+  for (const Keyframe key : {Keyframe{0.25, signs::HumanSign::kYes, "wave-high"},
+                             Keyframe{0.75, signs::HumanSign::kNo, "wave-low"}}) {
+    const imaging::GrayImage frame = signs::render_scene(
+        wave_pose(key.phase), signs::BodyDimensions{}, options.canonical_view,
+        options.render);
+    const timeseries::Series signature = extractor(frame);
+    if (!signature.empty()) db.add_template(key.tag, signature, key.label);
+  }
+  return db;
+}
+
+}  // namespace
+
+DynamicSignRecognizer::DynamicSignRecognizer(const DynamicSignConfig& config,
+                                             const DatabaseBuildOptions& db_options)
+    : config_(config),
+      matcher_(config.pipeline,
+               SignDatabase(timeseries::SaxEncoder(timeseries::SaxConfig(
+                   config.pipeline.word_length, config.pipeline.alphabet)))) {
+  DatabaseBuildOptions options = db_options;
+  options.signature_samples = config.pipeline.signature_samples;
+  matcher_ = SaxSignRecognizer(
+      config.pipeline,
+      build_wave_database(
+          timeseries::SaxEncoder(
+              timeseries::SaxConfig(config.pipeline.word_length,
+                                    config.pipeline.alphabet)),
+          options,
+          [this](const imaging::GrayImage& frame) {
+            return matcher_.extract_signature(frame);
+          }));
+}
+
+DynamicSign DynamicSignRecognizer::update(double t_seconds,
+                                          const imaging::GrayImage& frame) {
+  // Classify the frame against the keyframe database.
+  last_keyframe_.reset();
+  const timeseries::Series signature = matcher_.extract_signature(frame);
+  if (!signature.empty()) {
+    const auto match = matcher_.database().query(signature, true);
+    if (match.has_value() && match->distance <= config_.accept_distance) {
+      last_keyframe_ = match->sign == signs::HumanSign::kYes ? 0 : 1;
+    }
+  }
+
+  // Maintain the sliding window of keyframe observations. Consecutive
+  // duplicates collapse (only transitions matter).
+  if (last_keyframe_.has_value()) {
+    if (keyframes_.empty() || keyframes_.back().second != *last_keyframe_) {
+      keyframes_.emplace_back(t_seconds, *last_keyframe_);
+    } else {
+      keyframes_.back().first = t_seconds;  // refresh recency
+    }
+  }
+  while (!keyframes_.empty() &&
+         keyframes_.front().first < t_seconds - config_.window_s) {
+    keyframes_.pop_front();
+  }
+
+  // Alternations within the window = transitions recorded (deduplicated).
+  const int alternations =
+      keyframes_.empty() ? 0 : static_cast<int>(keyframes_.size()) - 1;
+  if (alternations >= config_.min_alternations) {
+    active_ = DynamicSign::kWaveOff;
+    hold_until_ = t_seconds + config_.hold_s;
+  } else if (t_seconds > hold_until_) {
+    active_ = DynamicSign::kNone;
+  }
+  return active_;
+}
+
+}  // namespace hdc::recognition

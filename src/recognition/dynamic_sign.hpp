@@ -1,0 +1,71 @@
+// Dynamic marshalling signs — the paper's §V future-work item: "The
+// flexibility of the system with respect to other static and, possibly
+// later, dynamic marshalling signals should also be examined."
+//
+// A dynamic sign is a short periodic pose sequence. The recogniser treats
+// it as alternation between keyframe silhouettes: each camera frame is
+// matched against the keyframe database with the same SAX pipeline, and a
+// dynamic sign fires when enough keyframe alternations occur inside a
+// sliding window. First (and aviation-standard) vocabulary entry:
+// **WaveOff** — one arm waving overhead, "abort / go away" — the natural
+// complement to the static Yes/No for untrained bystanders.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "recognition/recognizer.hpp"
+#include "signs/skeleton.hpp"
+
+namespace hdc::recognition {
+
+enum class DynamicSign : std::uint8_t { kNone = 0, kWaveOff };
+
+[[nodiscard]] constexpr const char* to_string(DynamicSign sign) noexcept {
+  return sign == DynamicSign::kWaveOff ? "WaveOff" : "None";
+}
+
+/// Pose of the wave gesture at `phase01` in [0, 1): the raised arm swings
+/// between vertical-ish and diagonal across one period.
+[[nodiscard]] signs::BodyPose wave_pose(double phase01);
+
+/// Detection parameters.
+struct DynamicSignConfig {
+  RecognizerConfig pipeline{};       ///< silhouette/SAX settings reused
+  double window_s{3.0};              ///< sliding detection window
+  int min_alternations{4};           ///< high<->low flips required
+  double accept_distance{6.5};       ///< per-frame keyframe match threshold
+  double hold_s{1.5};                ///< detection latched this long
+};
+
+/// Streaming detector: feed timestamped frames, read the active sign.
+class DynamicSignRecognizer {
+ public:
+  DynamicSignRecognizer(const DynamicSignConfig& config,
+                        const DatabaseBuildOptions& db_options);
+
+  /// Processes one camera frame taken at simulation time `t_seconds`
+  /// (monotonically non-decreasing). Returns the sign active after this
+  /// frame (detections latch for hold_s).
+  DynamicSign update(double t_seconds, const imaging::GrayImage& frame);
+
+  [[nodiscard]] DynamicSign current() const noexcept { return active_; }
+  [[nodiscard]] const DynamicSignConfig& config() const noexcept { return config_; }
+
+  /// Keyframe class of the latest frame (exposed for tests/benches):
+  /// 0 = wave-high, 1 = wave-low, nullopt = neither matched.
+  [[nodiscard]] std::optional<int> last_keyframe() const noexcept {
+    return last_keyframe_;
+  }
+
+ private:
+  DynamicSignConfig config_;
+  SaxSignRecognizer matcher_;  ///< owns the keyframe database
+  std::deque<std::pair<double, int>> keyframes_;  ///< (t, class) in window
+  std::optional<int> last_keyframe_;
+  DynamicSign active_{DynamicSign::kNone};
+  double hold_until_{-1.0};
+};
+
+}  // namespace hdc::recognition

@@ -1,0 +1,161 @@
+#include "recognition/recognizer.hpp"
+
+#include "imaging/components.hpp"
+#include "imaging/filter.hpp"
+#include "imaging/morphology.hpp"
+#include "imaging/signature.hpp"
+#include "timeseries/normalize.hpp"
+
+namespace hdc::recognition {
+
+SaxSignRecognizer::SaxSignRecognizer(const RecognizerConfig& config,
+                                     const DatabaseBuildOptions& db_options)
+    : config_(config),
+      database_(timeseries::SaxEncoder(
+          timeseries::SaxConfig(config.word_length, config.alphabet))) {
+  DatabaseBuildOptions options = db_options;
+  options.signature_samples = config.signature_samples;
+  // Templates run through this recogniser's own pipeline so a query under
+  // canonical conditions reproduces its template bit-for-bit.
+  database_ = build_canonical_database(
+      make_encoder(config), options,
+      [this](const imaging::GrayImage& frame) { return extract_signature(frame); });
+}
+
+SaxSignRecognizer::SaxSignRecognizer(const RecognizerConfig& config, SignDatabase database)
+    : config_(config), database_(std::move(database)) {}
+
+timeseries::Series SaxSignRecognizer::extract_signature(
+    const imaging::GrayImage& frame) const {
+  imaging::GrayImage working = config_.dark_silhouette ? imaging::invert(frame) : frame;
+  if (config_.preprocess_blur_sigma > 0.0) {
+    working = imaging::gaussian_blur(working, config_.preprocess_blur_sigma);
+  }
+  imaging::BinaryImage binary = imaging::otsu_threshold(working);
+  if (config_.morphology_radius > 0) {
+    // Close first (bridge hairline gaps at limb joints), then open
+    // (remove speckle) — the other order can sever thin limbs.
+    binary = imaging::close(binary, config_.morphology_radius);
+    binary = imaging::open(binary, config_.morphology_radius);
+  }
+  binary = imaging::largest_component_mask(binary, config_.min_silhouette_area);
+  imaging::Contour contour = imaging::trace_boundary(binary);
+  if (config_.aspect_normalize) contour = imaging::normalize_contour_aspect(contour);
+  return imaging::centroid_distance_signature(contour, config_.signature_samples);
+}
+
+RecognitionResult SaxSignRecognizer::recognize(const imaging::GrayImage& frame,
+                                               RecognitionTrace* trace) const {
+  RecognitionResult result;
+  util::Stopwatch total;
+
+  // Stage 1: photometric pre-processing.
+  imaging::GrayImage working(1, 1);
+  {
+    auto scope = timers_.scope("1-preprocess");
+    working = config_.dark_silhouette ? imaging::invert(frame) : frame;
+    if (config_.preprocess_blur_sigma > 0.0) {
+      working = imaging::gaussian_blur(working, config_.preprocess_blur_sigma);
+    }
+  }
+
+  // Stage 2: binarisation.
+  imaging::BinaryImage binary(1, 1);
+  {
+    auto scope = timers_.scope("2-threshold");
+    binary = imaging::otsu_threshold(working);
+  }
+
+  // Stage 3: morphology cleanup (close before open; see extract_signature).
+  {
+    auto scope = timers_.scope("3-morphology");
+    if (config_.morphology_radius > 0) {
+      binary = imaging::close(binary, config_.morphology_radius);
+      binary = imaging::open(binary, config_.morphology_radius);
+    }
+  }
+
+  // Stage 4: silhouette isolation.
+  {
+    auto scope = timers_.scope("4-component");
+    binary = imaging::largest_component_mask(binary, config_.min_silhouette_area);
+  }
+
+  // Stage 5: contour.
+  imaging::Contour contour;
+  {
+    auto scope = timers_.scope("5-contour");
+    contour = imaging::trace_boundary(binary);
+  }
+  if (trace != nullptr) {
+    trace->silhouette = binary;
+    trace->contour = contour;
+  }
+  if (contour.empty()) {
+    result.reject_reason = RejectReason::kNoSilhouette;
+    result.total_ms = total.elapsed_ms();
+    return result;
+  }
+  if (contour.size() < 8) {
+    result.reject_reason = RejectReason::kDegenerateShape;
+    result.total_ms = total.elapsed_ms();
+    return result;
+  }
+
+  // Stage 6: shape -> time series.
+  timeseries::Series signature;
+  {
+    auto scope = timers_.scope("6-signature");
+    if (config_.aspect_normalize) {
+      signature = imaging::centroid_distance_signature(
+          imaging::normalize_contour_aspect(contour), config_.signature_samples);
+    } else {
+      signature = imaging::centroid_distance_signature(contour, config_.signature_samples);
+    }
+  }
+  if (signature.empty()) {
+    result.reject_reason = RejectReason::kDegenerateShape;
+    result.total_ms = total.elapsed_ms();
+    return result;
+  }
+  if (trace != nullptr) {
+    trace->raw_signature = signature;
+    trace->normalized_signature = timeseries::z_normalize(signature);
+  }
+
+  // Stage 7: SAX encoding + database search.
+  std::optional<DatabaseMatch> match;
+  {
+    auto scope = timers_.scope("7-sax-search");
+    match = database_.query(signature, config_.exact_verify);
+  }
+  if (!match) {
+    result.reject_reason = RejectReason::kNoSilhouette;
+    result.total_ms = total.elapsed_ms();
+    return result;
+  }
+
+  result.sign = match->sign;
+  result.distance = match->distance;
+  result.margin = match->margin;
+  result.sax_word =
+      database_.encoder().encode(signature).text;
+
+  if (match->distance > config_.accept_distance) {
+    result.reject_reason = RejectReason::kAboveThreshold;
+  } else if (match->margin < config_.min_margin) {
+    result.reject_reason = RejectReason::kLowMargin;
+  } else {
+    result.accepted = true;
+    result.reject_reason = RejectReason::kNone;
+  }
+  // A match to the neutral stance is a valid outcome but not a sign.
+  if (result.accepted && result.sign == signs::HumanSign::kNeutral) {
+    result.accepted = false;
+    result.reject_reason = RejectReason::kNone;  // recognised, just not communicative
+  }
+  result.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace hdc::recognition

@@ -1,0 +1,124 @@
+// SaxSignRecognizer — the paper's recognition pipeline (§IV), end to end:
+//
+//   camera frame -> (invert, blur) -> Otsu threshold -> morphology ->
+//   largest component -> Moore contour -> centroid-distance signature ->
+//   z-normalise -> PAA -> SAX word -> string-database nearest match
+//
+// Rotation invariance comes from circular-shift matching of the periodic
+// contour signature; real-time behaviour from the symbolic representation
+// (dimensionality w << n) with optional exact verification. Per-stage wall
+// times are recorded to reproduce the paper's latency measurements (T-LAT).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "imaging/contour.hpp"
+#include "imaging/image.hpp"
+#include "recognition/sign_database.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hdc::recognition {
+
+/// Why a frame produced no accepted sign.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,         ///< accepted
+  kNoSilhouette,     ///< nothing above threshold / too small
+  kDegenerateShape,  ///< contour too short for a signature
+  kAboveThreshold,   ///< nearest template too far (paper's "erratic" zone)
+  kLowMargin,        ///< two templates nearly tied — ambiguous
+};
+
+[[nodiscard]] constexpr const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "None";
+    case RejectReason::kNoSilhouette: return "NoSilhouette";
+    case RejectReason::kDegenerateShape: return "DegenerateShape";
+    case RejectReason::kAboveThreshold: return "AboveThreshold";
+    case RejectReason::kLowMargin: return "LowMargin";
+  }
+  return "?";
+}
+
+/// Pipeline configuration.
+struct RecognizerConfig {
+  std::size_t signature_samples{128};
+  std::size_t word_length{16};   ///< PAA segments (tunable, ref [22])
+  std::size_t alphabet{9};       ///< SAX alphabet size (tunable, ref [22])
+  double accept_distance{6.5};   ///< max distance for acceptance
+  double min_margin{0.35};       ///< min (runner-up - best) separation
+  std::size_t min_silhouette_area{120};  ///< pixels
+  /// Off by default: the Otsu + morphology chain is robust on clean frames,
+  /// and heavy blur thins distant limbs out of the silhouette. Enable
+  /// (e.g. 1.0) when frames carry strong sensor noise.
+  double preprocess_blur_sigma{0.0};
+  int morphology_radius{1};
+  bool exact_verify{true};       ///< re-rank SAX candidates exactly
+  bool dark_silhouette{true};    ///< signaller darker than background
+  /// Rescale the contour bounding box to a square before the signature.
+  /// Cancels depression-angle foreshortening across the 2-5 m altitude
+  /// band; disable only for the ablation that measures its effect.
+  bool aspect_normalize{true};
+};
+
+/// Full result of one frame.
+struct RecognitionResult {
+  bool accepted{false};
+  signs::HumanSign sign{signs::HumanSign::kNeutral};
+  RejectReason reject_reason{RejectReason::kNoSilhouette};
+  double distance{0.0};
+  double margin{0.0};
+  std::string sax_word;
+  double total_ms{0.0};
+};
+
+/// Intermediate artefacts for debugging/visualisation (requested per call).
+struct RecognitionTrace {
+  imaging::BinaryImage silhouette;
+  imaging::Contour contour;
+  timeseries::Series raw_signature;
+  timeseries::Series normalized_signature;
+};
+
+class SaxSignRecognizer {
+ public:
+  /// Builds the recogniser and its canonical database. `db_options.render`
+  /// should match the camera the drone actually carries.
+  SaxSignRecognizer(const RecognizerConfig& config,
+                    const DatabaseBuildOptions& db_options);
+
+  /// Builds with an externally constructed database (must use a compatible
+  /// encoder configuration).
+  SaxSignRecognizer(const RecognizerConfig& config, SignDatabase database);
+
+  /// Processes one frame. When `trace` is non-null, intermediates are
+  /// copied out (costs extra; keep null on the hot path).
+  [[nodiscard]] RecognitionResult recognize(const imaging::GrayImage& frame,
+                                            RecognitionTrace* trace = nullptr) const;
+
+  /// The silhouette signature of a frame without matching (used by the
+  /// uniqueness study and tests).
+  [[nodiscard]] timeseries::Series extract_signature(const imaging::GrayImage& frame) const;
+
+  [[nodiscard]] const RecognizerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SignDatabase& database() const noexcept { return database_; }
+
+  /// Accumulated per-stage timings across all recognize() calls
+  /// (preprocess / threshold / morphology / component / contour / signature
+  /// / sax+search). Reset with timers().reset().
+  [[nodiscard]] util::StageTimers& timers() const noexcept { return timers_; }
+
+ private:
+  RecognizerConfig config_;
+  SignDatabase database_;
+  mutable util::StageTimers timers_;
+};
+
+/// Encoder matching a RecognizerConfig (shared by DB builders and tests).
+[[nodiscard]] inline timeseries::SaxEncoder make_encoder(const RecognizerConfig& config) {
+  return timeseries::SaxEncoder(
+      timeseries::SaxConfig(config.word_length, config.alphabet));
+}
+
+}  // namespace hdc::recognition

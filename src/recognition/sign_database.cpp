@@ -1,0 +1,121 @@
+#include "recognition/sign_database.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "imaging/components.hpp"
+#include "imaging/contour.hpp"
+#include "imaging/filter.hpp"
+#include "imaging/morphology.hpp"
+#include "imaging/signature.hpp"
+#include "timeseries/distance.hpp"
+#include "timeseries/normalize.hpp"
+
+namespace hdc::recognition {
+
+void SignDatabase::add_template(signs::HumanSign sign,
+                                const timeseries::Series& raw_signature,
+                                std::string label) {
+  SignTemplate entry;
+  entry.sign = sign;
+  entry.normalized_signature = timeseries::z_normalize(raw_signature);
+  entry.word = encoder_.encode_normalized(entry.normalized_signature);
+  entry.label = std::move(label);
+  templates_.push_back(std::move(entry));
+}
+
+std::optional<DatabaseMatch> SignDatabase::query(const timeseries::Series& raw_signature,
+                                                 bool exact_verify) const {
+  if (templates_.empty() || raw_signature.empty()) return std::nullopt;
+
+  const timeseries::Series normalized = timeseries::z_normalize(raw_signature);
+  const timeseries::SaxWord query_word = encoder_.encode_normalized(normalized);
+
+  struct Scored {
+    double distance;
+    std::size_t index;
+    std::size_t shift;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(templates_.size());
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    std::size_t shift = 0;
+    const double d =
+        encoder_.mindist_rotation_invariant(query_word, templates_[i].word, &shift);
+    scored.push_back({d, i, shift});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.distance < b.distance; });
+
+  if (exact_verify) {
+    // Re-rank by exact rotation-invariant distance. Note: the symbolic
+    // rotation-invariant distance only explores shifts in whole-symbol
+    // steps, so it is NOT a sound lower bound for the exact distance under
+    // arbitrary shifts — every template is verified exactly. The sign
+    // database holds a handful of templates, so this costs microseconds;
+    // the symbolic pass still provides the visit order, which lets the
+    // early-abandon inside the exact distance bite sooner.
+    double best_exact = std::numeric_limits<double>::infinity();
+    double second_exact = std::numeric_limits<double>::infinity();
+    std::size_t best_index = scored.front().index;
+    std::size_t best_shift = 0;
+    for (const Scored& candidate : scored) {
+      std::size_t shift = 0;
+      const double exact = timeseries::euclidean_rotation_invariant(
+          normalized, templates_[candidate.index].normalized_signature, &shift);
+      if (exact < best_exact) {
+        second_exact = best_exact;
+        best_exact = exact;
+        best_index = candidate.index;
+        best_shift = shift;
+      } else if (exact < second_exact) {
+        second_exact = exact;
+      }
+    }
+    DatabaseMatch match;
+    match.sign = templates_[best_index].sign;
+    match.distance = best_exact;
+    match.margin = (second_exact == std::numeric_limits<double>::infinity())
+                       ? best_exact
+                       : second_exact - best_exact;
+    match.template_index = best_index;
+    match.best_shift = best_shift;
+    return match;
+  }
+
+  DatabaseMatch match;
+  match.sign = templates_[scored.front().index].sign;
+  match.distance = scored.front().distance;
+  match.margin = scored.size() > 1 ? scored[1].distance - scored[0].distance
+                                   : scored[0].distance;
+  match.template_index = scored.front().index;
+  match.best_shift = scored.front().shift;
+  return match;
+}
+
+SignDatabase build_canonical_database(const timeseries::SaxEncoder& encoder,
+                                      const DatabaseBuildOptions& options,
+                                      const SignatureExtractor& extractor) {
+  SignDatabase db(encoder);
+  std::vector<signs::ViewGeometry> views = {options.canonical_view};
+  for (const double altitude : options.extra_altitudes) {
+    signs::ViewGeometry view = options.canonical_view;
+    view.altitude_m = altitude;
+    views.push_back(view);
+  }
+  for (const signs::HumanSign sign : signs::kAllSigns) {
+    if (sign == signs::HumanSign::kNeutral && !options.include_neutral) continue;
+    for (const signs::ViewGeometry& view : views) {
+      const imaging::GrayImage frame = signs::render_sign(sign, view, options.render);
+      const timeseries::Series signature = extractor(frame);
+      if (signature.empty()) continue;  // defensive: canonical renders never fail
+      std::string label = std::string(signs::to_string(sign)) + "@az" +
+                          std::to_string(static_cast<int>(view.relative_azimuth_deg)) +
+                          "/alt" + std::to_string(static_cast<int>(view.altitude_m));
+      db.add_template(sign, signature, std::move(label));
+    }
+  }
+  return db;
+}
+
+}  // namespace hdc::recognition

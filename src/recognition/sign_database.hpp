@@ -1,0 +1,101 @@
+// The string database of canonical sign signatures (paper §IV: "a
+// comparison of the string against a database of strings ... can be used
+// quite effectively to identify features in images").
+//
+// Each template stores the SAX word of a sign's canonical silhouette
+// signature plus the z-normalised signature itself, so queries can use the
+// cheap symbolic MINDIST first and optionally confirm with the exact
+// rotation-invariant Euclidean distance.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+#include "signs/scene.hpp"
+#include "signs/sign.hpp"
+#include "timeseries/sax.hpp"
+#include "timeseries/series.hpp"
+
+namespace hdc::recognition {
+
+/// One stored reference.
+struct SignTemplate {
+  signs::HumanSign sign{signs::HumanSign::kNeutral};
+  timeseries::SaxWord word{};
+  timeseries::Series normalized_signature{};  ///< z-normalised, length = samples
+  std::string label;                          ///< provenance, e.g. "No@az0/alt5"
+};
+
+/// Query result against the database.
+struct DatabaseMatch {
+  signs::HumanSign sign{signs::HumanSign::kNeutral};
+  double distance{0.0};        ///< rotation-invariant MINDIST (or exact, see flag)
+  double margin{0.0};          ///< runner-up distance minus best distance
+  std::size_t template_index{0};
+  std::size_t best_shift{0};   ///< rotation at which the best match occurred
+};
+
+/// Immutable-after-build template store.
+class SignDatabase {
+ public:
+  explicit SignDatabase(timeseries::SaxEncoder encoder) : encoder_(std::move(encoder)) {}
+
+  /// Adds a template from a raw (not yet normalised) signature.
+  void add_template(signs::HumanSign sign, const timeseries::Series& raw_signature,
+                    std::string label);
+
+  /// Nearest template by rotation-invariant MINDIST. When `exact_verify` is
+  /// set the top symbolic candidates are re-ranked by exact
+  /// rotation-invariant Euclidean distance (MINDIST lower-bounds it, so the
+  /// re-rank is sound). Returns nullopt when the database is empty or the
+  /// query signature is empty.
+  [[nodiscard]] std::optional<DatabaseMatch> query(
+      const timeseries::Series& raw_signature, bool exact_verify = false) const;
+
+  [[nodiscard]] const std::vector<SignTemplate>& templates() const noexcept {
+    return templates_;
+  }
+  [[nodiscard]] const timeseries::SaxEncoder& encoder() const noexcept {
+    return encoder_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return templates_.size(); }
+
+ private:
+  timeseries::SaxEncoder encoder_;
+  std::vector<SignTemplate> templates_;
+};
+
+/// Options controlling database construction from the synthetic renderer.
+/// The canonical view is the paper's "0-deg relative azimuth image as the
+/// canonical reference"; the altitude sits mid-way through the paper's
+/// working band (2-5 m) so one reference serves the whole band.
+struct DatabaseBuildOptions {
+  signs::ViewGeometry canonical_view{3.5, 3.0, 0.0};
+  signs::RenderOptions render{};
+  std::size_t signature_samples{128};
+  bool include_neutral{true};  ///< store the neutral stance as a negative class
+  /// Extra reference altitudes (extension beyond the paper's single
+  /// canonical image): one additional template per sign per entry, at the
+  /// canonical azimuth/distance. Widens the working envelope at the cost
+  /// of a linearly larger database.
+  std::vector<double> extra_altitudes{};
+};
+
+/// Extracts a signature series from a rendered frame. The recogniser passes
+/// its own pipeline here so templates and queries go through *identical*
+/// processing — any asymmetry would show up as spurious distance.
+using SignatureExtractor =
+    std::function<timeseries::Series(const imaging::GrayImage&)>;
+
+/// Renders each sign's canonical pose at the canonical view and stores its
+/// signature — the reproduction of the authors' reference-image database.
+[[nodiscard]] SignDatabase build_canonical_database(const timeseries::SaxEncoder& encoder,
+                                                    const DatabaseBuildOptions& options,
+                                                    const SignatureExtractor& extractor);
+
+}  // namespace hdc::recognition

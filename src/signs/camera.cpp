@@ -1,0 +1,48 @@
+#include "signs/camera.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::signs {
+
+PinholeCamera::PinholeCamera(Vec3 position, Vec3 look_at, int width, int height,
+                             double hfov_deg)
+    : position_(position), width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("PinholeCamera: raster must be positive");
+  }
+  if (hfov_deg <= 0.0 || hfov_deg >= 180.0) {
+    throw std::invalid_argument("PinholeCamera: hfov out of range");
+  }
+  forward_ = (look_at - position).normalized();
+  if (forward_.norm() == 0.0) {
+    throw std::invalid_argument("PinholeCamera: look_at coincides with position");
+  }
+  // Right = forward x world-up; degenerate (looking straight down) falls
+  // back to world +x so the roll is defined.
+  const Vec3 world_up{0.0, 0.0, 1.0};
+  Vec3 right = forward_.cross(world_up);
+  if (right.norm() < 1e-9) right = Vec3{1.0, 0.0, 0.0};
+  right_ = right.normalized();
+  // right x forward is camera-up; negate for image +v (down).
+  down_ = right_.cross(forward_).normalized() * -1.0;
+
+  focal_ = static_cast<double>(width) /
+           (2.0 * std::tan(hdc::util::deg_to_rad(hfov_deg) / 2.0));
+}
+
+std::optional<Projection> PinholeCamera::project(const Vec3& world) const {
+  const Vec3 rel = world - position_;
+  const double depth = rel.dot(forward_);
+  if (depth <= kNearLimit) return std::nullopt;
+  const double u = rel.dot(right_) / depth * focal_ + static_cast<double>(width_) / 2.0;
+  const double v = rel.dot(down_) / depth * focal_ + static_cast<double>(height_) / 2.0;
+  return Projection{{u, v}, depth};
+}
+
+double PinholeCamera::project_radius(double radius_m, double depth) const {
+  if (depth <= kNearLimit) return 0.0;
+  return radius_m / depth * focal_;
+}
+
+}  // namespace hdc::signs

@@ -1,0 +1,54 @@
+// Pinhole camera model for the drone's downward-tilted body camera.
+//
+// World frame: x east, y north, z up (metres). Image frame: u right,
+// v down (pixels). The camera is defined by position, look-at target and a
+// horizontal field of view; focal length in pixels derives from the FOV and
+// raster width.
+#pragma once
+
+#include <optional>
+
+#include "util/geometry.hpp"
+
+namespace hdc::signs {
+
+using hdc::util::Vec2;
+using hdc::util::Vec3;
+
+/// A perspective projection result: pixel position and camera-space depth.
+struct Projection {
+  Vec2 pixel{};
+  double depth{0.0};  ///< metres along the optical axis (> 0 in front)
+};
+
+class PinholeCamera {
+ public:
+  /// `hfov_deg` in (0, 180). `width`/`height` in pixels.
+  PinholeCamera(Vec3 position, Vec3 look_at, int width, int height,
+                double hfov_deg = 62.0);
+
+  /// Projects a world point. Returns nullopt for points at or behind the
+  /// image plane (depth <= near limit). The pixel may lie outside the
+  /// raster; callers clip.
+  [[nodiscard]] std::optional<Projection> project(const Vec3& world) const;
+
+  /// Projected radius in pixels of a sphere of `radius_m` at `depth` metres.
+  [[nodiscard]] double project_radius(double radius_m, double depth) const;
+
+  [[nodiscard]] const Vec3& position() const noexcept { return position_; }
+  [[nodiscard]] double focal_pixels() const noexcept { return focal_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+ private:
+  Vec3 position_;
+  Vec3 forward_;  ///< unit, optical axis
+  Vec3 right_;    ///< unit, image +u
+  Vec3 down_;     ///< unit, image +v
+  int width_;
+  int height_;
+  double focal_;
+  static constexpr double kNearLimit = 0.05;  // metres
+};
+
+}  // namespace hdc::signs

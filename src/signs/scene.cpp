@@ -1,0 +1,95 @@
+#include "signs/scene.hpp"
+
+#include <cmath>
+
+#include "imaging/draw.hpp"
+#include "imaging/filter.hpp"
+
+namespace hdc::signs {
+
+namespace {
+
+using hdc::imaging::GrayImage;
+using hdc::util::deg_to_rad;
+
+/// Renders one capsule through the camera. The projected radius uses the
+/// nearer endpoint's depth, slightly over-drawing the far end — acceptable
+/// at the paper's 2-6 m working distances.
+void render_capsule(GrayImage& image, const PinholeCamera& camera, const Capsule& capsule,
+                    std::uint8_t value) {
+  const auto pa = camera.project(capsule.a);
+  const auto pb = camera.project(capsule.b);
+  if (!pa || !pb) return;  // behind the camera: skip (whole-capsule clip)
+  const double depth = std::min(pa->depth, pb->depth);
+  const double radius = camera.project_radius(capsule.radius, depth);
+  hdc::imaging::fill_capsule(image, pa->pixel, pb->pixel, radius, value);
+}
+
+}  // namespace
+
+PinholeCamera make_view_camera(const ViewGeometry& view, const BodyDimensions& dims,
+                               const RenderOptions& options) {
+  // Signaller at origin facing +y (yaw 0). Relative azimuth 0 means the
+  // drone is along the facing direction; positive azimuth moves it around
+  // the signaller's right side.
+  const double azimuth = deg_to_rad(view.relative_azimuth_deg);
+  const Vec3 drone_position{view.distance_m * std::sin(azimuth),
+                            view.distance_m * std::cos(azimuth), view.altitude_m};
+  // Aim at the torso centre: the paper's frames centre the signaller.
+  const Vec3 target{0.0, 0.0, dims.height * 0.55};
+  return PinholeCamera(drone_position, target, options.width, options.height,
+                       options.hfov_deg);
+}
+
+imaging::GrayImage render_scene(const BodyPose& pose, const BodyDimensions& dims,
+                                const ViewGeometry& view, const RenderOptions& options,
+                                hdc::util::Rng* rng) {
+  GrayImage image(options.width, options.height, options.background);
+  const PinholeCamera camera = make_view_camera(view, dims, options);
+
+  // Distractor clutter behind/near the signaller (bushes, crates, posts):
+  // mid-grey blobs that survive thresholding as separate small components.
+  if (rng != nullptr && options.clutter_count > 0) {
+    for (int i = 0; i < options.clutter_count; ++i) {
+      const Vec3 world{rng->uniform(-2.5, 2.5), rng->uniform(-1.5, 3.0),
+                       rng->uniform(0.0, 0.8)};
+      const auto projection = camera.project(world);
+      if (!projection) continue;
+      const double radius =
+          camera.project_radius(rng->uniform(0.05, 0.25), projection->depth);
+      const auto grey = static_cast<std::uint8_t>(rng->uniform_int(60, 140));
+      hdc::imaging::fill_disc(image, projection->pixel, radius, grey);
+    }
+  }
+
+  // The signaller, feet at the origin.
+  const Skeleton skeleton = build_skeleton(pose, dims, Vec3{0.0, 0.0, 0.0}, 0.0);
+  for (const Capsule& capsule : skeleton.capsules) {
+    render_capsule(image, camera, capsule, options.body);
+  }
+  const auto head = camera.project(skeleton.head_center);
+  if (head) {
+    const double radius = camera.project_radius(skeleton.head_radius, head->depth);
+    hdc::imaging::fill_disc(image, head->pixel, radius, options.body);
+  }
+
+  // Photometric chain: lighting -> optics (blur) -> sensor (noise).
+  if (options.lighting_gain != 1.0 || options.lighting_bias != 0.0) {
+    image = hdc::imaging::adjust_lighting(image, options.lighting_gain,
+                                          options.lighting_bias);
+  }
+  if (options.blur_sigma > 0.0) {
+    image = hdc::imaging::gaussian_blur(image, options.blur_sigma);
+  }
+  if (rng != nullptr && options.noise_stddev > 0.0) {
+    image = hdc::imaging::add_gaussian_noise(image, options.noise_stddev, *rng);
+  }
+  return image;
+}
+
+imaging::GrayImage render_sign(HumanSign sign, const ViewGeometry& view,
+                               const RenderOptions& options, hdc::util::Rng* rng) {
+  return render_scene(canonical_pose(sign), BodyDimensions{}, view, options, rng);
+}
+
+}  // namespace hdc::signs

@@ -1,0 +1,62 @@
+// Synthetic drone-camera scene renderer.
+//
+// Replaces the paper's physical camera + human signaller (see DESIGN.md §1):
+// a posed skeleton is projected through a pinhole camera whose placement is
+// given in the paper's own experimental coordinates — drone altitude,
+// horizontal distance and relative azimuth with respect to the signaller.
+// Environment effects (sensor noise, blur, clutter, lighting) are injected
+// on top so robustness experiments have realistic knobs.
+#pragma once
+
+#include "imaging/image.hpp"
+#include "signs/camera.hpp"
+#include "signs/sign.hpp"
+#include "signs/sign_poses.hpp"
+#include "signs/skeleton.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::signs {
+
+/// Viewing geometry in the paper's terms (§IV, Figure 4).
+struct ViewGeometry {
+  double altitude_m{5.0};           ///< drone height above ground
+  double distance_m{3.0};           ///< horizontal drone-signaller distance
+  double relative_azimuth_deg{0.0}; ///< 0 = drone dead ahead of the signaller
+};
+
+/// Rendering options. The default raster (480x360) keeps distant limbs a
+/// few pixels wide at the paper's 5 m working altitude; below that the
+/// silhouette pipeline starves (validated empirically, see EXPERIMENTS.md).
+struct RenderOptions {
+  int width{480};
+  int height{360};
+  double hfov_deg{62.0};
+  std::uint8_t background{200};  ///< bright sky/field backdrop
+  std::uint8_t body{30};         ///< dark clothing silhouette
+  double noise_stddev{0.0};      ///< Gaussian sensor noise, grey levels
+  double blur_sigma{0.0};        ///< optical blur
+  int clutter_count{0};          ///< random mid-grey distractor blobs
+  double lighting_gain{1.0};
+  double lighting_bias{0.0};
+};
+
+/// Renders the signaller holding `pose` seen from `view`. The signaller
+/// stands at the world origin facing +y; the camera is placed at the
+/// given altitude/distance/azimuth looking at the torso centre.
+[[nodiscard]] imaging::GrayImage render_scene(const BodyPose& pose,
+                                              const BodyDimensions& dims,
+                                              const ViewGeometry& view,
+                                              const RenderOptions& options,
+                                              hdc::util::Rng* rng = nullptr);
+
+/// Convenience: render the canonical pose of `sign`.
+[[nodiscard]] imaging::GrayImage render_sign(HumanSign sign, const ViewGeometry& view,
+                                             const RenderOptions& options,
+                                             hdc::util::Rng* rng = nullptr);
+
+/// Camera placement used by render_scene, exposed for tests and overlays.
+[[nodiscard]] PinholeCamera make_view_camera(const ViewGeometry& view,
+                                             const BodyDimensions& dims,
+                                             const RenderOptions& options);
+
+}  // namespace hdc::signs

@@ -1,0 +1,44 @@
+// The human->drone marshalling-sign vocabulary (paper §III).
+//
+// The paper specifies a deliberately minimal static-sign set, quickly
+// learnable by untrained people and robustly detectable by low-cost drones:
+//   - AttentionGained: hand raised in front of the face (the human-reflex
+//     "protect the face" gesture) — answers the drone's poke.
+//   - Yes / No: modelled after the well-known Swiss emergency-services
+//     body signals (both arms up = yes; one arm up, one down = no).
+// kNeutral is the no-sign stance used as a negative class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hdc::signs {
+
+enum class HumanSign : std::uint8_t {
+  kNeutral = 0,
+  kAttentionGained = 1,
+  kYes = 2,
+  kNo = 3,
+};
+
+/// The communicative signs (excludes kNeutral).
+inline constexpr std::array<HumanSign, 3> kCommunicativeSigns = {
+    HumanSign::kAttentionGained, HumanSign::kYes, HumanSign::kNo};
+
+/// All stances, including the neutral negative class.
+inline constexpr std::array<HumanSign, 4> kAllSigns = {
+    HumanSign::kNeutral, HumanSign::kAttentionGained, HumanSign::kYes,
+    HumanSign::kNo};
+
+[[nodiscard]] constexpr std::string_view to_string(HumanSign sign) noexcept {
+  switch (sign) {
+    case HumanSign::kNeutral: return "Neutral";
+    case HumanSign::kAttentionGained: return "AttentionGained";
+    case HumanSign::kYes: return "Yes";
+    case HumanSign::kNo: return "No";
+  }
+  return "?";
+}
+
+}  // namespace hdc::signs

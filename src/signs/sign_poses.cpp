@@ -1,0 +1,54 @@
+#include "signs/sign_poses.hpp"
+
+#include "util/geometry.hpp"
+
+namespace hdc::signs {
+
+BodyPose canonical_pose(HumanSign sign) {
+  BodyPose pose;
+  switch (sign) {
+    case HumanSign::kNeutral:
+      // Arms hanging with a natural slight abduction.
+      pose.right_arm = {8.0, 5.0};
+      pose.left_arm = {8.0, 5.0};
+      break;
+    case HumanSign::kAttentionGained:
+      // Right hand raised in front of the face: upper arm horizontal,
+      // forearm vertical ("protecting the face" reflex, paper §III).
+      pose.right_arm = {90.0, 90.0};
+      pose.left_arm = {8.0, 5.0};
+      break;
+    case HumanSign::kYes:
+      // Both arms raised into a Y — the Swiss emergency-services "yes".
+      pose.right_arm = {140.0, 0.0};
+      pose.left_arm = {140.0, 0.0};
+      break;
+    case HumanSign::kNo:
+      // One arm up, one arm down along the diagonal — the Swiss
+      // emergency-services "no".
+      pose.right_arm = {140.0, 0.0};
+      pose.left_arm = {40.0, 0.0};
+      break;
+  }
+  return pose;
+}
+
+BodyPose sample_pose(HumanSign sign, const PoseJitter& jitter, hdc::util::Rng& rng) {
+  BodyPose pose = canonical_pose(sign);
+  const auto jitter_arm = [&](ArmPose& arm) {
+    arm.abduction_deg = hdc::util::clamp(
+        arm.abduction_deg + rng.gaussian(0.0, jitter.joint_stddev_deg), 0.0, 180.0);
+    arm.elbow_flexion_deg = hdc::util::clamp(
+        arm.elbow_flexion_deg + rng.gaussian(0.0, jitter.joint_stddev_deg), 0.0, 150.0);
+  };
+  jitter_arm(pose.right_arm);
+  jitter_arm(pose.left_arm);
+  pose.lean_deg = rng.gaussian(0.0, jitter.lean_stddev_deg);
+  return pose;
+}
+
+PoseJitter supervisor_jitter() { return {3.0, 1.0}; }
+PoseJitter worker_jitter() { return {6.0, 2.0}; }
+PoseJitter visitor_jitter() { return {12.0, 4.0}; }
+
+}  // namespace hdc::signs

@@ -1,0 +1,33 @@
+// Canonical body poses for each marshalling sign plus human execution
+// jitter. The canonical poses define the reference silhouettes stored in the
+// sign database; jitter models how real (supervisor / worker / visitor)
+// humans deviate from the textbook pose.
+#pragma once
+
+#include "signs/sign.hpp"
+#include "signs/skeleton.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::signs {
+
+/// Canonical (textbook) pose for a sign.
+[[nodiscard]] BodyPose canonical_pose(HumanSign sign);
+
+/// Execution-quality parameters: standard deviation of joint-angle jitter
+/// and of body lean, in degrees. Rough calibration per user-story role:
+/// supervisor ~3 deg, worker ~6 deg, visitor ~12 deg.
+struct PoseJitter {
+  double joint_stddev_deg{0.0};
+  double lean_stddev_deg{0.0};
+};
+
+/// Samples a humanly-executed variant of the canonical pose.
+[[nodiscard]] BodyPose sample_pose(HumanSign sign, const PoseJitter& jitter,
+                                   hdc::util::Rng& rng);
+
+/// Convenience jitter presets for the three user-story roles.
+[[nodiscard]] PoseJitter supervisor_jitter();
+[[nodiscard]] PoseJitter worker_jitter();
+[[nodiscard]] PoseJitter visitor_jitter();
+
+}  // namespace hdc::signs

@@ -1,0 +1,95 @@
+#include "signs/skeleton.hpp"
+
+#include <cmath>
+
+namespace hdc::signs {
+
+namespace {
+
+using hdc::util::deg_to_rad;
+
+/// Rotates a body-local point into the world frame and translates it onto
+/// the base position. Body-local: x lateral-right, y forward, z up.
+/// World: yaw rotates the body around +z; yaw 0 puts body-forward on +y.
+[[nodiscard]] Vec3 to_world(const Vec3& local, const Vec3& base, double yaw) {
+  const double c = std::cos(yaw);
+  const double s = std::sin(yaw);
+  // forward (0,1,0) -> (s, c, 0); right (1,0,0) -> (c, -s, 0)
+  return Vec3{base.x + local.x * c + local.y * s,
+              base.y - local.x * s + local.y * c,
+              base.z + local.z};
+}
+
+/// Direction of an arm segment in the frontal plane for a given polar angle
+/// measured from "straight down": 0 -> (0,0,-1); 90 -> lateral; 180 -> up.
+/// `side` is +1 for the right arm, -1 for the left.
+[[nodiscard]] Vec3 frontal_direction(double angle_deg, double side) {
+  const double a = deg_to_rad(angle_deg);
+  return Vec3{side * std::sin(a), 0.0, -std::cos(a)};
+}
+
+}  // namespace
+
+Skeleton build_skeleton(const BodyPose& pose, const BodyDimensions& dims,
+                        Vec3 base_position, double facing_yaw) {
+  Skeleton skeleton;
+  skeleton.base_position = base_position;
+  skeleton.facing_yaw = facing_yaw;
+  skeleton.head_radius = dims.head_radius;
+
+  const double lean = deg_to_rad(pose.lean_deg);
+  // Lean shifts upper-body x proportionally with height above the hip.
+  const auto leaned = [&](Vec3 p) {
+    if (p.z > dims.hip_height()) {
+      p.x += std::sin(lean) * (p.z - dims.hip_height());
+    }
+    return p;
+  };
+
+  std::vector<Capsule> local;
+
+  // Torso: hip centre to neck.
+  const Vec3 hip{0.0, 0.0, dims.hip_height()};
+  const Vec3 neck{0.0, 0.0, dims.shoulder_height()};
+  local.push_back({hip, leaned(neck), dims.torso_radius});
+
+  // Legs: slight stance spread.
+  for (const double side : {+1.0, -1.0}) {
+    const Vec3 hip_side{side * 0.09, 0.0, dims.hip_height()};
+    const Vec3 knee{side * 0.11, 0.0, dims.lower_leg_length};
+    const Vec3 foot{side * 0.12, 0.0, 0.0};
+    local.push_back({hip_side, knee, dims.limb_radius});
+    local.push_back({knee, foot, dims.limb_radius});
+  }
+
+  // Arms. A clavicle capsule joins each shoulder to the spine so the
+  // silhouette is a single connected region whatever the arm pose.
+  for (const double side : {+1.0, -1.0}) {
+    const ArmPose& arm = side > 0 ? pose.right_arm : pose.left_arm;
+    const Vec3 shoulder =
+        leaned({side * dims.shoulder_half_width, 0.0, dims.shoulder_height()});
+    local.push_back({leaned({0.0, 0.0, dims.shoulder_height()}), shoulder,
+                     dims.limb_radius * 1.4});
+    const Vec3 upper_dir = frontal_direction(arm.abduction_deg, side);
+    const Vec3 elbow = shoulder + upper_dir * dims.upper_arm_length;
+    // Elbow flexion bends the forearm further "up" in the frontal plane.
+    const Vec3 fore_dir =
+        frontal_direction(arm.abduction_deg + arm.elbow_flexion_deg, side);
+    const Vec3 wrist = elbow + fore_dir * dims.forearm_length;
+    local.push_back({shoulder, elbow, dims.limb_radius});
+    local.push_back({elbow, wrist, dims.limb_radius});
+    // A hand blob slightly past the wrist improves silhouette realism.
+    local.push_back({wrist, wrist + fore_dir * 0.07, dims.limb_radius * 1.2});
+  }
+
+  skeleton.capsules.reserve(local.size());
+  for (const Capsule& c : local) {
+    skeleton.capsules.push_back({to_world(c.a, base_position, facing_yaw),
+                                 to_world(c.b, base_position, facing_yaw), c.radius});
+  }
+  skeleton.head_center =
+      to_world(leaned({0.0, 0.0, dims.head_center_height()}), base_position, facing_yaw);
+  return skeleton;
+}
+
+}  // namespace hdc::signs

@@ -1,0 +1,83 @@
+// 3-D articulated signaller model.
+//
+// The signaller is a stick figure of capsules (bones with thickness) in a
+// body-local frame: x lateral (to the body's right), y forward (the facing
+// direction), z up; the feet stand at z = 0. Arm posture is parameterised
+// per arm by two angles, which is all the marshalling vocabulary needs:
+//   - abduction: shoulder angle in the frontal (x-z) plane.
+//       0 = arm hanging down, 90 = horizontal sideways, 180 = straight up.
+//   - elbow_flexion: rotation of the forearm relative to the upper arm in
+//       the frontal plane, bending "upward" (towards the head).
+//       0 = straight arm.
+// Placing the arms in the frontal plane matches marshalling practice: signs
+// are given facing the observer so they read as silhouette changes.
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace hdc::signs {
+
+using hdc::util::Vec3;
+
+/// One arm's posture.
+struct ArmPose {
+  double abduction_deg{8.0};      ///< 0 down ... 180 straight up
+  double elbow_flexion_deg{0.0};  ///< 0 straight ... 150 fully bent
+};
+
+/// Full-body posture: both arms plus a small lean (whole-body roll) that
+/// human signallers naturally add; legs are always standing.
+struct BodyPose {
+  ArmPose right_arm{};
+  ArmPose left_arm{};
+  double lean_deg{0.0};  ///< lateral lean of the torso, + = to body right
+};
+
+/// Body proportions in metres (defaults: 1.75 m adult).
+struct BodyDimensions {
+  double height{1.75};
+  double shoulder_half_width{0.22};
+  double upper_arm_length{0.30};
+  double forearm_length{0.28};
+  double upper_leg_length{0.45};
+  double lower_leg_length{0.45};
+  double head_radius{0.11};
+  double limb_radius{0.06};  ///< clothed-limb thickness
+  double torso_radius{0.13};
+
+  [[nodiscard]] double hip_height() const noexcept {
+    return upper_leg_length + lower_leg_length;
+  }
+  [[nodiscard]] double shoulder_height() const noexcept { return height - 0.30; }
+  [[nodiscard]] double head_center_height() const noexcept {
+    return height - head_radius;
+  }
+};
+
+/// One capsule (thick segment) of the skeleton, in world coordinates.
+struct Capsule {
+  Vec3 a{};
+  Vec3 b{};
+  double radius{0.05};
+};
+
+/// A posed skeleton placed in the world: capsules ready for rendering.
+struct Skeleton {
+  std::vector<Capsule> capsules;
+  Vec3 head_center{};
+  double head_radius{0.11};
+  Vec3 base_position{};  ///< feet centre on the ground
+  double facing_yaw{0.0};  ///< world yaw of the body's forward (+y) axis
+};
+
+/// Builds the posed skeleton in world coordinates.
+/// `base_position` is the point on the ground between the feet;
+/// `facing_yaw` rotates the body-local frame around +z (0 = body faces
+/// world +y direction... specifically body-forward maps to
+/// (sin(yaw), cos(yaw), 0) so yaw 0 faces north/+y).
+[[nodiscard]] Skeleton build_skeleton(const BodyPose& pose, const BodyDimensions& dims,
+                                      Vec3 base_position, double facing_yaw);
+
+}  // namespace hdc::signs

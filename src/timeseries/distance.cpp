@@ -1,0 +1,105 @@
+#include "timeseries/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace hdc::timeseries {
+
+double euclidean_sq(const Series& a, const Series& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("euclidean: size mismatch");
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  return sum_sq;
+}
+
+double euclidean(const Series& a, const Series& b) {
+  return std::sqrt(euclidean_sq(a, b));
+}
+
+double euclidean_rotation_invariant(const Series& a, const Series& b,
+                                    std::size_t* best_shift) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("euclidean_rotation_invariant: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n == 0) {
+    if (best_shift != nullptr) *best_shift = 0;
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = a[i] - b[(i + k) % n];
+      sum_sq += d * d;
+      if (sum_sq >= best) break;  // early abandon
+    }
+    if (sum_sq < best) {
+      best = sum_sq;
+      best_k = k;
+    }
+  }
+  if (best_shift != nullptr) *best_shift = best_k;
+  return std::sqrt(best);
+}
+
+double dtw(const Series& a, const Series& b, std::size_t window) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("dtw: empty series");
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // The band must be at least |n - m| wide for a path to exist.
+  const std::size_t min_band = n > m ? n - m : m - n;
+  const std::size_t band = std::max(window, min_band);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const std::size_t j_begin = i > band ? i - band : 1;
+    const std::size_t j_end = std::min(m, i + band);
+    for (std::size_t j = j_begin; j <= j_end; ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      const double best_prev = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = cost + best_prev;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double pearson_correlation(const Series& a, const Series& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace hdc::timeseries

@@ -1,0 +1,32 @@
+// Distance measures between raw series: Euclidean, windowed DTW, and the
+// circular-shift (rotation-invariant) variants needed for closed-contour
+// signatures.
+#pragma once
+
+#include <cstddef>
+
+#include "timeseries/series.hpp"
+
+namespace hdc::timeseries {
+
+/// Euclidean (L2) distance; series must have equal length.
+[[nodiscard]] double euclidean(const Series& a, const Series& b);
+
+/// Squared Euclidean distance (avoids the final sqrt in inner loops).
+[[nodiscard]] double euclidean_sq(const Series& a, const Series& b);
+
+/// Minimum Euclidean distance over all circular rotations of `b`.
+/// O(n^2); fine for the signature lengths used here (n <= 512).
+/// Writes the best rotation to `best_shift` when non-null.
+[[nodiscard]] double euclidean_rotation_invariant(const Series& a, const Series& b,
+                                                  std::size_t* best_shift = nullptr);
+
+/// Dynamic time warping with a Sakoe-Chiba band of half-width `window`
+/// (window >= max(|a|,|b|) degenerates to full DTW). Both series must be
+/// non-empty. Euclidean point cost.
+[[nodiscard]] double dtw(const Series& a, const Series& b, std::size_t window);
+
+/// Pearson correlation coefficient in [-1, 1]; 0 when either side is flat.
+[[nodiscard]] double pearson_correlation(const Series& a, const Series& b);
+
+}  // namespace hdc::timeseries

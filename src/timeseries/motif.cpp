@@ -1,0 +1,88 @@
+#include "timeseries/motif.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "timeseries/distance.hpp"
+#include "timeseries/normalize.hpp"
+
+namespace hdc::timeseries {
+
+std::vector<Series> sliding_windows(const Series& input, std::size_t window,
+                                    std::size_t stride) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("sliding_windows: window and stride must be >= 1");
+  }
+  std::vector<Series> out;
+  if (input.size() < window) return out;
+  for (std::size_t begin = 0; begin + window <= input.size(); begin += stride) {
+    Series slice(input.begin() + static_cast<std::ptrdiff_t>(begin),
+                 input.begin() + static_cast<std::ptrdiff_t>(begin + window));
+    out.push_back(z_normalize(slice));
+  }
+  return out;
+}
+
+MotifPair find_closest_pair(const std::vector<Series>& candidates,
+                            const SaxEncoder& encoder) {
+  if (candidates.size() < 2) {
+    throw std::invalid_argument("find_closest_pair: need >= 2 candidates");
+  }
+  MotifPair best{0, 1, std::numeric_limits<double>::infinity()};
+
+  // Pass 1: pairs sharing a SAX bucket are the most promising; scan them
+  // first so the running best is tight, which lets the early-abandon
+  // inside the exact distance cut most of the remaining work. (The
+  // symbolic rotation-invariant distance cannot *prune* soundly: word
+  // rotations are coarser than sample rotations.)
+  const auto buckets = sax_buckets(candidates, encoder);
+  for (const auto& [text, members] : buckets) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        const std::size_t a = members[i];
+        const std::size_t b = members[j];
+        const double d = euclidean_rotation_invariant(candidates[a], candidates[b]);
+        if (d < best.distance) best = {a, b, d};
+      }
+    }
+  }
+
+  // Pass 2: exact full scan.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const double d = euclidean_rotation_invariant(candidates[i], candidates[j]);
+      if (d < best.distance) best = {i, j, d};
+    }
+  }
+  return best;
+}
+
+std::vector<NearestNeighbour> all_nearest_neighbours(
+    const std::vector<Series>& candidates, const SaxEncoder& encoder) {
+  if (candidates.size() < 2) {
+    throw std::invalid_argument("all_nearest_neighbours: need >= 2 candidates");
+  }
+  (void)encoder;  // ranking hints unnecessary at this scale; kept for API stability
+  std::vector<NearestNeighbour> out(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    NearestNeighbour nn{0, std::numeric_limits<double>::infinity()};
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (j == i) continue;
+      const double d = euclidean_rotation_invariant(candidates[i], candidates[j]);
+      if (d < nn.distance) nn = {j, d};
+    }
+    out[i] = nn;
+  }
+  return out;
+}
+
+std::unordered_map<std::string, std::vector<std::size_t>> sax_buckets(
+    const std::vector<Series>& candidates, const SaxEncoder& encoder) {
+  std::unordered_map<std::string, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    buckets[encoder.encode_normalized(candidates[i]).text].push_back(i);
+  }
+  return buckets;
+}
+
+}  // namespace hdc::timeseries

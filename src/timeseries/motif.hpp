@@ -1,0 +1,63 @@
+// Shape-motif tooling after Xi, Keogh, Wei & Mafra-Neto, "Finding Motifs in
+// a Database of Shapes" (paper ref [21]) — the work the authors cite as the
+// origin of their shape -> time-series -> SAX approach.
+//
+// Provides sliding-window subsequence extraction, a SAX-bucketed candidate
+// filter, and exact motif confirmation under rotation-invariant Euclidean
+// distance. The recognition core does not need motifs to classify signs, but
+// the uniqueness study (experiment T-UNIQ) and the sign-database builder use
+// them to confirm that each sign's signature is its own best match.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "timeseries/sax.hpp"
+#include "timeseries/series.hpp"
+
+namespace hdc::timeseries {
+
+/// A subsequence reference: which source series and where it starts.
+struct SubsequenceRef {
+  std::size_t series_index{0};
+  std::size_t offset{0};
+};
+
+/// Extracts all z-normalised sliding windows of `window` points
+/// (stride `stride`) from `input`.
+[[nodiscard]] std::vector<Series> sliding_windows(const Series& input,
+                                                  std::size_t window,
+                                                  std::size_t stride = 1);
+
+/// A motif: the pair of series (by index) with the smallest
+/// rotation-invariant Euclidean distance, plus that distance.
+struct MotifPair {
+  std::size_t first{0};
+  std::size_t second{0};
+  double distance{0.0};
+};
+
+/// Finds the closest pair among `candidates` (each already z-normalised and
+/// equal-length) under rotation-invariant Euclidean distance. SAX words are
+/// used to bucket candidates first so most pairs are pruned by MINDIST
+/// before the exact distance is computed. Requires >= 2 candidates.
+[[nodiscard]] MotifPair find_closest_pair(const std::vector<Series>& candidates,
+                                          const SaxEncoder& encoder);
+
+/// For every candidate, its nearest neighbour index and exact
+/// rotation-invariant distance (brute force with MINDIST pruning).
+struct NearestNeighbour {
+  std::size_t index{0};
+  double distance{0.0};
+};
+[[nodiscard]] std::vector<NearestNeighbour> all_nearest_neighbours(
+    const std::vector<Series>& candidates, const SaxEncoder& encoder);
+
+/// Groups candidate indices by identical SAX word (the ref-[21] bucketing
+/// step). Map key is the SAX text.
+[[nodiscard]] std::unordered_map<std::string, std::vector<std::size_t>> sax_buckets(
+    const std::vector<Series>& candidates, const SaxEncoder& encoder);
+
+}  // namespace hdc::timeseries

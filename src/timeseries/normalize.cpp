@@ -1,0 +1,48 @@
+#include "timeseries/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdc::timeseries {
+
+Series z_normalize(const Series& input) {
+  if (input.empty()) return {};
+  const double m = mean(input);
+  const double sd = stddev(input);
+  Series out(input.size());
+  if (sd < kFlatSeriesEpsilon) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) out[i] = (input[i] - m) / sd;
+  return out;
+}
+
+bool is_z_normalized(const Series& input, double tolerance) {
+  if (input.empty()) return true;
+  const double m = mean(input);
+  const double sd = stddev(input);
+  if (sd < kFlatSeriesEpsilon) {
+    // A flat series is acceptable only if it is the all-zero output of
+    // z_normalize itself.
+    return std::all_of(input.begin(), input.end(),
+                       [tolerance](double v) { return std::abs(v) < tolerance; });
+  }
+  return std::abs(m) < tolerance && std::abs(sd - 1.0) < tolerance;
+}
+
+Series min_max_scale(const Series& input) {
+  if (input.empty()) return {};
+  const auto [min_it, max_it] = std::minmax_element(input.begin(), input.end());
+  const double lo = *min_it;
+  const double span = *max_it - lo;
+  Series out(input.size());
+  if (span < kFlatSeriesEpsilon) {
+    std::fill(out.begin(), out.end(), 0.5);
+    return out;
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) out[i] = (input[i] - lo) / span;
+  return out;
+}
+
+}  // namespace hdc::timeseries

@@ -1,0 +1,28 @@
+// Z-normalisation — the "standardising this time series" step of the paper's
+// pipeline (Section IV). SAX's Gaussian breakpoints assume the input has
+// zero mean and unit variance, so every series is z-normalised before PAA.
+#pragma once
+
+#include "timeseries/series.hpp"
+
+namespace hdc::timeseries {
+
+/// Standard-deviation floor below which a series is treated as constant.
+/// Normalising a (near-)constant series would amplify numeric noise into
+/// arbitrary symbols; such series are mapped to all-zeros instead, the
+/// behaviour recommended in the SAX literature.
+inline constexpr double kFlatSeriesEpsilon = 1e-9;
+
+/// Returns the z-normalised copy: (x - mean) / stddev, or all zeros when the
+/// standard deviation is below kFlatSeriesEpsilon.
+[[nodiscard]] Series z_normalize(const Series& input);
+
+/// True if the series is already z-normalised within `tolerance`
+/// (|mean| < tolerance and |stddev - 1| < tolerance), or is all-zero flat.
+[[nodiscard]] bool is_z_normalized(const Series& input, double tolerance = 1e-6);
+
+/// Min-max scaling to [0, 1]; constant input maps to all 0.5. Used by the
+/// baseline recognisers, which do not assume Gaussian-distributed values.
+[[nodiscard]] Series min_max_scale(const Series& input);
+
+}  // namespace hdc::timeseries

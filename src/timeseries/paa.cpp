@@ -1,0 +1,62 @@
+#include "timeseries/paa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::timeseries {
+
+Series paa(const Series& input, std::size_t segments) {
+  if (segments == 0) throw std::invalid_argument("paa: segments must be >= 1");
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  if (segments >= n) return input;
+
+  Series out(segments, 0.0);
+  // Fractional-boundary accumulation: sample i covers the index interval
+  // [i, i+1); segment s covers [s*n/w, (s+1)*n/w). Each sample's overlap
+  // with a segment is added with proportional weight.
+  const double seg_len = static_cast<double>(n) / static_cast<double>(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const double begin = static_cast<double>(s) * seg_len;
+    const double end = static_cast<double>(s + 1) * seg_len;
+    double sum = 0.0;
+    std::size_t i = static_cast<std::size_t>(begin);
+    for (; i < n && static_cast<double>(i) < end; ++i) {
+      const double lo = std::max(begin, static_cast<double>(i));
+      const double hi = std::min(end, static_cast<double>(i + 1));
+      if (hi > lo) sum += input[i] * (hi - lo);
+    }
+    out[s] = sum / seg_len;
+  }
+  return out;
+}
+
+Series paa_expand(const Series& coefficients, std::size_t target_size) {
+  if (coefficients.empty() || target_size == 0) return {};
+  Series out(target_size);
+  const double seg_len =
+      static_cast<double>(target_size) / static_cast<double>(coefficients.size());
+  for (std::size_t i = 0; i < target_size; ++i) {
+    auto seg = static_cast<std::size_t>(static_cast<double>(i) / seg_len);
+    if (seg >= coefficients.size()) seg = coefficients.size() - 1;
+    out[i] = coefficients[seg];
+  }
+  return out;
+}
+
+double paa_distance(const Series& a, const Series& b, std::size_t original_length) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paa_distance: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  const double scale =
+      static_cast<double>(original_length) / static_cast<double>(a.size());
+  return std::sqrt(scale) * std::sqrt(sum_sq);
+}
+
+}  // namespace hdc::timeseries

@@ -1,0 +1,32 @@
+// Piecewise Aggregate Approximation (PAA) — the dimensionality-reduction
+// step of the paper's pipeline ("apply piecewise aggregation to reduce
+// dimensionality", Section IV).
+//
+// PAA divides a series of length n into w equal segments and replaces each
+// segment by its mean. When n is not divisible by w the implementation uses
+// fractional segment boundaries (each sample contributes to a segment in
+// proportion to its overlap), which keeps the transform exact for any n/w.
+#pragma once
+
+#include <cstddef>
+
+#include "timeseries/series.hpp"
+
+namespace hdc::timeseries {
+
+/// Reduces `input` (length n) to `segments` PAA coefficients.
+/// Requires segments >= 1; if segments >= n the input is returned unchanged
+/// (PAA cannot add information).
+[[nodiscard]] Series paa(const Series& input, std::size_t segments);
+
+/// Inverse transform for visualisation: expands `coefficients` back to a
+/// step function of length `target_size`.
+[[nodiscard]] Series paa_expand(const Series& coefficients, std::size_t target_size);
+
+/// Scaled Euclidean distance between two equal-length PAA vectors that
+/// lower-bounds the Euclidean distance between the original length-n series:
+///   sqrt(n / w) * sqrt(sum_i (a_i - b_i)^2).
+[[nodiscard]] double paa_distance(const Series& a, const Series& b,
+                                  std::size_t original_length);
+
+}  // namespace hdc::timeseries

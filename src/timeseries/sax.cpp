@@ -1,0 +1,170 @@
+#include "timeseries/sax.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "timeseries/normalize.hpp"
+#include "timeseries/paa.hpp"
+
+namespace hdc::timeseries {
+
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("inverse_normal_cdf: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation with one Halley refinement step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One step of Halley's method against the true CDF sharpens the tail.
+  const double e =
+      0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+std::vector<double> sax_breakpoints(std::size_t alphabet) {
+  if (alphabet < kMinAlphabet || alphabet > kMaxAlphabet) {
+    throw std::invalid_argument("sax_breakpoints: alphabet out of range");
+  }
+  std::vector<double> breakpoints(alphabet - 1);
+  for (std::size_t i = 1; i < alphabet; ++i) {
+    breakpoints[i - 1] =
+        inverse_normal_cdf(static_cast<double>(i) / static_cast<double>(alphabet));
+  }
+  return breakpoints;
+}
+
+SaxConfig::SaxConfig(std::size_t word_length, std::size_t alphabet)
+    : word_length_(word_length),
+      alphabet_(alphabet),
+      breakpoints_(sax_breakpoints(alphabet)) {
+  if (word_length == 0) throw std::invalid_argument("SaxConfig: word_length must be >= 1");
+  // Precompute the MINDIST cell table: dist(i, j) = 0 when |i - j| <= 1,
+  // otherwise beta_{max(i,j)-1} - beta_{min(i,j)}.
+  dist_table_.assign(alphabet * alphabet, 0.0);
+  for (std::size_t i = 0; i < alphabet; ++i) {
+    for (std::size_t j = 0; j < alphabet; ++j) {
+      if (i > j + 1) {
+        dist_table_[i * alphabet + j] = breakpoints_[i - 1] - breakpoints_[j];
+      } else if (j > i + 1) {
+        dist_table_[i * alphabet + j] = breakpoints_[j - 1] - breakpoints_[i];
+      }
+    }
+  }
+}
+
+std::size_t SaxConfig::symbol_index(double value) const noexcept {
+  // Linear scan is faster than binary search for alphabets <= 20.
+  std::size_t index = 0;
+  while (index < breakpoints_.size() && value >= breakpoints_[index]) ++index;
+  return index;
+}
+
+double SaxConfig::cell_distance(std::size_t i, std::size_t j) const noexcept {
+  return dist_table_[i * alphabet_ + j];
+}
+
+SaxWord SaxEncoder::encode(const Series& raw) const {
+  return encode_normalized(z_normalize(raw));
+}
+
+SaxWord SaxEncoder::encode_normalized(const Series& normalized) const {
+  SaxWord word;
+  word.source_length = normalized.size();
+  if (normalized.empty()) return word;
+  const Series coeffs = paa(normalized, config_.word_length());
+  word.text.reserve(coeffs.size());
+  for (double v : coeffs) {
+    word.text.push_back(SaxConfig::symbol_char(config_.symbol_index(v)));
+  }
+  return word;
+}
+
+double SaxEncoder::mindist(const SaxWord& a, const SaxWord& b) const {
+  if (a.text.size() != b.text.size()) {
+    throw std::invalid_argument("mindist: word length mismatch");
+  }
+  if (a.text.empty()) return 0.0;
+  if (a.source_length != b.source_length) {
+    throw std::invalid_argument("mindist: source_length mismatch");
+  }
+  double sum_sq = 0.0;
+  for (std::size_t k = 0; k < a.text.size(); ++k) {
+    const auto i = static_cast<std::size_t>(a.text[k] - 'a');
+    const auto j = static_cast<std::size_t>(b.text[k] - 'a');
+    const double d = config_.cell_distance(i, j);
+    sum_sq += d * d;
+  }
+  const double scale = static_cast<double>(a.source_length) /
+                       static_cast<double>(a.text.size());
+  return std::sqrt(scale) * std::sqrt(sum_sq);
+}
+
+double SaxEncoder::mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
+                                              std::size_t* best_shift) const {
+  if (a.text.size() != b.text.size()) {
+    throw std::invalid_argument("mindist_rotation_invariant: word length mismatch");
+  }
+  const std::size_t w = b.text.size();
+  if (w == 0) {
+    if (best_shift != nullptr) *best_shift = 0;
+    return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  SaxWord rotated = b;
+  for (std::size_t k = 0; k < w; ++k) {
+    // Build rotation k of b's text.
+    for (std::size_t i = 0; i < w; ++i) rotated.text[i] = b.text[(i + k) % w];
+    const double d = mindist(a, rotated);
+    if (d < best) {
+      best = d;
+      best_k = k;
+    }
+  }
+  if (best_shift != nullptr) *best_shift = best_k;
+  return best;
+}
+
+std::size_t SaxEncoder::hamming(const SaxWord& a, const SaxWord& b) {
+  if (a.text.size() != b.text.size()) {
+    throw std::invalid_argument("hamming: word length mismatch");
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.text.size(); ++i) {
+    if (a.text[i] != b.text[i]) ++count;
+  }
+  return count;
+}
+
+}  // namespace hdc::timeseries

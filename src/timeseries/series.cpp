@@ -1,0 +1,96 @@
+#include "timeseries/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdc::timeseries {
+
+Series resample_linear(const Series& input, std::size_t target_size) {
+  if (input.empty() || target_size == 0) return {};
+  Series out(target_size);
+  if (input.size() == 1) {
+    std::fill(out.begin(), out.end(), input.front());
+    return out;
+  }
+  if (target_size == 1) {
+    out[0] = input.front();
+    return out;
+  }
+  const double step =
+      static_cast<double>(input.size() - 1) / static_cast<double>(target_size - 1);
+  for (std::size_t i = 0; i < target_size; ++i) {
+    const double pos = static_cast<double>(i) * step;
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, input.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = input[lo] + (input[hi] - input[lo]) * frac;
+  }
+  return out;
+}
+
+Series resample_circular(const Series& input, std::size_t target_size) {
+  if (input.empty() || target_size == 0) return {};
+  Series out(target_size);
+  const double step =
+      static_cast<double>(input.size()) / static_cast<double>(target_size);
+  for (std::size_t i = 0; i < target_size; ++i) {
+    const double pos = static_cast<double>(i) * step;
+    const auto lo = static_cast<std::size_t>(pos) % input.size();
+    const std::size_t hi = (lo + 1) % input.size();
+    const double frac = pos - std::floor(pos);
+    out[i] = input[lo] + (input[hi] - input[lo]) * frac;
+  }
+  return out;
+}
+
+Series rotate_left(const Series& input, std::size_t shift) {
+  if (input.empty()) return {};
+  Series out(input.size());
+  const std::size_t n = input.size();
+  const std::size_t s = shift % n;
+  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + s) % n];
+  return out;
+}
+
+double mean(const Series& input) {
+  if (input.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : input) sum += v;
+  return sum / static_cast<double>(input.size());
+}
+
+double stddev(const Series& input) {
+  if (input.size() < 2) return 0.0;
+  const double m = mean(input);
+  double sum_sq = 0.0;
+  for (double v : input) sum_sq += (v - m) * (v - m);
+  return std::sqrt(sum_sq / static_cast<double>(input.size()));
+}
+
+Series moving_average(const Series& input, std::size_t window) {
+  if (window <= 1 || input.empty()) return input;
+  const std::size_t half = window / 2;
+  Series out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::size_t begin = i >= half ? i - half : 0;
+    const std::size_t end = std::min(input.size(), i + half + 1);
+    double sum = 0.0;
+    for (std::size_t j = begin; j < end; ++j) sum += input[j];
+    out[i] = sum / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+std::size_t argmax(const Series& input) {
+  if (input.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(input.begin(), input.end()) - input.begin());
+}
+
+std::size_t argmin(const Series& input) {
+  if (input.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::min_element(input.begin(), input.end()) - input.begin());
+}
+
+}  // namespace hdc::timeseries

@@ -1,0 +1,47 @@
+// Core time-series type and resampling helpers.
+//
+// The recognition pipeline of the paper converts a 2-D shape into a 1-D
+// series (centroid-distance signature) and then processes it with the SAX
+// tool chain. A series here is a plain vector of doubles; the functions in
+// this header provide the structural operations (resampling, rotation,
+// slicing) that the SAX layers build on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdc::timeseries {
+
+using Series = std::vector<double>;
+
+/// Resamples `input` to exactly `target_size` points by linear interpolation
+/// over the index axis. An empty input yields an empty output; a single
+/// point is replicated.
+[[nodiscard]] Series resample_linear(const Series& input, std::size_t target_size);
+
+/// Treats `input` as one period of a closed (circular) signal and resamples
+/// it to `target_size` points, interpolating across the wrap-around joint.
+/// Used for contour signatures, which are inherently periodic.
+[[nodiscard]] Series resample_circular(const Series& input, std::size_t target_size);
+
+/// Circularly rotates the series left by `shift` positions
+/// (element `shift` becomes element 0).
+[[nodiscard]] Series rotate_left(const Series& input, std::size_t shift);
+
+/// Arithmetic mean; 0 for an empty series.
+[[nodiscard]] double mean(const Series& input);
+
+/// Population standard deviation; 0 for series shorter than 2.
+[[nodiscard]] double stddev(const Series& input);
+
+/// Smooths with a centred moving average of odd window `window` (clamped at
+/// the edges). window <= 1 returns the input unchanged.
+[[nodiscard]] Series moving_average(const Series& input, std::size_t window);
+
+/// Index of the maximum element (first occurrence); 0 for empty input.
+[[nodiscard]] std::size_t argmax(const Series& input);
+
+/// Index of the minimum element (first occurrence); 0 for empty input.
+[[nodiscard]] std::size_t argmin(const Series& input);
+
+}  // namespace hdc::timeseries

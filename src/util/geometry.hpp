@@ -1,0 +1,193 @@
+// Geometry primitives shared by every HDC module: 2-D/3-D vectors, angle
+// helpers, axis-aligned boxes and small linear-algebra utilities.
+//
+// Conventions
+//  - World frame: x east, y north, z up (metres).
+//  - Image frame: u right, v down (pixels).
+//  - Headings are radians counter-clockwise from +x unless a function name
+//    says degrees.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <ostream>
+
+namespace hdc::util {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Degrees -> radians.
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * kPi / 180.0;
+}
+
+/// Radians -> degrees.
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / kPi;
+}
+
+/// Wraps an angle to [-pi, pi).
+[[nodiscard]] inline double wrap_angle(double rad) noexcept {
+  double a = std::fmod(rad + kPi, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Wraps an angle to [0, 2*pi).
+[[nodiscard]] inline double wrap_angle_positive(double rad) noexcept {
+  double a = std::fmod(rad, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+/// Smallest absolute difference between two angles, in [0, pi].
+[[nodiscard]] inline double angle_distance(double a, double b) noexcept {
+  return std::abs(wrap_angle(a - b));
+}
+
+/// Linear interpolation; t outside [0,1] extrapolates.
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Clamps x into [lo, hi].
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// 2-D vector with the usual arithmetic. Used for image-plane points,
+/// ground-plane positions and generic pairs of doubles.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  Vec2& operator+=(const Vec2& o) noexcept { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(const Vec2& o) noexcept { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(const Vec2& o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product of the two vectors lifted to z=0.
+  [[nodiscard]] constexpr double cross(const Vec2& o) const noexcept { return x * o.y - y * o.x; }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(x * x + y * y); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double distance_to(const Vec2& o) const noexcept { return (*this - o).norm(); }
+  /// Unit vector; the zero vector normalises to itself.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Angle of the vector from +x, in (-pi, pi].
+  [[nodiscard]] double angle() const noexcept { return std::atan2(y, x); }
+  /// Rotates counter-clockwise by `rad`.
+  [[nodiscard]] Vec2 rotated(double rad) const noexcept {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {x * c - y * s, x * s + y * c};
+  }
+  /// Perpendicular vector (90 degrees counter-clockwise).
+  [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+};
+
+[[nodiscard]] constexpr Vec2 operator*(double s, const Vec2& v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+/// 3-D vector: world positions (x east, y north, z up) and directions.
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const noexcept { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+  Vec3& operator+=(const Vec3& o) noexcept { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) noexcept { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) noexcept { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return x * x + y * y + z * z; }
+  [[nodiscard]] double distance_to(const Vec3& o) const noexcept { return (*this - o).norm(); }
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  /// Projection onto the ground plane (z dropped).
+  [[nodiscard]] constexpr Vec2 xy() const noexcept { return {x, y}; }
+  /// Rotates around the +z axis by `rad` (counter-clockwise seen from above).
+  [[nodiscard]] Vec3 rotated_z(double rad) const noexcept {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {x * c - y * s, x * s + y * c, z};
+  }
+};
+
+[[nodiscard]] constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Axis-aligned 2-D box; used for geofences, image ROIs and orchard plots.
+struct Box2 {
+  Vec2 min{};
+  Vec2 max{};
+
+  [[nodiscard]] constexpr bool contains(const Vec2& p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  [[nodiscard]] constexpr double width() const noexcept { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const noexcept { return max.y - min.y; }
+  [[nodiscard]] constexpr Vec2 center() const noexcept {
+    return {(min.x + max.x) * 0.5, (min.y + max.y) * 0.5};
+  }
+  /// Grows the box symmetrically by `margin` on every side.
+  [[nodiscard]] constexpr Box2 inflated(double margin) const noexcept {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+  /// Smallest box covering both operands.
+  [[nodiscard]] constexpr Box2 merged(const Box2& o) const noexcept {
+    return {{std::min(min.x, o.min.x), std::min(min.y, o.min.y)},
+            {std::max(max.x, o.max.x), std::max(max.y, o.max.y)}};
+  }
+  /// Nearest point of the box to `p` (p itself when inside).
+  [[nodiscard]] constexpr Vec2 clamp_point(const Vec2& p) const noexcept {
+    return {clamp(p.x, min.x, max.x), clamp(p.y, min.y, max.y)};
+  }
+};
+
+/// Distance from point `p` to the segment [a, b].
+[[nodiscard]] inline double point_segment_distance(const Vec2& p, const Vec2& a,
+                                                   const Vec2& b) noexcept {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq == 0.0) return p.distance_to(a);
+  const double t = clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+  return p.distance_to(a + ab * t);
+}
+
+}  // namespace hdc::util

@@ -1,0 +1,70 @@
+// Lightweight leveled logger. Deliberately minimal: a global level filter and
+// stream sink, no locking (HDC simulation is single-threaded by design; see
+// DESIGN.md), no allocation on suppressed messages.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hdc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration (set once at startup by tools/benches).
+class LogConfig {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel instance = LogLevel::kWarn;
+    return instance;
+  }
+  static std::ostream*& sink() noexcept {
+    static std::ostream* instance = &std::cerr;
+    return instance;
+  }
+};
+
+[[nodiscard]] inline const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+/// Builds one log line and emits it on destruction if the level passes.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level) {
+    enabled_ = level >= LogConfig::level() && level != LogLevel::kOff;
+    if (enabled_) stream_ << '[' << level_name(level) << "] " << component << ": ";
+  }
+  ~LogLine() {
+    if (enabled_ && LogConfig::sink() != nullptr) {
+      *LogConfig::sink() << stream_.str() << '\n';
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hdc::util
+
+#define HDC_LOG_DEBUG(component) ::hdc::util::LogLine(::hdc::util::LogLevel::kDebug, component)
+#define HDC_LOG_INFO(component) ::hdc::util::LogLine(::hdc::util::LogLevel::kInfo, component)
+#define HDC_LOG_WARN(component) ::hdc::util::LogLine(::hdc::util::LogLevel::kWarn, component)
+#define HDC_LOG_ERROR(component) ::hdc::util::LogLine(::hdc::util::LogLevel::kError, component)

@@ -1,0 +1,165 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in HDC draws from an explicitly seeded Rng so
+// that simulations, tests and benches are reproducible run-to-run. The core
+// generator is xoshiro256**, seeded through splitmix64 as its authors
+// recommend; distributions are implemented locally so results do not depend
+// on standard-library implementation details.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace hdc::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG with local distribution implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    has_cached_gaussian_ = false;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t value = next();
+    while (value >= limit) value = next();
+    return lo + static_cast<std::int64_t>(value % span);
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool chance(double probability) noexcept {
+    return uniform() < probability;
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  [[nodiscard]] double gaussian() noexcept {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean / standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential with the given mean (inverse-CDF method).
+  [[nodiscard]] double exponential(double mean) noexcept {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Poisson draw (Knuth for small means, normal approximation above 30).
+  [[nodiscard]] int poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean > 30.0) {
+      const double value = gaussian(mean, std::sqrt(mean));
+      return value < 0.0 ? 0 : static_cast<int>(value + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    int count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to `weights`.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) {
+    if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("weighted_index: zero total weight");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  [[nodiscard]] Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_{0.0};
+  bool has_cached_gaussian_{false};
+};
+
+}  // namespace hdc::util

@@ -1,0 +1,66 @@
+// Discrete simulation time. All world simulation (drone, orchard, protocol)
+// advances on a fixed-step SimClock rather than wall time so runs are exactly
+// reproducible and can execute faster than real time.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace hdc::util {
+
+/// Fixed-step simulation clock. Time is tracked in integer ticks to avoid
+/// floating-point drift over long missions; seconds are derived.
+class SimClock {
+ public:
+  explicit SimClock(double tick_seconds = 0.02) : tick_seconds_(tick_seconds) {
+    if (tick_seconds <= 0.0) {
+      throw std::invalid_argument("SimClock: tick must be positive");
+    }
+  }
+
+  void advance(std::uint64_t ticks = 1) noexcept { ticks_ += ticks; }
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(ticks_) * tick_seconds_;
+  }
+  [[nodiscard]] double tick_seconds() const noexcept { return tick_seconds_; }
+
+  /// Number of whole ticks covering `seconds` (rounded up, at least 1).
+  [[nodiscard]] std::uint64_t ticks_for(double seconds) const noexcept {
+    if (seconds <= 0.0) return 0;
+    const double exact = seconds / tick_seconds_;
+    auto whole = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(whole) < exact) ++whole;
+    return whole == 0 ? 1 : whole;
+  }
+
+ private:
+  std::uint64_t ticks_{0};
+  double tick_seconds_;
+};
+
+/// Simple countdown timer bound to simulation seconds.
+class SimTimer {
+ public:
+  SimTimer() = default;
+
+  void start(double now_seconds, double duration_seconds) noexcept {
+    deadline_ = now_seconds + duration_seconds;
+    armed_ = true;
+  }
+  void cancel() noexcept { armed_ = false; }
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] bool expired(double now_seconds) const noexcept {
+    return armed_ && now_seconds >= deadline_;
+  }
+  [[nodiscard]] double remaining(double now_seconds) const noexcept {
+    return armed_ ? (deadline_ - now_seconds) : 0.0;
+  }
+
+ private:
+  double deadline_{0.0};
+  bool armed_{false};
+};
+
+}  // namespace hdc::util

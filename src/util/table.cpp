@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdc::util {
+
+std::string ascii_plot(const std::vector<double>& values, int height, int max_width) {
+  if (values.empty() || height < 2) return "(empty series)\n";
+
+  // Downsample to at most max_width columns by bucket-averaging.
+  std::vector<double> cols;
+  const std::size_t n = values.size();
+  const std::size_t width = std::min<std::size_t>(n, static_cast<std::size_t>(max_width));
+  cols.reserve(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t begin = c * n / width;
+    const std::size_t end = std::max(begin + 1, (c + 1) * n / width);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    cols.push_back(sum / static_cast<double>(end - begin));
+  }
+
+  const auto [min_it, max_it] = std::minmax_element(cols.begin(), cols.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  const double span = (hi - lo) > 1e-12 ? (hi - lo) : 1.0;
+
+  std::string out;
+  for (int row = height - 1; row >= 0; --row) {
+    const double row_lo = lo + span * row / height;
+    for (double v : cols) {
+      out += (v >= row_lo) ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += "min=" + fmt(lo) + " max=" + fmt(hi) + " n=" + std::to_string(n) + "\n";
+  return out;
+}
+
+}  // namespace hdc::util

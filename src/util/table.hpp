@@ -1,0 +1,101 @@
+// Plain-text table and CSV writers used by the bench harnesses to print the
+// rows/series the paper reports.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hdc::util {
+
+/// Column-aligned plain-text table. Collects rows of strings and renders
+/// them with a header rule, suitable for bench stdout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+      throw std::invalid_argument("TextTable: row width != header width");
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, header_, widths);
+    std::size_t rule = 0;
+    for (std::size_t w : widths) rule += w + 2;
+    os << std::string(rule, '-') << '\n';
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+[[nodiscard]] inline std::string fmt(double value, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+/// Minimal CSV writer (RFC-4180-style quoting for commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << quoted(cells[i]);
+    }
+    out_ << '\n';
+  }
+
+ private:
+  [[nodiscard]] static std::string quoted(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted_cell = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted_cell += '"';
+      quoted_cell += ch;
+    }
+    quoted_cell += '"';
+    return quoted_cell;
+  }
+
+  std::ofstream out_;
+};
+
+/// Renders a single numeric series as a compact ASCII sparkline-style plot,
+/// one row per bucket of the value range. Used to print the Figure-4 style
+/// time-series in bench output.
+[[nodiscard]] std::string ascii_plot(const std::vector<double>& values, int height = 12,
+                                     int max_width = 100);
+
+}  // namespace hdc::util

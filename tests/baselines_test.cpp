@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/chain_code.hpp"
+#include "baselines/hu_moments.hpp"
+#include "baselines/template_match.hpp"
+#include "imaging/draw.hpp"
+#include "imaging/morphology.hpp"
+#include "signs/scene.hpp"
+
+namespace hdc::baselines {
+namespace {
+
+imaging::BinaryImage block_mask(int width, int height, int x0, int y0, int x1, int y1) {
+  imaging::BinaryImage img(width, height, imaging::kBackground);
+  imaging::fill_rect(img, x0, y0, x1, y1, imaging::kForeground);
+  return img;
+}
+
+TEST(ExtractSilhouette, IsolatesDarkSubject) {
+  imaging::GrayImage frame(100, 100, 200);
+  imaging::fill_rect(frame, 30, 30, 59, 69, 25);   // dark subject
+  imaging::fill_rect(frame, 5, 5, 7, 7, 25);       // small distractor
+  const imaging::BinaryImage mask = extract_silhouette(frame, 50);
+  EXPECT_EQ(mask(40, 50), imaging::kForeground);
+  EXPECT_EQ(mask(6, 6), imaging::kBackground);  // smaller component dropped
+}
+
+TEST(HuMoments, TranslationInvariance) {
+  const auto a = hu_moments(block_mask(100, 100, 10, 10, 29, 49));
+  const auto b = hu_moments(block_mask(100, 100, 50, 40, 69, 79));
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(a[i], b[i], 1e-12) << i;
+}
+
+TEST(HuMoments, ScaleInvariance) {
+  const auto small = hu_moments(block_mask(200, 200, 10, 10, 29, 49));  // 20x40
+  const auto large = hu_moments(block_mask(200, 200, 10, 10, 49, 89));  // 40x80
+  EXPECT_NEAR(small[0], large[0], 0.01 * std::abs(small[0]));
+  EXPECT_NEAR(small[1], large[1], 0.05 * std::abs(small[1]) + 1e-9);
+}
+
+TEST(HuMoments, RotationBy90Degrees) {
+  const auto landscape = hu_moments(block_mask(100, 100, 20, 40, 79, 59));  // 60x20
+  const auto portrait = hu_moments(block_mask(100, 100, 40, 20, 59, 79));   // 20x60
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(landscape[i], portrait[i], 0.02 * std::abs(landscape[i]) + 1e-12) << i;
+  }
+}
+
+TEST(HuMoments, EmptyMaskGivesZeros) {
+  const auto hu = hu_moments(imaging::BinaryImage(10, 10, imaging::kBackground));
+  for (double v : hu) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ChainCode, FollowsSquareDirections) {
+  imaging::BinaryImage img = block_mask(40, 40, 10, 10, 29, 29);
+  const imaging::Contour contour = imaging::trace_boundary(img);
+  const auto code = freeman_chain_code(contour);
+  ASSERT_GT(code.size(), 60u);
+  int counts[8] = {};
+  for (int d : code) ++counts[d];
+  // E (0), N (2), W (4), S (6) dominate a rectangle boundary.
+  EXPECT_GT(counts[0], 15);
+  EXPECT_GT(counts[2], 15);
+  EXPECT_GT(counts[4], 15);
+  EXPECT_GT(counts[6], 15);
+}
+
+TEST(ChainCode, CurvatureHistogramNormalised) {
+  imaging::BinaryImage img = block_mask(40, 40, 10, 10, 29, 29);
+  const auto code = freeman_chain_code(imaging::trace_boundary(img));
+  const auto histogram = curvature_histogram(code);
+  double sum = 0.0;
+  for (double v : histogram) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // A mostly-straight boundary concentrates mass at delta 0.
+  EXPECT_GT(histogram[0], 0.8);
+}
+
+TEST(ChainCode, CurvatureRotationInvariance) {
+  imaging::BinaryImage a = block_mask(60, 60, 10, 20, 49, 39);
+  imaging::BinaryImage b = block_mask(60, 60, 20, 10, 39, 49);
+  const auto ha = curvature_histogram(freeman_chain_code(imaging::trace_boundary(a)));
+  const auto hb = curvature_histogram(freeman_chain_code(imaging::trace_boundary(b)));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(ha[i], hb[i], 0.02) << i;
+}
+
+TEST(TemplateGrid, SelfSimilarityAndCrop) {
+  imaging::BinaryImage img = block_mask(100, 100, 20, 30, 59, 69);
+  const auto grid = normalized_grid(img);
+  ASSERT_EQ(grid.size(), static_cast<std::size_t>(kTemplateGrid) * kTemplateGrid);
+  double sum = 0.0;
+  for (double v : grid) sum += v;
+  // A solid block crops to its bounding box -> (almost) full grid.
+  EXPECT_NEAR(sum, static_cast<double>(grid.size()), grid.size() * 0.02);
+  const auto empty = normalized_grid(imaging::BinaryImage(10, 10, imaging::kBackground));
+  for (double v : empty) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+/// All three baselines classify canonical renders correctly; robustness
+/// differences only appear off-canonical (bench ABL-2 quantifies them).
+class BaselineCanonical : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineCanonical, ClassifiesCanonicalViews) {
+  std::unique_ptr<BaselineRecognizer> recognizer;
+  switch (GetParam()) {
+    case 0: recognizer = std::make_unique<HuMomentsRecognizer>(); break;
+    case 1: recognizer = std::make_unique<ChainCodeRecognizer>(); break;
+    default: recognizer = std::make_unique<TemplateMatchRecognizer>(); break;
+  }
+  const signs::ViewGeometry canonical{3.5, 3.0, 0.0};
+  recognizer->train(canonical, signs::RenderOptions{});
+  for (const signs::HumanSign sign : signs::kAllSigns) {
+    const auto frame = signs::render_sign(sign, canonical, signs::RenderOptions{});
+    const BaselineResult result = recognizer->classify(frame);
+    EXPECT_TRUE(result.valid) << recognizer->name();
+    EXPECT_EQ(result.sign, sign)
+        << recognizer->name() << " misclassified " << signs::to_string(sign);
+    EXPECT_NEAR(result.distance, 0.0, 1e-6) << recognizer->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineCanonical, ::testing::Values(0, 1, 2));
+
+TEST(Baselines, EmptyFrameIsInvalid) {
+  const imaging::GrayImage blank(480, 360, 200);
+  HuMomentsRecognizer hu;
+  hu.train({3.5, 3.0, 0.0}, signs::RenderOptions{});
+  EXPECT_FALSE(hu.classify(blank).valid);
+
+  TemplateMatchRecognizer tm;
+  tm.train({3.5, 3.0, 0.0}, signs::RenderOptions{});
+  EXPECT_FALSE(tm.classify(blank).valid);
+
+  ChainCodeRecognizer cc;
+  cc.train({3.5, 3.0, 0.0}, signs::RenderOptions{});
+  EXPECT_FALSE(cc.classify(blank).valid);
+}
+
+TEST(Baselines, NamesAreDistinct) {
+  EXPECT_NE(HuMomentsRecognizer{}.name(), ChainCodeRecognizer{}.name());
+  EXPECT_NE(ChainCodeRecognizer{}.name(), TemplateMatchRecognizer{}.name());
+}
+
+}  // namespace
+}  // namespace hdc::baselines

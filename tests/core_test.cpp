@@ -1,0 +1,119 @@
+#include "core/hdc_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "signs/sign_poses.hpp"
+
+namespace hdc::core {
+namespace {
+
+TEST(ViewGeometry, AltitudeAndDistance) {
+  PerceptionScene scene;
+  scene.drone_position = {3.0, 4.0, 5.0};
+  scene.human_position = {0.0, 0.0};
+  scene.human_facing_rad = 0.0;
+  const signs::ViewGeometry view = view_geometry_from(scene);
+  EXPECT_DOUBLE_EQ(view.altitude_m, 5.0);
+  EXPECT_DOUBLE_EQ(view.distance_m, 5.0);  // 3-4-5 triangle
+}
+
+TEST(ViewGeometry, RelativeAzimuthQuadrants) {
+  PerceptionScene scene;
+  scene.human_position = {0.0, 0.0};
+  scene.human_facing_rad = hdc::util::kPi / 2.0;  // facing +y (north)
+
+  scene.drone_position = {0.0, 3.0, 2.0};  // due north of the human
+  EXPECT_NEAR(view_geometry_from(scene).relative_azimuth_deg, 0.0, 1e-9);
+
+  scene.drone_position = {3.0, 0.0, 2.0};  // due east
+  EXPECT_NEAR(view_geometry_from(scene).relative_azimuth_deg, -90.0, 1e-9);
+
+  scene.drone_position = {-3.0, 0.0, 2.0};  // due west
+  EXPECT_NEAR(view_geometry_from(scene).relative_azimuth_deg, 90.0, 1e-9);
+
+  scene.drone_position = {0.0, -3.0, 2.0};  // behind
+  EXPECT_NEAR(std::abs(view_geometry_from(scene).relative_azimuth_deg), 180.0, 1e-9);
+}
+
+TEST(HdcSystem, RecognisesRenderedFrame) {
+  const HdcSystem system;
+  const auto frame = signs::render_sign(
+      signs::HumanSign::kYes, system.config().database.canonical_view,
+      system.config().camera);
+  const auto result = system.recognize(frame);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.sign, signs::HumanSign::kYes);
+}
+
+TEST(HdcSystem, PerceiveRendersAndRecognises) {
+  const HdcSystem system;
+  PerceptionScene scene;
+  scene.human_position = {0.0, 0.0};
+  scene.human_facing_rad = hdc::util::kPi / 2.0;
+  scene.drone_position = {0.0, 3.0, 3.5};  // canonical-ish: head-on at 3.5 m
+  const auto result =
+      system.perceive(scene, signs::canonical_pose(signs::HumanSign::kNo));
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.sign, signs::HumanSign::kNo);
+}
+
+TEST(HdcSystem, PerceiveRejectsInDeadAngle) {
+  const HdcSystem system;
+  PerceptionScene scene;
+  scene.human_position = {0.0, 0.0};
+  scene.human_facing_rad = hdc::util::kPi / 2.0;
+  // 80 degrees off the facing direction: inside the dead angle.
+  const double az = hdc::util::deg_to_rad(80.0);
+  scene.drone_position = {3.0 * std::sin(az), 3.0 * std::cos(az), 3.5};
+  const auto result =
+      system.perceive(scene, signs::canonical_pose(signs::HumanSign::kNo));
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST(HdcSystem, DatabaseRenderMatchesCamera) {
+  HdcConfig config;
+  config.camera.width = 320;
+  config.camera.height = 240;
+  const HdcSystem system(config);
+  // The database must have been built with the camera's raster.
+  EXPECT_EQ(system.config().database.render.width, 320);
+  EXPECT_EQ(system.config().database.render.height, 240);
+}
+
+TEST(CameraSignChannel, SensesDisplayedSign) {
+  const HdcSystem system;
+  CameraSignChannel channel(system, 99);
+  channel.set_context({{0.0, 3.0, 3.5}, {0.0, 0.0}, hdc::util::kPi / 2.0});
+  const auto sensed = channel.sense(signs::HumanSign::kYes);
+  ASSERT_TRUE(sensed.has_value());
+  EXPECT_EQ(*sensed, signs::HumanSign::kYes);
+  EXPECT_EQ(channel.frames(), 1u);
+}
+
+TEST(CameraSignChannel, NeutralSensesNothing) {
+  const HdcSystem system;
+  CameraSignChannel channel(system, 99);
+  channel.set_context({{0.0, 3.0, 3.5}, {0.0, 0.0}, hdc::util::kPi / 2.0});
+  EXPECT_FALSE(channel.sense(signs::HumanSign::kNeutral).has_value());
+}
+
+TEST(CameraSignChannel, PoseSamplerInjectsJitter) {
+  const HdcSystem system;
+  CameraSignChannel channel(system, 7);
+  channel.set_context({{0.0, 3.0, 3.5}, {0.0, 0.0}, hdc::util::kPi / 2.0});
+  hdc::util::Rng rng(5);
+  channel.set_pose_sampler([&rng](signs::HumanSign sign) {
+    return signs::sample_pose(sign, signs::worker_jitter(), rng);
+  });
+  // With worker-level jitter most frames still recognise.
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (channel.sense(signs::HumanSign::kYes).has_value()) ++accepted;
+  }
+  EXPECT_GE(accepted, 14);
+}
+
+TEST(Version, IsSet) { EXPECT_STRNE(kVersion, ""); }
+
+}  // namespace
+}  // namespace hdc::core

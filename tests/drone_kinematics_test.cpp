@@ -1,0 +1,151 @@
+#include "drone/kinematics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drone/battery.hpp"
+
+namespace hdc::drone {
+namespace {
+
+TEST(Kinematics, AccelerationLimited) {
+  DroneLimits limits;
+  limits.max_acceleration = 2.0;
+  DroneKinematics kin(limits);
+  kin.step(0.1, {100.0, 0.0, 0.0});
+  EXPECT_LE(kin.state().velocity.norm(), 2.0 * 0.1 + 1e-9);
+}
+
+TEST(Kinematics, SpeedClampedToEnvelope) {
+  DroneLimits limits;
+  limits.max_horizontal_speed = 5.0;
+  limits.max_vertical_speed = 2.0;
+  DroneKinematics kin(limits);
+  for (int i = 0; i < 400; ++i) kin.step(0.05, {100.0, 0.0, 50.0});
+  EXPECT_LE(kin.state().velocity.xy().norm(), 5.0 + 1e-9);
+  EXPECT_LE(kin.state().velocity.z, 2.0 + 1e-9);
+}
+
+TEST(Kinematics, GroundClampStopsDescent) {
+  DroneKinematics kin;
+  kin.mutable_state().position = {0.0, 0.0, 0.3};
+  for (int i = 0; i < 100; ++i) kin.step(0.05, {0.0, 0.0, -3.0});
+  EXPECT_DOUBLE_EQ(kin.state().position.z, 0.0);
+  EXPECT_GE(kin.state().velocity.z, 0.0);
+}
+
+TEST(Kinematics, WaypointControllerConverges) {
+  DroneKinematics kin;
+  const Vec3 target{4.0, -3.0, 2.5};
+  for (int i = 0; i < 2000 && !kin.reached(target); ++i) {
+    kin.step(0.02, kin.velocity_command_to(target));
+  }
+  EXPECT_TRUE(kin.reached(target));
+}
+
+TEST(Kinematics, SpeedScaleSlowsApproach) {
+  DroneKinematics fast, slow;
+  const Vec3 target{10.0, 0.0, 2.0};
+  int fast_ticks = 0, slow_ticks = 0;
+  while (!fast.reached(target) && fast_ticks < 5000) {
+    fast.step(0.02, fast.velocity_command_to(target, 1.0));
+    ++fast_ticks;
+  }
+  while (!slow.reached(target) && slow_ticks < 5000) {
+    slow.step(0.02, slow.velocity_command_to(target, 0.3));
+    ++slow_ticks;
+  }
+  EXPECT_LT(fast_ticks, slow_ticks);
+}
+
+TEST(Kinematics, ZeroDtIsNoOp) {
+  DroneKinematics kin;
+  kin.mutable_state().position = {1.0, 2.0, 3.0};
+  const Vec3 before = kin.state().position;
+  kin.step(0.0, {5.0, 5.0, 5.0});
+  EXPECT_EQ(kin.state().position, before);
+}
+
+TEST(Kinematics, CourseFollowsVelocity) {
+  DroneKinematics kin;
+  for (int i = 0; i < 100; ++i) kin.step(0.05, {1.0, 1.0, 0.0});
+  EXPECT_NEAR(kin.state().course(), hdc::util::kPi / 4.0, 0.05);
+  EXPECT_GT(kin.state().ground_speed(), 0.5);
+}
+
+TEST(Wind, OrnsteinUhlenbeckStaysBounded) {
+  WindModel wind(2.0, 1.0, 99);
+  double max_speed = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const Vec3 w = wind.step(0.02);
+    max_speed = std::max(max_speed, w.norm());
+    EXPECT_DOUBLE_EQ(w.z, 0.0);
+  }
+  EXPECT_LT(max_speed, 12.0);  // mean reversion keeps gusts sane
+  EXPECT_GT(max_speed, 1.0);
+}
+
+TEST(Wind, DeterministicPerSeed) {
+  WindModel a(1.0, 0.5, 7), b(1.0, 0.5, 7);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 wa = a.step(0.05);
+    const Vec3 wb = b.step(0.05);
+    EXPECT_DOUBLE_EQ(wa.x, wb.x);
+    EXPECT_DOUBLE_EQ(wa.y, wb.y);
+  }
+}
+
+TEST(Wind, DisturbsTrajectory) {
+  DroneKinematics calm, gusty;
+  WindModel wind(3.0, 2.0, 5);
+  for (int i = 0; i < 200; ++i) {
+    calm.step(0.05, {0.0, 1.0, 0.0});
+    gusty.step(0.05, {0.0, 1.0, 0.0}, wind.step(0.05));
+  }
+  EXPECT_GT(calm.state().position.distance_to(gusty.state().position), 0.5);
+}
+
+TEST(Battery, DrainAndReserve) {
+  BatteryParams params;
+  params.capacity_wh = 1.0;  // tiny pack so thresholds trip quickly
+  params.hover_power_w = 360.0;
+  params.avionics_power_w = 0.0;
+  params.reserve_fraction = 0.5;
+  Battery battery(params);
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 1.0);
+  EXPECT_FALSE(battery.reserve_reached());
+  battery.drain(5.0, true, 0.0);  // 360 W * 5 s = 0.5 Wh
+  EXPECT_NEAR(battery.state_of_charge(), 0.5, 0.01);
+  EXPECT_TRUE(battery.reserve_reached());
+  battery.drain(3600.0, true, 10.0);
+  EXPECT_TRUE(battery.empty());
+  EXPECT_DOUBLE_EQ(battery.energy_wh(), 0.0);
+}
+
+TEST(Battery, RotorsOffDrawsOnlyAvionics) {
+  Battery a, b;
+  a.drain(3600.0, false, 0.0);
+  b.drain(3600.0, true, 0.0);
+  EXPECT_GT(a.energy_wh(), b.energy_wh());
+}
+
+TEST(Battery, SpeedIncreasesDraw) {
+  Battery slow, fast;
+  slow.drain(600.0, true, 0.0);
+  fast.drain(600.0, true, 8.0);
+  EXPECT_GT(slow.energy_wh(), fast.energy_wh());
+}
+
+TEST(LedPower, InverseSquareVisibility) {
+  const LedPowerModel model;
+  const double near = model.illuminance_at(10.0, 0.5);
+  const double far = model.illuminance_at(20.0, 0.5);
+  EXPECT_NEAR(near / far, 4.0, 1e-9);
+  EXPECT_GT(model.visibility_range(1.0, 1000.0), model.visibility_range(0.2, 1000.0));
+  EXPECT_GT(model.visibility_range(0.5, 10.0), model.visibility_range(0.5, 10000.0));
+  EXPECT_DOUBLE_EQ(model.illuminance_at(0.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace hdc::drone

@@ -1,0 +1,200 @@
+#include "drone/led_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "drone/vertical_array.hpp"
+#include "util/geometry.hpp"
+
+namespace hdc::drone {
+namespace {
+
+using hdc::util::deg_to_rad;
+
+TEST(LedRing, BootsInDangerAllRed) {
+  // The paper's fail-safe default: all-red until proven healthy.
+  const LedRing ring;
+  EXPECT_EQ(ring.mode(), RingMode::kDanger);
+  for (const LedColor led : ring.leds()) EXPECT_EQ(led, LedColor::kRed);
+}
+
+TEST(LedRing, DangerAndAllGreenAndOff) {
+  LedRing ring;
+  ring.set_mode(RingMode::kAllGreen);
+  for (const LedColor led : ring.leds()) EXPECT_EQ(led, LedColor::kGreen);
+  ring.set_mode(RingMode::kOff);
+  for (const LedColor led : ring.leds()) EXPECT_EQ(led, LedColor::kOff);
+  ring.set_mode(RingMode::kDanger);
+  for (const LedColor led : ring.leds()) EXPECT_EQ(led, LedColor::kRed);
+}
+
+TEST(LedRing, NavigationSectorColors) {
+  // Relative bearing 0 = dead ahead -> within the port sector boundary
+  // (0 is shared; the implementation assigns red at exactly 0).
+  EXPECT_EQ(LedRing::navigation_color(deg_to_rad(30.0)), LedColor::kRed);     // port
+  EXPECT_EQ(LedRing::navigation_color(deg_to_rad(-30.0)), LedColor::kGreen);  // starboard
+  EXPECT_EQ(LedRing::navigation_color(deg_to_rad(170.0)), LedColor::kWhite);  // aft
+  EXPECT_EQ(LedRing::navigation_color(deg_to_rad(-170.0)), LedColor::kWhite);
+  EXPECT_EQ(LedRing::navigation_color(deg_to_rad(109.0)), LedColor::kRed);
+  EXPECT_EQ(LedRing::navigation_color(deg_to_rad(111.0)), LedColor::kWhite);
+}
+
+TEST(LedRing, SectorPartitionIsComplete) {
+  // Every bearing maps to exactly one of the three navigation colours.
+  for (int deg = -180; deg <= 180; ++deg) {
+    const LedColor color = LedRing::navigation_color(deg_to_rad(deg));
+    EXPECT_TRUE(color == LedColor::kRed || color == LedColor::kGreen ||
+                color == LedColor::kWhite)
+        << "bearing " << deg;
+  }
+}
+
+TEST(LedRing, NavigationFollowsCourse) {
+  LedRing ring;
+  ring.set_mode(RingMode::kNavigation);
+  ring.set_course(0.0);  // flying east (+x)
+  const auto east = ring.leds();
+  // LED 0 points east = dead ahead -> port boundary red; the LED at
+  // azimuth 180 deg (index 5) points aft -> white.
+  EXPECT_EQ(east[0], LedColor::kRed);
+  EXPECT_EQ(east[5], LedColor::kWhite);
+  // LEDs just left of course (counter-clockwise, small positive azimuth)
+  // are port/red; just right are starboard/green.
+  EXPECT_EQ(east[1], LedColor::kRed);    // azimuth 36 deg
+  EXPECT_EQ(east[9], LedColor::kGreen);  // azimuth -36 deg
+
+  // Rotating the course rotates the display with it.
+  ring.set_course(deg_to_rad(72.0));  // two LED pitches
+  const auto rotated = ring.leds();
+  for (std::size_t i = 0; i < LedRing::kLedCount; ++i) {
+    EXPECT_EQ(rotated[(i + 2) % LedRing::kLedCount], east[i]) << i;
+  }
+}
+
+TEST(LedRing, NavigationSectorCounts) {
+  // With 110-deg side sectors and 10 LEDs: 3-4 red, 3-4 green, 2-4 white.
+  LedRing ring;
+  ring.set_mode(RingMode::kNavigation);
+  for (int course_deg = 0; course_deg < 360; course_deg += 15) {
+    ring.set_course(deg_to_rad(course_deg));
+    int red = 0, green = 0, white = 0;
+    for (const LedColor led : ring.leds()) {
+      if (led == LedColor::kRed) ++red;
+      if (led == LedColor::kGreen) ++green;
+      if (led == LedColor::kWhite) ++white;
+    }
+    EXPECT_EQ(red + green + white, 10) << course_deg;
+    EXPECT_GE(red, 3) << course_deg;
+    EXPECT_LE(red, 4) << course_deg;
+    EXPECT_GE(green, 3) << course_deg;
+    EXPECT_LE(green, 4) << course_deg;
+    EXPECT_GE(white, 2) << course_deg;
+    EXPECT_LE(white, 4) << course_deg;
+  }
+}
+
+TEST(LedRing, TakeoffLandingPalettesAnimate) {
+  LedRing ring;
+  ring.set_mode(RingMode::kTakeoff);
+  int green = 0, white = 0;
+  for (const LedColor led : ring.leds()) {
+    if (led == LedColor::kGreen) ++green;
+    if (led == LedColor::kWhite) ++white;
+  }
+  EXPECT_EQ(green, 9);
+  EXPECT_EQ(white, 1);
+  // The white head moves as the animation clock advances.
+  const auto before = ring.leds();
+  ring.tick(0.35);
+  const auto after = ring.leds();
+  EXPECT_NE(before, after);
+
+  ring.set_mode(RingMode::kLanding);
+  int amber = 0;
+  for (const LedColor led : ring.leds()) {
+    if (led == LedColor::kAmber) ++amber;
+  }
+  EXPECT_EQ(amber, 9);
+}
+
+TEST(LedRing, ToLineRendersTenSymbols) {
+  LedRing ring;
+  const std::string line = ring.to_line();
+  // 10 symbols + 9 separators.
+  EXPECT_EQ(line.size(), 19u);
+  EXPECT_EQ(line, "R R R R R R R R R R");
+}
+
+TEST(LedRing, LedAzimuthSpacing) {
+  EXPECT_DOUBLE_EQ(LedRing::led_azimuth(0), 0.0);
+  EXPECT_NEAR(LedRing::led_azimuth(5), hdc::util::kPi, 1e-12);
+  EXPECT_NEAR(LedRing::led_azimuth(1), hdc::util::kTwoPi / 10.0, 1e-12);
+}
+
+TEST(ColorNames, Strings) {
+  EXPECT_STREQ(to_string(LedColor::kRed), "red");
+  EXPECT_STREQ(to_string(RingMode::kNavigation), "Navigation");
+}
+
+// ------------------------------------------------- vertical array --------
+
+TEST(VerticalArray, OffByDefault) {
+  const VerticalLedArray array;
+  for (bool lit : array.states()) EXPECT_FALSE(lit);
+}
+
+TEST(VerticalArray, TakeoffSweepsBottomToTop) {
+  VerticalLedArray array;
+  array.set_animation(VerticalLedArray::Animation::kTakeoff);
+  std::vector<std::size_t> sequence;
+  for (int i = 0; i < 12; ++i) {
+    const auto states = array.states();
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (states[j]) sequence.push_back(j);
+    }
+    array.tick(1.0 / (1.5 * VerticalLedArray::kLedCount));
+  }
+  // The lit index is non-decreasing within one sweep period.
+  bool saw_increase = false;
+  for (std::size_t i = 1; i < sequence.size(); ++i) {
+    if (sequence[i] > sequence[i - 1]) saw_increase = true;
+  }
+  EXPECT_TRUE(saw_increase);
+  EXPECT_EQ(sequence.front(), 0u);  // starts at the bottom
+}
+
+TEST(VerticalArray, LandingSweepsTopToBottom) {
+  VerticalLedArray array;
+  array.set_animation(VerticalLedArray::Animation::kLanding);
+  const auto states = array.states();
+  EXPECT_TRUE(states[VerticalLedArray::kLedCount - 1]);  // starts at the top
+}
+
+TEST(VerticalArray, TakeoffAndLandingAreMirrorImages) {
+  // The property the paper's user study flagged: at any instant the two
+  // animations differ only by a flip — visually hard to tell apart, which
+  // is why the component is deprecated.
+  VerticalLedArray up, down;
+  up.set_animation(VerticalLedArray::Animation::kTakeoff);
+  down.set_animation(VerticalLedArray::Animation::kLanding);
+  for (int i = 0; i < 10; ++i) {
+    const auto u = up.states();
+    const auto d = down.states();
+    for (std::size_t j = 0; j < u.size(); ++j) {
+      EXPECT_EQ(u[j], d[u.size() - 1 - j]);
+    }
+    up.tick(0.123);
+    down.tick(0.123);
+  }
+}
+
+TEST(VerticalArray, ToLineFormat) {
+  VerticalLedArray array;
+  array.set_animation(VerticalLedArray::Animation::kTakeoff);
+  const std::string line = array.to_line();
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line.back(), ']');
+  EXPECT_NE(line.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdc::drone

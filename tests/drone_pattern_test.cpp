@@ -1,0 +1,175 @@
+#include "drone/flight_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drone/kinematics.hpp"
+
+namespace hdc::drone {
+namespace {
+
+using hdc::util::Vec2;
+
+/// Flies `pattern` on fresh kinematics starting at `origin`, returning the
+/// recorded trajectory (positions sampled every tick).
+Trajectory fly(const FlightPattern& pattern, const Vec3& origin,
+               double wind_gusts = 0.0, std::uint64_t seed = 1) {
+  DroneKinematics kin;
+  kin.mutable_state().position = origin;
+  PatternExecutor executor(pattern);
+  WindModel wind(0.0, wind_gusts, seed);
+  Trajectory trajectory;
+  double t = 0.0;
+  trajectory.push_back({t, origin});
+  while (!executor.finished() && t < 240.0) {
+    executor.step(kin, 0.02, wind_gusts > 0.0 ? wind.step(0.02) : Vec3{});
+    t += 0.02;
+    trajectory.push_back({t, kin.state().position});
+  }
+  return trajectory;
+}
+
+TEST(MakePattern, TakeOffGoesStraightUp) {
+  const auto pattern = make_pattern(PatternType::kTakeOff, {1.0, 2.0, 0.0}, {0.0, 1.0});
+  ASSERT_EQ(pattern.waypoints.size(), 1u);
+  EXPECT_DOUBLE_EQ(pattern.waypoints[0].position.x, 1.0);
+  EXPECT_DOUBLE_EQ(pattern.waypoints[0].position.y, 2.0);
+  EXPECT_DOUBLE_EQ(pattern.waypoints[0].position.z, PatternParams{}.flight_altitude);
+}
+
+TEST(MakePattern, LandingDescendsToGround) {
+  const auto pattern =
+      make_pattern(PatternType::kLanding, {3.0, 4.0, 5.0}, {0.0, 1.0});
+  ASSERT_EQ(pattern.waypoints.size(), 1u);
+  EXPECT_DOUBLE_EQ(pattern.waypoints[0].position.z, 0.0);
+}
+
+TEST(MakePattern, RectangleIsClosedLoop) {
+  const Vec3 origin{0.0, 0.0, 2.2};
+  const auto pattern =
+      make_pattern(PatternType::kRectangleRequest, origin, {0.0, 1.0});
+  ASSERT_EQ(pattern.waypoints.size(), 5u);
+  EXPECT_EQ(pattern.waypoints.back().position, origin);
+  // All waypoints at the same altitude.
+  for (const auto& wp : pattern.waypoints) {
+    EXPECT_DOUBLE_EQ(wp.position.z, origin.z);
+  }
+}
+
+TEST(MakePattern, CommunicativePatternsAreSlow) {
+  const auto poke = make_pattern(PatternType::kPoke, {0, 0, 2.2}, {1.0, 0.0});
+  const auto nod = make_pattern(PatternType::kNodYes, {0, 0, 2.2}, {1.0, 0.0});
+  for (const auto& wp : nod.waypoints) EXPECT_LT(wp.speed_scale, 1.0);
+  for (const auto& wp : poke.waypoints) EXPECT_LT(wp.speed_scale, 1.0);
+}
+
+TEST(MakePattern, PokeAdvancesTowardFacing) {
+  const auto pattern = make_pattern(PatternType::kPoke, {0, 0, 2.2}, {1.0, 0.0});
+  ASSERT_GE(pattern.waypoints.size(), 2u);
+  EXPECT_GT(pattern.waypoints[0].position.x, 0.1);  // darts toward +x
+  EXPECT_NEAR(pattern.waypoints[0].position.y, 0.0, 1e-9);
+}
+
+TEST(MakePattern, TurnNoShakesPerpendicularToFacing) {
+  const auto pattern = make_pattern(PatternType::kTurnNo, {0, 0, 2.2}, {1.0, 0.0});
+  // Facing +x -> shake along +/-y.
+  EXPECT_NEAR(pattern.waypoints[0].position.x, 0.0, 1e-9);
+  EXPECT_GT(std::abs(pattern.waypoints[0].position.y), 0.3);
+}
+
+TEST(Executor, CompletesEveryPattern) {
+  const Vec3 comm_origin{0.0, 0.0, 2.2};
+  for (const PatternType type : kAllPatterns) {
+    const Vec3 origin =
+        type == PatternType::kTakeOff ? Vec3{0.0, 0.0, 0.0} : comm_origin;
+    const auto pattern =
+        make_pattern(type, origin, {0.0, 1.0}, PatternParams{}, {5.0, 5.0, 0.0});
+    const Trajectory trajectory = fly(pattern, origin);
+    EXPECT_LT(trajectory.back().t, 239.0) << to_string(type) << " did not finish";
+    EXPECT_GT(trajectory.size(), 10u) << to_string(type);
+  }
+}
+
+TEST(Features, LandingStartsAirborneEndsGrounded) {
+  const auto pattern = make_pattern(PatternType::kLanding, {0, 0, 5.0}, {0.0, 1.0});
+  const TrajectoryFeatures f = extract_features(fly(pattern, {0, 0, 5.0}));
+  EXPECT_FALSE(f.starts_on_ground);
+  EXPECT_TRUE(f.ends_on_ground);
+  EXPECT_NEAR(f.vertical_range, 5.0, 0.4);
+  EXPECT_LT(f.horizontal_range, 0.3);
+}
+
+TEST(Features, NodYesHasVerticalReversals) {
+  const auto pattern = make_pattern(PatternType::kNodYes, {0, 0, 2.2}, {0.0, 1.0});
+  const TrajectoryFeatures f = extract_features(fly(pattern, {0, 0, 2.2}));
+  EXPECT_GE(f.vertical_reversals, 3);
+  EXPECT_LT(f.horizontal_range, 0.3);
+}
+
+TEST(Features, EmptyTrajectoryIsZero) {
+  const TrajectoryFeatures f = extract_features({});
+  EXPECT_EQ(f.vertical_reversals, 0);
+  EXPECT_DOUBLE_EQ(f.path_length, 0.0);
+}
+
+/// The paper's "unmistakable embodied statement" requirement: every pattern
+/// flown cleanly classifies back to its own type.
+class PatternRoundTrip : public ::testing::TestWithParam<PatternType> {};
+
+TEST_P(PatternRoundTrip, ClassifiesAsItself) {
+  const PatternType type = GetParam();
+  const Vec3 origin =
+      type == PatternType::kTakeOff ? Vec3{0.0, 0.0, 0.0} : Vec3{0.0, 0.0, 2.2};
+  const auto pattern =
+      make_pattern(type, origin, {0.0, 1.0}, PatternParams{}, {6.0, 2.0, 0.0});
+  const Trajectory trajectory = fly(pattern, origin);
+  const PatternClassification result = classify_trajectory(trajectory);
+  EXPECT_EQ(result.type, type) << "classified as " << to_string(result.type);
+  EXPECT_GT(result.confidence, 0.15) << to_string(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternRoundTrip,
+                         ::testing::ValuesIn(kAllPatterns),
+                         [](const ::testing::TestParamInfo<PatternType>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(PatternRoundTripWindy, CommunicativePatternsSurviveModerateGusts) {
+  // Failure injection: moderate wind must not flip the classification of
+  // the communicative patterns (the paper: patterns "only vary if the
+  // drone is somehow defective or, for instance, caught in wind gusts").
+  int correct = 0;
+  const PatternType types[] = {PatternType::kNodYes, PatternType::kTurnNo,
+                               PatternType::kRectangleRequest};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const PatternType type : types) {
+      const Vec3 origin{0.0, 0.0, 2.2};
+      const auto pattern = make_pattern(type, origin, {0.0, 1.0});
+      const Trajectory trajectory = fly(pattern, origin, 0.4, seed);
+      if (classify_trajectory(trajectory).type == type) ++correct;
+    }
+  }
+  EXPECT_GE(correct, 12);  // >= 80% under gusts
+}
+
+TEST(Executor, EmptyPatternFinishesImmediately) {
+  PatternExecutor executor;
+  DroneKinematics kin;
+  EXPECT_TRUE(executor.finished());
+  EXPECT_FALSE(executor.step(kin, 0.02));
+}
+
+TEST(Executor, ReportsProgress) {
+  const auto pattern = make_pattern(PatternType::kNodYes, {0, 0, 2.2}, {0.0, 1.0});
+  PatternExecutor executor(pattern);
+  DroneKinematics kin;
+  kin.mutable_state().position = {0, 0, 2.2};
+  EXPECT_EQ(executor.next_waypoint(), 0u);
+  for (int i = 0; i < 500 && !executor.finished(); ++i) executor.step(kin, 0.02);
+  EXPECT_TRUE(executor.finished());
+  EXPECT_EQ(executor.next_waypoint(), pattern.waypoints.size());
+}
+
+}  // namespace
+}  // namespace hdc::drone

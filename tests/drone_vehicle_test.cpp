@@ -1,0 +1,187 @@
+#include "drone/drone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::drone {
+namespace {
+
+void settle(Drone& drone, double seconds,
+            const std::vector<hdc::util::Vec2>& humans = {}) {
+  const double dt = 0.02;
+  for (double t = 0.0; t < seconds; t += dt) drone.step(dt, humans);
+}
+
+void fly_until_pattern_done(Drone& drone, double max_seconds = 60.0,
+                            const std::vector<hdc::util::Vec2>& humans = {}) {
+  const double dt = 0.02;
+  for (double t = 0.0; t < max_seconds && drone.pattern_active(); t += dt) {
+    drone.step(dt, humans);
+  }
+}
+
+TEST(Drone, BootsParkedAllRed) {
+  Drone drone;
+  EXPECT_EQ(drone.phase(), DronePhase::kParked);
+  EXPECT_FALSE(drone.rotors_on());
+  EXPECT_EQ(drone.safety().cause(), SafetyCause::kStartupCheck);
+  drone.step(0.02);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kDanger);
+}
+
+TEST(Drone, PreflightThenTakeoffReachesAltitude) {
+  Drone drone;
+  drone.preflight_complete();
+  EXPECT_TRUE(drone.command_pattern(PatternType::kTakeOff));
+  EXPECT_TRUE(drone.rotors_on());
+  EXPECT_EQ(drone.phase(), DronePhase::kTakingOff);
+  fly_until_pattern_done(drone);
+  EXPECT_NEAR(drone.state().position.z, drone.config().pattern_params.flight_altitude,
+              0.3);
+  EXPECT_EQ(drone.phase(), DronePhase::kHover);
+}
+
+TEST(Drone, FlightStateEstimatorDetectsFlight) {
+  Drone drone;
+  drone.preflight_complete();
+  EXPECT_EQ(drone.flight_state(), FlightState::kLanded);
+  drone.command_pattern(PatternType::kTakeOff);
+  settle(drone, 6.0);
+  EXPECT_EQ(drone.flight_state(), FlightState::kInFlight);
+}
+
+TEST(Drone, LandingExtinguishesLights) {
+  // Figure 2: descend -> touch down -> rotors off -> lights out.
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  fly_until_pattern_done(drone);
+  drone.command_pattern(PatternType::kLanding);
+  fly_until_pattern_done(drone);
+  settle(drone, 1.0);
+  EXPECT_FALSE(drone.rotors_on());
+  EXPECT_EQ(drone.phase(), DronePhase::kParked);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kOff);
+  EXPECT_NEAR(drone.state().position.z, 0.0, 1e-9);
+}
+
+TEST(Drone, TakeoffShowsTakeoffPalette) {
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  drone.step(0.02);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kTakeoff);
+  EXPECT_EQ(drone.vertical_array().animation(), VerticalLedArray::Animation::kTakeoff);
+}
+
+TEST(Drone, NavigationLightsTrackCourseInTransit) {
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  fly_until_pattern_done(drone);
+  drone.command_pattern(PatternType::kHorizontalTransit, {0.0, 1.0},
+                        {30.0, 0.0, 0.0});  // fly east
+  settle(drone, 3.0);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kNavigation);
+  EXPECT_NEAR(drone.led_ring().course(), 0.0, 0.3);  // course east
+}
+
+TEST(Drone, HumanProximityForcesDangerAndBlocksCommands) {
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  fly_until_pattern_done(drone);
+  // Put a human at the hover point: separation violated at head height.
+  const std::vector<hdc::util::Vec2> humans = {
+      {drone.state().position.x, drone.state().position.y}};
+  // Descend into the human's space.
+  drone.command_goto({drone.state().position.x, drone.state().position.y, 2.0}, 0.8);
+  settle(drone, 8.0, humans);
+  EXPECT_EQ(drone.safety().cause(), SafetyCause::kHumanTooClose);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kDanger);
+  // Non-landing commands refused while in danger.
+  EXPECT_FALSE(drone.command_pattern(PatternType::kNodYes));
+  // Landing is always allowed.
+  EXPECT_TRUE(drone.command_pattern(PatternType::kLanding));
+}
+
+TEST(Drone, GeofenceBreachTriggersDanger) {
+  DroneConfig config;
+  config.safety.geofence = {{-5.0, -5.0}, {5.0, 5.0}};
+  Drone drone(config);
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  fly_until_pattern_done(drone);
+  drone.command_goto({20.0, 0.0, 5.0});
+  settle(drone, 10.0);
+  EXPECT_EQ(drone.safety().cause(), SafetyCause::kGeofenceBreach);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kDanger);
+}
+
+TEST(Drone, FaultInjectionForcesDangerImmediately) {
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  fly_until_pattern_done(drone);
+  drone.inject_fault(true);
+  drone.step(0.02);
+  EXPECT_EQ(drone.safety().cause(), SafetyCause::kExternalFault);
+  EXPECT_EQ(drone.led_ring().mode(), RingMode::kDanger);
+  drone.inject_fault(false);
+  drone.step(0.02);
+  EXPECT_EQ(drone.safety().cause(), SafetyCause::kNone);
+}
+
+TEST(Drone, BatteryReserveTriggersSafety) {
+  DroneConfig config;
+  config.battery.capacity_wh = 0.05;  // minutes of hover
+  Drone drone(config);
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  settle(drone, 60.0);
+  EXPECT_TRUE(drone.battery().reserve_reached());
+  EXPECT_EQ(drone.safety().cause(), SafetyCause::kBatteryReserve);
+}
+
+TEST(Drone, TrajectoryRecordingToggle) {
+  DroneConfig config;
+  config.record_trajectory = true;
+  Drone drone(config);
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  settle(drone, 1.0);
+  EXPECT_GT(drone.trajectory().size(), 10u);
+  drone.clear_trajectory();
+  EXPECT_TRUE(drone.trajectory().empty());
+}
+
+TEST(Drone, CommunicativePhaseReported) {
+  Drone drone;
+  drone.preflight_complete();
+  drone.command_pattern(PatternType::kTakeOff);
+  fly_until_pattern_done(drone);
+  drone.command_pattern(PatternType::kNodYes, {0.0, 1.0});
+  drone.step(0.02);
+  EXPECT_EQ(drone.phase(), DronePhase::kCommunicating);
+  ASSERT_TRUE(drone.active_pattern().has_value());
+  EXPECT_EQ(*drone.active_pattern(), PatternType::kNodYes);
+}
+
+TEST(Drone, CommandsRejectedWhenBatteryEmpty) {
+  DroneConfig config;
+  config.battery.capacity_wh = 1e-6;
+  Drone drone(config);
+  drone.preflight_complete();
+  drone.step(0.02);
+  settle(drone, 5.0);
+  EXPECT_FALSE(drone.command_pattern(PatternType::kTakeOff));
+}
+
+TEST(Drone, ResetPositionTeleports) {
+  Drone drone;
+  drone.reset_position({7.0, 8.0, 0.0});
+  EXPECT_EQ(drone.state().position, (Vec3{7.0, 8.0, 0.0}));
+  EXPECT_EQ(drone.state().velocity, Vec3{});
+}
+
+}  // namespace
+}  // namespace hdc::drone

@@ -1,0 +1,103 @@
+#include "recognition/dynamic_sign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "signs/scene.hpp"
+
+namespace hdc::recognition {
+namespace {
+
+/// Renders the wave gesture at time t (1.25 Hz wave) from the canonical view.
+imaging::GrayImage wave_frame(double t, double azimuth = 0.0) {
+  const double phase = std::fmod(t * 1.25, 1.0);
+  return signs::render_scene(wave_pose(phase), signs::BodyDimensions{},
+                             {3.5, 3.0, azimuth}, signs::RenderOptions{});
+}
+
+TEST(WavePose, OscillatesArm) {
+  const auto high = wave_pose(0.25);
+  const auto low = wave_pose(0.75);
+  EXPECT_GT(high.right_arm.abduction_deg, 150.0);
+  EXPECT_LT(low.right_arm.abduction_deg, 120.0);
+  // Left arm stays down throughout.
+  EXPECT_LT(high.left_arm.abduction_deg, 20.0);
+}
+
+TEST(DynamicSign, DetectsWaveSequence) {
+  DynamicSignRecognizer recognizer(DynamicSignConfig{}, DatabaseBuildOptions{});
+  DynamicSign detected = DynamicSign::kNone;
+  // 4 seconds of waving at 5 fps.
+  for (double t = 0.0; t < 4.0; t += 0.2) {
+    detected = recognizer.update(t, wave_frame(t));
+    if (detected == DynamicSign::kWaveOff) break;
+  }
+  EXPECT_EQ(detected, DynamicSign::kWaveOff);
+}
+
+TEST(DynamicSign, StaticPoseDoesNotTrigger) {
+  DynamicSignRecognizer recognizer(DynamicSignConfig{}, DatabaseBuildOptions{});
+  // Holding the arm still at the wave-high position: keyframes match but
+  // never alternate.
+  const auto frame = signs::render_scene(wave_pose(0.25), signs::BodyDimensions{},
+                                         {3.5, 3.0, 0.0}, signs::RenderOptions{});
+  for (double t = 0.0; t < 5.0; t += 0.2) {
+    EXPECT_EQ(recognizer.update(t, frame), DynamicSign::kNone) << "t=" << t;
+  }
+}
+
+TEST(DynamicSign, NeutralSceneDoesNotTrigger) {
+  DynamicSignRecognizer recognizer(DynamicSignConfig{}, DatabaseBuildOptions{});
+  const auto frame = signs::render_sign(signs::HumanSign::kNeutral, {3.5, 3.0, 0.0},
+                                        signs::RenderOptions{});
+  for (double t = 0.0; t < 4.0; t += 0.2) {
+    EXPECT_EQ(recognizer.update(t, frame), DynamicSign::kNone);
+  }
+}
+
+TEST(DynamicSign, DetectionExpiresAfterHold) {
+  DynamicSignConfig config;
+  config.hold_s = 1.0;
+  DynamicSignRecognizer recognizer(config, DatabaseBuildOptions{});
+  double t = 0.0;
+  for (; t < 4.0; t += 0.2) {
+    if (recognizer.update(t, wave_frame(t)) == DynamicSign::kWaveOff) break;
+  }
+  ASSERT_EQ(recognizer.current(), DynamicSign::kWaveOff);
+  // Waving stops; the neutral scene follows. Detection must expire after
+  // the hold (the window also drains, so no re-trigger).
+  const auto neutral = signs::render_sign(signs::HumanSign::kNeutral,
+                                          {3.5, 3.0, 0.0}, signs::RenderOptions{});
+  DynamicSign last = recognizer.current();
+  for (double dt = 0.2; dt < 6.0; dt += 0.2) {
+    last = recognizer.update(t + dt, neutral);
+  }
+  EXPECT_EQ(last, DynamicSign::kNone);
+}
+
+TEST(DynamicSign, KeyframeClassesAlternate) {
+  DynamicSignRecognizer recognizer(DynamicSignConfig{}, DatabaseBuildOptions{});
+  // Frames exactly at the two keyframe phases classify as their classes.
+  (void)recognizer.update(0.0, signs::render_scene(wave_pose(0.25),
+                                                   signs::BodyDimensions{},
+                                                   {3.5, 3.0, 0.0}, {}));
+  ASSERT_TRUE(recognizer.last_keyframe().has_value());
+  EXPECT_EQ(*recognizer.last_keyframe(), 0);
+  (void)recognizer.update(0.4, signs::render_scene(wave_pose(0.75),
+                                                   signs::BodyDimensions{},
+                                                   {3.5, 3.0, 0.0}, {}));
+  ASSERT_TRUE(recognizer.last_keyframe().has_value());
+  EXPECT_EQ(*recognizer.last_keyframe(), 1);
+}
+
+TEST(DynamicSign, SurvivesModerateAzimuth) {
+  DynamicSignRecognizer recognizer(DynamicSignConfig{}, DatabaseBuildOptions{});
+  DynamicSign detected = DynamicSign::kNone;
+  for (double t = 0.0; t < 5.0; t += 0.2) {
+    detected = recognizer.update(t, wave_frame(t, 20.0));
+    if (detected == DynamicSign::kWaveOff) break;
+  }
+  EXPECT_EQ(detected, DynamicSign::kWaveOff);
+}
+
+}  // namespace
+}  // namespace hdc::recognition

@@ -1,0 +1,132 @@
+#include "imaging/draw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/morphology.hpp"
+
+namespace hdc::imaging {
+namespace {
+
+TEST(DrawLine, EndpointsAndStraightRuns) {
+  GrayImage img(10, 10, 0);
+  draw_line(img, 1, 1, 8, 1, 255);
+  for (int x = 1; x <= 8; ++x) EXPECT_EQ(img(x, 1), 255);
+  EXPECT_EQ(img(0, 1), 0);
+  EXPECT_EQ(img(9, 1), 0);
+
+  img.fill(0);
+  draw_line(img, 3, 2, 3, 7, 255);
+  for (int y = 2; y <= 7; ++y) EXPECT_EQ(img(3, y), 255);
+}
+
+TEST(DrawLine, DiagonalHitsBothEndpoints) {
+  GrayImage img(10, 10, 0);
+  draw_line(img, 0, 0, 9, 9, 200);
+  EXPECT_EQ(img(0, 0), 200);
+  EXPECT_EQ(img(9, 9), 200);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(img(i, i), 200);
+}
+
+TEST(DrawLine, ClipsOutsideRaster) {
+  GrayImage img(4, 4, 0);
+  EXPECT_NO_THROW(draw_line(img, -10, -10, 20, 20, 255));
+  EXPECT_EQ(img(1, 1), 255);  // in-raster part of the line still drawn
+}
+
+TEST(FillRect, InclusiveAndClipped) {
+  GrayImage img(8, 8, 0);
+  fill_rect(img, 2, 2, 4, 5, 255);
+  EXPECT_EQ(foreground_area(img), 3u * 4u);
+  EXPECT_EQ(img(2, 2), 255);
+  EXPECT_EQ(img(4, 5), 255);
+  EXPECT_EQ(img(5, 5), 0);
+  // Swapped corners and clipping both work.
+  img.fill(0);
+  fill_rect(img, 7, 7, -3, -3, 255);
+  EXPECT_EQ(foreground_area(img), 64u);
+}
+
+TEST(FillDisc, AreaApproximatesCircle) {
+  GrayImage img(100, 100, 0);
+  fill_disc(img, {50.0, 50.0}, 20.0, 255);
+  const double area = static_cast<double>(foreground_area(img));
+  const double expected = M_PI * 20.0 * 20.0;
+  EXPECT_NEAR(area, expected, expected * 0.02);
+  // Centre filled, far corner not.
+  EXPECT_EQ(img(50, 50), 255);
+  EXPECT_EQ(img(5, 5), 0);
+  // Non-positive radius draws nothing.
+  img.fill(0);
+  fill_disc(img, {50.0, 50.0}, 0.0, 255);
+  EXPECT_EQ(foreground_area(img), 0u);
+}
+
+TEST(FillCapsule, CoversSegmentAndCaps) {
+  GrayImage img(60, 30, 0);
+  fill_capsule(img, {10.0, 15.0}, {50.0, 15.0}, 5.0, 255);
+  // Pixels on the segment.
+  EXPECT_EQ(img(30, 15), 255);
+  // Cap extends past the endpoints by up to the radius.
+  EXPECT_EQ(img(7, 15), 255);
+  EXPECT_EQ(img(53, 15), 255);
+  // Not beyond radius.
+  EXPECT_EQ(img(30, 25), 0);
+  // Expected area: rectangle + two half-discs.
+  const double expected = 40.0 * 10.0 + M_PI * 25.0;
+  EXPECT_NEAR(static_cast<double>(foreground_area(img)), expected, expected * 0.05);
+}
+
+TEST(FillPolygon, SquareAndTriangle) {
+  GrayImage img(40, 40, 0);
+  fill_polygon(img, {{5.0, 5.0}, {25.0, 5.0}, {25.0, 25.0}, {5.0, 25.0}}, 255);
+  EXPECT_NEAR(static_cast<double>(foreground_area(img)), 400.0, 45.0);
+  EXPECT_EQ(img(15, 15), 255);
+  EXPECT_EQ(img(30, 30), 0);
+
+  img.fill(0);
+  fill_polygon(img, {{5.0, 5.0}, {35.0, 5.0}, {5.0, 35.0}}, 255);
+  EXPECT_NEAR(static_cast<double>(foreground_area(img)), 450.0, 50.0);
+}
+
+TEST(FillPolygon, ConcaveEvenOdd) {
+  // A "U" shape: the notch must stay empty.
+  GrayImage img(40, 40, 0);
+  fill_polygon(img,
+               {{5.0, 5.0}, {35.0, 5.0}, {35.0, 35.0}, {25.0, 35.0}, {25.0, 15.0},
+                {15.0, 15.0}, {15.0, 35.0}, {5.0, 35.0}},
+               255);
+  EXPECT_EQ(img(10, 30), 255);  // left arm
+  EXPECT_EQ(img(30, 30), 255);  // right arm
+  EXPECT_EQ(img(20, 30), 0);    // notch
+  EXPECT_EQ(img(20, 10), 255);  // bridge
+}
+
+TEST(FillPolygon, DegenerateInputsIgnored) {
+  GrayImage img(10, 10, 0);
+  fill_polygon(img, {{1.0, 1.0}, {2.0, 2.0}}, 255);
+  EXPECT_EQ(foreground_area(img), 0u);
+}
+
+TEST(DrawPolygon, OutlineOnly) {
+  GrayImage img(20, 20, 0);
+  draw_polygon(img, {{2.0, 2.0}, {17.0, 2.0}, {17.0, 17.0}, {2.0, 17.0}}, 255);
+  EXPECT_EQ(img(10, 2), 255);   // top edge
+  EXPECT_EQ(img(10, 10), 0);    // interior untouched
+}
+
+TEST(Annotations, CrossAndPoints) {
+  RgbImage img(20, 20);
+  draw_cross(img, 10, 10, 3, Rgb{255, 0, 0});
+  EXPECT_EQ(img(10, 10), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img(13, 10), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img(10, 7), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img(14, 10), (Rgb{0, 0, 0}));
+
+  draw_points(img, {{1.0, 1.0}, {100.0, 100.0}}, Rgb{0, 255, 0});
+  EXPECT_EQ(img(1, 1), (Rgb{0, 255, 0}));  // out-of-range point ignored
+}
+
+}  // namespace
+}  // namespace hdc::imaging

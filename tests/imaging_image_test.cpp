@@ -1,0 +1,140 @@
+#include "imaging/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "imaging/image_io.hpp"
+
+namespace hdc::imaging {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  GrayImage img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  for (const auto v : img.data()) EXPECT_EQ(v, 7);
+  img.fill(9);
+  EXPECT_EQ(img(3, 2), 9);
+  EXPECT_THROW(GrayImage(0, 5), std::invalid_argument);
+  EXPECT_THROW(GrayImage(5, -1), std::invalid_argument);
+}
+
+TEST(Image, BoundsCheckedAndUncheckedAccess) {
+  GrayImage img(4, 3);
+  img.at(2, 1) = 42;
+  EXPECT_EQ(img(2, 1), 42);
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 3), std::out_of_range);
+  EXPECT_THROW((void)img.at(-1, 0), std::out_of_range);
+  EXPECT_TRUE(img.in_bounds(0, 0));
+  EXPECT_FALSE(img.in_bounds(4, 2));
+}
+
+TEST(Image, ClampedAccessExtendsEdges) {
+  GrayImage img(3, 2);
+  img(0, 0) = 10;
+  img(2, 1) = 20;
+  EXPECT_EQ(img.clamped(-5, -5), 10);
+  EXPECT_EQ(img.clamped(99, 99), 20);
+}
+
+TEST(Image, SetIfInsideIgnoresOutside) {
+  GrayImage img(2, 2, 0);
+  img.set_if_inside(1, 1, 5);
+  img.set_if_inside(5, 5, 9);  // silently ignored
+  EXPECT_EQ(img(1, 1), 5);
+}
+
+TEST(Image, EqualityComparison) {
+  GrayImage a(2, 2, 1), b(2, 2, 1), c(2, 2, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Conversion, RgbToGrayUsesLumaWeights) {
+  RgbImage rgb(1, 1);
+  rgb(0, 0) = Rgb{255, 0, 0};
+  EXPECT_EQ(to_gray(rgb)(0, 0), 76);  // 0.299 * 255 rounded
+  rgb(0, 0) = Rgb{0, 255, 0};
+  EXPECT_EQ(to_gray(rgb)(0, 0), 150);
+  rgb(0, 0) = Rgb{255, 255, 255};
+  EXPECT_EQ(to_gray(rgb)(0, 0), 255);
+}
+
+TEST(Conversion, GrayToRgbRoundTrip) {
+  GrayImage gray(2, 1);
+  gray(0, 0) = 10;
+  gray(1, 0) = 200;
+  const RgbImage rgb = to_rgb(gray);
+  EXPECT_EQ(rgb(0, 0), (Rgb{10, 10, 10}));
+  EXPECT_EQ(to_gray(rgb)(1, 0), 200);
+}
+
+TEST(Downscale, BlockAveraging) {
+  GrayImage img(4, 4, 0);
+  // One 2x2 block all white.
+  img(0, 0) = img(1, 0) = img(0, 1) = img(1, 1) = 255;
+  const GrayImage half = downscale(img, 2);
+  EXPECT_EQ(half.width(), 2);
+  EXPECT_EQ(half.height(), 2);
+  EXPECT_EQ(half(0, 0), 255);
+  EXPECT_EQ(half(1, 1), 0);
+  EXPECT_EQ(downscale(img, 1), img);
+  EXPECT_THROW((void)downscale(img, 0), std::invalid_argument);
+}
+
+TEST(ImageIo, PgmRoundTrip) {
+  GrayImage img(13, 7);
+  for (int y = 0; y < 7; ++y) {
+    for (int x = 0; x < 13; ++x) img(x, y) = static_cast<std::uint8_t>(x * 17 + y * 3);
+  }
+  const std::string path = "/tmp/hdc_test_roundtrip.pgm";
+  write_pgm(img, path);
+  const GrayImage back = read_pgm(path);
+  EXPECT_EQ(back, img);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  RgbImage img(5, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      img(x, y) = Rgb{static_cast<std::uint8_t>(x * 40), static_cast<std::uint8_t>(y * 50),
+                      static_cast<std::uint8_t>(x + y)};
+    }
+  }
+  const std::string path = "/tmp/hdc_test_roundtrip.ppm";
+  write_ppm(img, path);
+  const RgbImage back = read_ppm(path);
+  EXPECT_EQ(back, img);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, RejectsMissingAndMalformedFiles) {
+  EXPECT_THROW((void)read_pgm("/tmp/definitely_not_there.pgm"), std::runtime_error);
+  const std::string path = "/tmp/hdc_test_bad.pgm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("P9\n1 1\n255\nx", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_pgm(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, RejectsTruncatedPixelData) {
+  const std::string path = "/tmp/hdc_test_trunc.pgm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("P5\n4 4\n255\nab", f);  // 2 bytes instead of 16
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_pgm(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace hdc::imaging

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "imaging/components.hpp"
+#include "imaging/draw.hpp"
+#include "imaging/morphology.hpp"
+
+namespace hdc::imaging {
+namespace {
+
+TEST(Morphology, ErodeShrinksDilateGrows) {
+  BinaryImage img(20, 20, kBackground);
+  fill_rect(img, 5, 5, 14, 14, kForeground);  // 10x10 block
+  EXPECT_EQ(foreground_area(erode(img, 1)), 64u);   // 8x8
+  EXPECT_EQ(foreground_area(dilate(img, 1)), 144u); // 12x12
+  EXPECT_EQ(erode(img, 0), img);
+}
+
+TEST(Morphology, OpenRemovesSpecksKeepsBlocks) {
+  BinaryImage img(20, 20, kBackground);
+  fill_rect(img, 5, 5, 14, 14, kForeground);
+  img(1, 1) = kForeground;  // single-pixel speck
+  const BinaryImage opened = open(img, 1);
+  EXPECT_EQ(opened(1, 1), kBackground);
+  EXPECT_EQ(opened(10, 10), kForeground);
+  EXPECT_EQ(foreground_area(opened), 100u);  // block fully restored
+}
+
+TEST(Morphology, CloseFillsHoles) {
+  BinaryImage img(20, 20, kBackground);
+  fill_rect(img, 5, 5, 14, 14, kForeground);
+  img(10, 10) = kBackground;  // pinhole
+  const BinaryImage closed = close(img, 1);
+  EXPECT_EQ(closed(10, 10), kForeground);
+  EXPECT_EQ(foreground_area(closed), 100u);
+}
+
+TEST(Morphology, CloseBridgesSmallGap) {
+  BinaryImage img(30, 10, kBackground);
+  fill_rect(img, 2, 4, 13, 6, kForeground);
+  fill_rect(img, 15, 4, 27, 6, kForeground);  // 1-px gap at x=14
+  const BinaryImage closed = close(img, 1);
+  EXPECT_EQ(closed(14, 5), kForeground);
+}
+
+TEST(Morphology, ErodeDilateDuality) {
+  // Erosion of the foreground == dilation of the background (complement).
+  BinaryImage img(16, 16, kBackground);
+  fill_rect(img, 4, 4, 11, 11, kForeground);
+  img(6, 6) = kBackground;
+  const BinaryImage a = erode(img, 1);
+  BinaryImage complement(16, 16);
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    complement.data()[i] = img.data()[i] == kForeground ? kBackground : kForeground;
+  }
+  const BinaryImage b = dilate(complement, 1);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const bool fg_a = a.data()[i] == kForeground;
+    const bool bg_b = b.data()[i] == kBackground;
+    EXPECT_EQ(fg_a, bg_b) << "pixel " << i;
+  }
+}
+
+TEST(Morphology, OpeningAndClosingAreIdempotent) {
+  // Classic lattice property: applying opening (or closing) twice equals
+  // applying it once. Checked on an irregular composite shape.
+  BinaryImage img(40, 40, kBackground);
+  fill_rect(img, 5, 5, 20, 12, kForeground);
+  fill_rect(img, 15, 10, 35, 30, kForeground);
+  img(3, 3) = kForeground;   // speck
+  img(25, 20) = kBackground; // pinhole
+  const BinaryImage opened = open(img, 1);
+  EXPECT_EQ(open(opened, 1), opened);
+  const BinaryImage closed = close(img, 1);
+  EXPECT_EQ(close(closed, 1), closed);
+}
+
+TEST(Morphology, ExtensivityAndAntiExtensivity) {
+  // Opening only removes pixels; closing only adds them.
+  BinaryImage img(30, 30, kBackground);
+  fill_rect(img, 8, 8, 21, 21, kForeground);
+  img(10, 10) = kBackground;
+  img(2, 2) = kForeground;
+  const BinaryImage opened = open(img, 1);
+  const BinaryImage closed = close(img, 1);
+  for (int y = 0; y < 30; ++y) {
+    for (int x = 0; x < 30; ++x) {
+      if (opened(x, y) == kForeground) {
+        EXPECT_EQ(img(x, y), kForeground);
+      }
+      if (img(x, y) == kForeground) {
+        EXPECT_EQ(closed(x, y), kForeground);
+      }
+    }
+  }
+}
+
+TEST(Components, LabelsDisjointRegions) {
+  BinaryImage img(30, 20, kBackground);
+  fill_rect(img, 2, 2, 6, 6, kForeground);    // 25 px
+  fill_rect(img, 12, 2, 13, 3, kForeground);  // 4 px
+  fill_rect(img, 20, 10, 27, 17, kForeground);  // 64 px
+  const Labeling labeling = label_components(img);
+  ASSERT_EQ(labeling.components.size(), 3u);
+  std::vector<std::size_t> areas;
+  for (const Component& c : labeling.components) areas.push_back(c.area);
+  std::sort(areas.begin(), areas.end());
+  EXPECT_EQ(areas, (std::vector<std::size_t>{4u, 25u, 64u}));
+}
+
+TEST(Components, EightConnectivityJoinsDiagonals) {
+  BinaryImage img(4, 4, kBackground);
+  img(0, 0) = kForeground;
+  img(1, 1) = kForeground;  // diagonal neighbour
+  img(2, 2) = kForeground;
+  const Labeling labeling = label_components(img);
+  EXPECT_EQ(labeling.components.size(), 1u);
+  EXPECT_EQ(labeling.components[0].area, 3u);
+}
+
+TEST(Components, StatisticsAreCorrect) {
+  BinaryImage img(20, 20, kBackground);
+  fill_rect(img, 4, 6, 9, 11, kForeground);  // 6x6 at (4..9, 6..11)
+  const Labeling labeling = label_components(img);
+  ASSERT_EQ(labeling.components.size(), 1u);
+  const Component& c = labeling.components[0];
+  EXPECT_EQ(c.min_x, 4);
+  EXPECT_EQ(c.max_x, 9);
+  EXPECT_EQ(c.min_y, 6);
+  EXPECT_EQ(c.max_y, 11);
+  EXPECT_NEAR(c.centroid.x, 6.5, 1e-9);
+  EXPECT_NEAR(c.centroid.y, 8.5, 1e-9);
+}
+
+TEST(Components, UShapeMergesAcrossScanOrder) {
+  // A U-shape forces provisional labels to merge in pass 1.
+  BinaryImage img(20, 20, kBackground);
+  fill_rect(img, 2, 2, 4, 15, kForeground);   // left arm
+  fill_rect(img, 12, 2, 14, 15, kForeground); // right arm
+  fill_rect(img, 2, 13, 14, 15, kForeground); // bridge at the bottom
+  const Labeling labeling = label_components(img);
+  EXPECT_EQ(labeling.components.size(), 1u);
+}
+
+TEST(LargestComponent, PicksBiggestAboveMinArea) {
+  BinaryImage img(30, 20, kBackground);
+  fill_rect(img, 2, 2, 6, 6, kForeground);
+  fill_rect(img, 20, 10, 27, 17, kForeground);  // larger
+  const BinaryImage mask = largest_component_mask(img, 1);
+  EXPECT_EQ(mask(22, 12), kForeground);
+  EXPECT_EQ(mask(3, 3), kBackground);
+  EXPECT_EQ(foreground_area(mask), 64u);
+  // min_area above everything yields empty mask.
+  EXPECT_EQ(foreground_area(largest_component_mask(img, 100)), 0u);
+  // Empty input yields empty mask.
+  const BinaryImage empty(5, 5, kBackground);
+  EXPECT_EQ(foreground_area(largest_component_mask(empty, 1)), 0u);
+}
+
+TEST(RemoveSmall, DespecklesBelowThreshold) {
+  BinaryImage img(30, 20, kBackground);
+  fill_rect(img, 2, 2, 6, 6, kForeground);    // 25
+  fill_rect(img, 12, 2, 13, 3, kForeground);  // 4
+  const BinaryImage cleaned = remove_small_components(img, 10);
+  EXPECT_EQ(foreground_area(cleaned), 25u);
+  EXPECT_EQ(cleaned(12, 2), kBackground);
+}
+
+}  // namespace
+}  // namespace hdc::imaging

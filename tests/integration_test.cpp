@@ -1,0 +1,198 @@
+// End-to-end integration tests: the render -> recognise loop across
+// realistic condition sweeps, camera-in-the-loop negotiations per role, and
+// failure injection, mirroring the paper's overall scenario.
+#include <gtest/gtest.h>
+
+#include "core/hdc_system.hpp"
+#include "orchard/world.hpp"
+#include "protocol/negotiation.hpp"
+#include "recognition/dynamic_sign.hpp"
+#include "signs/sign_poses.hpp"
+
+namespace hdc {
+namespace {
+
+TEST(EndToEnd, RenderRecognizeSweepInsideWorkingEnvelope) {
+  // Inside the paper's working envelope (az <= 30, alt 2-5) with worker
+  // jitter and mild sensor noise, the pipeline must accept and classify
+  // correctly in a strong majority of frames.
+  const core::HdcSystem system;
+  util::Rng rng(2024);
+  int total = 0, accepted_correct = 0, accepted_wrong = 0;
+  for (const signs::HumanSign sign : signs::kCommunicativeSigns) {
+    for (int i = 0; i < 20; ++i) {
+      signs::ViewGeometry view;
+      view.altitude_m = rng.uniform(2.0, 5.0);
+      view.distance_m = rng.uniform(2.5, 3.5);
+      view.relative_azimuth_deg = rng.uniform(-30.0, 30.0);
+      signs::RenderOptions options = system.config().camera;
+      options.noise_stddev = 4.0;
+      const signs::BodyPose pose =
+          signs::sample_pose(sign, signs::worker_jitter(), rng);
+      const auto frame =
+          signs::render_scene(pose, signs::BodyDimensions{}, view, options, &rng);
+      const auto result = system.recognize(frame);
+      ++total;
+      if (result.accepted && result.sign == sign) ++accepted_correct;
+      if (result.accepted && result.sign != sign) ++accepted_wrong;
+    }
+  }
+  EXPECT_GE(accepted_correct, total * 7 / 10);
+  // Accepting the WRONG sign is the dangerous failure mode: must be rare.
+  EXPECT_LE(accepted_wrong, total / 20);
+}
+
+TEST(EndToEnd, NegativeClassRarelyAcceptedAsSign) {
+  // A neutral bystander must not trigger sign acceptances.
+  const core::HdcSystem system;
+  util::Rng rng(77);
+  int false_accepts = 0;
+  for (int i = 0; i < 40; ++i) {
+    signs::ViewGeometry view;
+    view.altitude_m = rng.uniform(2.0, 5.0);
+    view.distance_m = rng.uniform(2.5, 4.0);
+    view.relative_azimuth_deg = rng.uniform(-60.0, 60.0);
+    const signs::BodyPose pose =
+        signs::sample_pose(signs::HumanSign::kNeutral, signs::worker_jitter(), rng);
+    const auto frame = signs::render_scene(pose, signs::BodyDimensions{}, view,
+                                           system.config().camera, &rng);
+    if (system.recognize(frame).accepted) ++false_accepts;
+  }
+  EXPECT_LE(false_accepts, 2);
+}
+
+TEST(EndToEnd, CameraChannelNegotiationSupervisor) {
+  // Full loop: protocol over the camera channel with a supervisor who
+  // grants. The channel renders the jittered pose at a fixed station.
+  const core::HdcSystem system;
+  core::CameraSignChannel sign_channel(system, 42);
+  sign_channel.set_context({{0.0, 3.0, 3.5}, {0.0, 0.0}, util::kPi / 2.0});
+  protocol::HumanParams params = protocol::role_params(protocol::HumanRole::kSupervisor);
+  params.notice_probability = 1.0;
+  params.grant_probability = 1.0;
+  params.wrong_sign_probability = 0.0;
+  protocol::HumanResponder human(protocol::HumanRole::kSupervisor, params, 9);
+  util::Rng pose_rng(31);
+  sign_channel.set_pose_sampler([&](signs::HumanSign sign) {
+    return signs::sample_pose(sign, signs::supervisor_jitter(), pose_rng);
+  });
+  protocol::DroneNegotiator negotiator;
+  protocol::PerfectPatternChannel pattern_channel;
+  const protocol::SessionResult result =
+      protocol::run_negotiation(negotiator, human, sign_channel, pattern_channel);
+  EXPECT_EQ(result.outcome, protocol::Outcome::kGranted);
+  EXPECT_GT(sign_channel.frames(), 0u);
+}
+
+TEST(EndToEnd, CameraChannelNegotiationDenial) {
+  const core::HdcSystem system;
+  core::CameraSignChannel sign_channel(system, 43);
+  sign_channel.set_context({{0.0, 3.0, 3.5}, {0.0, 0.0}, util::kPi / 2.0});
+  protocol::HumanParams params = protocol::role_params(protocol::HumanRole::kWorker);
+  params.notice_probability = 1.0;
+  params.grant_probability = 0.0;
+  params.wrong_sign_probability = 0.0;
+  protocol::HumanResponder human(protocol::HumanRole::kWorker, params, 10);
+  util::Rng pose_rng(32);
+  sign_channel.set_pose_sampler([&](signs::HumanSign sign) {
+    return signs::sample_pose(sign, signs::worker_jitter(), pose_rng);
+  });
+  protocol::DroneNegotiator negotiator;
+  protocol::PerfectPatternChannel pattern_channel;
+  const protocol::SessionResult result =
+      protocol::run_negotiation(negotiator, human, sign_channel, pattern_channel);
+  EXPECT_EQ(result.outcome, protocol::Outcome::kDenied);
+}
+
+TEST(EndToEnd, OrchardMissionWithCameraPerception) {
+  core::HdcSystem system;
+  orchard::WorldConfig config;
+  config.perception = orchard::PerceptionMode::kCamera;
+  config.layout.rows = 2;
+  config.layout.trees_per_row = 5;
+  config.workers = 1;
+  config.visitors = 0;
+  config.seed = 2026;
+  orchard::World world(config, &system);
+  const orchard::MissionStats& stats = world.run(1800.0);
+  EXPECT_TRUE(world.mission().done());
+  EXPECT_GE(stats.traps_read, stats.traps_total - 1);
+}
+
+TEST(EndToEnd, NoiseSweepDegradesGracefully) {
+  // Failure injection: acceptance decays with sensor noise but never
+  // produces a burst of wrong-sign accepts.
+  const core::HdcSystem system;
+  util::Rng rng(55);
+  int wrong_total = 0;
+  int accepted_low_noise = 0, accepted_high_noise = 0;
+  for (const double noise : {0.0, 40.0}) {
+    int accepted = 0;
+    for (int i = 0; i < 15; ++i) {
+      signs::RenderOptions options = system.config().camera;
+      options.noise_stddev = noise;
+      const auto frame = signs::render_scene(
+          signs::canonical_pose(signs::HumanSign::kYes), signs::BodyDimensions{},
+          {3.5, 3.0, 10.0}, options, &rng);
+      const auto result = system.recognize(frame);
+      if (result.accepted && result.sign == signs::HumanSign::kYes) ++accepted;
+      if (result.accepted && result.sign != signs::HumanSign::kYes) ++wrong_total;
+    }
+    if (noise == 0.0) {
+      accepted_low_noise = accepted;
+    } else {
+      accepted_high_noise = accepted;
+    }
+  }
+  EXPECT_GE(accepted_low_noise, 14);
+  EXPECT_LE(accepted_high_noise, accepted_low_noise);
+  EXPECT_LE(wrong_total, 1);
+}
+
+TEST(EndToEnd, WaveOffAbortsNegotiation) {
+  // Extension wired into the protocol layering: the world-side glue runs a
+  // DynamicSignRecognizer next to the static channel; a detected wave-off
+  // aborts the negotiation (the human saying "go away" without knowing the
+  // Yes/No vocabulary — the untrained-visitor escape hatch).
+  recognition::DynamicSignRecognizer wave_detector(recognition::DynamicSignConfig{},
+                                                   recognition::DatabaseBuildOptions{});
+  protocol::DroneNegotiator negotiator;
+  negotiator.begin();
+  double t = 0.0;
+  bool aborted = false;
+  while (!negotiator.finished() && t < 30.0) {
+    t += 0.2;
+    // The visitor waves continuously instead of answering.
+    const double phase = std::fmod(t * 1.25, 1.0);
+    const auto frame =
+        signs::render_scene(recognition::wave_pose(phase), signs::BodyDimensions{},
+                            {3.5, 3.0, 0.0}, signs::RenderOptions{});
+    if (wave_detector.update(t, frame) == recognition::DynamicSign::kWaveOff) {
+      negotiator.abort();
+      aborted = true;
+    } else {
+      (void)negotiator.step(0.2, std::nullopt, false);
+    }
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(negotiator.outcome(), protocol::Outcome::kAborted);
+  EXPECT_LT(t, 10.0);  // the wave is read within a few seconds
+}
+
+TEST(EndToEnd, MissionSurvivesWindGusts) {
+  orchard::WorldConfig config;
+  config.layout.rows = 2;
+  config.layout.trees_per_row = 5;
+  config.drone.wind_mean = 1.5;
+  config.drone.wind_gusts = 0.8;
+  config.workers = 1;
+  config.visitors = 0;
+  config.seed = 99;
+  orchard::World world(config);
+  const orchard::MissionStats& stats = world.run(2400.0);
+  EXPECT_TRUE(world.mission().done());
+  EXPECT_GE(stats.traps_read + stats.traps_skipped, stats.traps_total);
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,122 @@
+#include "timeseries/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/series.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::timeseries {
+namespace {
+
+Series noise(std::size_t n, std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  Series out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.gaussian());
+  return out;
+}
+
+TEST(Euclidean, BasicsAndValidation) {
+  EXPECT_DOUBLE_EQ(euclidean({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean_sq({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean({1.0}, {1.0}), 0.0);
+  EXPECT_THROW((void)euclidean({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Euclidean, MetricAxioms) {
+  const Series a = noise(32, 1), b = noise(32, 2), c = noise(32, 3);
+  EXPECT_DOUBLE_EQ(euclidean(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), euclidean(b, a));
+  EXPECT_LE(euclidean(a, c), euclidean(a, b) + euclidean(b, c) + 1e-9);
+}
+
+TEST(RotationInvariant, RecoversPlantedRotation) {
+  const Series a = noise(64, 7);
+  for (std::size_t planted : {0u, 1u, 13u, 32u, 63u}) {
+    const Series b = rotate_left(a, planted);
+    std::size_t shift = 0;
+    const double d = euclidean_rotation_invariant(a, b, &shift);
+    EXPECT_NEAR(d, 0.0, 1e-9) << "planted=" << planted;
+    // Rotating b left by `shift` must reproduce a: shift = n - planted.
+    EXPECT_EQ((planted + shift) % a.size(), 0u) << "planted=" << planted;
+  }
+}
+
+TEST(RotationInvariant, NeverExceedsPlainEuclidean) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Series a = noise(48, 100 + seed);
+    const Series b = noise(48, 200 + seed);
+    EXPECT_LE(euclidean_rotation_invariant(a, b), euclidean(a, b) + 1e-9);
+  }
+}
+
+TEST(RotationInvariant, EmptySeries) {
+  std::size_t shift = 99;
+  EXPECT_DOUBLE_EQ(euclidean_rotation_invariant({}, {}, &shift), 0.0);
+  EXPECT_EQ(shift, 0u);
+}
+
+TEST(Dtw, EqualSeriesIsZero) {
+  const Series a = noise(32, 5);
+  EXPECT_DOUBLE_EQ(dtw(a, a, 32), 0.0);
+}
+
+TEST(Dtw, KnownSmallExample) {
+  // dtw([0,1,2],[0,2]) with |.| cost: optimal alignment
+  // (0-0),(1-?),(2-2): 1 aligns to either 0 (cost 1) or 2 (cost 1) -> 1.
+  EXPECT_DOUBLE_EQ(dtw({0.0, 1.0, 2.0}, {0.0, 2.0}, 3), 1.0);
+}
+
+TEST(Dtw, HandlesTimeShiftBetterThanEuclidean) {
+  // Same pulse shifted by 2 samples: DTW absorbs the shift, Euclidean not.
+  Series a(32, 0.0), b(32, 0.0);
+  for (int i = 10; i < 15; ++i) a[static_cast<std::size_t>(i)] = 1.0;
+  for (int i = 12; i < 17; ++i) b[static_cast<std::size_t>(i)] = 1.0;
+  EXPECT_LT(dtw(a, b, 4), euclidean(a, b));
+  EXPECT_NEAR(dtw(a, b, 4), 0.0, 1e-9);
+}
+
+TEST(Dtw, BandNarrowerThanLengthDifferenceStillWorks) {
+  // The implementation widens the band to |n - m| automatically.
+  const Series a = noise(20, 11);
+  const Series b = noise(10, 12);
+  EXPECT_NO_THROW((void)dtw(a, b, 1));
+  EXPECT_THROW((void)dtw({}, b, 1), std::invalid_argument);
+}
+
+TEST(Dtw, WiderBandNeverIncreasesCost) {
+  const Series a = noise(40, 21);
+  const Series b = noise(40, 22);
+  double previous = dtw(a, b, 0);
+  for (std::size_t w : {2u, 5u, 10u, 40u}) {
+    const double current = dtw(a, b, w);
+    EXPECT_LE(current, previous + 1e-9);
+    previous = current;
+  }
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const Series a = {1.0, 2.0, 3.0, 4.0};
+  Series pos, neg;
+  for (double v : a) {
+    pos.push_back(2.0 * v + 1.0);
+    neg.push_back(-3.0 * v);
+  }
+  EXPECT_NEAR(pearson_correlation(a, pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(a, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, FlatSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation({1.0}, {2.0}), 0.0);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  const Series a = noise(5000, 31);
+  const Series b = noise(5000, 32);
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace hdc::timeseries

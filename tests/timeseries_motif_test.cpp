@@ -1,0 +1,116 @@
+#include "timeseries/motif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/distance.hpp"
+#include "timeseries/normalize.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::timeseries {
+namespace {
+
+Series noise(std::size_t n, std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  Series out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.gaussian());
+  return out;
+}
+
+TEST(SlidingWindows, CountStrideAndNormalisation) {
+  Series in;
+  for (int i = 0; i < 20; ++i) in.push_back(i);
+  const auto windows = sliding_windows(in, 8, 1);
+  EXPECT_EQ(windows.size(), 13u);
+  for (const Series& w : windows) {
+    ASSERT_EQ(w.size(), 8u);
+    EXPECT_TRUE(is_z_normalized(w));
+  }
+  EXPECT_EQ(sliding_windows(in, 8, 4).size(), 4u);
+  EXPECT_TRUE(sliding_windows(in, 21, 1).empty());
+  EXPECT_THROW((void)sliding_windows(in, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)sliding_windows(in, 4, 0), std::invalid_argument);
+}
+
+TEST(ClosestPair, FindsPlantedMotif) {
+  // Plant two near-identical shapes among noise candidates.
+  std::vector<Series> candidates;
+  for (std::uint64_t i = 0; i < 10; ++i) candidates.push_back(z_normalize(noise(64, i)));
+  Series motif;
+  for (int i = 0; i < 64; ++i) motif.push_back(std::sin(i * 0.2));
+  Series motif_twin = motif;
+  motif_twin[10] += 0.01;  // almost identical
+  candidates.push_back(z_normalize(motif));
+  const std::size_t first = candidates.size() - 1;
+  candidates.push_back(z_normalize(motif_twin));
+  const std::size_t second = candidates.size() - 1;
+
+  const SaxEncoder encoder(SaxConfig(8, 5));
+  const MotifPair pair = find_closest_pair(candidates, encoder);
+  EXPECT_EQ(std::min(pair.first, pair.second), first);
+  EXPECT_EQ(std::max(pair.first, pair.second), second);
+  EXPECT_LT(pair.distance, 0.1);
+}
+
+TEST(ClosestPair, MatchesBruteForce) {
+  std::vector<Series> candidates;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    candidates.push_back(z_normalize(noise(32, 50 + i)));
+  }
+  const SaxEncoder encoder(SaxConfig(8, 6));
+  const MotifPair pair = find_closest_pair(candidates, encoder);
+  double best = 1e18;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      best = std::min(best, euclidean_rotation_invariant(candidates[i], candidates[j]));
+    }
+  }
+  EXPECT_NEAR(pair.distance, best, 1e-9);
+  EXPECT_THROW((void)find_closest_pair({candidates[0]}, encoder), std::invalid_argument);
+}
+
+TEST(NearestNeighbours, EachPointsAtItsTwin) {
+  // Three pairs of twins: each member's NN must be its twin.
+  std::vector<Series> candidates;
+  for (std::uint64_t g = 0; g < 3; ++g) {
+    Series base;
+    for (int i = 0; i < 48; ++i) {
+      base.push_back(std::sin(i * (0.1 + 0.11 * static_cast<double>(g))));
+    }
+    Series twin = base;
+    twin[5] += 0.02;
+    candidates.push_back(z_normalize(base));
+    candidates.push_back(z_normalize(twin));
+  }
+  const SaxEncoder encoder(SaxConfig(8, 5));
+  const auto nns = all_nearest_neighbours(candidates, encoder);
+  ASSERT_EQ(nns.size(), candidates.size());
+  for (std::size_t i = 0; i < nns.size(); ++i) {
+    const std::size_t twin = i % 2 == 0 ? i + 1 : i - 1;
+    EXPECT_EQ(nns[i].index, twin) << "candidate " << i;
+  }
+}
+
+TEST(SaxBuckets, GroupsIdenticalWords) {
+  std::vector<Series> candidates;
+  Series base;
+  for (int i = 0; i < 64; ++i) base.push_back(std::sin(i * 0.3));
+  candidates.push_back(z_normalize(base));
+  candidates.push_back(z_normalize(base));  // identical -> same bucket
+  candidates.push_back(z_normalize(noise(64, 99)));
+  const SaxEncoder encoder(SaxConfig(8, 4));
+  const auto buckets = sax_buckets(candidates, encoder);
+  // Identical series share one bucket entry of size >= 2.
+  bool found_pair_bucket = false;
+  std::size_t total = 0;
+  for (const auto& [word, members] : buckets) {
+    total += members.size();
+    if (members.size() >= 2) found_pair_bucket = true;
+  }
+  EXPECT_TRUE(found_pair_bucket);
+  EXPECT_EQ(total, candidates.size());
+}
+
+}  // namespace
+}  // namespace hdc::timeseries

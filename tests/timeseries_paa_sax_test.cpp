@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/distance.hpp"
+#include "timeseries/normalize.hpp"
+#include "timeseries/paa.hpp"
+#include "timeseries/sax.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::timeseries {
+namespace {
+
+Series random_walk(std::size_t n, std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  Series out;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.gaussian();
+    out.push_back(x);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- PAA -----
+
+TEST(Paa, ExactSegmentMeansWhenDivisible) {
+  const Series in = {1.0, 3.0, 10.0, 20.0, -5.0, 5.0};
+  const Series out = paa(in, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+}
+
+TEST(Paa, FractionalBoundariesPreserveTotalMass) {
+  // Sum of segment means * segment length must equal the series sum for any
+  // n/w (mass preservation of the fractional-overlap formulation).
+  const Series in = random_walk(17, 5);
+  for (std::size_t w : {2u, 3u, 5u, 7u, 11u, 16u}) {
+    const Series out = paa(in, w);
+    double mass = 0.0;
+    for (double v : out) mass += v * (static_cast<double>(in.size()) / w);
+    double truth = 0.0;
+    for (double v : in) truth += v;
+    EXPECT_NEAR(mass, truth, 1e-9) << "w=" << w;
+  }
+}
+
+TEST(Paa, SegmentsGeqLengthReturnsInput) {
+  const Series in = {1.0, 2.0, 3.0};
+  EXPECT_EQ(paa(in, 3), in);
+  EXPECT_EQ(paa(in, 10), in);
+}
+
+TEST(Paa, InvalidArgsThrow) {
+  EXPECT_THROW((void)paa({1.0}, 0), std::invalid_argument);
+  EXPECT_TRUE(paa({}, 4).empty());
+}
+
+TEST(Paa, ExpandIsStepFunction) {
+  const Series out = paa_expand({1.0, 2.0}, 6);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out, (Series{1.0, 1.0, 1.0, 2.0, 2.0, 2.0}));
+}
+
+TEST(Paa, DistanceLowerBoundsEuclidean) {
+  // The PAA distance lower-bounds the true Euclidean distance — the key
+  // pruning property from the SAX literature.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Series a = z_normalize(random_walk(128, seed * 2 + 1));
+    const Series b = z_normalize(random_walk(128, seed * 2 + 2));
+    for (std::size_t w : {4u, 8u, 16u, 32u}) {
+      const double lower = paa_distance(paa(a, w), paa(b, w), a.size());
+      const double truth = euclidean(a, b);
+      EXPECT_LE(lower, truth + 1e-9) << "seed=" << seed << " w=" << w;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- SAX -----
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447460685429), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.9772498680518208), 2.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.0013498980316301), -3.0, 1e-5);
+  EXPECT_THROW((void)inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW((void)inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(SaxBreakpoints, KnownValuesForSmallAlphabets) {
+  // Classic table: a=3 -> {-0.43, 0.43}; a=4 -> {-0.67, 0, 0.67}.
+  const auto b3 = sax_breakpoints(3);
+  ASSERT_EQ(b3.size(), 2u);
+  EXPECT_NEAR(b3[0], -0.4307, 1e-3);
+  EXPECT_NEAR(b3[1], 0.4307, 1e-3);
+  const auto b4 = sax_breakpoints(4);
+  ASSERT_EQ(b4.size(), 3u);
+  EXPECT_NEAR(b4[1], 0.0, 1e-9);
+}
+
+TEST(SaxBreakpoints, MonotoneAndSymmetric) {
+  for (std::size_t a = kMinAlphabet; a <= kMaxAlphabet; ++a) {
+    const auto b = sax_breakpoints(a);
+    ASSERT_EQ(b.size(), a - 1);
+    for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_NEAR(b[i], -b[b.size() - 1 - i], 1e-9);  // symmetry
+    }
+  }
+  EXPECT_THROW((void)sax_breakpoints(1), std::invalid_argument);
+  EXPECT_THROW((void)sax_breakpoints(kMaxAlphabet + 1), std::invalid_argument);
+}
+
+TEST(SaxConfig, SymbolMapping) {
+  const SaxConfig config(8, 4);  // breakpoints -0.67, 0, 0.67
+  EXPECT_EQ(config.symbol_index(-1.0), 0u);
+  EXPECT_EQ(config.symbol_index(-0.5), 1u);
+  EXPECT_EQ(config.symbol_index(0.5), 2u);
+  EXPECT_EQ(config.symbol_index(1.0), 3u);
+  EXPECT_EQ(SaxConfig::symbol_char(0), 'a');
+  EXPECT_EQ(SaxConfig::symbol_char(3), 'd');
+}
+
+TEST(SaxConfig, CellDistanceAdjacentIsZero) {
+  const SaxConfig config(8, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(config.cell_distance(i, i), 0.0);
+    if (i + 1 < 6) {
+      EXPECT_DOUBLE_EQ(config.cell_distance(i, i + 1), 0.0);
+      EXPECT_DOUBLE_EQ(config.cell_distance(i + 1, i), 0.0);
+    }
+  }
+  EXPECT_GT(config.cell_distance(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(config.cell_distance(0, 5), config.cell_distance(5, 0));
+}
+
+TEST(SaxEncoder, EncodesExpectedWord) {
+  // A rising ramp z-normalises to increasing values: symbols must be
+  // non-decreasing.
+  Series ramp;
+  for (int i = 0; i < 64; ++i) ramp.push_back(i);
+  const SaxEncoder encoder(SaxConfig(8, 5));
+  const SaxWord word = encoder.encode(ramp);
+  ASSERT_EQ(word.text.size(), 8u);
+  for (std::size_t i = 1; i < word.text.size(); ++i) {
+    EXPECT_LE(word.text[i - 1], word.text[i]);
+  }
+  EXPECT_EQ(word.text.front(), 'a');
+  EXPECT_EQ(word.text.back(), 'e');
+  EXPECT_EQ(word.source_length, 64u);
+}
+
+TEST(SaxEncoder, EmptySeries) {
+  const SaxEncoder encoder(SaxConfig(8, 5));
+  const SaxWord word = encoder.encode({});
+  EXPECT_TRUE(word.text.empty());
+  EXPECT_EQ(word.source_length, 0u);
+}
+
+TEST(SaxEncoder, IdenticalWordsHaveZeroMindist) {
+  const SaxEncoder encoder(SaxConfig(16, 8));
+  const Series a = z_normalize(random_walk(128, 7));
+  const SaxWord w = encoder.encode_normalized(a);
+  EXPECT_DOUBLE_EQ(encoder.mindist(w, w), 0.0);
+}
+
+TEST(SaxEncoder, MindistLowerBoundsEuclidean) {
+  // THE core SAX guarantee (enables sound pruning).
+  const SaxEncoder encoder(SaxConfig(16, 10));
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Series a = z_normalize(random_walk(128, 100 + seed));
+    const Series b = z_normalize(random_walk(128, 200 + seed));
+    const double lower = encoder.mindist(encoder.encode_normalized(a),
+                                         encoder.encode_normalized(b));
+    EXPECT_LE(lower, euclidean(a, b) + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(SaxEncoder, RotationInvariantMindistFindsPlantedShift) {
+  const SaxEncoder encoder(SaxConfig(16, 8));
+  const Series a = z_normalize(random_walk(128, 42));
+  const Series b = rotate_left(a, 40);  // 40/128 of a turn = 5 word positions
+  const SaxWord wa = encoder.encode_normalized(a);
+  const SaxWord wb = encoder.encode_normalized(b);
+  std::size_t shift = 0;
+  const double d = encoder.mindist_rotation_invariant(wa, wb, &shift);
+  // Rotating b's word back by 5 aligns it with a's word exactly (128/16 = 8
+  // samples per symbol; the shift is a multiple of the symbol span).
+  EXPECT_NEAR(d, 0.0, 1e-9);
+  EXPECT_EQ(shift * 8, 128u - 40u);
+  // And the invariant distance never exceeds the plain distance.
+  EXPECT_LE(d, encoder.mindist(wa, wb) + 1e-12);
+}
+
+TEST(SaxEncoder, MindistValidatesInputs) {
+  const SaxEncoder encoder(SaxConfig(8, 4));
+  SaxWord a = encoder.encode(random_walk(64, 1));
+  SaxWord b = encoder.encode(random_walk(32, 2));
+  EXPECT_THROW((void)encoder.mindist(a, b), std::invalid_argument);
+  SaxWord c = encoder.encode(random_walk(64, 3));
+  c.text.pop_back();
+  EXPECT_THROW((void)encoder.mindist(a, c), std::invalid_argument);
+}
+
+TEST(SaxEncoder, HammingDistance) {
+  SaxWord a{"abcd", 16};
+  SaxWord b{"abdd", 16};
+  EXPECT_EQ(SaxEncoder::hamming(a, b), 1u);
+  EXPECT_EQ(SaxEncoder::hamming(a, a), 0u);
+  SaxWord c{"abc", 16};
+  EXPECT_THROW((void)SaxEncoder::hamming(a, c), std::invalid_argument);
+}
+
+TEST(SaxEncoder, SymbolsEquiprobableOnGaussianData) {
+  // The breakpoints cut N(0,1) into equiprobable regions, so symbols of
+  // encoded white-Gaussian series must be near-uniform. Word length equals
+  // the series length so PAA averaging does not reshape the distribution.
+  const std::size_t alphabet = 6;
+  const SaxEncoder encoder(SaxConfig(64, alphabet));
+  hdc::util::Rng rng(123);
+  std::vector<int> counts(alphabet, 0);
+  int total = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    Series series;
+    for (int i = 0; i < 64; ++i) series.push_back(rng.gaussian());
+    const SaxWord word = encoder.encode(series);
+    for (char c : word.text) {
+      ++counts[static_cast<std::size_t>(c - 'a')];
+      ++total;
+    }
+  }
+  const double expected = static_cast<double>(total) / alphabet;
+  for (std::size_t i = 0; i < alphabet; ++i) {
+    EXPECT_NEAR(counts[i], expected, expected * 0.12) << "symbol " << i;
+  }
+}
+
+TEST(SaxConfigValidation, RejectsBadParameters) {
+  EXPECT_THROW(SaxConfig(0, 5), std::invalid_argument);
+  EXPECT_THROW(SaxConfig(8, 1), std::invalid_argument);
+  EXPECT_THROW(SaxConfig(8, 99), std::invalid_argument);
+}
+
+/// Parameterised lower-bound property across (word_length, alphabet) grid —
+/// the tightness ordering: larger alphabets give tighter (larger) bounds on
+/// average, but the bound must always hold.
+class MindistGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MindistGrid, LowerBoundHoldsEverywhere) {
+  const auto [w, a] = GetParam();
+  const SaxEncoder encoder(SaxConfig(w, a));
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Series x = z_normalize(random_walk(96, 300 + seed));
+    const Series y = z_normalize(random_walk(96, 400 + seed));
+    const double lower =
+        encoder.mindist(encoder.encode_normalized(x), encoder.encode_normalized(y));
+    EXPECT_LE(lower, euclidean(x, y) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MindistGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 8, 16, 32),
+                       ::testing::Values<std::size_t>(3, 5, 9, 15)));
+
+}  // namespace
+}  // namespace hdc::timeseries

@@ -1,0 +1,140 @@
+#include "timeseries/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/normalize.hpp"
+
+namespace hdc::timeseries {
+namespace {
+
+TEST(Resample, LinearPreservesEndpoints) {
+  const Series in = {0.0, 1.0, 2.0, 3.0};
+  const Series out = resample_linear(in, 7);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_DOUBLE_EQ(out.front(), 0.0);
+  EXPECT_DOUBLE_EQ(out.back(), 3.0);
+  // A linear ramp resamples to a linear ramp.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 3.0 * i / 6.0, 1e-12);
+  }
+}
+
+TEST(Resample, LinearEdgeCases) {
+  EXPECT_TRUE(resample_linear({}, 5).empty());
+  EXPECT_TRUE(resample_linear({1.0, 2.0}, 0).empty());
+  const Series single = resample_linear({7.0}, 4);
+  ASSERT_EQ(single.size(), 4u);
+  for (double v : single) EXPECT_DOUBLE_EQ(v, 7.0);
+  const Series one = resample_linear({1.0, 5.0}, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 1.0);
+}
+
+TEST(Resample, CircularWrapsAcrossJoint) {
+  // A circular ramp 0..3: position 3.5 interpolates between last and first.
+  const Series in = {0.0, 1.0, 2.0, 3.0};
+  const Series out = resample_circular(in, 8);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  // Sample 7 sits at source position 3.5 -> halfway between 3.0 and 0.0.
+  EXPECT_NEAR(out[7], 1.5, 1e-12);
+}
+
+TEST(Resample, CircularUpAndDownRoundTripApproximation) {
+  Series wave;
+  for (int i = 0; i < 64; ++i) wave.push_back(std::sin(i / 64.0 * 2 * M_PI));
+  const Series up = resample_circular(wave, 256);
+  const Series down = resample_circular(up, 64);
+  for (std::size_t i = 0; i < wave.size(); ++i) EXPECT_NEAR(down[i], wave[i], 0.01);
+}
+
+TEST(Rotate, LeftRotationAndIdentity) {
+  const Series in = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(rotate_left(in, 1), (Series{2.0, 3.0, 4.0, 1.0}));
+  EXPECT_EQ(rotate_left(in, 4), in);
+  EXPECT_EQ(rotate_left(in, 6), rotate_left(in, 2));
+  EXPECT_TRUE(rotate_left({}, 3).empty());
+}
+
+TEST(Moments, MeanAndStddev) {
+  const Series in = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(in), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(in), 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(MovingAverage, SmoothsAndPreservesLength) {
+  const Series in = {0.0, 10.0, 0.0, 10.0, 0.0};
+  const Series out = moving_average(in, 3);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_NEAR(out[2], 20.0 / 3.0, 1e-12);
+  // Window 1 is the identity.
+  EXPECT_EQ(moving_average(in, 1), in);
+}
+
+TEST(ArgExtrema, FirstOccurrence) {
+  const Series in = {1.0, 5.0, 5.0, -2.0, -2.0};
+  EXPECT_EQ(argmax(in), 1u);
+  EXPECT_EQ(argmin(in), 3u);
+  EXPECT_EQ(argmax({}), 0u);
+}
+
+TEST(ZNormalize, ProducesZeroMeanUnitVariance) {
+  const Series in = {3.0, 7.0, 11.0, 1.0, 9.0, 2.0};
+  const Series z = z_normalize(in);
+  EXPECT_NEAR(mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(stddev(z), 1.0, 1e-12);
+  EXPECT_TRUE(is_z_normalized(z));
+}
+
+TEST(ZNormalize, FlatSeriesMapsToZeros) {
+  const Series z = z_normalize({5.0, 5.0, 5.0});
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(is_z_normalized(z));
+}
+
+TEST(ZNormalize, ShiftAndScaleInvariance) {
+  const Series base = {1.0, 4.0, 2.0, 8.0, 5.0};
+  Series shifted;
+  for (double v : base) shifted.push_back(3.0 * v + 100.0);
+  const Series za = z_normalize(base);
+  const Series zb = z_normalize(shifted);
+  for (std::size_t i = 0; i < za.size(); ++i) EXPECT_NEAR(za[i], zb[i], 1e-9);
+}
+
+TEST(MinMaxScale, MapsToUnitInterval) {
+  const Series out = min_max_scale({2.0, 6.0, 4.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+  const Series flat = min_max_scale({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(flat[0], 0.5);
+}
+
+/// Property sweep over sizes: z-normalisation invariants hold for any
+/// pseudo-random series.
+class ZNormProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZNormProperty, InvariantsHold) {
+  const int n = GetParam();
+  Series in;
+  std::uint64_t state = 12345 + static_cast<std::uint64_t>(n);
+  for (int i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    in.push_back(static_cast<double>(state >> 40));
+  }
+  const Series z = z_normalize(in);
+  ASSERT_EQ(z.size(), in.size());
+  EXPECT_NEAR(mean(z), 0.0, 1e-9);
+  if (n >= 2) {
+    EXPECT_NEAR(stddev(z), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ZNormProperty, ::testing::Values(2, 3, 10, 64, 128, 999));
+
+}  // namespace
+}  // namespace hdc::timeseries

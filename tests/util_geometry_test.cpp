@@ -1,0 +1,166 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hdc::util {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+TEST(Angles, DegRadRoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.5)), 37.5, kEps);
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, kEps);
+  EXPECT_NEAR(deg_to_rad(-90.0), -kPi / 2.0, kEps);
+}
+
+TEST(Angles, WrapAngleIntoHalfOpenRange) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, kEps);
+  EXPECT_NEAR(wrap_angle(kPi / 2), kPi / 2, kEps);
+  EXPECT_NEAR(wrap_angle(3 * kPi), -kPi, kEps);  // pi wraps to -pi
+  EXPECT_NEAR(wrap_angle(-3 * kPi), -kPi, kEps);
+  EXPECT_NEAR(wrap_angle(kTwoPi + 0.25), 0.25, 1e-9);
+}
+
+TEST(Angles, WrapAnglePositive) {
+  EXPECT_NEAR(wrap_angle_positive(-0.25), kTwoPi - 0.25, 1e-9);
+  EXPECT_NEAR(wrap_angle_positive(kTwoPi), 0.0, 1e-9);
+  EXPECT_GE(wrap_angle_positive(-123.0), 0.0);
+  EXPECT_LT(wrap_angle_positive(123.0), kTwoPi);
+}
+
+TEST(Angles, AngleDistanceIsSymmetricAndBounded) {
+  EXPECT_NEAR(angle_distance(0.1, -0.1), 0.2, 1e-9);
+  EXPECT_NEAR(angle_distance(-0.1, 0.1), 0.2, 1e-9);
+  // Across the seam: 179 deg and -179 deg are 2 deg apart.
+  EXPECT_NEAR(angle_distance(deg_to_rad(179), deg_to_rad(-179)), deg_to_rad(2), 1e-9);
+}
+
+TEST(Scalars, LerpAndClamp) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 2.0), 6.0);  // extrapolation
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0 * 3.0 + 2.0 * -4.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0 * -4.0 - 2.0 * 3.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, kEps);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector stays zero
+}
+
+TEST(Vec2, RotationPreservesNormAndComposition) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(kPi / 2);
+  EXPECT_NEAR(r.x, 0.0, kEps);
+  EXPECT_NEAR(r.y, 1.0, kEps);
+  const Vec2 twice = v.rotated(0.7).rotated(0.3);
+  const Vec2 once = v.rotated(1.0);
+  EXPECT_NEAR(twice.x, once.x, 1e-9);
+  EXPECT_NEAR(twice.y, once.y, 1e-9);
+}
+
+TEST(Vec2, PerpIsOrthogonal) {
+  const Vec2 v{2.5, -1.0};
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+  EXPECT_DOUBLE_EQ(v.perp().norm(), v.norm());
+}
+
+TEST(Vec2, AngleMatchesAtan2) {
+  EXPECT_NEAR(Vec2(1.0, 1.0).angle(), kPi / 4, kEps);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), kPi, kEps);
+}
+
+TEST(Vec3, ArithmeticAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ((x + y + z) * 2.0, Vec3(2, 2, 2));
+}
+
+TEST(Vec3, RotatedZ) {
+  const Vec3 v{1.0, 0.0, 5.0};
+  const Vec3 r = v.rotated_z(kPi / 2);
+  EXPECT_NEAR(r.x, 0.0, kEps);
+  EXPECT_NEAR(r.y, 1.0, kEps);
+  EXPECT_DOUBLE_EQ(r.z, 5.0);  // z untouched
+}
+
+TEST(Vec3, XyProjection) {
+  EXPECT_EQ(Vec3(1.0, 2.0, 3.0).xy(), Vec2(1.0, 2.0));
+}
+
+TEST(Box2, ContainsAndGeometry) {
+  const Box2 box{{0.0, 0.0}, {10.0, 4.0}};
+  EXPECT_TRUE(box.contains({5.0, 2.0}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));   // boundary inclusive
+  EXPECT_TRUE(box.contains({10.0, 4.0}));
+  EXPECT_FALSE(box.contains({10.1, 2.0}));
+  EXPECT_FALSE(box.contains({5.0, -0.1}));
+  EXPECT_DOUBLE_EQ(box.width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.height(), 4.0);
+  EXPECT_EQ(box.center(), Vec2(5.0, 2.0));
+}
+
+TEST(Box2, InflateMergeClamp) {
+  const Box2 box{{0.0, 0.0}, {2.0, 2.0}};
+  const Box2 big = box.inflated(1.0);
+  EXPECT_EQ(big.min, Vec2(-1.0, -1.0));
+  EXPECT_EQ(big.max, Vec2(3.0, 3.0));
+
+  const Box2 other{{5.0, -1.0}, {6.0, 1.0}};
+  const Box2 merged = box.merged(other);
+  EXPECT_EQ(merged.min, Vec2(0.0, -1.0));
+  EXPECT_EQ(merged.max, Vec2(6.0, 2.0));
+
+  EXPECT_EQ(box.clamp_point({5.0, 1.0}), Vec2(2.0, 1.0));
+  EXPECT_EQ(box.clamp_point({1.0, 1.0}), Vec2(1.0, 1.0));
+}
+
+TEST(PointSegment, DistanceCases) {
+  const Vec2 a{0.0, 0.0}, b{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 3.0}, a, b), 3.0);  // interior
+  EXPECT_DOUBLE_EQ(point_segment_distance({-4.0, 3.0}, a, b), 5.0);  // past a
+  EXPECT_DOUBLE_EQ(point_segment_distance({14.0, 3.0}, a, b), 5.0);  // past b
+  EXPECT_DOUBLE_EQ(point_segment_distance({3.0, 0.0}, a, b), 0.0);   // on segment
+  // Degenerate segment = point distance.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3.0, 4.0}, a, a), 5.0);
+}
+
+/// Property sweep: wrap_angle always lands in [-pi, pi) and preserves the
+/// angle modulo 2*pi.
+class WrapAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapAngleSweep, StaysInRangeAndEquivalent) {
+  const double a = GetParam();
+  const double w = wrap_angle(a);
+  EXPECT_GE(w, -kPi);
+  EXPECT_LT(w, kPi);
+  EXPECT_NEAR(std::remainder(a - w, kTwoPi), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyAngles, WrapAngleSweep,
+                         ::testing::Values(-100.0, -7.0, -kPi, -0.5, 0.0, 0.5, kPi,
+                                           6.5, 42.0, 1000.0));
+
+}  // namespace
+}  // namespace hdc::util
