@@ -1,0 +1,134 @@
+// Batch-engine throughput: frames/sec of BatchRecognizer at 1/2/4/N workers
+// against the sequential SaxSignRecognizer baseline on the same frame set,
+// with a bit-identity check on every payload field (the batch engine must
+// never trade correctness for speed).
+//
+// The paper predicts "optimised bare-metal C code [can] easily achieve 30
+// frames-per-second"; the ROADMAP north star is a system that serves many
+// simultaneous perception streams. The batch engine gets there two ways:
+// per-worker scratch arenas make the hot path allocation-free (a single-core
+// win), and the worker pool scales across cores (the >= 2x @ 4 workers
+// target assumes >= 4 physical cores; on fewer cores the pool degrades
+// gracefully and the arena win remains).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recognition/batch_recognizer.hpp"
+#include "signs/scene.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc;
+using recognition::BatchRecognizer;
+using recognition::DatabaseBuildOptions;
+using recognition::RecognitionResult;
+using recognition::RecognizerConfig;
+using recognition::SaxSignRecognizer;
+
+/// Every sign over the altitude band plus oblique (rejecting) views,
+/// replicated to `total` frames — a realistic mixed stream.
+std::vector<imaging::GrayImage> make_frames(std::size_t total) {
+  std::vector<imaging::GrayImage> distinct;
+  for (const signs::HumanSign sign : signs::kAllSigns) {
+    for (const double altitude : {2.0, 3.5, 5.0}) {
+      distinct.push_back(signs::render_sign(sign, {altitude, 3.0, 0.0}, {}));
+    }
+  }
+  distinct.push_back(signs::render_sign(signs::HumanSign::kNo, {3.5, 3.0, 40.0}, {}));
+  distinct.push_back(signs::render_sign(signs::HumanSign::kYes, {3.5, 3.0, 75.0}, {}));
+
+  std::vector<imaging::GrayImage> frames;
+  frames.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) frames.push_back(distinct[i % distinct.size()]);
+  return frames;
+}
+
+bool payloads_equal(const RecognitionResult& a, const RecognitionResult& b) {
+  return a.accepted == b.accepted && a.sign == b.sign &&
+         a.reject_reason == b.reject_reason &&
+         std::memcmp(&a.distance, &b.distance, sizeof(double)) == 0 &&
+         std::memcmp(&a.margin, &b.margin, sizeof(double)) == 0 &&
+         a.sax_word == b.sax_word;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kFrames = 64;
+  constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+  std::cout << "rendering " << kFrames << " frames + canonical database...\n";
+  const SaxSignRecognizer sequential(RecognizerConfig{}, DatabaseBuildOptions{});
+  const std::vector<imaging::GrayImage> frames = make_frames(kFrames);
+
+  // Sequential baseline: the original one-frame-at-a-time API.
+  std::vector<RecognitionResult> baseline;
+  double seq_seconds = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    baseline.clear();
+    baseline.reserve(frames.size());
+    util::Stopwatch watch;
+    for (const imaging::GrayImage& frame : frames) {
+      baseline.push_back(sequential.recognize(frame));
+    }
+    seq_seconds = std::min(seq_seconds, watch.elapsed_seconds());
+  }
+  const double seq_fps = static_cast<double>(kFrames) / seq_seconds;
+
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> worker_counts = {1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) worker_counts.push_back(hw);
+
+  util::TextTable table({"configuration", "frames/sec", "speedup", "bit-identical"});
+  table.add_row({"sequential (baseline)", util::fmt(seq_fps, 1), "1.00x", "-"});
+
+  bool all_identical = true;
+  double fps_at_4 = 0.0;
+  for (const std::size_t workers : worker_counts) {
+    BatchRecognizer engine(sequential.config(), sequential.database(), workers);
+    std::vector<RecognitionResult> results;
+    engine.recognize_batch(frames, results);  // warm-up: sizes the arenas
+    double seconds = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::Stopwatch watch;
+      engine.recognize_batch(frames, results);
+      seconds = std::min(seconds, watch.elapsed_seconds());
+    }
+    bool identical = results.size() == baseline.size();
+    for (std::size_t i = 0; identical && i < results.size(); ++i) {
+      identical = payloads_equal(results[i], baseline[i]);
+    }
+    all_identical = all_identical && identical;
+    const double fps = static_cast<double>(kFrames) / seconds;
+    if (workers == 4) fps_at_4 = fps;
+    table.add_row({"batch, " + std::to_string(workers) + " worker(s)",
+                   util::fmt(fps, 1), util::fmt(fps / seq_fps, 2) + "x",
+                   identical ? "yes" : "NO"});
+  }
+
+  std::cout << "\n--- batch recognition throughput (" << kFrames
+            << "-frame mixed stream, best of " << kReps << ") ---\n";
+  table.print(std::cout);
+  std::cout << "hardware threads available: " << hw << "\n";
+
+  if (!all_identical) {
+    std::cout << "FAIL: batch payloads diverge from the sequential baseline\n";
+    return 1;
+  }
+  std::cout << "batch results bit-identical to sequential: yes\n";
+  const double target = 2.0 * seq_fps;
+  std::cout << "target (>= 2x sequential at 4 workers): " << util::fmt(target, 1)
+            << " fps -> " << (fps_at_4 >= target ? "MET" : "NOT MET") << " ("
+            << util::fmt(fps_at_4, 1) << " fps @ 4 workers";
+  if (fps_at_4 < target && hw < 4) {
+    std::cout << "; only " << hw << " hardware thread(s) — the worker pool "
+              << "cannot exceed the core budget";
+  }
+  std::cout << ")\n";
+  return 0;
+}

@@ -7,9 +7,13 @@ namespace hdc::imaging {
 
 namespace {
 
-/// Union-find over provisional labels.
+/// Union-find over provisional labels, storing its parents in a
+/// caller-owned arena so batch workers can reuse the allocation.
 class DisjointSet {
  public:
+  explicit DisjointSet(std::vector<std::int32_t>& parent) : parent_(parent) {
+    parent_.clear();
+  }
   std::int32_t make_set() {
     parent_.push_back(static_cast<std::int32_t>(parent_.size()));
     return parent_.back();
@@ -29,15 +33,17 @@ class DisjointSet {
   }
 
  private:
-  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t>& parent_;
 };
 
 }  // namespace
 
-Labeling label_components(const BinaryImage& binary) {
-  Labeling result{Image<std::int32_t>(binary.width(), binary.height(), 0), {}};
-  auto& labels = result.labels;
-  DisjointSet sets;
+void label_components_into(const BinaryImage& binary, Labeling& out,
+                           LabelScratch& scratch) {
+  out.labels.reset(binary.width(), binary.height(), 0);
+  out.components.clear();
+  auto& labels = out.labels;
+  DisjointSet sets(scratch.parent);
   sets.make_set();  // slot 0 = background
 
   // Pass 1: provisional labels; merge across the 4 already-visited
@@ -64,8 +70,9 @@ Labeling label_components(const BinaryImage& binary) {
   }
 
   // Pass 2: flatten labels to 1..n and gather statistics.
-  std::vector<std::int32_t> remap;  // root -> compact label
-  std::vector<Component>& comps = result.components;
+  std::vector<std::int32_t>& remap = scratch.remap;  // root -> compact label
+  remap.clear();
+  std::vector<Component>& comps = out.components;
   for (int y = 0; y < binary.height(); ++y) {
     for (int x = 0; x < binary.width(); ++x) {
       std::int32_t l = labels(x, y);
@@ -98,24 +105,39 @@ Labeling label_components(const BinaryImage& binary) {
       comp.centroid.y /= static_cast<double>(comp.area);
     }
   }
+}
+
+Labeling label_components(const BinaryImage& binary) {
+  Labeling result;
+  LabelScratch scratch;
+  label_components_into(binary, result, scratch);
   return result;
 }
 
-BinaryImage largest_component_mask(const BinaryImage& binary, std::size_t min_area) {
-  const Labeling labeling = label_components(binary);
-  BinaryImage mask(binary.width(), binary.height(), kBackground);
+void largest_component_mask_into(const BinaryImage& binary, std::size_t min_area,
+                                 BinaryImage& mask, Labeling& labeling,
+                                 LabelScratch& scratch) {
+  label_components_into(binary, labeling, scratch);
+  mask.reset(binary.width(), binary.height(), kBackground);
   const Component* largest = nullptr;
   for (const Component& comp : labeling.components) {
     if (comp.area >= min_area && (largest == nullptr || comp.area > largest->area)) {
       largest = &comp;
     }
   }
-  if (largest == nullptr) return mask;
+  if (largest == nullptr) return;
   for (int y = 0; y < binary.height(); ++y) {
     for (int x = 0; x < binary.width(); ++x) {
       if (labeling.labels(x, y) == largest->label) mask(x, y) = kForeground;
     }
   }
+}
+
+BinaryImage largest_component_mask(const BinaryImage& binary, std::size_t min_area) {
+  BinaryImage mask;
+  Labeling labeling;
+  LabelScratch scratch;
+  largest_component_mask_into(binary, min_area, mask, labeling, scratch);
   return mask;
 }
 

@@ -35,6 +35,24 @@ struct Labeling {
 [[nodiscard]] BinaryImage largest_component_mask(const BinaryImage& binary,
                                                  std::size_t min_area = 1);
 
+/// Reusable arenas for the labelling passes (union-find parents and the
+/// root -> compact-label remap). Keep one per worker; cleared, not freed,
+/// between frames.
+struct LabelScratch {
+  std::vector<std::int32_t> parent;
+  std::vector<std::int32_t> remap;
+};
+
+/// label_components into a caller-owned Labeling; bit-identical to the
+/// allocating version, which delegates here.
+void label_components_into(const BinaryImage& binary, Labeling& out,
+                           LabelScratch& scratch);
+
+/// largest_component_mask into `mask`, reusing `labeling`/`scratch` arenas.
+void largest_component_mask_into(const BinaryImage& binary, std::size_t min_area,
+                                 BinaryImage& mask, Labeling& labeling,
+                                 LabelScratch& scratch);
+
 /// Removes every component smaller than `min_area` (despeckle).
 [[nodiscard]] BinaryImage remove_small_components(const BinaryImage& binary,
                                                   std::size_t min_area);

@@ -18,7 +18,8 @@ constexpr std::array<std::array<int, 2>, 8> kMooreOffsets = {{
 
 }  // namespace
 
-Contour trace_boundary(const BinaryImage& mask) {
+void trace_boundary_into(const BinaryImage& mask, Contour& contour) {
+  contour.clear();
   // Find the first foreground pixel in raster order; its west neighbour is
   // guaranteed background, which seeds the backtrack direction.
   int start_x = -1, start_y = -1;
@@ -31,9 +32,8 @@ Contour trace_boundary(const BinaryImage& mask) {
       }
     }
   }
-  if (start_x < 0) return {};
+  if (start_x < 0) return;
 
-  Contour contour;
   contour.emplace_back(start_x, start_y);
 
   // Isolated single pixel: its boundary is itself.
@@ -44,7 +44,7 @@ Contour trace_boundary(const BinaryImage& mask) {
       break;
     }
   }
-  if (!has_neighbour) return contour;
+  if (!has_neighbour) return;
 
   // Moore tracing with Jacob's stopping criterion. The backtrack is
   // tracked as the *position* of the background neighbour from which the
@@ -98,6 +98,11 @@ Contour trace_boundary(const BinaryImage& mask) {
 
   // The loop may append the start pixel again as the final step; drop it.
   if (contour.size() > 1 && contour.back() == contour.front()) contour.pop_back();
+}
+
+Contour trace_boundary(const BinaryImage& mask) {
+  Contour contour;
+  trace_boundary_into(mask, contour);
   return contour;
 }
 
@@ -128,14 +133,21 @@ double contour_area(const Contour& contour) {
   return std::abs(twice_area) * 0.5;
 }
 
-Contour resample_by_arc_length(const Contour& contour, std::size_t count) {
-  if (contour.empty() || count == 0) return {};
-  if (contour.size() == 1) return Contour(count, contour.front());
+void resample_by_arc_length_into(const Contour& contour, std::size_t count,
+                                 Contour& out) {
+  out.clear();
+  if (contour.empty() || count == 0) return;
+  if (contour.size() == 1) {
+    out.assign(count, contour.front());
+    return;
+  }
 
   const double total = contour_perimeter(contour);
-  if (total <= 0.0) return Contour(count, contour.front());
+  if (total <= 0.0) {
+    out.assign(count, contour.front());
+    return;
+  }
 
-  Contour out;
   out.reserve(count);
   const double step = total / static_cast<double>(count);
 
@@ -158,6 +170,11 @@ Contour resample_by_arc_length(const Contour& contour, std::size_t count) {
     const double t = seg_len > 0.0 ? remain / seg_len : 0.0;
     out.push_back(seg_a + (seg_b - seg_a) * t);
   }
+}
+
+Contour resample_by_arc_length(const Contour& contour, std::size_t count) {
+  Contour out;
+  resample_by_arc_length_into(contour, count, out);
   return out;
 }
 

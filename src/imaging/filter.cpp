@@ -11,8 +11,8 @@ namespace {
 
 /// Horizontal box pass with clamp-to-edge; the vertical pass runs the same
 /// code on the transposed access pattern.
-GrayImage box_pass_horizontal(const GrayImage& src, int radius) {
-  GrayImage out(src.width(), src.height());
+void box_pass_horizontal(const GrayImage& src, int radius, GrayImage& out) {
+  out.reset(src.width(), src.height());
   const int window = 2 * radius + 1;
   for (int y = 0; y < src.height(); ++y) {
     int sum = 0;
@@ -22,11 +22,10 @@ GrayImage box_pass_horizontal(const GrayImage& src, int radius) {
       sum += src.clamped(x + radius + 1, y) - src.clamped(x - radius, y);
     }
   }
-  return out;
 }
 
-GrayImage box_pass_vertical(const GrayImage& src, int radius) {
-  GrayImage out(src.width(), src.height());
+void box_pass_vertical(const GrayImage& src, int radius, GrayImage& out) {
+  out.reset(src.width(), src.height());
   const int window = 2 * radius + 1;
   for (int x = 0; x < src.width(); ++x) {
     int sum = 0;
@@ -36,37 +35,71 @@ GrayImage box_pass_vertical(const GrayImage& src, int radius) {
       sum += src.clamped(x, y + radius + 1) - src.clamped(x, y - radius);
     }
   }
-  return out;
 }
 
 }  // namespace
 
-GrayImage box_blur(const GrayImage& src, int radius) {
-  if (radius <= 0) return src;
-  return box_pass_vertical(box_pass_horizontal(src, radius), radius);
+void box_blur_into(const GrayImage& src, int radius, GrayImage& out,
+                   GrayImage& scratch) {
+  if (radius <= 0) {
+    out = src;
+    return;
+  }
+  box_pass_horizontal(src, radius, scratch);
+  box_pass_vertical(scratch, radius, out);
 }
 
-GrayImage gaussian_blur(const GrayImage& src, double sigma) {
-  if (sigma <= 0.0) return src;
+GrayImage box_blur(const GrayImage& src, int radius) {
+  if (radius <= 0) return src;
+  GrayImage out;
+  GrayImage scratch;
+  box_blur_into(src, radius, out, scratch);
+  return out;
+}
+
+void gaussian_blur_into(const GrayImage& src, double sigma, GrayImage& out,
+                        GrayImage& scratch) {
+  if (sigma <= 0.0) {
+    out = src;
+    return;
+  }
   // Ideal box width for 3 passes: w = sqrt(12 sigma^2 / 3 + 1).
   const double ideal = std::sqrt(4.0 * sigma * sigma + 1.0);
   int radius = static_cast<int>((ideal - 1.0) / 2.0);
   if (radius < 1) radius = 1;
-  GrayImage out = box_blur(src, radius);
-  out = box_blur(out, radius);
-  out = box_blur(out, radius);
+  // Each box pass reads only `scratch` while writing `out`, so chaining
+  // out -> out is alias-safe.
+  box_pass_horizontal(src, radius, scratch);
+  box_pass_vertical(scratch, radius, out);
+  box_pass_horizontal(out, radius, scratch);
+  box_pass_vertical(scratch, radius, out);
+  box_pass_horizontal(out, radius, scratch);
+  box_pass_vertical(scratch, radius, out);
+}
+
+GrayImage gaussian_blur(const GrayImage& src, double sigma) {
+  if (sigma <= 0.0) return src;
+  GrayImage out;
+  GrayImage scratch;
+  gaussian_blur_into(src, sigma, out, scratch);
   return out;
 }
 
-BinaryImage threshold(const GrayImage& src, std::uint8_t value) {
-  BinaryImage out(src.width(), src.height());
+void threshold_into(const GrayImage& src, std::uint8_t value, BinaryImage& out) {
+  out.reset(src.width(), src.height());
   for (std::size_t i = 0; i < src.data().size(); ++i) {
     out.data()[i] = src.data()[i] >= value ? kForeground : kBackground;
   }
+}
+
+BinaryImage threshold(const GrayImage& src, std::uint8_t value) {
+  BinaryImage out;
+  threshold_into(src, value, out);
   return out;
 }
 
-BinaryImage otsu_threshold(const GrayImage& src, std::uint8_t* chosen) {
+void otsu_threshold_into(const GrayImage& src, BinaryImage& out,
+                         std::uint8_t* chosen) {
   std::array<std::uint64_t, 256> histogram{};
   for (std::uint8_t v : src.data()) ++histogram[v];
 
@@ -95,14 +128,25 @@ BinaryImage otsu_threshold(const GrayImage& src, std::uint8_t* chosen) {
     }
   }
   if (chosen != nullptr) *chosen = static_cast<std::uint8_t>(best_threshold);
-  return threshold(src, static_cast<std::uint8_t>(best_threshold));
+  threshold_into(src, static_cast<std::uint8_t>(best_threshold), out);
 }
 
-GrayImage invert(const GrayImage& src) {
-  GrayImage out(src.width(), src.height());
+BinaryImage otsu_threshold(const GrayImage& src, std::uint8_t* chosen) {
+  BinaryImage out;
+  otsu_threshold_into(src, out, chosen);
+  return out;
+}
+
+void invert_into(const GrayImage& src, GrayImage& out) {
+  out.reset(src.width(), src.height());
   for (std::size_t i = 0; i < src.data().size(); ++i) {
     out.data()[i] = static_cast<std::uint8_t>(255 - src.data()[i]);
   }
+}
+
+GrayImage invert(const GrayImage& src) {
+  GrayImage out;
+  invert_into(src, out);
   return out;
 }
 

@@ -27,6 +27,30 @@ namespace hdc::imaging {
 /// Photometric inversion (255 - v).
 [[nodiscard]] GrayImage invert(const GrayImage& src);
 
+// Buffer-reusing overloads for the batch pipeline. Each writes into `out`
+// (resized in place, allocation-free once warm) and produces output
+// bit-identical to its allocating counterpart, which delegates here.
+// `out` (and any scratch) must not alias `src`.
+
+/// box_blur into `out`; `scratch` holds the horizontal pass.
+void box_blur_into(const GrayImage& src, int radius, GrayImage& out,
+                   GrayImage& scratch);
+
+/// gaussian_blur into `out`; `scratch` is ping-pong storage for the box
+/// passes.
+void gaussian_blur_into(const GrayImage& src, double sigma, GrayImage& out,
+                        GrayImage& scratch);
+
+/// threshold into `out`.
+void threshold_into(const GrayImage& src, std::uint8_t value, BinaryImage& out);
+
+/// otsu_threshold into `out`.
+void otsu_threshold_into(const GrayImage& src, BinaryImage& out,
+                         std::uint8_t* chosen = nullptr);
+
+/// invert into `out`.
+void invert_into(const GrayImage& src, GrayImage& out);
+
 /// Adds zero-mean Gaussian pixel noise with the given stddev (clamped to
 /// [0, 255]). Models sensor noise for robustness tests.
 [[nodiscard]] GrayImage add_gaussian_noise(const GrayImage& src, double stddev,

@@ -73,6 +73,20 @@ class Image {
 
   void fill(T value) { std::fill(pixels_.begin(), pixels_.end(), value); }
 
+  /// Reshapes to width x height and resets every pixel to `fill_value`,
+  /// reusing the existing heap block whenever its capacity suffices. This is
+  /// what makes the batch pipeline's scratch buffers allocation-free after
+  /// warm-up.
+  void reset(int width, int height, T fill_value = T{}) {
+    if (width <= 0 || height <= 0) {
+      throw std::invalid_argument("Image::reset: dimensions must be positive");
+    }
+    width_ = width;
+    height_ = height;
+    pixels_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                   fill_value);
+  }
+
   [[nodiscard]] std::vector<T>& data() noexcept { return pixels_; }
   [[nodiscard]] const std::vector<T>& data() const noexcept { return pixels_; }
 

@@ -1,78 +1,141 @@
 #include "imaging/morphology.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace hdc::imaging {
 
 namespace {
 
 enum class MorphOp { kErode, kDilate };
 
-/// Separable square-element pass: horizontal min/max then vertical min/max.
-BinaryImage morph(const BinaryImage& src, int radius, MorphOp op) {
-  if (radius <= 0) return src;
+/// Separable square-element pass: horizontal min/max then vertical min/max,
+/// with pixels outside the raster counting as background for both ops.
+///
+/// Implemented as bitwise AND (erode) / OR (dilate) over shifted rows, which
+/// is exact for the {0, 255} value convention (see image.hpp) and lets the
+/// compiler vectorise the inner loops — this is the recognition pipeline's
+/// hottest stage (~75% of a frame before this rewrite). Writes into `out`,
+/// using `scratch` for the horizontal intermediate.
+void morph_into(const BinaryImage& src, int radius, MorphOp op, BinaryImage& out,
+                BinaryImage& scratch) {
+  if (radius <= 0) {
+    out = src;
+    return;
+  }
   const bool is_erode = op == MorphOp::kErode;
-  const std::uint8_t outside = is_erode ? kBackground : kBackground;
+  const int w = src.width();
+  const int h = src.height();
+  BinaryImage& horizontal = scratch;
+  horizontal.reset(w, h);
+  out.reset(w, h);
+  const std::uint8_t* src_data = src.data().data();
+  std::uint8_t* mid_data = horizontal.data().data();
 
-  BinaryImage horizontal(src.width(), src.height());
-  for (int y = 0; y < src.height(); ++y) {
-    for (int x = 0; x < src.width(); ++x) {
-      std::uint8_t value = is_erode ? kForeground : kBackground;
-      for (int dx = -radius; dx <= radius; ++dx) {
-        const int sx = x + dx;
-        const std::uint8_t sample = src.in_bounds(sx, y) ? src(sx, y) : outside;
-        if (is_erode) {
-          if (sample == kBackground) {
-            value = kBackground;
-            break;
-          }
-        } else if (sample == kForeground) {
-          value = kForeground;
-          break;
-        }
+  // Horizontal pass: accumulate the shifted row for each offset in
+  // [-radius, radius]. Shifted-out-of-raster samples are background, so
+  // erosion forces the `radius` pixels nearest each edge to background and
+  // dilation leaves them to the in-raster samples.
+  const auto row_size = static_cast<std::size_t>(w);
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* in = src_data + static_cast<std::size_t>(y) * row_size;
+    std::uint8_t* mid = mid_data + static_cast<std::size_t>(y) * row_size;
+    std::memcpy(mid, in, row_size);
+    for (int d = 1; d <= radius; ++d) {
+      const int left_end = std::max(w - d, 0);
+      if (is_erode) {
+        for (int x = 0; x < left_end; ++x) mid[x] &= in[x + d];
+        for (int x = left_end; x < w; ++x) mid[x] = kBackground;
+        for (int x = w - 1; x >= d; --x) mid[x] &= in[x - d];
+        for (int x = 0; x < d && x < w; ++x) mid[x] = kBackground;
+      } else {
+        for (int x = 0; x < left_end; ++x) mid[x] |= in[x + d];
+        for (int x = w - 1; x >= d; --x) mid[x] |= in[x - d];
       }
-      horizontal(x, y) = value;
     }
   }
 
-  BinaryImage out(src.width(), src.height());
-  for (int y = 0; y < src.height(); ++y) {
-    for (int x = 0; x < src.width(); ++x) {
-      std::uint8_t value = is_erode ? kForeground : kBackground;
-      for (int dy = -radius; dy <= radius; ++dy) {
-        const int sy = y + dy;
-        const std::uint8_t sample =
-            horizontal.in_bounds(x, sy) ? horizontal(x, sy) : outside;
-        if (is_erode) {
-          if (sample == kBackground) {
-            value = kBackground;
-            break;
-          }
-        } else if (sample == kForeground) {
-          value = kForeground;
-          break;
-        }
+  // Vertical pass: combine the window's rows of the horizontal result.
+  for (int y = 0; y < h; ++y) {
+    std::uint8_t* dst = out.data().data() + static_cast<std::size_t>(y) * row_size;
+    const int window_top = y - radius;
+    const int window_bottom = y + radius;
+    if (is_erode) {
+      if (window_top < 0 || window_bottom >= h) {
+        std::memset(dst, kBackground, row_size);
+        continue;
       }
-      out(x, y) = value;
+      std::memcpy(dst, mid_data + static_cast<std::size_t>(window_top) * row_size,
+                  row_size);
+      for (int yy = window_top + 1; yy <= window_bottom; ++yy) {
+        const std::uint8_t* mid = mid_data + static_cast<std::size_t>(yy) * row_size;
+        for (int x = 0; x < w; ++x) dst[x] &= mid[x];
+      }
+    } else {
+      const int first = std::max(window_top, 0);
+      const int last = std::min(window_bottom, h - 1);
+      std::memcpy(dst, mid_data + static_cast<std::size_t>(first) * row_size,
+                  row_size);
+      for (int yy = first + 1; yy <= last; ++yy) {
+        const std::uint8_t* mid = mid_data + static_cast<std::size_t>(yy) * row_size;
+        for (int x = 0; x < w; ++x) dst[x] |= mid[x];
+      }
     }
   }
-  return out;
 }
 
 }  // namespace
 
+void erode_into(const BinaryImage& src, int radius, BinaryImage& out,
+                BinaryImage& scratch) {
+  morph_into(src, radius, MorphOp::kErode, out, scratch);
+}
+
+void dilate_into(const BinaryImage& src, int radius, BinaryImage& out,
+                 BinaryImage& scratch) {
+  morph_into(src, radius, MorphOp::kDilate, out, scratch);
+}
+
+void open_into(const BinaryImage& src, int radius, BinaryImage& out,
+               BinaryImage& scratch_a, BinaryImage& scratch_b) {
+  erode_into(src, radius, scratch_a, scratch_b);
+  dilate_into(scratch_a, radius, out, scratch_b);
+}
+
+void close_into(const BinaryImage& src, int radius, BinaryImage& out,
+                BinaryImage& scratch_a, BinaryImage& scratch_b) {
+  dilate_into(src, radius, scratch_a, scratch_b);
+  erode_into(scratch_a, radius, out, scratch_b);
+}
+
 BinaryImage erode(const BinaryImage& src, int radius) {
-  return morph(src, radius, MorphOp::kErode);
+  BinaryImage out;
+  BinaryImage scratch;
+  erode_into(src, radius, out, scratch);
+  return out;
 }
 
 BinaryImage dilate(const BinaryImage& src, int radius) {
-  return morph(src, radius, MorphOp::kDilate);
+  BinaryImage out;
+  BinaryImage scratch;
+  dilate_into(src, radius, out, scratch);
+  return out;
 }
 
 BinaryImage open(const BinaryImage& src, int radius) {
-  return dilate(erode(src, radius), radius);
+  BinaryImage out;
+  BinaryImage scratch_a;
+  BinaryImage scratch_b;
+  open_into(src, radius, out, scratch_a, scratch_b);
+  return out;
 }
 
 BinaryImage close(const BinaryImage& src, int radius) {
-  return erode(dilate(src, radius), radius);
+  BinaryImage out;
+  BinaryImage scratch_a;
+  BinaryImage scratch_b;
+  close_into(src, radius, out, scratch_a, scratch_b);
+  return out;
 }
 
 std::size_t foreground_area(const BinaryImage& src) {

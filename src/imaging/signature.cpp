@@ -7,19 +7,31 @@
 
 namespace hdc::imaging {
 
+void centroid_distance_signature_into(const Contour& contour, std::size_t samples,
+                                      hdc::timeseries::Series& out,
+                                      Contour& resample_scratch) {
+  out.clear();
+  if (contour.size() < 3 || samples == 0) return;
+  resample_by_arc_length_into(contour, samples, resample_scratch);
+  const Vec2 centroid = contour_centroid(contour);
+  out.reserve(samples);
+  for (const Vec2& p : resample_scratch) out.push_back(p.distance_to(centroid));
+}
+
 hdc::timeseries::Series centroid_distance_signature(const Contour& contour,
                                                     std::size_t samples) {
-  if (contour.size() < 3 || samples == 0) return {};
-  const Contour resampled = resample_by_arc_length(contour, samples);
-  const Vec2 centroid = contour_centroid(contour);
   hdc::timeseries::Series signature;
-  signature.reserve(samples);
-  for (const Vec2& p : resampled) signature.push_back(p.distance_to(centroid));
+  Contour resample_scratch;
+  centroid_distance_signature_into(contour, samples, signature, resample_scratch);
   return signature;
 }
 
-Contour normalize_contour_aspect(const Contour& contour, double side) {
-  if (contour.empty()) return contour;
+void normalize_contour_aspect_into(const Contour& contour, double side,
+                                   Contour& out) {
+  if (contour.empty()) {
+    out.clear();
+    return;
+  }
   double min_x = contour[0].x, max_x = contour[0].x;
   double min_y = contour[0].y, max_y = contour[0].y;
   for (const Vec2& p : contour) {
@@ -30,12 +42,20 @@ Contour normalize_contour_aspect(const Contour& contour, double side) {
   }
   const double width = max_x - min_x;
   const double height = max_y - min_y;
-  if (width <= 0.0 || height <= 0.0) return contour;
-  Contour out;
+  if (width <= 0.0 || height <= 0.0) {
+    out = contour;
+    return;
+  }
+  out.clear();
   out.reserve(contour.size());
   for (const Vec2& p : contour) {
     out.push_back({(p.x - min_x) / width * side, (p.y - min_y) / height * side});
   }
+}
+
+Contour normalize_contour_aspect(const Contour& contour, double side) {
+  Contour out;
+  normalize_contour_aspect_into(contour, side, out);
   return out;
 }
 

@@ -34,4 +34,18 @@ inline constexpr std::size_t kDefaultSignatureSize = 128;
 [[nodiscard]] Contour normalize_contour_aspect(const Contour& contour,
                                                double side = 100.0);
 
+// Buffer-reusing overloads for the batch pipeline; bit-identical to the
+// allocating versions, which delegate here. Outputs must not alias inputs.
+
+/// centroid_distance_signature into `out`; `resample_scratch` holds the
+/// arc-length-resampled contour.
+void centroid_distance_signature_into(const Contour& contour, std::size_t samples,
+                                      hdc::timeseries::Series& out,
+                                      Contour& resample_scratch);
+
+/// normalize_contour_aspect into `out` (degenerate input is copied verbatim,
+/// matching the allocating version's pass-through).
+void normalize_contour_aspect_into(const Contour& contour, double side,
+                                   Contour& out);
+
 }  // namespace hdc::imaging

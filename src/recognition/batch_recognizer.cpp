@@ -1,0 +1,47 @@
+#include "recognition/batch_recognizer.hpp"
+
+namespace hdc::recognition {
+
+namespace {
+
+SignDatabase build_database(const RecognizerConfig& config,
+                            const DatabaseBuildOptions& db_options) {
+  // Templates run through the same single-frame pipeline the recogniser
+  // uses, so a query under canonical conditions reproduces its template
+  // bit-for-bit (mirrors SaxSignRecognizer's database constructor).
+  const SaxSignRecognizer reference(config, db_options);
+  return reference.database();
+}
+
+}  // namespace
+
+BatchRecognizer::BatchRecognizer(const RecognizerConfig& config,
+                                 const DatabaseBuildOptions& db_options,
+                                 std::size_t workers)
+    : BatchRecognizer(config, build_database(config, db_options), workers) {}
+
+BatchRecognizer::BatchRecognizer(const RecognizerConfig& config, SignDatabase database,
+                                 std::size_t workers)
+    : config_(config),
+      database_(std::move(database)),
+      pool_(workers),
+      scratch_(pool_.worker_count()) {}
+
+void BatchRecognizer::recognize_batch(const std::vector<imaging::GrayImage>& frames,
+                                      std::vector<RecognitionResult>& results) {
+  results.resize(frames.size());
+  pool_.run(frames.size(), [this, &frames, &results](std::size_t worker,
+                                                     std::size_t index) {
+    recognize_frame_into(config_, database_, frames[index], scratch_[worker],
+                         results[index]);
+  });
+}
+
+std::vector<RecognitionResult> BatchRecognizer::recognize_batch(
+    const std::vector<imaging::GrayImage>& frames) {
+  std::vector<RecognitionResult> results;
+  recognize_batch(frames, results);
+  return results;
+}
+
+}  // namespace hdc::recognition

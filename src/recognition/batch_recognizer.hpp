@@ -1,0 +1,69 @@
+// BatchRecognizer — multi-frame, multi-worker recognition engine.
+//
+// The paper validates one frame at a time; a production deployment (many
+// drones, many simultaneous perception streams — cf. Cleland-Huang &
+// Agrawal 2020 on drone cohorts) needs the same pipeline over a stream of
+// frames. This engine runs the full camera-frame -> Otsu -> morphology ->
+// contour -> signature -> SAX -> database-match pipeline over a batch using
+// a fixed worker pool. Each worker owns a RecognizerScratch (image, label,
+// contour, signature and query arenas), so after the first batch the hot
+// path performs zero per-frame heap allocations.
+//
+// Results are deterministic and bit-identical to SaxSignRecognizer: frame i
+// always lands in results[i], every frame is processed independently against
+// the shared immutable database, and both paths run the same canonical
+// recognize_frame_into() implementation — worker count and scheduling can
+// change timing fields (total_ms) but never a payload field.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "recognition/recognizer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hdc::recognition {
+
+class BatchRecognizer {
+ public:
+  /// Builds the engine and its canonical database (same semantics as
+  /// SaxSignRecognizer). `workers` == 0 selects hardware concurrency.
+  BatchRecognizer(const RecognizerConfig& config,
+                  const DatabaseBuildOptions& db_options, std::size_t workers = 0);
+
+  /// Builds with an externally constructed database (must use a compatible
+  /// encoder configuration).
+  BatchRecognizer(const RecognizerConfig& config, SignDatabase database,
+                  std::size_t workers = 0);
+
+  /// Recognises every frame of the batch; results[i] is frame i's result.
+  /// The results vector is reused in place (including each result's string
+  /// capacity), so a caller that keeps one results vector across batches
+  /// stays allocation-free on the hot path.
+  ///
+  /// One batch at a time per engine: the caller participates as worker 0
+  /// and the scratch arenas belong to this engine, so concurrent calls on
+  /// one BatchRecognizer are a data race. Feeds that must overlap use one
+  /// engine each (the SignDatabase can be shared — it is immutable after
+  /// build).
+  void recognize_batch(const std::vector<imaging::GrayImage>& frames,
+                       std::vector<RecognitionResult>& results);
+
+  /// Convenience overload returning a fresh results vector.
+  [[nodiscard]] std::vector<RecognitionResult> recognize_batch(
+      const std::vector<imaging::GrayImage>& frames);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_.worker_count();
+  }
+  [[nodiscard]] const RecognizerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SignDatabase& database() const noexcept { return database_; }
+
+ private:
+  RecognizerConfig config_;
+  SignDatabase database_;
+  util::ThreadPool pool_;
+  std::vector<RecognizerScratch> scratch_;  ///< one arena per worker
+};
+
+}  // namespace hdc::recognition

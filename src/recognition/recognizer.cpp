@@ -44,106 +44,152 @@ timeseries::Series SaxSignRecognizer::extract_signature(
   return imaging::centroid_distance_signature(contour, config_.signature_samples);
 }
 
-RecognitionResult SaxSignRecognizer::recognize(const imaging::GrayImage& frame,
-                                               RecognitionTrace* trace) const {
-  RecognitionResult result;
+namespace {
+
+/// Conditional stage-timer scope: charges its lifetime to `timers` when
+/// non-null (the batch hot path passes null and pays nothing).
+class MaybeScope {
+ public:
+  MaybeScope(util::StageTimers* timers, const char* stage)
+      : timers_(timers), stage_(stage) {}
+  ~MaybeScope() {
+    if (timers_ != nullptr) timers_->add(stage_, watch_.elapsed_seconds());
+  }
+  MaybeScope(const MaybeScope&) = delete;
+  MaybeScope& operator=(const MaybeScope&) = delete;
+
+ private:
+  util::StageTimers* timers_;
+  const char* stage_;
+  util::Stopwatch watch_;
+};
+
+void reset_result(RecognitionResult& result) {
+  result.accepted = false;
+  result.sign = signs::HumanSign::kNeutral;
+  result.reject_reason = RejectReason::kNoSilhouette;
+  result.distance = 0.0;
+  result.margin = 0.0;
+  result.sax_word.clear();  // keeps capacity for reuse across batches
+  result.total_ms = 0.0;
+}
+
+}  // namespace
+
+void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& database,
+                          const imaging::GrayImage& frame, RecognizerScratch& scratch,
+                          RecognitionResult& result, util::StageTimers* timers,
+                          RecognitionTrace* trace) {
+  reset_result(result);
   util::Stopwatch total;
 
-  // Stage 1: photometric pre-processing.
-  imaging::GrayImage working(1, 1);
+  // Stage 1: photometric pre-processing. `source` tracks the latest image
+  // without copying when a step is disabled.
+  const imaging::GrayImage* source = &frame;
   {
-    auto scope = timers_.scope("1-preprocess");
-    working = config_.dark_silhouette ? imaging::invert(frame) : frame;
-    if (config_.preprocess_blur_sigma > 0.0) {
-      working = imaging::gaussian_blur(working, config_.preprocess_blur_sigma);
+    MaybeScope scope(timers, "1-preprocess");
+    if (config.dark_silhouette) {
+      imaging::invert_into(frame, scratch.working);
+      source = &scratch.working;
+    }
+    if (config.preprocess_blur_sigma > 0.0) {
+      imaging::gaussian_blur_into(*source, config.preprocess_blur_sigma,
+                                  scratch.blurred, scratch.blur_scratch);
+      source = &scratch.blurred;
     }
   }
 
   // Stage 2: binarisation.
-  imaging::BinaryImage binary(1, 1);
   {
-    auto scope = timers_.scope("2-threshold");
-    binary = imaging::otsu_threshold(working);
+    MaybeScope scope(timers, "2-threshold");
+    imaging::otsu_threshold_into(*source, scratch.binary);
   }
 
   // Stage 3: morphology cleanup (close before open; see extract_signature).
   {
-    auto scope = timers_.scope("3-morphology");
-    if (config_.morphology_radius > 0) {
-      binary = imaging::close(binary, config_.morphology_radius);
-      binary = imaging::open(binary, config_.morphology_radius);
+    MaybeScope scope(timers, "3-morphology");
+    if (config.morphology_radius > 0) {
+      imaging::close_into(scratch.binary, config.morphology_radius, scratch.morph,
+                          scratch.morph_a, scratch.morph_b);
+      imaging::open_into(scratch.morph, config.morphology_radius, scratch.binary,
+                         scratch.morph_a, scratch.morph_b);
     }
   }
 
   // Stage 4: silhouette isolation.
   {
-    auto scope = timers_.scope("4-component");
-    binary = imaging::largest_component_mask(binary, config_.min_silhouette_area);
+    MaybeScope scope(timers, "4-component");
+    imaging::largest_component_mask_into(scratch.binary, config.min_silhouette_area,
+                                         scratch.mask, scratch.labeling,
+                                         scratch.label_scratch);
   }
 
   // Stage 5: contour.
-  imaging::Contour contour;
   {
-    auto scope = timers_.scope("5-contour");
-    contour = imaging::trace_boundary(binary);
+    MaybeScope scope(timers, "5-contour");
+    imaging::trace_boundary_into(scratch.mask, scratch.contour);
   }
   if (trace != nullptr) {
-    trace->silhouette = binary;
-    trace->contour = contour;
+    trace->silhouette = scratch.mask;
+    trace->contour = scratch.contour;
   }
-  if (contour.empty()) {
+  if (scratch.contour.empty()) {
     result.reject_reason = RejectReason::kNoSilhouette;
     result.total_ms = total.elapsed_ms();
-    return result;
+    return;
   }
-  if (contour.size() < 8) {
+  if (scratch.contour.size() < 8) {
     result.reject_reason = RejectReason::kDegenerateShape;
     result.total_ms = total.elapsed_ms();
-    return result;
+    return;
   }
 
   // Stage 6: shape -> time series.
-  timeseries::Series signature;
   {
-    auto scope = timers_.scope("6-signature");
-    if (config_.aspect_normalize) {
-      signature = imaging::centroid_distance_signature(
-          imaging::normalize_contour_aspect(contour), config_.signature_samples);
+    MaybeScope scope(timers, "6-signature");
+    if (config.aspect_normalize) {
+      imaging::normalize_contour_aspect_into(scratch.contour, 100.0,
+                                             scratch.normalized_contour);
+      imaging::centroid_distance_signature_into(scratch.normalized_contour,
+                                                config.signature_samples,
+                                                scratch.signature, scratch.resampled);
     } else {
-      signature = imaging::centroid_distance_signature(contour, config_.signature_samples);
+      imaging::centroid_distance_signature_into(scratch.contour,
+                                                config.signature_samples,
+                                                scratch.signature, scratch.resampled);
     }
   }
-  if (signature.empty()) {
+  if (scratch.signature.empty()) {
     result.reject_reason = RejectReason::kDegenerateShape;
     result.total_ms = total.elapsed_ms();
-    return result;
+    return;
   }
   if (trace != nullptr) {
-    trace->raw_signature = signature;
-    trace->normalized_signature = timeseries::z_normalize(signature);
+    trace->raw_signature = scratch.signature;
+    trace->normalized_signature = timeseries::z_normalize(scratch.signature);
   }
 
   // Stage 7: SAX encoding + database search.
   std::optional<DatabaseMatch> match;
   {
-    auto scope = timers_.scope("7-sax-search");
-    match = database_.query(signature, config_.exact_verify);
+    MaybeScope scope(timers, "7-sax-search");
+    match = database.query(scratch.signature, config.exact_verify, scratch.query);
   }
   if (!match) {
     result.reject_reason = RejectReason::kNoSilhouette;
     result.total_ms = total.elapsed_ms();
-    return result;
+    return;
   }
 
   result.sign = match->sign;
   result.distance = match->distance;
   result.margin = match->margin;
-  result.sax_word =
-      database_.encoder().encode(signature).text;
+  // The query already encoded this signature's SAX word into its scratch.
+  result.sax_word = scratch.query.word.text;
 
-  if (match->distance > config_.accept_distance) {
+  if (match->distance > config.accept_distance) {
     result.reject_reason = RejectReason::kAboveThreshold;
-  } else if (match->margin < config_.min_margin) {
+  } else if (match->margin < config.min_margin) {
     result.reject_reason = RejectReason::kLowMargin;
   } else {
     result.accepted = true;
@@ -155,6 +201,13 @@ RecognitionResult SaxSignRecognizer::recognize(const imaging::GrayImage& frame,
     result.reject_reason = RejectReason::kNone;  // recognised, just not communicative
   }
   result.total_ms = total.elapsed_ms();
+}
+
+RecognitionResult SaxSignRecognizer::recognize(const imaging::GrayImage& frame,
+                                               RecognitionTrace* trace) const {
+  RecognitionResult result;
+  RecognizerScratch scratch;
+  recognize_frame_into(config_, database_, frame, scratch, result, &timers_, trace);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "imaging/components.hpp"
 #include "imaging/contour.hpp"
 #include "imaging/image.hpp"
 #include "recognition/sign_database.hpp"
@@ -80,6 +81,38 @@ struct RecognitionTrace {
   timeseries::Series raw_signature;
   timeseries::Series normalized_signature;
 };
+
+/// Every buffer the per-frame pipeline needs, owned by the caller so the hot
+/// path performs no heap allocation after the first frame of a given size.
+/// One scratch per worker thread; a scratch must never be shared between
+/// concurrently processed frames.
+struct RecognizerScratch {
+  imaging::GrayImage working;        ///< inverted frame
+  imaging::GrayImage blurred;        ///< optional blur output
+  imaging::GrayImage blur_scratch;   ///< box-pass ping-pong
+  imaging::BinaryImage binary;       ///< threshold / morphology result
+  imaging::BinaryImage morph;        ///< morphology intermediate
+  imaging::BinaryImage morph_a;      ///< separable-pass scratch
+  imaging::BinaryImage morph_b;      ///< separable-pass scratch
+  imaging::BinaryImage mask;         ///< largest-component silhouette
+  imaging::Labeling labeling;
+  imaging::LabelScratch label_scratch;
+  imaging::Contour contour;
+  imaging::Contour normalized_contour;
+  imaging::Contour resampled;
+  timeseries::Series signature;
+  QueryScratch query;
+};
+
+/// The full single-frame pipeline writing into caller-owned buffers. This is
+/// the one canonical implementation: SaxSignRecognizer::recognize delegates
+/// here with a fresh scratch (so its results are bit-identical to the batch
+/// engine's, which reuses scratches). `timers`/`trace` may be null; both
+/// cost extra when set, so the batch hot path passes null.
+void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& database,
+                          const imaging::GrayImage& frame, RecognizerScratch& scratch,
+                          RecognitionResult& result, util::StageTimers* timers = nullptr,
+                          RecognitionTrace* trace = nullptr);
 
 class SaxSignRecognizer {
  public:

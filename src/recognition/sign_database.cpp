@@ -26,22 +26,28 @@ void SignDatabase::add_template(signs::HumanSign sign,
 
 std::optional<DatabaseMatch> SignDatabase::query(const timeseries::Series& raw_signature,
                                                  bool exact_verify) const {
+  QueryScratch scratch;
+  return query(raw_signature, exact_verify, scratch);
+}
+
+std::optional<DatabaseMatch> SignDatabase::query(const timeseries::Series& raw_signature,
+                                                 bool exact_verify,
+                                                 QueryScratch& scratch) const {
   if (templates_.empty() || raw_signature.empty()) return std::nullopt;
 
-  const timeseries::Series normalized = timeseries::z_normalize(raw_signature);
-  const timeseries::SaxWord query_word = encoder_.encode_normalized(normalized);
+  timeseries::z_normalize_into(raw_signature, scratch.normalized);
+  const timeseries::Series& normalized = scratch.normalized;
+  encoder_.encode_normalized_into(normalized, scratch.word, scratch.paa);
+  const timeseries::SaxWord& query_word = scratch.word;
 
-  struct Scored {
-    double distance;
-    std::size_t index;
-    std::size_t shift;
-  };
-  std::vector<Scored> scored;
+  using Scored = QueryScratch::Scored;
+  std::vector<Scored>& scored = scratch.scored;
+  scored.clear();
   scored.reserve(templates_.size());
   for (std::size_t i = 0; i < templates_.size(); ++i) {
     std::size_t shift = 0;
-    const double d =
-        encoder_.mindist_rotation_invariant(query_word, templates_[i].word, &shift);
+    const double d = encoder_.mindist_rotation_invariant(query_word, templates_[i].word,
+                                                         &shift, scratch.rotated);
     scored.push_back({d, i, shift});
   }
   std::sort(scored.begin(), scored.end(),

@@ -40,6 +40,22 @@ struct DatabaseMatch {
   std::size_t best_shift{0};   ///< rotation at which the best match occurred
 };
 
+/// Reusable buffers for one querying thread. Queries against a shared
+/// database from N workers need N scratches; the database itself is
+/// immutable after build and safe to share.
+struct QueryScratch {
+  struct Scored {
+    double distance;
+    std::size_t index;
+    std::size_t shift;
+  };
+  timeseries::Series normalized;
+  timeseries::Series paa;
+  timeseries::SaxWord word;
+  timeseries::SaxWord rotated;
+  std::vector<Scored> scored;
+};
+
 /// Immutable-after-build template store.
 class SignDatabase {
  public:
@@ -56,6 +72,12 @@ class SignDatabase {
   /// query signature is empty.
   [[nodiscard]] std::optional<DatabaseMatch> query(
       const timeseries::Series& raw_signature, bool exact_verify = false) const;
+
+  /// query with caller-owned scratch buffers (allocation-free once warm);
+  /// bit-identical to the version above, which delegates here.
+  [[nodiscard]] std::optional<DatabaseMatch> query(
+      const timeseries::Series& raw_signature, bool exact_verify,
+      QueryScratch& scratch) const;
 
   [[nodiscard]] const std::vector<SignTemplate>& templates() const noexcept {
     return templates_;

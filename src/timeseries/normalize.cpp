@@ -5,16 +5,22 @@
 
 namespace hdc::timeseries {
 
-Series z_normalize(const Series& input) {
-  if (input.empty()) return {};
+void z_normalize_into(const Series& input, Series& out) {
+  out.clear();
+  if (input.empty()) return;
   const double m = mean(input);
   const double sd = stddev(input);
-  Series out(input.size());
   if (sd < kFlatSeriesEpsilon) {
-    std::fill(out.begin(), out.end(), 0.0);
-    return out;
+    out.assign(input.size(), 0.0);
+    return;
   }
+  out.resize(input.size());
   for (std::size_t i = 0; i < input.size(); ++i) out[i] = (input[i] - m) / sd;
+}
+
+Series z_normalize(const Series& input) {
+  Series out;
+  z_normalize_into(input, out);
   return out;
 }
 

@@ -17,6 +17,11 @@ inline constexpr double kFlatSeriesEpsilon = 1e-9;
 /// standard deviation is below kFlatSeriesEpsilon.
 [[nodiscard]] Series z_normalize(const Series& input);
 
+/// z_normalize into `out` (resized in place, allocation-free once warm);
+/// bit-identical to the allocating version, which delegates here. `out`
+/// must not alias `input`.
+void z_normalize_into(const Series& input, Series& out);
+
 /// True if the series is already z-normalised within `tolerance`
 /// (|mean| < tolerance and |stddev - 1| < tolerance), or is all-zero flat.
 [[nodiscard]] bool is_z_normalized(const Series& input, double tolerance = 1e-6);

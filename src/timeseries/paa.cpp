@@ -5,13 +5,19 @@
 
 namespace hdc::timeseries {
 
-Series paa(const Series& input, std::size_t segments) {
+void paa_into(const Series& input, std::size_t segments, Series& out) {
   if (segments == 0) throw std::invalid_argument("paa: segments must be >= 1");
   const std::size_t n = input.size();
-  if (n == 0) return {};
-  if (segments >= n) return input;
+  if (n == 0) {
+    out.clear();
+    return;
+  }
+  if (segments >= n) {
+    out = input;
+    return;
+  }
 
-  Series out(segments, 0.0);
+  out.assign(segments, 0.0);
   // Fractional-boundary accumulation: sample i covers the index interval
   // [i, i+1); segment s covers [s*n/w, (s+1)*n/w). Each sample's overlap
   // with a segment is added with proportional weight.
@@ -28,6 +34,11 @@ Series paa(const Series& input, std::size_t segments) {
     }
     out[s] = sum / seg_len;
   }
+}
+
+Series paa(const Series& input, std::size_t segments) {
+  Series out;
+  paa_into(input, segments, out);
   return out;
 }
 

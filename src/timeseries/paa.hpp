@@ -19,6 +19,11 @@ namespace hdc::timeseries {
 /// (PAA cannot add information).
 [[nodiscard]] Series paa(const Series& input, std::size_t segments);
 
+/// paa into `out` (resized in place, allocation-free once warm);
+/// bit-identical to the allocating version, which delegates here. `out`
+/// must not alias `input`.
+void paa_into(const Series& input, std::size_t segments, Series& out);
+
 /// Inverse transform for visualisation: expands `coefficients` back to a
 /// step function of length `target_size`.
 [[nodiscard]] Series paa_expand(const Series& coefficients, std::size_t target_size);

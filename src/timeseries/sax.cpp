@@ -98,15 +98,22 @@ SaxWord SaxEncoder::encode(const Series& raw) const {
   return encode_normalized(z_normalize(raw));
 }
 
+void SaxEncoder::encode_normalized_into(const Series& normalized, SaxWord& out,
+                                        Series& paa_scratch) const {
+  out.text.clear();
+  out.source_length = normalized.size();
+  if (normalized.empty()) return;
+  paa_into(normalized, config_.word_length(), paa_scratch);
+  out.text.reserve(paa_scratch.size());
+  for (double v : paa_scratch) {
+    out.text.push_back(SaxConfig::symbol_char(config_.symbol_index(v)));
+  }
+}
+
 SaxWord SaxEncoder::encode_normalized(const Series& normalized) const {
   SaxWord word;
-  word.source_length = normalized.size();
-  if (normalized.empty()) return word;
-  const Series coeffs = paa(normalized, config_.word_length());
-  word.text.reserve(coeffs.size());
-  for (double v : coeffs) {
-    word.text.push_back(SaxConfig::symbol_char(config_.symbol_index(v)));
-  }
+  Series paa_scratch;
+  encode_normalized_into(normalized, word, paa_scratch);
   return word;
 }
 
@@ -132,6 +139,13 @@ double SaxEncoder::mindist(const SaxWord& a, const SaxWord& b) const {
 
 double SaxEncoder::mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
                                               std::size_t* best_shift) const {
+  SaxWord rotated_scratch;
+  return mindist_rotation_invariant(a, b, best_shift, rotated_scratch);
+}
+
+double SaxEncoder::mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
+                                              std::size_t* best_shift,
+                                              SaxWord& rotated_scratch) const {
   if (a.text.size() != b.text.size()) {
     throw std::invalid_argument("mindist_rotation_invariant: word length mismatch");
   }
@@ -142,7 +156,8 @@ double SaxEncoder::mindist_rotation_invariant(const SaxWord& a, const SaxWord& b
   }
   double best = std::numeric_limits<double>::infinity();
   std::size_t best_k = 0;
-  SaxWord rotated = b;
+  SaxWord& rotated = rotated_scratch;
+  rotated = b;
   for (std::size_t k = 0; k < w; ++k) {
     // Build rotation k of b's text.
     for (std::size_t i = 0; i < w; ++i) rotated.text[i] = b.text[(i + k) % w];

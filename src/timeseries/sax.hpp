@@ -85,6 +85,12 @@ class SaxEncoder {
   /// Encodes a series that is already z-normalised (skips normalisation).
   [[nodiscard]] SaxWord encode_normalized(const Series& normalized) const;
 
+  /// encode_normalized into `out`, reusing `paa_scratch` for the PAA
+  /// coefficients; bit-identical to the allocating version, which delegates
+  /// here.
+  void encode_normalized_into(const Series& normalized, SaxWord& out,
+                              Series& paa_scratch) const;
+
   /// MINDIST between two words produced by this encoder. Lower-bounds the
   /// Euclidean distance between the original z-normalised series. Words must
   /// have equal length and equal source_length.
@@ -97,6 +103,13 @@ class SaxEncoder {
   /// `best_shift` when non-null.
   [[nodiscard]] double mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
                                                   std::size_t* best_shift = nullptr) const;
+
+  /// mindist_rotation_invariant with a caller-owned scratch word for the
+  /// rotations (keeps the batch query path allocation-free); bit-identical
+  /// to the version above, which delegates here.
+  [[nodiscard]] double mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
+                                                  std::size_t* best_shift,
+                                                  SaxWord& rotated_scratch) const;
 
   /// Exact Hamming distance between the two words' character strings.
   [[nodiscard]] static std::size_t hamming(const SaxWord& a, const SaxWord& b);

@@ -1,0 +1,158 @@
+// Fixed-size worker pool with a parallel-for primitive.
+//
+// Built for the batch recognition engine: a batch of N independent jobs is
+// dispatched once, workers claim job indices from a shared atomic counter
+// (no per-job queue churn), and every callback receives its worker id so it
+// can use a per-worker scratch arena. The pool threads persist across
+// batches, so steady-state dispatch performs no thread creation. The caller
+// of run() participates as worker 0, so a 1-worker pool spawns no threads
+// and degenerates to a plain sequential loop over the jobs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdc::util {
+
+class ThreadPool {
+ public:
+  /// Job callback: (worker_index in [0, worker_count()), job_index in
+  /// [0, job_count)).
+  using Job = std::function<void(std::size_t, std::size_t)>;
+
+  /// Total worker count including the calling thread; `workers` == 0 selects
+  /// std::thread::hardware_concurrency() (minimum 1). A pool of W workers
+  /// spawns W - 1 threads.
+  explicit ThreadPool(std::size_t workers = 0) {
+    if (workers == 0) {
+      workers = std::thread::hardware_concurrency();
+      if (workers == 0) workers = 1;
+    }
+    worker_count_ = workers;
+    threads_.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return worker_count_; }
+
+  /// Runs `job` for every index in [0, job_count) across the pool and blocks
+  /// until every job has finished. The calling thread drains jobs as
+  /// worker 0 alongside the pool threads (workers 1..W-1). If any job
+  /// throws, the batch still runs to completion and the first exception is
+  /// rethrown here; the pool remains usable. Not reentrant: one batch at a
+  /// time.
+  void run(std::size_t job_count, const Job& job) {
+    if (job_count == 0) return;
+    auto batch = std::make_shared<Batch>();
+    batch->job = &job;
+    batch->count = job_count;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = batch;
+      ++generation_;
+    }
+    wake_workers_.notify_all();
+    drain(*batch, 0);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      batch->done_cv.wait(lock, [&batch] {
+        return batch->done.load(std::memory_order_acquire) == batch->count;
+      });
+    }
+    // `job` may not be referenced past this point: workers still holding the
+    // batch shared_ptr only observe an exhausted claim counter.
+    if (batch->failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(batch->error);
+    }
+  }
+
+ private:
+  /// One dispatched batch. Held via shared_ptr so a worker waking late (or
+  /// finishing late) can never touch freed state: a stale batch is simply
+  /// exhausted. `job` stays valid while any claimed index is in flight,
+  /// because run() cannot return before `done` reaches `count`.
+  struct Batch {
+    const Job* job{nullptr};
+    std::size_t count{0};
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  ///< first job exception; written once under mutex_
+    std::condition_variable done_cv;
+  };
+
+  void drain(Batch& batch, std::size_t worker_index) {
+    while (true) {
+      const std::size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= batch.count) break;
+      // A throwing job must not tear down a pool thread (std::terminate) or
+      // let run() unwind while other workers are mid-batch; capture the
+      // first exception, count the job done, and rethrow from run() after
+      // the batch has fully settled.
+      try {
+        (*batch.job)(worker_index, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!batch.failed.load(std::memory_order_relaxed)) {
+          batch.error = std::current_exception();
+          batch.failed.store(true, std::memory_order_release);
+        }
+      }
+      if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.count) {
+        // Last job of the batch: wake the caller blocked in run(). The lock
+        // orders the notify against the caller entering its wait.
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch.done_cv.notify_all();
+      }
+    }
+  }
+
+  void worker_loop(std::size_t worker_index) {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock, [this, seen_generation] {
+          return stopping_ || generation_ != seen_generation;
+        });
+        if (stopping_) return;
+        seen_generation = generation_;
+        batch = batch_;
+      }
+      drain(*batch, worker_index);
+    }
+  }
+
+  std::size_t worker_count_{1};
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::shared_ptr<Batch> batch_;   // guarded by mutex_
+  std::uint64_t generation_{0};    // guarded by mutex_
+  bool stopping_{false};           // guarded by mutex_
+};
+
+}  // namespace hdc::util

@@ -1,0 +1,330 @@
+// BatchRecognizer: equivalence with the sequential SaxSignRecognizer
+// (bit-identical payloads across worker counts), determinism under a
+// shuffled batch (guards against data races in the worker pool), reject
+// branch coverage for the shared pipeline, and ThreadPool basics.
+#include "recognition/batch_recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "signs/scene.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hdc::recognition {
+namespace {
+
+/// Serialises the deterministic payload of a result (everything except the
+/// wall-clock total_ms) to bytes, with doubles copied bit-exactly.
+void append_payload(const RecognitionResult& result, std::string& out) {
+  out.push_back(result.accepted ? 1 : 0);
+  out.push_back(static_cast<char>(result.sign));
+  out.push_back(static_cast<char>(result.reject_reason));
+  char bits[sizeof(double)];
+  std::memcpy(bits, &result.distance, sizeof(double));
+  out.append(bits, sizeof(double));
+  std::memcpy(bits, &result.margin, sizeof(double));
+  out.append(bits, sizeof(double));
+  out.append(result.sax_word);
+  out.push_back('|');
+}
+
+std::string payload_bytes(const std::vector<RecognitionResult>& results) {
+  std::string bytes;
+  for (const RecognitionResult& r : results) append_payload(r, bytes);
+  return bytes;
+}
+
+/// Shared default-config recogniser + database (database construction
+/// renders frames, so build once for the whole suite).
+class BatchRecognitionSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sequential_ = new SaxSignRecognizer(RecognizerConfig{}, DatabaseBuildOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete sequential_;
+    sequential_ = nullptr;
+  }
+
+  /// A mixed frame set: every sign across the altitude band, oblique views
+  /// that reject, plus degenerate frames (blank, tiny blob).
+  static std::vector<imaging::GrayImage> make_frames() {
+    std::vector<imaging::GrayImage> frames;
+    for (const signs::HumanSign sign : signs::kAllSigns) {
+      for (const double altitude : {2.0, 3.5, 5.0}) {
+        frames.push_back(signs::render_sign(sign, {altitude, 3.0, 0.0}, {}));
+      }
+    }
+    frames.push_back(signs::render_sign(signs::HumanSign::kNo, {3.5, 3.0, 80.0}, {}));
+    frames.emplace_back(480, 360, std::uint8_t{200});  // blank -> kNoSilhouette
+    imaging::GrayImage tiny(480, 360, std::uint8_t{200});
+    for (int y = 100; y < 105; ++y) {
+      for (int x = 100; x < 105; ++x) tiny(x, y) = 20;
+    }
+    frames.push_back(tiny);  // below min_silhouette_area -> kNoSilhouette
+    return frames;
+  }
+
+  static SaxSignRecognizer* sequential_;
+};
+
+SaxSignRecognizer* BatchRecognitionSuite::sequential_ = nullptr;
+
+TEST_F(BatchRecognitionSuite, MatchesSequentialAcrossWorkerCounts) {
+  const std::vector<imaging::GrayImage> frames = make_frames();
+  std::vector<RecognitionResult> expected;
+  expected.reserve(frames.size());
+  for (const imaging::GrayImage& frame : frames) {
+    expected.push_back(sequential_->recognize(frame));
+  }
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    BatchRecognizer engine(sequential_->config(), sequential_->database(), workers);
+    ASSERT_EQ(engine.worker_count(), workers);
+    const std::vector<RecognitionResult> batch = engine.recognize_batch(frames);
+    ASSERT_EQ(batch.size(), expected.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].sign, expected[i].sign) << "frame " << i;
+      EXPECT_EQ(batch[i].reject_reason, expected[i].reject_reason) << "frame " << i;
+      EXPECT_EQ(batch[i].accepted, expected[i].accepted) << "frame " << i;
+      // Bit-identical, not approximately equal: both paths run the same
+      // canonical pipeline.
+      EXPECT_EQ(batch[i].distance, expected[i].distance) << "frame " << i;
+      EXPECT_EQ(batch[i].margin, expected[i].margin) << "frame " << i;
+      EXPECT_EQ(batch[i].sax_word, expected[i].sax_word) << "frame " << i;
+    }
+  }
+}
+
+TEST_F(BatchRecognitionSuite, DeterministicOverShuffled64FrameBatch) {
+  // Two runs over the same shuffled 64-frame batch must yield byte-identical
+  // payloads — any data race in the worker pool (shared scratch, torn
+  // writes, index mixups) shows up here.
+  const std::vector<imaging::GrayImage> base = make_frames();
+  std::vector<std::size_t> order(64);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i % base.size();
+  util::Rng rng(20260726);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_int(0, static_cast<int>(i) - 1)]);
+  }
+  std::vector<imaging::GrayImage> frames;
+  frames.reserve(order.size());
+  for (const std::size_t i : order) frames.push_back(base[i]);
+
+  BatchRecognizer engine(sequential_->config(), sequential_->database(), 4);
+  std::vector<RecognitionResult> first;
+  std::vector<RecognitionResult> second;
+  engine.recognize_batch(frames, first);
+  engine.recognize_batch(frames, second);
+  ASSERT_EQ(first.size(), 64u);
+  EXPECT_EQ(payload_bytes(first), payload_bytes(second));
+
+  // Worker count must not change the payload either.
+  BatchRecognizer engine2(sequential_->config(), sequential_->database(), 2);
+  EXPECT_EQ(payload_bytes(engine2.recognize_batch(frames)), payload_bytes(first));
+}
+
+TEST_F(BatchRecognitionSuite, ScratchSurvivesHeterogeneousBatches) {
+  // Reusing one engine across batches of different content (and hitting the
+  // early-reject paths in between) must not leak state between frames.
+  BatchRecognizer engine(sequential_->config(), sequential_->database(), 2);
+  const std::vector<imaging::GrayImage> frames = make_frames();
+  const std::string before = payload_bytes(engine.recognize_batch(frames));
+
+  std::vector<imaging::GrayImage> blanks(3, imaging::GrayImage(480, 360, 200));
+  for (const RecognitionResult& r : engine.recognize_batch(blanks)) {
+    EXPECT_EQ(r.reject_reason, RejectReason::kNoSilhouette);
+    EXPECT_TRUE(r.sax_word.empty());
+  }
+
+  EXPECT_EQ(payload_bytes(engine.recognize_batch(frames)), before);
+}
+
+// ---------------------------------------------------------------------------
+// RejectReason branch coverage for the shared recognize_frame_into pipeline.
+// Each branch is exercised through BOTH the sequential recogniser and a
+// 1-worker batch engine to pin their equivalence on the reject paths.
+
+RecognitionResult both_paths(const RecognizerConfig& config, const SignDatabase& db,
+                             const imaging::GrayImage& frame) {
+  const SaxSignRecognizer sequential(config, db);
+  BatchRecognizer batch(config, db, 1);
+  const RecognitionResult a = sequential.recognize(frame);
+  const std::vector<RecognitionResult> b = batch.recognize_batch({frame});
+  EXPECT_EQ(a.reject_reason, b.front().reject_reason);
+  EXPECT_EQ(a.accepted, b.front().accepted);
+  EXPECT_EQ(a.sign, b.front().sign);
+  EXPECT_EQ(a.distance, b.front().distance);
+  return a;
+}
+
+TEST_F(BatchRecognitionSuite, AcceptedFrameHasReasonNone) {
+  const auto frame = signs::render_sign(signs::HumanSign::kYes,
+                                        DatabaseBuildOptions{}.canonical_view, {});
+  const RecognitionResult result =
+      both_paths(sequential_->config(), sequential_->database(), frame);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kNone);
+}
+
+TEST_F(BatchRecognitionSuite, NeutralMatchIsReasonNoneButNotAccepted) {
+  const auto frame = signs::render_sign(signs::HumanSign::kNeutral,
+                                        DatabaseBuildOptions{}.canonical_view, {});
+  const RecognitionResult result =
+      both_paths(sequential_->config(), sequential_->database(), frame);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.sign, signs::HumanSign::kNeutral);
+  EXPECT_EQ(result.reject_reason, RejectReason::kNone);
+}
+
+TEST_F(BatchRecognitionSuite, BlankFrameRejectsNoSilhouette) {
+  const imaging::GrayImage blank(480, 360, 200);
+  const RecognitionResult result =
+      both_paths(sequential_->config(), sequential_->database(), blank);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kNoSilhouette);
+}
+
+TEST_F(BatchRecognitionSuite, EmptyDatabaseRejectsNoSilhouette) {
+  // The query-returned-nullopt branch: a valid silhouette but nothing to
+  // match against.
+  const RecognizerConfig config;
+  const SignDatabase empty_db(make_encoder(config));
+  const auto frame = signs::render_sign(signs::HumanSign::kNo, {3.5, 3.0, 0.0}, {});
+  const RecognitionResult result = both_paths(config, empty_db, frame);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kNoSilhouette);
+}
+
+TEST_F(BatchRecognitionSuite, TinyContourRejectsDegenerateShape) {
+  // A 2x2 blob survives thresholding (morphology off, min area 1) but its
+  // contour has fewer than 8 points.
+  RecognizerConfig config;
+  config.morphology_radius = 0;
+  config.min_silhouette_area = 1;
+  imaging::GrayImage frame(64, 64, 200);
+  frame(10, 10) = 20;
+  frame(11, 10) = 20;
+  frame(10, 11) = 20;
+  frame(11, 11) = 20;
+  const RecognitionResult result =
+      both_paths(config, sequential_->database(), frame);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kDegenerateShape);
+}
+
+TEST_F(BatchRecognitionSuite, ZeroSignatureSamplesRejectsDegenerateShape) {
+  // The second kDegenerateShape branch: a healthy contour whose signature
+  // extraction is configured to produce nothing.
+  RecognizerConfig config;
+  config.signature_samples = 0;
+  const auto frame = signs::render_sign(signs::HumanSign::kNo, {3.5, 3.0, 0.0}, {});
+  const RecognitionResult result =
+      both_paths(config, sequential_->database(), frame);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kDegenerateShape);
+}
+
+TEST_F(BatchRecognitionSuite, StrictThresholdRejectsAboveThreshold) {
+  RecognizerConfig config;
+  config.accept_distance = 1e-12;  // only a perfect replica could pass
+  const auto frame = signs::render_sign(signs::HumanSign::kNo, {3.0, 3.0, 15.0}, {});
+  const RecognitionResult result =
+      both_paths(config, sequential_->database(), frame);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kAboveThreshold);
+  EXPECT_GT(result.distance, config.accept_distance);
+}
+
+TEST_F(BatchRecognitionSuite, HugeMarginRequirementRejectsLowMargin) {
+  RecognizerConfig config;
+  config.min_margin = 1e9;  // no pair of templates is this well separated
+  const auto frame = signs::render_sign(signs::HumanSign::kYes,
+                                        DatabaseBuildOptions{}.canonical_view, {});
+  const RecognitionResult result =
+      both_paths(config, sequential_->database(), frame);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, RejectReason::kLowMargin);
+  EXPECT_LT(result.margin, config.min_margin);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool basics.
+
+TEST(ThreadPool, RunsEveryJobExactlyOnceWithValidWorkerIds) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  constexpr std::size_t kJobs = 1000;
+  std::vector<std::atomic<int>> hits(kJobs);
+  std::atomic<bool> bad_worker{false};
+  pool.run(kJobs, [&](std::size_t worker, std::size_t job) {
+    if (worker >= 4) bad_worker = true;
+    hits[job].fetch_add(1);
+  });
+  EXPECT_FALSE(bad_worker.load());
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPool, SingleWorkerPoolIsSequential) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.run(16, [&](std::size_t worker, std::size_t job) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(job);  // single worker: no synchronisation needed
+  });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, JobExceptionIsRethrownAndPoolSurvives) {
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.run(32,
+               [&](std::size_t, std::size_t job) {
+                 ran.fetch_add(1);
+                 if (job == 7) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 32u);  // the batch still settles completely
+  std::atomic<std::size_t> after{0};
+  pool.run(8, [&](std::size_t, std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8u);
+}
+
+TEST_F(BatchRecognitionSuite, InvalidFrameThrowsLikeSequentialAndEngineSurvives) {
+  // A default-constructed (0x0) frame makes the pipeline throw; the batch
+  // engine must surface that exception instead of terminating, and must
+  // stay usable afterwards.
+  BatchRecognizer engine(sequential_->config(), sequential_->database(), 2);
+  std::vector<imaging::GrayImage> frames(1);
+  EXPECT_THROW(engine.recognize_batch(frames), std::invalid_argument);
+  EXPECT_THROW((void)sequential_->recognize(frames.front()), std::invalid_argument);
+  const auto good = signs::render_sign(signs::HumanSign::kYes,
+                                       DatabaseBuildOptions{}.canonical_view, {});
+  EXPECT_TRUE(engine.recognize_batch({good}).front().accepted);
+}
+
+TEST(ThreadPool, EmptyBatchAndReuseAcrossBatches) {
+  util::ThreadPool pool(3);
+  pool.run(0, [](std::size_t, std::size_t) { FAIL() << "no jobs expected"; });
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run(7, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 350u);
+}
+
+}  // namespace
+}  // namespace hdc::recognition
