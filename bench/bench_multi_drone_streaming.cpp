@@ -1,0 +1,261 @@
+// Multi-drone streaming throughput & latency for PerceptionService.
+//
+// N simulated drone cameras (MultiDroneFeed) each push a deterministic
+// frame script into the service from their own producer thread; the bench
+// reports, for every (streams, shards) cell of the test matrix:
+//
+//   - aggregate frames/sec (first submit -> last delivery),
+//   - p50/p99 per-frame latency (submit -> result callback, queueing
+//     included — this is what a live feed actually experiences),
+//   - a bit-identity gate: every stream's delivered payloads must equal the
+//     sequential SaxSignRecognizer run over the same frames, in order.
+//
+// The matrix deliberately includes streams > shards and shards > streams —
+// completing every cell doubles as the no-deadlock check the streaming
+// design promises.
+//
+// Flags: --smoke (small frame count for CI), --frames N (per stream),
+// --json PATH (machine-readable results for the per-PR perf artifact).
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recognition/perception_service.hpp"
+#include "signs/multi_drone_feed.hpp"
+#include "util/statistics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc;
+using recognition::DatabaseBuildOptions;
+using recognition::PerceptionService;
+using recognition::PerceptionServiceConfig;
+using recognition::RecognitionResult;
+using recognition::RecognizerConfig;
+using recognition::SaxSignRecognizer;
+using recognition::StreamResult;
+using Clock = std::chrono::steady_clock;
+
+bool payloads_equal(const RecognitionResult& a, const RecognitionResult& b) {
+  return a.accepted == b.accepted && a.sign == b.sign &&
+         a.reject_reason == b.reject_reason &&
+         std::memcmp(&a.distance, &b.distance, sizeof(double)) == 0 &&
+         std::memcmp(&a.margin, &b.margin, sizeof(double)) == 0 &&
+         a.sax_word == b.sax_word;
+}
+
+struct CellResult {
+  std::size_t streams{0};
+  std::size_t shards{0};
+  std::size_t frames_per_stream{0};
+  double aggregate_fps{0.0};
+  double p50_ms{0.0};
+  double p99_ms{0.0};
+  bool identical{false};
+};
+
+/// One matrix cell: S producer threads stream their scripts into a service
+/// with K shards; returns throughput/latency plus the identity verdict.
+CellResult run_cell(const SaxSignRecognizer& reference,
+                    const std::vector<std::vector<imaging::GrayImage>>& scripts,
+                    const std::vector<std::vector<RecognitionResult>>& expected,
+                    std::size_t shards) {
+  const std::size_t streams = scripts.size();
+  const std::size_t frames_per_stream = scripts.front().size();
+
+  // Per (stream, sequence) cells, preallocated so callback threads write
+  // disjoint slots without synchronisation.
+  std::vector<std::vector<Clock::time_point>> submit_at(streams);
+  std::vector<std::vector<Clock::time_point>> done_at(streams);
+  std::vector<std::vector<RecognitionResult>> delivered(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    submit_at[s].resize(frames_per_stream);
+    done_at[s].resize(frames_per_stream);
+    delivered[s].resize(frames_per_stream);
+  }
+
+  CellResult cell;
+  cell.streams = streams;
+  cell.shards = shards;
+  cell.frames_per_stream = frames_per_stream;
+
+  {
+    PerceptionServiceConfig service_config;
+    service_config.shards = shards;
+    service_config.queue_capacity = 32;
+    service_config.overflow = util::OverflowPolicy::kBlock;  // lossless run
+    PerceptionService service(
+        reference.config(), reference.database_ptr(),
+        [&](const StreamResult& r) {
+          delivered[r.stream_id][r.sequence] = r.result;
+          done_at[r.stream_id][r.sequence] = Clock::now();
+        },
+        service_config);
+
+    util::Stopwatch wall;
+    std::vector<std::thread> producers;
+    producers.reserve(streams);
+    for (std::size_t s = 0; s < streams; ++s) {
+      producers.emplace_back([&, s] {
+        for (std::size_t i = 0; i < frames_per_stream; ++i) {
+          submit_at[s][i] = Clock::now();
+          service.submit(static_cast<std::uint32_t>(s), scripts[s][i]);
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    service.drain();
+    const double seconds = wall.elapsed_seconds();
+    cell.aggregate_fps =
+        static_cast<double>(streams * frames_per_stream) / seconds;
+  }  // service stops + joins here
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(streams * frames_per_stream);
+  for (std::size_t s = 0; s < streams; ++s) {
+    for (std::size_t i = 0; i < frames_per_stream; ++i) {
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(done_at[s][i] - submit_at[s][i])
+              .count());
+    }
+  }
+  cell.p50_ms = util::percentile(latencies_ms, 50.0);
+  cell.p99_ms = util::percentile(latencies_ms, 99.0);
+
+  cell.identical = true;
+  for (std::size_t s = 0; cell.identical && s < streams; ++s) {
+    for (std::size_t i = 0; cell.identical && i < frames_per_stream; ++i) {
+      cell.identical = payloads_equal(delivered[s][i], expected[s][i]);
+    }
+  }
+  return cell;
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                double sequential_fps, std::size_t hardware_threads) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for JSON output\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"multi_drone_streaming\",\n"
+      << "  \"hardware_threads\": " << hardware_threads << ",\n"
+      << "  \"sequential_fps\": " << sequential_fps << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"streams\": " << c.streams << ", \"shards\": " << c.shards
+        << ", \"frames_per_stream\": " << c.frames_per_stream
+        << ", \"aggregate_fps\": " << c.aggregate_fps
+        << ", \"p50_ms\": " << c.p50_ms << ", \"p99_ms\": " << c.p99_ms
+        << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t frames_per_stream = 48;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      frames_per_stream = 8;
+    } else if (arg == "--frames" && i + 1 < argc) {
+      frames_per_stream = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--frames N] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> stream_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> shard_counts = {1, 2, 4};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::cout << "building canonical database + rendering feed scripts ("
+            << frames_per_stream << " frames/stream)...\n";
+  const SaxSignRecognizer reference(RecognizerConfig{}, DatabaseBuildOptions{});
+
+  // Scripts and sequential ground truth for the largest cohort; smaller
+  // cohorts reuse the prefix. The feed is deterministic per (stream, tick).
+  const std::size_t max_streams = stream_counts.back();
+  signs::MultiDroneFeedConfig feed_config;
+  feed_config.streams = max_streams;
+  const signs::MultiDroneFeed feed(feed_config);
+  std::vector<std::vector<imaging::GrayImage>> scripts(max_streams);
+  std::vector<std::vector<RecognitionResult>> expected(max_streams);
+  for (std::size_t s = 0; s < max_streams; ++s) {
+    scripts[s] = feed.prerender(s, frames_per_stream);
+    expected[s].reserve(frames_per_stream);
+    for (const imaging::GrayImage& frame : scripts[s]) {
+      expected[s].push_back(reference.recognize(frame));
+    }
+  }
+
+  // Sequential baseline: one recogniser, every frame of the full cohort.
+  double seq_seconds = 0.0;
+  {
+    util::Stopwatch watch;
+    for (std::size_t s = 0; s < max_streams; ++s) {
+      for (const imaging::GrayImage& frame : scripts[s]) {
+        (void)reference.recognize(frame);
+      }
+    }
+    seq_seconds = watch.elapsed_seconds();
+  }
+  const double sequential_fps =
+      static_cast<double>(max_streams * frames_per_stream) / seq_seconds;
+
+  util::TextTable table({"streams", "shards", "aggregate fps", "vs sequential",
+                         "p50 ms", "p99 ms", "bit-identical"});
+  std::vector<CellResult> cells;
+  bool all_identical = true;
+  for (const std::size_t streams : stream_counts) {
+    const std::vector<std::vector<imaging::GrayImage>> cohort_scripts(
+        scripts.begin(), scripts.begin() + static_cast<std::ptrdiff_t>(streams));
+    const std::vector<std::vector<RecognitionResult>> cohort_expected(
+        expected.begin(), expected.begin() + static_cast<std::ptrdiff_t>(streams));
+    for (const std::size_t shards : shard_counts) {
+      const CellResult cell =
+          run_cell(reference, cohort_scripts, cohort_expected, shards);
+      all_identical = all_identical && cell.identical;
+      table.add_row({std::to_string(cell.streams), std::to_string(cell.shards),
+                     util::fmt(cell.aggregate_fps, 1),
+                     util::fmt(cell.aggregate_fps / sequential_fps, 2) + "x",
+                     util::fmt(cell.p50_ms, 2), util::fmt(cell.p99_ms, 2),
+                     cell.identical ? "yes" : "NO"});
+      cells.push_back(cell);
+    }
+  }
+
+  std::cout << "\n--- multi-drone streaming (" << frames_per_stream
+            << " frames/stream, block policy, queue=32/shard) ---\n";
+  table.print(std::cout);
+  std::cout << "sequential baseline: " << util::fmt(sequential_fps, 1)
+            << " fps; hardware threads: " << hw << "\n";
+  std::cout << "matrix includes streams > shards and shards > streams; "
+               "completion of every cell is the no-deadlock gate\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, cells, sequential_fps, hw);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!all_identical) {
+    std::cout << "FAIL: streamed payloads diverge from sequential recognition\n";
+    return 1;
+  }
+  std::cout << "streamed results bit-identical to per-stream sequential: yes\n";
+  return 0;
+}

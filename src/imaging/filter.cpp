@@ -87,8 +87,14 @@ GrayImage gaussian_blur(const GrayImage& src, double sigma) {
 
 void threshold_into(const GrayImage& src, std::uint8_t value, BinaryImage& out) {
   out.reset(src.width(), src.height());
-  for (std::size_t i = 0; i < src.data().size(); ++i) {
-    out.data()[i] = src.data()[i] >= value ? kForeground : kBackground;
+  const std::uint8_t* in = src.data().data();
+  std::uint8_t* dst = out.data().data();
+  const std::size_t count = src.data().size();
+  // Branchless apply: (pixel >= value) is 0/1; negation yields 0x00/0xFF,
+  // exactly kBackground/kForeground. A single data-independent row pass
+  // like this vectorises to byte-compare + mask (16-32 px per instruction).
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<std::uint8_t>(-static_cast<int>(in[i] >= value));
   }
 }
 
@@ -100,8 +106,28 @@ BinaryImage threshold(const GrayImage& src, std::uint8_t value) {
 
 void otsu_threshold_into(const GrayImage& src, BinaryImage& out,
                          std::uint8_t* chosen) {
+  // Four interleaved sub-histograms break the read-modify-write dependency
+  // when neighbouring pixels share a bin (the common case on sky/field
+  // backgrounds), letting the accumulation loop pipeline ~4x wider. The
+  // merged histogram is bit-identical to a single-pass count.
+  std::array<std::uint32_t, 256> h0{};
+  std::array<std::uint32_t, 256> h1{};
+  std::array<std::uint32_t, 256> h2{};
+  std::array<std::uint32_t, 256> h3{};
+  const std::uint8_t* pixels = src.data().data();
+  const std::size_t count = src.data().size();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    ++h0[pixels[i]];
+    ++h1[pixels[i + 1]];
+    ++h2[pixels[i + 2]];
+    ++h3[pixels[i + 3]];
+  }
+  for (; i < count; ++i) ++h0[pixels[i]];
   std::array<std::uint64_t, 256> histogram{};
-  for (std::uint8_t v : src.data()) ++histogram[v];
+  for (int v = 0; v < 256; ++v) {
+    histogram[v] = static_cast<std::uint64_t>(h0[v]) + h1[v] + h2[v] + h3[v];
+  }
 
   const double total = static_cast<double>(src.data().size());
   double sum_all = 0.0;

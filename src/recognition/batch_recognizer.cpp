@@ -1,16 +1,19 @@
 #include "recognition/batch_recognizer.hpp"
 
+#include <stdexcept>
+
 namespace hdc::recognition {
 
 namespace {
 
-SignDatabase build_database(const RecognizerConfig& config,
-                            const DatabaseBuildOptions& db_options) {
+std::shared_ptr<const SignDatabase> build_database(
+    const RecognizerConfig& config, const DatabaseBuildOptions& db_options) {
   // Templates run through the same single-frame pipeline the recogniser
   // uses, so a query under canonical conditions reproduces its template
-  // bit-for-bit (mirrors SaxSignRecognizer's database constructor).
+  // bit-for-bit (mirrors SaxSignRecognizer's database constructor). The
+  // reference recogniser already owns a shared handle; adopt it directly.
   const SaxSignRecognizer reference(config, db_options);
-  return reference.database();
+  return reference.database_ptr();
 }
 
 }  // namespace
@@ -22,17 +25,34 @@ BatchRecognizer::BatchRecognizer(const RecognizerConfig& config,
 
 BatchRecognizer::BatchRecognizer(const RecognizerConfig& config, SignDatabase database,
                                  std::size_t workers)
+    : BatchRecognizer(config,
+                      std::make_shared<const SignDatabase>(std::move(database)),
+                      workers) {}
+
+BatchRecognizer::BatchRecognizer(const RecognizerConfig& config,
+                                 std::shared_ptr<const SignDatabase> database,
+                                 std::size_t workers)
     : config_(config),
       database_(std::move(database)),
       pool_(workers),
-      scratch_(pool_.worker_count()) {}
+      scratch_(pool_.worker_count()) {
+  if (database_ == nullptr) {
+    throw std::invalid_argument("BatchRecognizer: null database handle");
+  }
+}
 
 void BatchRecognizer::recognize_batch(const std::vector<imaging::GrayImage>& frames,
                                       std::vector<RecognitionResult>& results) {
+  if (frames.empty()) {
+    // An empty batch is a defined no-op: the results vector is cleared and
+    // the worker pool is never touched (no wake-up, no scratch access).
+    results.clear();
+    return;
+  }
   results.resize(frames.size());
   pool_.run(frames.size(), [this, &frames, &results](std::size_t worker,
                                                      std::size_t index) {
-    recognize_frame_into(config_, database_, frames[index], scratch_[worker],
+    recognize_frame_into(config_, *database_, frames[index], scratch_[worker],
                          results[index]);
   });
 }

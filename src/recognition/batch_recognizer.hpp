@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "recognition/recognizer.hpp"
@@ -32,8 +33,15 @@ class BatchRecognizer {
                   const DatabaseBuildOptions& db_options, std::size_t workers = 0);
 
   /// Builds with an externally constructed database (must use a compatible
-  /// encoder configuration).
+  /// encoder configuration). Wraps the value in a fresh shared handle.
   BatchRecognizer(const RecognizerConfig& config, SignDatabase database,
+                  std::size_t workers = 0);
+
+  /// Builds against an existing shared database handle — no copy. N engines
+  /// (or PerceptionService shards) constructed this way all match against
+  /// the same immutable template store.
+  BatchRecognizer(const RecognizerConfig& config,
+                  std::shared_ptr<const SignDatabase> database,
                   std::size_t workers = 0);
 
   /// Recognises every frame of the batch; results[i] is frame i's result.
@@ -57,11 +65,17 @@ class BatchRecognizer {
     return pool_.worker_count();
   }
   [[nodiscard]] const RecognizerConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const SignDatabase& database() const noexcept { return database_; }
+  [[nodiscard]] const SignDatabase& database() const noexcept { return *database_; }
+
+  /// The shared handle itself (for fanning one database out to more engines).
+  [[nodiscard]] const std::shared_ptr<const SignDatabase>& database_ptr()
+      const noexcept {
+    return database_;
+  }
 
  private:
   RecognizerConfig config_;
-  SignDatabase database_;
+  std::shared_ptr<const SignDatabase> database_;
   util::ThreadPool pool_;
   std::vector<RecognizerScratch> scratch_;  ///< one arena per worker
 };

@@ -1,0 +1,237 @@
+#include "recognition/perception_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hdc::recognition {
+
+/// Registry entry for one stream. `order_mutex` serialises sequence
+/// assignment *and* the ring push of concurrent same-stream submitters, so
+/// frames of a stream always enqueue in sequence order (the per-stream
+/// ordering guarantee rests on this). Counters are atomics because shard
+/// workers bump `delivered`/`dropped` without taking the mutex.
+struct PerceptionService::StreamState {
+  std::mutex order_mutex;
+  std::uint64_t next_sequence{0};  ///< guarded by order_mutex
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> rejected{0};
+};
+
+namespace {
+
+std::shared_ptr<const SignDatabase> build_shared_database(
+    const RecognizerConfig& config, const DatabaseBuildOptions& db_options) {
+  // Same canonical construction as SaxSignRecognizer: templates run through
+  // the identical pipeline, then freeze behind a const handle.
+  const SaxSignRecognizer reference(config, db_options);
+  return reference.database_ptr();
+}
+
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+PerceptionService::PerceptionService(const RecognizerConfig& config,
+                                     std::shared_ptr<const SignDatabase> database,
+                                     ResultCallback on_result,
+                                     const PerceptionServiceConfig& service_config)
+    : config_(config),
+      database_(std::move(database)),
+      on_result_(std::move(on_result)) {
+  if (database_ == nullptr) {
+    throw std::invalid_argument("PerceptionService: null database handle");
+  }
+  const std::size_t shard_count = resolve_shards(service_config.shards);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>(service_config.queue_capacity,
+                                              service_config.overflow,
+                                              database_.get()));
+  }
+  // Threads start only after the shard vector is fully built: shard_of()
+  // reads shards_.size() and must never observe a growing vector.
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { shard_loop(*raw); });
+  }
+}
+
+PerceptionService::PerceptionService(const RecognizerConfig& config,
+                                     const DatabaseBuildOptions& db_options,
+                                     ResultCallback on_result,
+                                     const PerceptionServiceConfig& service_config)
+    : PerceptionService(config, build_shared_database(config, db_options),
+                        std::move(on_result), service_config) {}
+
+PerceptionService::~PerceptionService() { stop(); }
+
+SubmitReceipt PerceptionService::submit(std::uint32_t stream_id,
+                                        const imaging::GrayImage& frame) {
+  return submit_job(stream_id, frame);  // copies: the camera keeps its buffer
+}
+
+SubmitReceipt PerceptionService::submit(std::uint32_t stream_id,
+                                        imaging::GrayImage&& frame) {
+  return submit_job(stream_id, std::move(frame));
+}
+
+SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
+                                            imaging::GrayImage frame) {
+  if (frame.empty()) {
+    throw std::invalid_argument("PerceptionService::submit: empty frame");
+  }
+  SubmitReceipt receipt;
+  receipt.shard = shard_of(stream_id);
+  if (stopping_.load(std::memory_order_acquire)) {
+    receipt.status = SubmitStatus::kStopped;
+    return receipt;
+  }
+  StreamState& state = stream_state(stream_id);
+  Shard& shard = *shards_[receipt.shard];
+
+  std::lock_guard<std::mutex> order(state.order_mutex);
+  // Raise pending BEFORE the push: a shard can pop, process and deliver
+  // this frame before push() even returns, and its decrement must never
+  // precede our increment.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  Job job;
+  job.stream_id = stream_id;
+  job.sequence = state.next_sequence;
+  job.frame = std::move(frame);
+  job.origin = &state;
+  Job evicted;
+  const util::PushOutcome outcome = shard.ring.push(std::move(job), &evicted);
+  switch (outcome) {
+    case util::PushOutcome::kEnqueued:
+      receipt.status = SubmitStatus::kEnqueued;
+      receipt.sequence = state.next_sequence++;
+      state.submitted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case util::PushOutcome::kEvictedOldest:
+      // The new frame is in; the shard's oldest queued frame (possibly from
+      // another stream) will never be processed — account it now.
+      receipt.status = SubmitStatus::kEnqueuedDropOldest;
+      receipt.sequence = state.next_sequence++;
+      state.submitted.fetch_add(1, std::memory_order_relaxed);
+      evicted.origin->dropped.fetch_add(1, std::memory_order_relaxed);
+      finish_frames(1);
+      break;
+    case util::PushOutcome::kRejected:
+      receipt.status = SubmitStatus::kRejected;
+      state.rejected.fetch_add(1, std::memory_order_relaxed);
+      finish_frames(1);
+      break;
+    case util::PushOutcome::kClosed:
+      receipt.status = SubmitStatus::kStopped;
+      finish_frames(1);
+      break;
+  }
+  return receipt;
+}
+
+void PerceptionService::shard_loop(Shard& shard) {
+  Job job;
+  StreamResult delivery;  // reused: result string capacity survives frames
+  while (shard.ring.pop(job)) {
+    try {
+      recognize_frame_into(config_, *shard.database, job.frame, shard.scratch,
+                           delivery.result);
+      delivery.stream_id = job.stream_id;
+      delivery.sequence = job.sequence;
+      if (on_result_) on_result_(delivery);
+      job.origin->delivered.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    finish_frames(1);
+  }
+}
+
+void PerceptionService::finish_frames(std::size_t count) {
+  if (pending_.fetch_sub(count, std::memory_order_acq_rel) == count) {
+    // ->0 transition: publish it under the mutex so a drain() that just
+    // checked the predicate and is about to sleep cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_cv_.notify_all();
+  }
+}
+
+void PerceptionService::drain() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock,
+                   [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void PerceptionService::stop() noexcept {
+  std::lock_guard<std::mutex> guard(stop_mutex_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  // close() wakes producers blocked on a full kBlock ring (their submit
+  // returns kStopped) and lets each worker drain its remaining queue.
+  for (std::unique_ptr<Shard>& shard : shards_) shard->ring.close();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  stopped_ = true;
+}
+
+const SignDatabase* PerceptionService::shard_database(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("PerceptionService::shard_database: bad shard index");
+  }
+  return shards_[shard]->database;
+}
+
+PerceptionService::StreamState& PerceptionService::stream_state(
+    std::uint32_t stream_id) {
+  {
+    // Fast path: the stream already exists (every frame after a stream's
+    // first). StreamState pointers are stable, so the reference stays
+    // valid after the lock drops — the registry only ever grows.
+    std::shared_lock<std::shared_mutex> lock(streams_mutex_);
+    const auto it = streams_.find(stream_id);
+    if (it != streams_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(streams_mutex_);
+  std::unique_ptr<StreamState>& slot = streams_[stream_id];
+  if (slot == nullptr) slot = std::make_unique<StreamState>();
+  return *slot;
+}
+
+StreamStats PerceptionService::stream_stats(std::uint32_t stream_id) const {
+  std::shared_lock<std::shared_mutex> lock(streams_mutex_);
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return {};
+  const StreamState& state = *it->second;
+  return {state.submitted.load(std::memory_order_relaxed),
+          state.delivered.load(std::memory_order_relaxed),
+          state.dropped.load(std::memory_order_relaxed),
+          state.rejected.load(std::memory_order_relaxed)};
+}
+
+StreamStats PerceptionService::total_stats() const {
+  std::shared_lock<std::shared_mutex> lock(streams_mutex_);
+  StreamStats total;
+  for (const auto& entry : streams_) {
+    const StreamState& state = *entry.second;
+    total.submitted += state.submitted.load(std::memory_order_relaxed);
+    total.delivered += state.delivered.load(std::memory_order_relaxed);
+    total.dropped += state.dropped.load(std::memory_order_relaxed);
+    total.rejected += state.rejected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace hdc::recognition

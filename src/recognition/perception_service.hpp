@@ -1,0 +1,215 @@
+// PerceptionService — sharded, streaming multi-drone recognition.
+//
+// The paper validates one frame at a time from one drone; a deployed system
+// serves many simultaneous perception streams (drone cohorts, cf.
+// Cleland-Huang & Agrawal 2020; swarm signalling, cf. Grispino et al.
+// 2020). This service turns the batch engine inside out:
+//
+//   streams ──submit()──> router ──rings──> shards ──callback──> caller
+//
+//   - Callers submit(stream_id, frame) from ANY thread; frames never wait
+//     for a batch boundary.
+//   - A router pins each stream to one of K worker shards (stable
+//     stream -> shard affinity, so a shard's scratch arena stays warm for
+//     the frame geometry it keeps seeing) via a bounded MPSC ring
+//     (util::BoundedRing) with a configurable overflow policy: block,
+//     drop-oldest (live feeds prefer fresh frames) or reject.
+//   - Every shard owns a RecognizerScratch and runs the same canonical
+//     recognize_frame_into() pipeline as SaxSignRecognizer/BatchRecognizer,
+//     so streamed results are bit-identical to sequential recognition of
+//     the same frames.
+//   - Completed frames are delivered through a per-frame callback carrying
+//     {stream_id, sequence, result}. RecognitionResult itself is unchanged
+//     (wrapped, not mutated), keeping the single-frame API ABI-stable.
+//   - All shards match against ONE immutable SignDatabase behind a
+//     std::shared_ptr<const SignDatabase> — N streams no longer mean N
+//     template-store copies.
+//
+// Ordering guarantee: within a stream, callbacks arrive in strictly
+// increasing sequence order (one shard per stream, FIFO ring, one worker
+// per shard). Across streams there is no ordering. Under kDropOldest the
+// delivered sequences stay monotonic but may skip the evicted (always the
+// oldest queued) frames.
+//
+// Threading contract: the result callback runs on shard worker threads,
+// potentially concurrently for different streams — it must be thread-safe
+// and must not call submit()/drain()/stop() on this service (a callback
+// that re-enters submit() on a full kBlock ring would deadlock the shard).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "recognition/recognizer.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace hdc::recognition {
+
+/// One delivered frame: the unchanged single-frame RecognitionResult plus
+/// its stream coordinates (wrap, don't mutate — see header comment).
+struct StreamResult {
+  std::uint32_t stream_id{0};
+  std::uint64_t sequence{0};  ///< per-stream, assigned at submit, starts at 0
+  RecognitionResult result;
+};
+
+/// What happened to a submitted frame at admission time.
+enum class SubmitStatus : std::uint8_t {
+  kEnqueued,            ///< admitted, nothing lost
+  kEnqueuedDropOldest,  ///< admitted; the shard's oldest queued frame was evicted
+  kRejected,            ///< refused (kReject policy, ring full)
+  kStopped,             ///< refused (service stopping/stopped)
+};
+
+struct SubmitReceipt {
+  SubmitStatus status{SubmitStatus::kEnqueued};
+  /// The per-stream sequence assigned to the frame. Only an ADMITTED frame
+  /// consumes a sequence number — a rejected or stopped submit leaves the
+  /// stream's counter untouched, so delivered sequences under kReject stay
+  /// contiguous while kDropOldest eviction shows up as gaps.
+  std::uint64_t sequence{0};
+  std::size_t shard{0};  ///< the shard this stream is pinned to
+};
+
+/// Service shape. Defaults suit a live multi-camera feed on a multi-core
+/// companion computer.
+struct PerceptionServiceConfig {
+  std::size_t shards{0};           ///< worker shards; 0 = hardware concurrency
+  std::size_t queue_capacity{64};  ///< frames buffered per shard ring
+  util::OverflowPolicy overflow{util::OverflowPolicy::kBlock};
+};
+
+/// Per-stream accounting snapshot.
+struct StreamStats {
+  std::uint64_t submitted{0};  ///< frames admitted (incl. later-evicted)
+  std::uint64_t delivered{0};  ///< callbacks fired
+  std::uint64_t dropped{0};    ///< evicted under kDropOldest before processing
+  std::uint64_t rejected{0};   ///< refused at submit under kReject
+};
+
+class PerceptionService {
+ public:
+  using ResultCallback = std::function<void(const StreamResult&)>;
+
+  /// Builds the service over an existing shared database handle. All
+  /// shards reference exactly this instance (no copies).
+  PerceptionService(const RecognizerConfig& config,
+                    std::shared_ptr<const SignDatabase> database,
+                    ResultCallback on_result,
+                    const PerceptionServiceConfig& service_config = {});
+
+  /// Convenience: builds the canonical database first (same semantics as
+  /// SaxSignRecognizer), then shares it across the shards.
+  PerceptionService(const RecognizerConfig& config,
+                    const DatabaseBuildOptions& db_options,
+                    ResultCallback on_result,
+                    const PerceptionServiceConfig& service_config = {});
+
+  /// Stops the service (drains queued frames, joins shard threads).
+  ~PerceptionService();
+
+  PerceptionService(const PerceptionService&) = delete;
+  PerceptionService& operator=(const PerceptionService&) = delete;
+
+  /// Submits one frame of `stream_id` from any thread. The frame is copied
+  /// (the camera keeps its buffer); use the rvalue overload to move. The
+  /// returned receipt carries the per-stream sequence number the frame was
+  /// assigned. Throws std::invalid_argument for an empty frame.
+  SubmitReceipt submit(std::uint32_t stream_id, const imaging::GrayImage& frame);
+  SubmitReceipt submit(std::uint32_t stream_id, imaging::GrayImage&& frame);
+
+  /// Blocks until every frame admitted by a submit() that returned before
+  /// this call has been delivered (or evicted). Rethrows the first pipeline
+  /// exception raised on a shard, if any. Safe to call repeatedly.
+  void drain();
+
+  /// Graceful shutdown: admits nothing new, drains what is queued, joins
+  /// the shard threads. Idempotent; called by the destructor. Pipeline
+  /// exceptions are swallowed here (use drain() to observe them).
+  void stop() noexcept;
+
+  /// Stable stream -> shard routing (exposed for tests and capacity math).
+  [[nodiscard]] std::size_t shard_of(std::uint32_t stream_id) const noexcept {
+    return static_cast<std::size_t>(stream_id) % shards_.size();
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] const RecognizerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SignDatabase& database() const noexcept { return *database_; }
+  [[nodiscard]] const std::shared_ptr<const SignDatabase>& database_ptr()
+      const noexcept {
+    return database_;
+  }
+  /// The database a given shard matches against — by construction the same
+  /// object for every shard (pointer-equality is pinned in tests).
+  [[nodiscard]] const SignDatabase* shard_database(std::size_t shard) const;
+
+  /// Accounting snapshot for one stream (zeros for an unknown stream).
+  [[nodiscard]] StreamStats stream_stats(std::uint32_t stream_id) const;
+  /// Aggregate accounting across all streams.
+  [[nodiscard]] StreamStats total_stats() const;
+
+ private:
+  struct StreamState;
+
+  /// One queued frame. Carries its origin so eviction and delivery can be
+  /// accounted to the right stream without a registry lookup.
+  struct Job {
+    std::uint32_t stream_id{0};
+    std::uint64_t sequence{0};
+    imaging::GrayImage frame;
+    StreamState* origin{nullptr};
+  };
+
+  /// One worker shard: FIFO ring, dedicated thread, warm scratch arena.
+  /// Each shard holds a raw pointer into the service's single shared
+  /// database — all K pointers compare equal by construction.
+  struct Shard {
+    Shard(std::size_t capacity, util::OverflowPolicy policy,
+          const SignDatabase* db)
+        : ring(capacity, policy), database(db) {}
+    util::BoundedRing<Job> ring;
+    const SignDatabase* database{nullptr};
+    RecognizerScratch scratch;
+    std::thread worker;
+  };
+
+  SubmitReceipt submit_job(std::uint32_t stream_id, imaging::GrayImage frame);
+  StreamState& stream_state(std::uint32_t stream_id);
+  void shard_loop(Shard& shard);
+  void finish_frames(std::size_t count);
+
+  RecognizerConfig config_;
+  std::shared_ptr<const SignDatabase> database_;
+  ResultCallback on_result_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Registry shape is read-mostly (one miss per new stream ever): the
+  /// steady-state submit path takes only a shared lock.
+  mutable std::shared_mutex streams_mutex_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<StreamState>> streams_;
+
+  /// Admitted frames not yet delivered/evicted. Atomic so the per-frame
+  /// hot path never locks; pending_mutex_ is taken only to publish the
+  /// ->0 transition to drain() and to record first_error_.
+  std::atomic<std::uint64_t> pending_{0};
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::exception_ptr first_error_;  ///< guarded by pending_mutex_
+
+  std::atomic<bool> stopping_{false};
+  bool stopped_{false};  ///< set by stop(); guarded by stop_mutex_
+  std::mutex stop_mutex_;
+};
+
+}  // namespace hdc::recognition

@@ -1,5 +1,7 @@
 #include "recognition/recognizer.hpp"
 
+#include <stdexcept>
+
 #include "imaging/components.hpp"
 #include "imaging/filter.hpp"
 #include "imaging/morphology.hpp"
@@ -10,20 +12,28 @@ namespace hdc::recognition {
 
 SaxSignRecognizer::SaxSignRecognizer(const RecognizerConfig& config,
                                      const DatabaseBuildOptions& db_options)
-    : config_(config),
-      database_(timeseries::SaxEncoder(
-          timeseries::SaxConfig(config.word_length, config.alphabet))) {
+    : config_(config) {
   DatabaseBuildOptions options = db_options;
   options.signature_samples = config.signature_samples;
   // Templates run through this recogniser's own pipeline so a query under
-  // canonical conditions reproduces its template bit-for-bit.
-  database_ = build_canonical_database(
+  // canonical conditions reproduces its template bit-for-bit. The built
+  // database is immediately frozen behind a const handle.
+  database_ = std::make_shared<const SignDatabase>(build_canonical_database(
       make_encoder(config), options,
-      [this](const imaging::GrayImage& frame) { return extract_signature(frame); });
+      [this](const imaging::GrayImage& frame) { return extract_signature(frame); }));
 }
 
 SaxSignRecognizer::SaxSignRecognizer(const RecognizerConfig& config, SignDatabase database)
-    : config_(config), database_(std::move(database)) {}
+    : SaxSignRecognizer(config,
+                        std::make_shared<const SignDatabase>(std::move(database))) {}
+
+SaxSignRecognizer::SaxSignRecognizer(const RecognizerConfig& config,
+                                     std::shared_ptr<const SignDatabase> database)
+    : config_(config), database_(std::move(database)) {
+  if (database_ == nullptr) {
+    throw std::invalid_argument("SaxSignRecognizer: null database handle");
+  }
+}
 
 timeseries::Series SaxSignRecognizer::extract_signature(
     const imaging::GrayImage& frame) const {
@@ -207,7 +217,7 @@ RecognitionResult SaxSignRecognizer::recognize(const imaging::GrayImage& frame,
                                                RecognitionTrace* trace) const {
   RecognitionResult result;
   RecognizerScratch scratch;
-  recognize_frame_into(config_, database_, frame, scratch, result, &timers_, trace);
+  recognize_frame_into(config_, *database_, frame, scratch, result, &timers_, trace);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -122,8 +123,14 @@ class SaxSignRecognizer {
                     const DatabaseBuildOptions& db_options);
 
   /// Builds with an externally constructed database (must use a compatible
-  /// encoder configuration).
+  /// encoder configuration). Wraps the value in a fresh shared handle.
   SaxSignRecognizer(const RecognizerConfig& config, SignDatabase database);
+
+  /// Builds against an existing shared database handle — no copy. The
+  /// database is immutable after build, so any number of recognisers,
+  /// batch engines and perception shards may share one instance.
+  SaxSignRecognizer(const RecognizerConfig& config,
+                    std::shared_ptr<const SignDatabase> database);
 
   /// Processes one frame. When `trace` is non-null, intermediates are
   /// copied out (costs extra; keep null on the hot path).
@@ -135,7 +142,14 @@ class SaxSignRecognizer {
   [[nodiscard]] timeseries::Series extract_signature(const imaging::GrayImage& frame) const;
 
   [[nodiscard]] const RecognizerConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const SignDatabase& database() const noexcept { return database_; }
+  [[nodiscard]] const SignDatabase& database() const noexcept { return *database_; }
+
+  /// The shared handle itself, so callers can fan the one immutable
+  /// database out to other engines without copying templates.
+  [[nodiscard]] const std::shared_ptr<const SignDatabase>& database_ptr()
+      const noexcept {
+    return database_;
+  }
 
   /// Accumulated per-stage timings across all recognize() calls
   /// (preprocess / threshold / morphology / component / contour / signature
@@ -144,7 +158,7 @@ class SaxSignRecognizer {
 
  private:
   RecognizerConfig config_;
-  SignDatabase database_;
+  std::shared_ptr<const SignDatabase> database_;
   mutable util::StageTimers timers_;
 };
 

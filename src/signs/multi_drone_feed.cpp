@@ -1,0 +1,72 @@
+#include "signs/multi_drone_feed.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace hdc::signs {
+
+MultiDroneFeed::MultiDroneFeed(MultiDroneFeedConfig config)
+    : config_(std::move(config)) {
+  if (config_.streams == 0) {
+    throw std::invalid_argument("MultiDroneFeed: need at least one stream");
+  }
+  if (config_.altitudes.empty()) {
+    throw std::invalid_argument("MultiDroneFeed: need at least one altitude");
+  }
+}
+
+FramePlan MultiDroneFeed::plan(std::size_t stream, std::uint64_t tick) const {
+  if (stream >= config_.streams) {
+    throw std::out_of_range("MultiDroneFeed::plan: bad stream index");
+  }
+  FramePlan out;
+  // Signs cycle every tick, phase-shifted per stream so the cohort never
+  // shows the same sign everywhere at once.
+  const std::uint64_t sign_phase = tick + stream;
+  out.sign = kAllSigns[sign_phase % kAllSigns.size()];
+  // One altitude-band step per full sign cycle, again phase-shifted.
+  const std::uint64_t band_step = tick / kAllSigns.size() + stream;
+  out.view.altitude_m = config_.altitudes[band_step % config_.altitudes.size()];
+  out.view.distance_m = config_.distance_m;
+  // Fixed per-stream azimuth offset in {-2,-1,0,1,2} steps plus a +-step/3
+  // tick wobble: head-on streams stay recognisable, outer streams go
+  // oblique enough to reject sometimes.
+  const double offset =
+      (static_cast<double>(stream % 5) - 2.0) * config_.azimuth_step_deg;
+  const double wobble = (static_cast<double>(tick % 3) - 1.0) *
+                        (config_.azimuth_step_deg / 3.0);
+  out.view.relative_azimuth_deg = offset + wobble;
+  return out;
+}
+
+imaging::GrayImage MultiDroneFeed::render_frame(std::size_t stream,
+                                                std::uint64_t tick) const {
+  const FramePlan what = plan(stream, tick);
+  return render_sign(what.sign, what.view, config_.render);
+}
+
+std::vector<imaging::GrayImage> MultiDroneFeed::prerender(
+    std::size_t stream, std::size_t count) const {
+  // Key the render cache by the exact quantities that vary in the plan —
+  // the azimuth double is a deterministic computation, so equal plans
+  // yield bit-equal keys and distinct plans can never collide.
+  using Key = std::tuple<HumanSign, double, double>;
+  std::map<Key, imaging::GrayImage> cache;
+  std::vector<imaging::GrayImage> frames;
+  frames.reserve(count);
+  for (std::size_t tick = 0; tick < count; ++tick) {
+    const FramePlan what = plan(stream, tick);
+    const Key key{what.sign, what.view.altitude_m,
+                  what.view.relative_azimuth_deg};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, render_sign(what.sign, what.view, config_.render))
+               .first;
+    }
+    frames.push_back(it->second);
+  }
+  return frames;
+}
+
+}  // namespace hdc::signs

@@ -1,0 +1,72 @@
+// Multi-drone camera feed driver over the synthetic scene renderer.
+//
+// Simulates N drones watching N signallers at once: every stream is an
+// independent deterministic script of (sign, view) pairs over the existing
+// signs::Scene renderer — signs cycle, the altitude walks the paper's 2-5 m
+// working band, and each stream carries its own azimuth offset so different
+// drones see genuinely different geometry (some oblique enough to reject,
+// as in a real cohort). Stream `s`, tick `t` always renders the same frame,
+// which is what lets the streaming bench/tests gate bit-identity against
+// the sequential recogniser per stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "signs/scene.hpp"
+#include "signs/sign.hpp"
+
+namespace hdc::signs {
+
+struct MultiDroneFeedConfig {
+  std::size_t streams{4};
+  RenderOptions render{};
+  double distance_m{3.0};
+  /// Altitudes cycled per stream (the paper's working band by default).
+  std::vector<double> altitudes{2.0, 3.5, 5.0};
+  /// Per-stream azimuth offset: stream s sits at ((s % 5) - 2) * this many
+  /// degrees off the signaller's axis, so an 8-stream cohort spans
+  /// head-on to oblique views.
+  double azimuth_step_deg{9.0};
+};
+
+/// What a stream's camera sees at one tick (exposed so callers can
+/// recompute ground truth independently of the renderer).
+struct FramePlan {
+  HumanSign sign{HumanSign::kNeutral};
+  ViewGeometry view{};
+};
+
+class MultiDroneFeed {
+ public:
+  explicit MultiDroneFeed(MultiDroneFeedConfig config = {});
+
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return config_.streams;
+  }
+  [[nodiscard]] const MultiDroneFeedConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The deterministic (sign, view) script: signs cycle every tick with a
+  /// per-stream phase, the altitude advances one band step per sign cycle,
+  /// the azimuth is the stream's fixed offset plus a small tick wobble.
+  [[nodiscard]] FramePlan plan(std::size_t stream, std::uint64_t tick) const;
+
+  /// Renders the frame stream `stream` produces at `tick` (deterministic).
+  [[nodiscard]] imaging::GrayImage render_frame(std::size_t stream,
+                                                std::uint64_t tick) const;
+
+  /// The first `count` frames of `stream` (frame i == render_frame(stream,
+  /// i)). The plan is periodic, so distinct frames are rendered once and
+  /// copied — pre-rendering a long script costs only the period.
+  [[nodiscard]] std::vector<imaging::GrayImage> prerender(std::size_t stream,
+                                                          std::size_t count) const;
+
+ private:
+  MultiDroneFeedConfig config_;
+};
+
+}  // namespace hdc::signs

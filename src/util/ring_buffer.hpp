@@ -1,0 +1,178 @@
+// Bounded MPSC ring buffer with a configurable full-queue policy.
+//
+// Built for the streaming perception service: any number of producer
+// threads push frames, exactly one consumer (a shard worker) pops them in
+// FIFO order. Capacity is fixed at construction — a live camera feed must
+// not buffer unboundedly — and what happens when the ring is full is a
+// policy decision the caller makes per deployment:
+//
+//   kBlock      — the producer waits for space (lossless; backpressure
+//                 propagates to the feed, e.g. a file replay).
+//   kDropOldest — the oldest queued item is evicted to admit the new one
+//                 (a live feed prefers fresh frames over stale ones).
+//   kReject     — the new item is refused (the caller decides what to do,
+//                 e.g. skip the frame and count it).
+//
+// The ring never reorders: items pop in push order regardless of policy,
+// so per-stream sequence numbers stay monotonic downstream. Eviction and
+// rejection are counted, and kDropOldest hands the evicted item back to
+// the producer so it can account the loss (e.g. per stream).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hdc::util {
+
+/// What a full ring does with a new item.
+enum class OverflowPolicy : std::uint8_t { kBlock, kDropOldest, kReject };
+
+[[nodiscard]] constexpr const char* to_string(OverflowPolicy policy) noexcept {
+  switch (policy) {
+    case OverflowPolicy::kBlock: return "block";
+    case OverflowPolicy::kDropOldest: return "drop-oldest";
+    case OverflowPolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+/// Outcome of one push.
+enum class PushOutcome : std::uint8_t {
+  kEnqueued,       ///< item admitted, nothing lost
+  kEvictedOldest,  ///< item admitted, the oldest queued item was evicted
+  kRejected,       ///< ring full under kReject — item refused
+  kClosed,         ///< ring closed — item refused
+};
+
+template <typename T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(std::size_t capacity,
+                       OverflowPolicy policy = OverflowPolicy::kBlock)
+      : storage_(checked_capacity(capacity)), policy_(policy) {}
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  /// Pushes one item (any thread). Under kDropOldest a full ring evicts its
+  /// oldest item into `*evicted` (when non-null) before admitting `item`;
+  /// under kBlock the call waits until space frees or the ring closes.
+  PushOutcome push(T item, T* evicted = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (policy_ == OverflowPolicy::kBlock) {
+      not_full_.wait(lock, [this] { return closed_ || size_ < storage_.size(); });
+    }
+    if (closed_) return PushOutcome::kClosed;
+    PushOutcome outcome = PushOutcome::kEnqueued;
+    if (size_ == storage_.size()) {
+      if (policy_ == OverflowPolicy::kReject) {
+        ++rejected_;
+        return PushOutcome::kRejected;
+      }
+      // kDropOldest: overwrite the head slot's occupant.
+      T old = std::move(storage_[head_]);
+      head_ = next(head_);
+      --size_;
+      ++evicted_;
+      if (evicted != nullptr) *evicted = std::move(old);
+      outcome = PushOutcome::kEvictedOldest;
+    }
+    storage_[tail_] = std::move(item);
+    tail_ = next(tail_);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return outcome;
+  }
+
+  /// Pops the oldest item, blocking until one arrives or the ring is closed
+  /// AND drained. Returns false only on closed-and-empty (the consumer's
+  /// shutdown signal). Single consumer.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;  // closed and drained
+    out = std::move(storage_[head_]);
+    head_ = next(head_);
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; returns false when the ring is currently empty.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0) return false;
+    out = std::move(storage_[head_]);
+    head_ = next(head_);
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the ring: subsequent pushes return kClosed, blocked producers
+  /// wake, and the consumer drains what remains before pop() returns false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  /// Items evicted under kDropOldest since construction.
+  [[nodiscard]] std::uint64_t evicted_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evicted_;
+  }
+  /// Items refused under kReject since construction.
+  [[nodiscard]] std::uint64_t rejected_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t checked_capacity(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("BoundedRing: capacity must be positive");
+    }
+    return capacity;
+  }
+
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return i + 1 == storage_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> storage_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::size_t head_{0};  ///< oldest occupied slot
+  std::size_t tail_{0};  ///< next free slot
+  std::size_t size_{0};
+  bool closed_{false};
+  std::uint64_t evicted_{0};
+  std::uint64_t rejected_{0};
+};
+
+}  // namespace hdc::util

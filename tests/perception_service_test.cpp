@@ -1,0 +1,372 @@
+// PerceptionService: streamed results bit-identical to the sequential
+// SaxSignRecognizer per stream, callbacks in sequence order per stream
+// (across every stream/shard ratio), one shared SignDatabase instance
+// across shards and engines (pointer equality), drop-oldest backpressure
+// losing only the oldest queued frames, reject accounting, and shutdown
+// semantics.
+#include "recognition/perception_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recognition/batch_recognizer.hpp"
+#include "signs/multi_drone_feed.hpp"
+
+namespace hdc::recognition {
+namespace {
+
+/// Serialises the deterministic payload of a result (everything except the
+/// wall-clock total_ms) to bytes, with doubles copied bit-exactly.
+void append_payload(const RecognitionResult& result, std::string& out) {
+  out.push_back(result.accepted ? 1 : 0);
+  out.push_back(static_cast<char>(result.sign));
+  out.push_back(static_cast<char>(result.reject_reason));
+  char bits[sizeof(double)];
+  std::memcpy(bits, &result.distance, sizeof(double));
+  out.append(bits, sizeof(double));
+  std::memcpy(bits, &result.margin, sizeof(double));
+  out.append(bits, sizeof(double));
+  out.append(result.sax_word);
+  out.push_back('|');
+}
+
+/// Thread-safe per-stream collector that also asserts the ordering
+/// contract the moment it is violated: within a stream, sequences must be
+/// strictly increasing (contiguity is NOT required — drop-oldest skips).
+class Collector {
+ public:
+  void operator()(const StreamResult& r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& stream = streams_[r.stream_id];
+    if (!stream.sequences.empty()) {
+      EXPECT_GT(r.sequence, stream.sequences.back())
+          << "stream " << r.stream_id << " delivered out of order";
+    }
+    stream.sequences.push_back(r.sequence);
+    append_payload(r.result, stream.payload);
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> sequences(std::uint32_t stream) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(stream);
+    return it == streams_.end() ? std::vector<std::uint64_t>{} : it->second.sequences;
+  }
+  [[nodiscard]] std::string payload(std::uint32_t stream) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(stream);
+    return it == streams_.end() ? std::string{} : it->second.payload;
+  }
+  [[nodiscard]] std::size_t total_delivered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& entry : streams_) n += entry.second.sequences.size();
+    return n;
+  }
+
+ private:
+  struct PerStream {
+    std::vector<std::uint64_t> sequences;
+    std::string payload;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, PerStream> streams_;
+};
+
+/// Shared sequential reference + feed scripts (database construction
+/// renders frames, so build once for the whole suite).
+class PerceptionServiceSuite : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kStreams = 4;
+  static constexpr std::size_t kFramesPerStream = 12;
+
+  static void SetUpTestSuite() {
+    sequential_ = new SaxSignRecognizer(RecognizerConfig{}, DatabaseBuildOptions{});
+    signs::MultiDroneFeedConfig feed_config;
+    feed_config.streams = kStreams;
+    const signs::MultiDroneFeed feed(feed_config);
+    scripts_ = new std::vector<std::vector<imaging::GrayImage>>(kStreams);
+    expected_ = new std::vector<std::string>(kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      (*scripts_)[s] = feed.prerender(s, kFramesPerStream);
+      for (const imaging::GrayImage& frame : (*scripts_)[s]) {
+        append_payload(sequential_->recognize(frame), (*expected_)[s]);
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete sequential_;
+    delete scripts_;
+    delete expected_;
+    sequential_ = nullptr;
+    scripts_ = nullptr;
+    expected_ = nullptr;
+  }
+
+  static SaxSignRecognizer* sequential_;
+  static std::vector<std::vector<imaging::GrayImage>>* scripts_;
+  static std::vector<std::string>* expected_;  ///< sequential payload bytes
+};
+
+SaxSignRecognizer* PerceptionServiceSuite::sequential_ = nullptr;
+std::vector<std::vector<imaging::GrayImage>>* PerceptionServiceSuite::scripts_ =
+    nullptr;
+std::vector<std::string>* PerceptionServiceSuite::expected_ = nullptr;
+
+TEST_F(PerceptionServiceSuite, BitIdenticalAndInOrderAcrossStreamShardRatios) {
+  // Covers shards < streams, == streams, and > streams. Every cell must
+  // deliver every frame, in per-stream sequence order, with payloads
+  // byte-identical to the sequential recogniser.
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    Collector collect;
+    PerceptionServiceConfig service_config;
+    service_config.shards = shards;
+    service_config.queue_capacity = 8;
+    service_config.overflow = util::OverflowPolicy::kBlock;
+    PerceptionService service(
+        sequential_->config(), sequential_->database_ptr(),
+        [&collect](const StreamResult& r) { collect(r); }, service_config);
+    ASSERT_EQ(service.shard_count(), shards);
+
+    std::vector<std::thread> producers;
+    for (std::uint32_t s = 0; s < kStreams; ++s) {
+      producers.emplace_back([&, s] {
+        for (const imaging::GrayImage& frame : (*scripts_)[s]) {
+          const SubmitReceipt receipt = service.submit(s, frame);
+          EXPECT_EQ(receipt.status, SubmitStatus::kEnqueued);
+          EXPECT_EQ(receipt.shard, service.shard_of(s));
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    service.drain();
+
+    for (std::uint32_t s = 0; s < kStreams; ++s) {
+      const std::vector<std::uint64_t> seqs = collect.sequences(s);
+      ASSERT_EQ(seqs.size(), kFramesPerStream) << "shards=" << shards;
+      for (std::uint64_t i = 0; i < kFramesPerStream; ++i) {
+        EXPECT_EQ(seqs[i], i) << "stream " << s << " shards=" << shards;
+      }
+      EXPECT_EQ(collect.payload(s), (*expected_)[s])
+          << "stream " << s << " diverges from sequential at shards=" << shards;
+    }
+    const StreamStats totals = service.total_stats();
+    EXPECT_EQ(totals.submitted, kStreams * kFramesPerStream);
+    EXPECT_EQ(totals.delivered, kStreams * kFramesPerStream);
+    EXPECT_EQ(totals.dropped, 0u);
+    EXPECT_EQ(totals.rejected, 0u);
+  }
+}
+
+TEST_F(PerceptionServiceSuite, ShardsShareExactlyOneDatabaseInstance) {
+  const std::shared_ptr<const SignDatabase>& db = sequential_->database_ptr();
+  const long use_before = db.use_count();
+  PerceptionService service(
+      sequential_->config(), db, [](const StreamResult&) {},
+      {/*shards=*/4, /*queue_capacity=*/4, util::OverflowPolicy::kBlock});
+  // One extra owner (the service), regardless of shard count...
+  EXPECT_EQ(db.use_count(), use_before + 1);
+  // ...and every shard matches against literally the same object.
+  for (std::size_t shard = 0; shard < service.shard_count(); ++shard) {
+    EXPECT_EQ(service.shard_database(shard), db.get()) << "shard " << shard;
+  }
+  EXPECT_EQ(&service.database(), db.get());
+
+  // The same sharing works across engine types: no copies anywhere.
+  const BatchRecognizer batch_a(sequential_->config(), db, 1);
+  const BatchRecognizer batch_b(sequential_->config(), db, 2);
+  const SaxSignRecognizer seq_b(sequential_->config(), db);
+  EXPECT_EQ(&batch_a.database(), &batch_b.database());
+  EXPECT_EQ(&batch_a.database(), db.get());
+  EXPECT_EQ(&seq_b.database(), db.get());
+}
+
+TEST_F(PerceptionServiceSuite, DropOldestLosesOnlyTheOldestFramesUnderOverload) {
+  // Gate the single shard inside the callback for sequence 0, fill the
+  // 4-slot ring (sequences 1-4), then submit five more frames. Each of
+  // those must evict the oldest queued frame: 1,2,3,4,5 drop; 6,7,8,9
+  // survive. Delivered = {0, 6, 7, 8, 9}.
+  constexpr std::size_t kCapacity = 4;
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+
+  Collector collect;
+  PerceptionServiceConfig service_config;
+  service_config.shards = 1;
+  service_config.queue_capacity = kCapacity;
+  service_config.overflow = util::OverflowPolicy::kDropOldest;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&](const StreamResult& r) {
+        collect(r);
+        if (r.sequence == 0) {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          worker_parked = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release_worker; });
+        }
+      },
+      service_config);
+
+  const imaging::GrayImage& frame = (*scripts_)[0].front();
+  EXPECT_EQ(service.submit(0, frame).status, SubmitStatus::kEnqueued);
+  {
+    // The worker has popped sequence 0 and is parked in the callback; the
+    // ring is empty and nothing else can be consumed until release.
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  for (std::uint64_t i = 1; i <= kCapacity; ++i) {
+    const SubmitReceipt receipt = service.submit(0, frame);
+    EXPECT_EQ(receipt.status, SubmitStatus::kEnqueued);
+    EXPECT_EQ(receipt.sequence, i);
+  }
+  for (std::uint64_t i = kCapacity + 1; i <= 2 * kCapacity + 1; ++i) {
+    const SubmitReceipt receipt = service.submit(0, frame);
+    EXPECT_EQ(receipt.status, SubmitStatus::kEnqueuedDropOldest);
+    EXPECT_EQ(receipt.sequence, i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_worker = true;
+  }
+  gate_cv.notify_all();
+  service.drain();
+
+  const std::vector<std::uint64_t> seqs = collect.sequences(0);
+  const std::vector<std::uint64_t> want = {0, 6, 7, 8, 9};
+  EXPECT_EQ(seqs, want) << "survivors must be the newest frames, in order";
+  const StreamStats stats = service.stream_stats(0);
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.delivered, 5u);
+  EXPECT_EQ(stats.dropped, 5u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(PerceptionServiceSuite, RejectPolicyRefusesWithoutConsumingSequences) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+
+  Collector collect;
+  PerceptionServiceConfig service_config;
+  service_config.shards = 1;
+  service_config.queue_capacity = 2;
+  service_config.overflow = util::OverflowPolicy::kReject;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&](const StreamResult& r) {
+        collect(r);
+        if (r.sequence == 0) {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          worker_parked = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release_worker; });
+        }
+      },
+      service_config);
+
+  const imaging::GrayImage& frame = (*scripts_)[0].front();
+  EXPECT_EQ(service.submit(0, frame).status, SubmitStatus::kEnqueued);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  EXPECT_EQ(service.submit(0, frame).sequence, 1u);  // fills slot 1
+  EXPECT_EQ(service.submit(0, frame).sequence, 2u);  // fills slot 2
+  for (int i = 0; i < 3; ++i) {
+    const SubmitReceipt receipt = service.submit(0, frame);
+    EXPECT_EQ(receipt.status, SubmitStatus::kRejected);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_worker = true;
+  }
+  gate_cv.notify_all();
+  service.drain();
+
+  // Rejected frames never consumed a sequence: delivery is contiguous.
+  const std::vector<std::uint64_t> want = {0, 1, 2};
+  EXPECT_EQ(collect.sequences(0), want);
+  const StreamStats stats = service.stream_stats(0);
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.delivered, 3u);
+  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST_F(PerceptionServiceSuite, ConcurrentSameStreamSubmittersStayOrdered) {
+  // Two threads race submit() on ONE stream: sequence assignment and ring
+  // admission are atomic together, so delivery must still be strictly
+  // increasing with no gaps (block policy, nothing dropped). Blank frames
+  // keep the pipeline fast (they reject as kNoSilhouette).
+  constexpr std::uint64_t kPerThread = 50;
+  Collector collect;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&collect](const StreamResult& r) { collect(r); },
+      {/*shards=*/1, /*queue_capacity=*/8, util::OverflowPolicy::kBlock});
+
+  const imaging::GrayImage blank(64, 64, std::uint8_t{200});
+  std::vector<std::thread> submitters;
+  std::atomic<std::uint64_t> accepted{0};
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        if (service.submit(7, blank).status == SubmitStatus::kEnqueued) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  service.drain();
+
+  EXPECT_EQ(accepted.load(), 2 * kPerThread);
+  const std::vector<std::uint64_t> seqs = collect.sequences(7);
+  ASSERT_EQ(seqs.size(), 2 * kPerThread);
+  for (std::uint64_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST_F(PerceptionServiceSuite, StopIsIdempotentAndRefusesLateSubmits) {
+  Collector collect;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&collect](const StreamResult& r) { collect(r); },
+      {/*shards=*/2, /*queue_capacity=*/4, util::OverflowPolicy::kBlock});
+  EXPECT_EQ(service.submit(0, (*scripts_)[0].front()).status,
+            SubmitStatus::kEnqueued);
+  service.stop();
+  service.stop();  // idempotent
+  EXPECT_EQ(service.submit(0, (*scripts_)[0].front()).status,
+            SubmitStatus::kStopped);
+  // The frame admitted before stop() was still drained and delivered.
+  EXPECT_EQ(collect.total_delivered(), 1u);
+  service.drain();  // no pending frames; returns immediately
+}
+
+TEST_F(PerceptionServiceSuite, EmptyFrameThrowsAtSubmit) {
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [](const StreamResult&) {},
+      {/*shards=*/1, /*queue_capacity=*/2, util::OverflowPolicy::kBlock});
+  imaging::GrayImage empty;
+  EXPECT_THROW(service.submit(0, empty), std::invalid_argument);
+  EXPECT_THROW((void)PerceptionService(sequential_->config(), nullptr,
+                                       [](const StreamResult&) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::recognition

@@ -316,6 +316,36 @@ TEST_F(BatchRecognitionSuite, InvalidFrameThrowsLikeSequentialAndEngineSurvives)
   EXPECT_TRUE(engine.recognize_batch({good}).front().accepted);
 }
 
+TEST_F(BatchRecognitionSuite, EmptyFrameVectorClearsResultsAndSkipsPool) {
+  // Regression: an empty batch is a defined no-op — `results` is cleared
+  // (stale entries from a previous batch must not survive) and the worker
+  // pool is never woken.
+  BatchRecognizer engine(sequential_->config(), sequential_->database(), 2);
+  const std::vector<imaging::GrayImage> frames = make_frames();
+  std::vector<RecognitionResult> results;
+  engine.recognize_batch(frames, results);
+  ASSERT_EQ(results.size(), frames.size());
+
+  engine.recognize_batch({}, results);
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(engine.recognize_batch(std::vector<imaging::GrayImage>{}).empty());
+
+  // The engine is untouched and still produces identical payloads.
+  EXPECT_EQ(payload_bytes(engine.recognize_batch(frames)),
+            payload_bytes(engine.recognize_batch(frames)));
+}
+
+TEST_F(BatchRecognitionSuite, EnginesShareOneDatabaseViaSharedHandle) {
+  // The shared_ptr ownership refactor: engines built from one handle match
+  // against literally the same immutable database object — no copies.
+  const std::shared_ptr<const SignDatabase>& db = sequential_->database_ptr();
+  BatchRecognizer a(sequential_->config(), db, 1);
+  BatchRecognizer b(sequential_->config(), db, 2);
+  EXPECT_EQ(&a.database(), &b.database());
+  EXPECT_EQ(&a.database(), db.get());
+  EXPECT_EQ(&sequential_->database(), db.get());
+}
+
 TEST(ThreadPool, EmptyBatchAndReuseAcrossBatches) {
   util::ThreadPool pool(3);
   pool.run(0, [](std::size_t, std::size_t) { FAIL() << "no jobs expected"; });
