@@ -1,0 +1,239 @@
+// End-to-end dialogue bench: frame -> ack latency through the full
+// interaction stack.
+//
+// For each cohort size in {1, 2, 4, 8}, every stream plays its scripted
+// noisy dialogue (interaction::make_cohort over signs::MultiDroneFeed)
+// from its own producer thread into PerceptionService; fused events drive
+// the per-stream DialogueStateMachine inside InteractionService, and each
+// applied AckAction is timestamped against the submit time of the frame
+// that caused it. Reported per cell:
+//
+//   - aggregate frames/sec (first submit -> full drain),
+//   - p50/p99 frame->ack latency (submit of the triggering frame ->
+//     LED/pattern applied — the human-visible response time),
+//   - fused events/sec and acks/sec,
+//   - a correctness gate: every stream must finish its dialogue with the
+//     scripted outcome and produce EXACTLY the expected fused event count
+//     (zero spurious onset/end pairs under the noise model).
+//
+// Flags: --smoke (small cohort set for CI), --json PATH (per-PR artifact).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interaction/interaction_service.hpp"
+#include "interaction/scenario.hpp"
+#include "recognition/perception_service.hpp"
+#include "signs/multi_drone_feed.hpp"
+#include "util/statistics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc;
+using Clock = std::chrono::steady_clock;
+
+struct CellResult {
+  std::size_t streams{0};
+  std::size_t shards{0};
+  std::size_t frames_total{0};
+  double aggregate_fps{0.0};
+  double ack_p50_ms{0.0};
+  double ack_p99_ms{0.0};
+  double events_per_sec{0.0};
+  double acks_per_sec{0.0};
+  std::size_t acks{0};
+  bool dialogues_ok{false};  ///< outcomes + exact event counts all matched
+};
+
+CellResult run_cell(const recognition::SaxSignRecognizer& reference,
+                    const interaction::CommandGrammar& grammar,
+                    const interaction::ScenarioCohort& cohort,
+                    const std::vector<std::vector<imaging::GrayImage>>& scripts,
+                    std::size_t streams, std::size_t shards) {
+  CellResult cell;
+  cell.streams = streams;
+  cell.shards = shards;
+
+  std::vector<std::vector<Clock::time_point>> submit_at(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    submit_at[s].resize(scripts[s].size());
+    cell.frames_total += scripts[s].size();
+  }
+
+  std::vector<double> ack_latencies_ms;  // dialogue worker thread only
+  std::uint64_t events_total = 0;
+  double seconds = 0.0;
+
+  {
+    interaction::InteractionServiceConfig dialogue_config;
+    dialogue_config.fusion =
+        interaction::FusionPolicy::matching(reference.config());
+    interaction::InteractionService dialogue(
+        dialogue_config, interaction::CommandGrammar(grammar.rules()));
+    dialogue.set_ack_observer([&](const interaction::AckAction& ack) {
+      ack_latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                     Clock::now() -
+                                     submit_at[ack.stream_id][ack.tick])
+                                     .count());
+    });
+    recognition::PerceptionServiceConfig perception_config;
+    perception_config.shards = shards;
+    perception_config.queue_capacity = 64;
+    recognition::PerceptionService perception(
+        reference.config(), reference.database_ptr(), dialogue.callback(),
+        perception_config);
+    dialogue.watch(&perception);
+
+    util::Stopwatch wall;
+    std::vector<std::thread> producers;
+    producers.reserve(streams);
+    for (std::size_t s = 0; s < streams; ++s) {
+      producers.emplace_back([&, s] {
+        for (std::size_t i = 0; i < scripts[s].size(); ++i) {
+          submit_at[s][i] = Clock::now();
+          perception.submit(static_cast<std::uint32_t>(s), scripts[s][i]);
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    perception.drain();
+    dialogue.drain();
+    seconds = wall.elapsed_seconds();
+
+    cell.dialogues_ok = true;
+    for (std::uint32_t s = 0; s < streams; ++s) {
+      const interaction::InteractionStreamStats stats = dialogue.stream_stats(s);
+      const interaction::ScenarioExpectation& want = cohort.expectations[s];
+      events_total += stats.events_begun + stats.events_ended;
+      cell.acks += stats.acks;
+      const bool ok = stats.outcome == want.outcome &&
+                      stats.events_begun == want.sign_events &&
+                      stats.events_ended == want.sign_events &&
+                      stats.state == interaction::DialogueState::kIdle;
+      if (!ok) {
+        cell.dialogues_ok = false;
+        std::cerr << "stream " << s << ": outcome "
+                  << protocol::to_string(stats.outcome) << " (want "
+                  << protocol::to_string(want.outcome) << "), events "
+                  << stats.events_begun << "/" << stats.events_ended
+                  << " (want " << want.sign_events << ")\n";
+      }
+    }
+  }  // services stop + join here
+
+  cell.aggregate_fps = static_cast<double>(cell.frames_total) / seconds;
+  cell.events_per_sec = static_cast<double>(events_total) / seconds;
+  cell.acks_per_sec = static_cast<double>(cell.acks) / seconds;
+  cell.ack_p50_ms = util::percentile(ack_latencies_ms, 50.0);
+  cell.ack_p99_ms = util::percentile(ack_latencies_ms, 99.0);
+  return cell;
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                std::size_t hardware_threads) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for JSON output\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"interaction_dialogue\",\n"
+      << "  \"hardware_threads\": " << hardware_threads << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"streams\": " << c.streams << ", \"shards\": " << c.shards
+        << ", \"frames_total\": " << c.frames_total
+        << ", \"aggregate_fps\": " << c.aggregate_fps
+        << ", \"ack_p50_ms\": " << c.ack_p50_ms
+        << ", \"ack_p99_ms\": " << c.ack_p99_ms
+        << ", \"events_per_sec\": " << c.events_per_sec
+        << ", \"acks_per_sec\": " << c.acks_per_sec << ", \"acks\": " << c.acks
+        << ", \"dialogues_ok\": " << (c.dialogues_ok ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> stream_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::cout << "building canonical database + rendering dialogue scripts...\n";
+  const recognition::SaxSignRecognizer reference(
+      recognition::RecognizerConfig{}, recognition::DatabaseBuildOptions{});
+  const interaction::CommandGrammar grammar =
+      interaction::CommandGrammar::standard();
+
+  const std::size_t max_streams = stream_counts.back();
+  const interaction::ScenarioCohort cohort =
+      interaction::make_cohort(max_streams, grammar);
+  const signs::MultiDroneFeed feed(
+      interaction::make_feed_config(max_streams, cohort.scripts));
+  std::vector<std::vector<imaging::GrayImage>> scripts(max_streams);
+  for (std::size_t s = 0; s < max_streams; ++s) {
+    scripts[s] =
+        feed.prerender(s, static_cast<std::size_t>(feed.script_period(s)));
+  }
+
+  util::TextTable table({"streams", "shards", "frames", "aggregate fps",
+                         "ack p50 ms", "ack p99 ms", "events/s", "acks",
+                         "dialogues"});
+  std::vector<CellResult> cells;
+  bool all_ok = true;
+  for (const std::size_t streams : stream_counts) {
+    const std::size_t shards = std::min<std::size_t>(streams, 4);
+    const CellResult cell =
+        run_cell(reference, grammar, cohort, scripts, streams, shards);
+    all_ok = all_ok && cell.dialogues_ok;
+    table.add_row({std::to_string(cell.streams), std::to_string(cell.shards),
+                   std::to_string(cell.frames_total),
+                   util::fmt(cell.aggregate_fps, 1),
+                   util::fmt(cell.ack_p50_ms, 2), util::fmt(cell.ack_p99_ms, 2),
+                   util::fmt(cell.events_per_sec, 1), std::to_string(cell.acks),
+                   cell.dialogues_ok ? "ok" : "FAIL"});
+    cells.push_back(cell);
+  }
+
+  std::cout << "\n--- interaction dialogue (scripted noisy cohort, "
+            << (smoke ? "smoke" : "full") << ") ---\n";
+  table.print(std::cout);
+  std::cout << "hardware threads: " << hw
+            << "; ack latency = submit of triggering frame -> LED/pattern "
+               "applied\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, cells, hw);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!all_ok) {
+    std::cout << "FAIL: a dialogue missed its scripted outcome or fused a "
+                 "spurious event\n";
+    return 1;
+  }
+  std::cout << "all dialogues completed with scripted outcomes and exact "
+               "event counts\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "imaging/components.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 namespace hdc::imaging {
@@ -36,48 +37,95 @@ class DisjointSet {
   std::vector<std::int32_t>& parent_;
 };
 
+/// First-nonzero-wins merge of the four already-visited 8-connectivity
+/// neighbours, in the fixed W, NW, N, NE order (the order pins the label
+/// numbering, so it must never change).
+inline std::int32_t merge_neighbours(DisjointSet& sets, std::int32_t w,
+                                     std::int32_t nw, std::int32_t n,
+                                     std::int32_t ne) {
+  std::int32_t label = w;
+  if (nw != 0) {
+    if (label == 0) label = nw;
+    else sets.unite(label, nw);
+  }
+  if (n != 0) {
+    if (label == 0) label = n;
+    else sets.unite(label, n);
+  }
+  if (ne != 0) {
+    if (label == 0) label = ne;
+    else sets.unite(label, ne);
+  }
+  return label;
+}
+
+/// The next foreground pixel at or after `x` in a {0, 255} row, or `width`
+/// when the rest of the row is background. memchr is the branch-light
+/// (SIMD in libc) row scan — silhouette frames are mostly background, so
+/// skipping runs wholesale is where the time goes. Bytes other than 255
+/// are background, exactly like the `!= kForeground` test it replaces.
+inline int next_foreground(const std::uint8_t* row, int x, int width) {
+  const void* hit = std::memchr(row + x, kForeground,
+                                static_cast<std::size_t>(width - x));
+  if (hit == nullptr) return width;
+  return static_cast<int>(static_cast<const std::uint8_t*>(hit) - row);
+}
+
 }  // namespace
 
 void label_components_into(const BinaryImage& binary, Labeling& out,
                            LabelScratch& scratch) {
   out.labels.reset(binary.width(), binary.height(), 0);
   out.components.clear();
-  auto& labels = out.labels;
+  const int w = binary.width();
+  const int h = binary.height();
+  const std::uint8_t* bin_data = binary.data().data();
+  std::int32_t* lab_data = out.labels.data().data();
+  const auto row_size = static_cast<std::size_t>(w);
   DisjointSet sets(scratch.parent);
   sets.make_set();  // slot 0 = background
 
-  // Pass 1: provisional labels; merge across the 4 already-visited
-  // 8-connectivity neighbours (W, NW, N, NE).
-  for (int y = 0; y < binary.height(); ++y) {
-    for (int x = 0; x < binary.width(); ++x) {
-      if (binary(x, y) != kForeground) continue;
-      std::int32_t neighbour_label = 0;
-      constexpr int offsets[4][2] = {{-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
-      for (const auto& off : offsets) {
-        const int nx = x + off[0];
-        const int ny = y + off[1];
-        if (!binary.in_bounds(nx, ny)) continue;
-        const std::int32_t nl = labels(nx, ny);
-        if (nl == 0) continue;
-        if (neighbour_label == 0) {
-          neighbour_label = nl;
-        } else {
-          sets.unite(neighbour_label, nl);
-        }
+  // Pass 1: provisional labels, merging across the W/NW/N/NE neighbours.
+  // Row pointers replace per-pixel index math and bounds checks; the first
+  // and last columns (where NW / NE fall off the raster) peel out of the
+  // interior loop so it stays branch-light.
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* bin = bin_data + static_cast<std::size_t>(y) * row_size;
+    std::int32_t* lab = lab_data + static_cast<std::size_t>(y) * row_size;
+    const std::int32_t* up = lab - row_size;  // valid only for y > 0
+    if (y == 0) {
+      // Top row: the only visited neighbour is W.
+      for (int x = next_foreground(bin, 0, w); x < w;
+           x = next_foreground(bin, x + 1, w)) {
+        const std::int32_t west = x > 0 ? lab[x - 1] : 0;
+        lab[x] = west != 0 ? west : sets.make_set();
       }
-      labels(x, y) = neighbour_label != 0 ? neighbour_label : sets.make_set();
+      continue;
+    }
+    for (int x = next_foreground(bin, 0, w); x < w;
+         x = next_foreground(bin, x + 1, w)) {
+      const std::int32_t west = x > 0 ? lab[x - 1] : 0;
+      const std::int32_t north_west = x > 0 ? up[x - 1] : 0;
+      const std::int32_t north = up[x];
+      const std::int32_t north_east = x + 1 < w ? up[x + 1] : 0;
+      const std::int32_t label =
+          merge_neighbours(sets, west, north_west, north, north_east);
+      lab[x] = label != 0 ? label : sets.make_set();
     }
   }
 
-  // Pass 2: flatten labels to 1..n and gather statistics.
+  // Pass 2: flatten labels to 1..n and gather statistics, again skipping
+  // background runs via the binary raster (nonzero labels sit exactly on
+  // foreground pixels).
   std::vector<std::int32_t>& remap = scratch.remap;  // root -> compact label
   remap.clear();
   std::vector<Component>& comps = out.components;
-  for (int y = 0; y < binary.height(); ++y) {
-    for (int x = 0; x < binary.width(); ++x) {
-      std::int32_t l = labels(x, y);
-      if (l == 0) continue;
-      const std::int32_t root = sets.find(l);
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* bin = bin_data + static_cast<std::size_t>(y) * row_size;
+    std::int32_t* lab = lab_data + static_cast<std::size_t>(y) * row_size;
+    for (int x = next_foreground(bin, 0, w); x < w;
+         x = next_foreground(bin, x + 1, w)) {
+      const std::int32_t root = sets.find(lab[x]);
       if (static_cast<std::size_t>(root) >= remap.size()) {
         remap.resize(static_cast<std::size_t>(root) + 1, 0);
       }
@@ -88,7 +136,7 @@ void label_components_into(const BinaryImage& binary, Labeling& out,
                                   x, y, {}});
       }
       const std::int32_t compact = remap[static_cast<std::size_t>(root)];
-      labels(x, y) = compact;
+      lab[x] = compact;
       Component& comp = comps[static_cast<std::size_t>(compact - 1)];
       ++comp.area;
       comp.min_x = std::min(comp.min_x, x);
@@ -126,10 +174,15 @@ void largest_component_mask_into(const BinaryImage& binary, std::size_t min_area
     }
   }
   if (largest == nullptr) return;
-  for (int y = 0; y < binary.height(); ++y) {
-    for (int x = 0; x < binary.width(); ++x) {
-      if (labeling.labels(x, y) == largest->label) mask(x, y) = kForeground;
-    }
+  // Branchless select — 0 - (lab == target) is 0x00 or 0xFF, which IS the
+  // {kBackground, kForeground} convention; the compiler vectorises the
+  // compare+negate where a conditional store would not.
+  const std::int32_t target = largest->label;
+  const std::int32_t* lab = labeling.labels.data().data();
+  std::uint8_t* dst = mask.data().data();
+  const std::size_t count = mask.data().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<std::uint8_t>(-static_cast<std::uint8_t>(lab[i] == target));
   }
 }
 
@@ -144,14 +197,19 @@ BinaryImage largest_component_mask(const BinaryImage& binary, std::size_t min_ar
 BinaryImage remove_small_components(const BinaryImage& binary, std::size_t min_area) {
   const Labeling labeling = label_components(binary);
   BinaryImage out(binary.width(), binary.height(), kBackground);
-  for (int y = 0; y < binary.height(); ++y) {
-    for (int x = 0; x < binary.width(); ++x) {
-      const std::int32_t label = labeling.labels(x, y);
-      if (label == 0) continue;
-      if (labeling.components[static_cast<std::size_t>(label - 1)].area >= min_area) {
-        out(x, y) = kForeground;
-      }
+  // keep[label] is 0x00/0xFF per component size; the fill is then a pure
+  // table gather over the label raster, no per-pixel branching.
+  std::vector<std::uint8_t> keep(labeling.components.size() + 1, kBackground);
+  for (const Component& comp : labeling.components) {
+    if (comp.area >= min_area) {
+      keep[static_cast<std::size_t>(comp.label)] = kForeground;
     }
+  }
+  const std::int32_t* lab = labeling.labels.data().data();
+  std::uint8_t* dst = out.data().data();
+  const std::size_t count = out.data().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = keep[static_cast<std::size_t>(lab[i])];
   }
   return out;
 }

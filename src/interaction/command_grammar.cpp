@@ -1,0 +1,84 @@
+#include "interaction/command_grammar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdc::interaction {
+
+CommandGrammar::CommandGrammar(std::vector<CommandRule> rules)
+    : rules_(std::move(rules)) {
+  if (rules_.empty()) {
+    throw std::invalid_argument("CommandGrammar: rule table is empty");
+  }
+  for (const CommandRule& rule : rules_) {
+    if (rule.sequence.empty()) {
+      throw std::invalid_argument("CommandGrammar: empty sign sequence");
+    }
+    if (rule.command.kind == DroneCommandKind::kNone) {
+      throw std::invalid_argument("CommandGrammar: rule must name a command");
+    }
+    for (const signs::HumanSign sign : rule.sequence) {
+      if (sign == signs::HumanSign::kNeutral) {
+        throw std::invalid_argument(
+            "CommandGrammar: sequences use communicative signs only");
+      }
+    }
+    max_sequence_length_ = std::max(max_sequence_length_, rule.sequence.size());
+  }
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    for (std::size_t j = i + 1; j < rules_.size(); ++j) {
+      if (rules_[i].sequence == rules_[j].sequence) {
+        throw std::invalid_argument("CommandGrammar: duplicate sign sequence");
+      }
+    }
+  }
+}
+
+CommandGrammar CommandGrammar::standard() {
+  using signs::HumanSign;
+  std::vector<CommandRule> rules;
+  rules.push_back({{HumanSign::kYes},
+                   {DroneCommandKind::kApproach,
+                    drone::PatternType::kHorizontalTransit,
+                    drone::RingMode::kNavigation}});
+  rules.push_back({{HumanSign::kYes, HumanSign::kYes},
+                   {DroneCommandKind::kLand, drone::PatternType::kLanding,
+                    drone::RingMode::kLanding}});
+  rules.push_back({{HumanSign::kNo},
+                   {DroneCommandKind::kRetreat,
+                    drone::PatternType::kHorizontalTransit,
+                    drone::RingMode::kNavigation}});
+  rules.push_back({{HumanSign::kNo, HumanSign::kNo},
+                   {DroneCommandKind::kLeave, drone::PatternType::kTakeOff,
+                    drone::RingMode::kTakeoff}});
+  return CommandGrammar(std::move(rules));
+}
+
+MatchResult CommandGrammar::classify(
+    std::span<const signs::HumanSign> buffer) const noexcept {
+  MatchResult result;
+  if (buffer.empty()) return result;  // kDeadEnd: nothing to match yet
+  bool prefix_of_any = false;
+  for (const CommandRule& rule : rules_) {
+    if (rule.sequence.size() < buffer.size()) continue;
+    if (!std::equal(buffer.begin(), buffer.end(), rule.sequence.begin())) {
+      continue;
+    }
+    if (rule.sequence.size() == buffer.size()) {
+      result.rule = &rule;
+    } else {
+      prefix_of_any = true;
+    }
+  }
+  if (result.rule != nullptr) {
+    result.state = prefix_of_any ? MatchState::kCompleteExtendable
+                                 : MatchState::kComplete;
+  } else if (prefix_of_any) {
+    result.state = MatchState::kPrefix;
+  } else {
+    result.state = MatchState::kDeadEnd;
+  }
+  return result;
+}
+
+}  // namespace hdc::interaction

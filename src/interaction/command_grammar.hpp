@@ -1,0 +1,115 @@
+// CommandGrammar — table-driven mapping of fused sign sequences to drone
+// commands.
+//
+// The paper's vocabulary is deliberately tiny (AttentionGained / Yes / No),
+// so commands richer than a single yes/no are spelt as short *sequences*
+// of signs, exactly like multi-stroke marshalling: Yes = "approach",
+// Yes-Yes = "land here", No = "keep clear", No-No = "leave the area". The
+// grammar is a plain rule table so deployments can swap vocabularies
+// without touching the dialogue FSM; the FSM resolves prefix ambiguity
+// ([Yes] is complete but extendable to [Yes, Yes]) with its sequence-gap
+// timeout, mirroring how multi-stroke gestures are segmented.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "drone/flight_pattern.hpp"
+#include "drone/led_ring.hpp"
+#include "signs/sign.hpp"
+
+namespace hdc::interaction {
+
+/// What the human asked the drone to do.
+enum class DroneCommandKind : std::uint8_t {
+  kNone = 0,
+  kApproach,  ///< come closer / proceed toward the signaller
+  kLand,      ///< land at the negotiated spot
+  kRetreat,   ///< back away, keep the human's space clear
+  kLeave,     ///< depart the area entirely (climb out)
+};
+
+inline constexpr std::array<DroneCommandKind, 4> kAllCommands = {
+    DroneCommandKind::kApproach, DroneCommandKind::kLand,
+    DroneCommandKind::kRetreat, DroneCommandKind::kLeave};
+
+[[nodiscard]] constexpr std::string_view to_string(DroneCommandKind kind) noexcept {
+  switch (kind) {
+    case DroneCommandKind::kNone: return "None";
+    case DroneCommandKind::kApproach: return "Approach";
+    case DroneCommandKind::kLand: return "Land";
+    case DroneCommandKind::kRetreat: return "Retreat";
+    case DroneCommandKind::kLeave: return "Leave";
+  }
+  return "?";
+}
+
+/// A parsed command plus the drone-side embodiment used while executing it:
+/// the flight pattern flown and the LED ring mode shown (the ring previews
+/// the same mode during confirmation, so the human sees what the drone
+/// *intends* before it moves — the paper's negotiation principle).
+struct DroneCommand {
+  DroneCommandKind kind{DroneCommandKind::kNone};
+  drone::PatternType execute_pattern{drone::PatternType::kHorizontalTransit};
+  drone::RingMode execute_ring{drone::RingMode::kNavigation};
+};
+
+/// One grammar rule: a sign sequence and the command it parses to.
+struct CommandRule {
+  std::vector<signs::HumanSign> sequence;  ///< communicative signs, in order
+  DroneCommand command;
+};
+
+/// How a sign buffer relates to the rule table.
+enum class MatchState : std::uint8_t {
+  kDeadEnd = 0,         ///< no rule starts with this buffer
+  kPrefix,              ///< a strict prefix of >= 1 rule, completes none
+  kComplete,            ///< exactly one rule, and no rule extends it
+  kCompleteExtendable,  ///< a rule, but a longer rule extends it (wait or act)
+};
+
+[[nodiscard]] constexpr const char* to_string(MatchState state) noexcept {
+  switch (state) {
+    case MatchState::kDeadEnd: return "DeadEnd";
+    case MatchState::kPrefix: return "Prefix";
+    case MatchState::kComplete: return "Complete";
+    case MatchState::kCompleteExtendable: return "CompleteExtendable";
+  }
+  return "?";
+}
+
+struct MatchResult {
+  MatchState state{MatchState::kDeadEnd};
+  const CommandRule* rule{nullptr};  ///< set for kComplete / kCompleteExtendable
+};
+
+class CommandGrammar {
+ public:
+  /// Validates the table: rules must be non-empty, sequences non-empty,
+  /// built from communicative (non-neutral) signs, and pairwise distinct.
+  explicit CommandGrammar(std::vector<CommandRule> rules);
+
+  /// The default four-command vocabulary described above.
+  [[nodiscard]] static CommandGrammar standard();
+
+  /// Classifies a sign buffer against the table (stateless — the dialogue
+  /// FSM owns the buffer and the disambiguation clock).
+  [[nodiscard]] MatchResult classify(
+      std::span<const signs::HumanSign> buffer) const noexcept;
+
+  [[nodiscard]] const std::vector<CommandRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] std::size_t max_sequence_length() const noexcept {
+    return max_sequence_length_;
+  }
+
+ private:
+  std::vector<CommandRule> rules_;
+  std::size_t max_sequence_length_{0};
+};
+
+}  // namespace hdc::interaction

@@ -1,0 +1,246 @@
+#include "interaction/interaction_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hdc::interaction {
+
+InteractionService::InteractionService(InteractionServiceConfig config,
+                                       CommandGrammar grammar)
+    : config_(config),
+      grammar_(std::move(grammar)),
+      ring_(config.queue_capacity, config.overflow) {
+  // Surface a misconfigured fusion policy here, at build time, instead of
+  // on the worker thread when the first stream's session is created.
+  (void)SignEventFuser(config_.fusion, 0);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+InteractionService::~InteractionService() { stop(); }
+
+void InteractionService::set_ack_observer(AckObserver observer) {
+  ack_observer_ = std::move(observer);
+}
+
+bool InteractionService::congested() const {
+  const recognition::PerceptionService* perception =
+      watched_.load(std::memory_order_acquire);
+  if (perception == nullptr) return false;
+  for (std::size_t s = 0; s < perception->shard_count(); ++s) {
+    if (perception->shard_gauge(s).depth >= config_.congestion_depth) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void InteractionService::on_result(const recognition::StreamResult& result) {
+  Observation observation;
+  observation.stream_id = result.stream_id;
+  observation.sequence = result.sequence;
+  observation.confidence = config_.fusion.confidence_of(result.result);
+  observation.sign = observation.confidence > 0.0 ? result.result.sign
+                                                  : signs::HumanSign::kNeutral;
+
+  // Backpressure decision: while the perception shards are backed up,
+  // neutral frames carry no dialogue evidence worth queueing. Opt-in, and
+  // the gauges are scanned only for neutral observations (the only shed
+  // candidates) — non-neutral frames, and everything when the option is
+  // off, must not take cross-shard ring locks on the recognition hot path.
+  if (config_.shed_neutral_when_congested &&
+      observation.sign == signs::HumanSign::kNeutral) {
+    const recognition::PerceptionService* perception =
+        watched_.load(std::memory_order_acquire);
+    if (perception != nullptr) {
+      std::size_t deepest = 0;
+      for (std::size_t s = 0; s < perception->shard_count(); ++s) {
+        deepest = std::max(deepest, perception->shard_gauge(s).depth);
+      }
+      std::size_t seen = max_watched_depth_.load(std::memory_order_relaxed);
+      while (deepest > seen && !max_watched_depth_.compare_exchange_weak(
+                                   seen, deepest, std::memory_order_relaxed)) {
+      }
+      if (deepest >= config_.congestion_depth) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  admit(std::move(observation));
+}
+
+void InteractionService::abort_stream(std::uint32_t stream_id) {
+  Observation observation;
+  observation.kind = ObservationKind::kAbort;
+  observation.stream_id = stream_id;
+  admit(std::move(observation));
+}
+
+void InteractionService::admit(Observation observation) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  // Raise pending BEFORE the push — the worker can process the observation
+  // before push() returns (PendingCounter's contract).
+  pending_.raise();
+  Observation evicted;
+  const util::PushOutcome outcome = ring_.push(std::move(observation), &evicted);
+  switch (outcome) {
+    case util::PushOutcome::kEnqueued:
+      break;
+    case util::PushOutcome::kEvictedOldest:
+    case util::PushOutcome::kRejected:
+    case util::PushOutcome::kClosed:
+      finish_observations(1);
+      break;
+  }
+}
+
+void InteractionService::worker_loop() {
+  Observation observation;
+  while (ring_.pop(observation)) {
+    try {
+      process(observation);
+    } catch (...) {
+      pending_.record_error(std::current_exception());
+    }
+    finish_observations(1);
+  }
+}
+
+void InteractionService::process(const Observation& observation) {
+  Session& session = session_for(observation.stream_id);
+  std::lock_guard<std::mutex> lock(session.mutex);
+  actions_scratch_.clear();
+
+  if (observation.kind == ObservationKind::kAbort) {
+    session.fsm.abort(session.last_sequence, actions_scratch_);
+    apply_actions(session, actions_scratch_);
+    return;
+  }
+
+  ++session.frames;
+  session.last_sequence = observation.sequence;
+  const std::size_t emitted =
+      session.fuser.observe(observation.sequence, observation.sign,
+                            observation.confidence, events_scratch_);
+  for (std::size_t i = 0; i < emitted; ++i) {
+    session.fsm.on_event(events_scratch_[i], actions_scratch_);
+  }
+  session.fsm.on_tick(observation.sequence, actions_scratch_);
+  apply_actions(session, actions_scratch_);
+}
+
+void InteractionService::apply_actions(
+    Session& session, const DialogueStateMachine::Actions& actions) {
+  for (const AckAction& action : actions) {
+    if (action.set_ring) session.led.set_mode(action.ring);
+    if (action.fly_pattern) {
+      // Anchor at the communication altitude, facing the signaller (+y,
+      // the synthetic scene's convention); real deployments would inject
+      // the vehicle pose here.
+      const drone::PatternParams params;
+      session.last_pattern = drone::make_pattern(
+          action.pattern, {0.0, 0.0, params.comm_altitude}, {0.0, 1.0}, params);
+    }
+    ++session.acks;
+    if (ack_observer_) ack_observer_(action);
+  }
+}
+
+InteractionService::Session& InteractionService::session_for(
+    std::uint32_t stream_id) {
+  {
+    std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+    const auto it = sessions_.find(stream_id);
+    if (it != sessions_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    // Construct BEFORE inserting: if Session construction ever throws, the
+    // map must not retain a null entry for later lookups to dereference.
+    auto session = std::make_unique<Session>(stream_id, config_, &grammar_);
+    it = sessions_.emplace(stream_id, std::move(session)).first;
+  }
+  return *it->second;
+}
+
+const InteractionService::Session* InteractionService::find_session(
+    std::uint32_t stream_id) const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(stream_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void InteractionService::finish_observations(std::size_t count) {
+  pending_.finish(count);
+}
+
+void InteractionService::drain() { pending_.drain(); }
+
+void InteractionService::stop() noexcept {
+  std::lock_guard<std::mutex> guard(stop_mutex_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  ring_.close();
+  if (worker_.joinable()) worker_.join();
+  stopped_ = true;
+}
+
+InteractionStreamStats InteractionService::stream_stats(
+    std::uint32_t stream_id) const {
+  InteractionStreamStats stats;
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return stats;
+  std::lock_guard<std::mutex> lock(session->mutex);
+  stats.frames = session->frames;
+  stats.events_begun = session->fuser.events_begun();
+  stats.events_ended = session->fuser.events_ended();
+  stats.acks = session->acks;
+  stats.state = session->fsm.state();
+  stats.outcome = session->fsm.outcome();
+  stats.dialogue = session->fsm.stats();
+  return stats;
+}
+
+DialogueState InteractionService::dialogue_state(std::uint32_t stream_id) const {
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return DialogueState::kIdle;
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->fsm.state();
+}
+
+protocol::Outcome InteractionService::outcome(std::uint32_t stream_id) const {
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return protocol::Outcome::kPending;
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->fsm.outcome();
+}
+
+drone::LedRing InteractionService::led_ring(std::uint32_t stream_id) const {
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return drone::LedRing{};  // kDanger fail-safe
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->led;
+}
+
+drone::RingMode InteractionService::ring_mode(std::uint32_t stream_id) const {
+  return led_ring(stream_id).mode();
+}
+
+drone::FlightPattern InteractionService::last_pattern(
+    std::uint32_t stream_id) const {
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return {};
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->last_pattern;
+}
+
+protocol::Transcript InteractionService::transcript(
+    std::uint32_t stream_id) const {
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return {};
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->fsm.transcript();
+}
+
+}  // namespace hdc::interaction

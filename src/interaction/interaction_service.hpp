@@ -1,0 +1,226 @@
+// InteractionService — the dialogue layer over PerceptionService, closing
+// the perceive -> decide -> acknowledge loop for every stream at once.
+//
+//   cameras ─> PerceptionService ─┐  (shard workers: recognition only)
+//                                 │ StreamResult callback
+//                                 v
+//              bounded MPSC ring (util::BoundedRing) ─> dialogue worker
+//                                                        │ per stream:
+//                                                        │  SignEventFuser
+//                                                        │  DialogueStateMachine
+//                                                        v
+//                              AckActions applied to drone::LedRing +
+//                              drone::FlightPattern, protocol::Transcript
+//
+// Design points:
+//   - Event processing runs OFF the perception shard workers: the shard
+//     callback only derives a compact Observation (label + confidence) and
+//     pushes it into a bounded ring, so recognition throughput never waits
+//     on dialogue logic. One dedicated worker drains the ring — dialogue
+//     state needs no locking on the hot path, and per-stream processing
+//     order equals perception delivery order (sequence order per stream).
+//   - Per-stream sessions are created on first observation: each owns a
+//     fuser, an FSM, a drone::LedRing (the visible acknowledgement state)
+//     and the last generated drone::FlightPattern.
+//   - Backpressure: the service watches the PerceptionService's per-shard
+//     queue-depth gauges. congested() exposes the decision to producers,
+//     and (opt-in) shed_neutral_when_congested drops no-evidence
+//     observations at admission while perception is backed up — the fuser
+//     tolerates gaps by construction, so dialogue degrades gracefully
+//     instead of queueing stale neutral frames. Default OFF: with shedding
+//     off the service is fully deterministic for a given per-stream frame
+//     sequence, regardless of stream/shard/thread counts.
+//
+// Threading contract: on_result() may be called from any thread (it is the
+// perception callback). Accessors snapshot per-session state under a
+// session mutex and may run concurrently with processing. The ack observer
+// runs on the dialogue worker and must not call back into the service.
+// Destruction order: stop (or destroy) the PerceptionService holding this
+// service's callback BEFORE destroying the InteractionService.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "drone/flight_pattern.hpp"
+#include "drone/led_ring.hpp"
+#include "interaction/command_grammar.hpp"
+#include "interaction/dialogue_state_machine.hpp"
+#include "interaction/sign_event_fuser.hpp"
+#include "recognition/perception_service.hpp"
+#include "util/pending_counter.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace hdc::interaction {
+
+struct InteractionServiceConfig {
+  FusionPolicy fusion{};
+  DialogueConfig dialogue{};
+  std::size_t queue_capacity{256};  ///< observation ring slots
+  /// kBlock propagates dialogue backpressure to the perception shards
+  /// (lossless); kDropOldest prefers fresh observations under overload.
+  util::OverflowPolicy overflow{util::OverflowPolicy::kBlock};
+  /// A watched perception shard at or above this queue depth counts as
+  /// congested (see congested()).
+  std::size_t congestion_depth{24};
+  /// Opt-in load shedding: drop neutral (no-evidence) observations at
+  /// admission while perception is congested. Trades a slower event
+  /// offset for not queueing stale frames; leaves determinism guarantees
+  /// to uncongested runs.
+  bool shed_neutral_when_congested{false};
+};
+
+/// Aggregate per-stream snapshot across fuser, FSM and ack bookkeeping.
+struct InteractionStreamStats {
+  std::uint64_t frames{0};        ///< observations processed
+  std::uint64_t events_begun{0};  ///< fused sign onsets
+  std::uint64_t events_ended{0};  ///< fused sign offsets
+  std::uint64_t acks{0};          ///< AckActions applied
+  DialogueState state{DialogueState::kIdle};
+  protocol::Outcome outcome{protocol::Outcome::kPending};
+  DialogueStats dialogue{};
+};
+
+class InteractionService {
+ public:
+  /// Observes every applied AckAction (dialogue worker thread; must not
+  /// re-enter the service). Used by benches to timestamp frame->ack.
+  using AckObserver = std::function<void(const AckAction&)>;
+
+  explicit InteractionService(InteractionServiceConfig config = {},
+                              CommandGrammar grammar = CommandGrammar::standard());
+  ~InteractionService();
+
+  InteractionService(const InteractionService&) = delete;
+  InteractionService& operator=(const InteractionService&) = delete;
+
+  /// The glue to PerceptionService: pass as its result callback.
+  [[nodiscard]] recognition::PerceptionService::ResultCallback callback() {
+    return [this](const recognition::StreamResult& r) { on_result(r); };
+  }
+
+  /// Ingests one perception result (thread-safe; this IS the callback).
+  void on_result(const recognition::StreamResult& result);
+
+  /// Watches a perception service's shard gauges for congestion decisions.
+  /// The pointee must outlive this service (or call watch(nullptr) first).
+  void watch(const recognition::PerceptionService* perception) {
+    watched_.store(perception, std::memory_order_release);
+  }
+
+  /// True while any watched perception shard queue is at or above
+  /// congestion_depth. Producers may consult this to pace submission;
+  /// admission uses it for opt-in neutral shedding. Always false when
+  /// nothing is watched.
+  [[nodiscard]] bool congested() const;
+
+  void set_ack_observer(AckObserver observer);  ///< set before streaming
+
+  /// External safety abort for one stream's dialogue (processed in order
+  /// with the observation stream).
+  void abort_stream(std::uint32_t stream_id);
+
+  /// Blocks until every observation admitted before the call is processed.
+  /// Same checkpoint contract as PerceptionService::drain().
+  void drain();
+
+  /// Graceful shutdown: drains the ring, joins the worker. Idempotent.
+  void stop() noexcept;
+
+  // --- per-stream observability (all snapshot under the session lock) ---
+  [[nodiscard]] InteractionStreamStats stream_stats(std::uint32_t stream_id) const;
+  [[nodiscard]] DialogueState dialogue_state(std::uint32_t stream_id) const;
+  [[nodiscard]] protocol::Outcome outcome(std::uint32_t stream_id) const;
+  /// The stream's acknowledgement LED ring (copy; kDanger fail-safe default
+  /// for a stream never seen — same boot state as the hardware).
+  [[nodiscard]] drone::LedRing led_ring(std::uint32_t stream_id) const;
+  [[nodiscard]] drone::RingMode ring_mode(std::uint32_t stream_id) const;
+  /// The last communicative pattern generated for the stream (empty
+  /// waypoints if none yet).
+  [[nodiscard]] drone::FlightPattern last_pattern(std::uint32_t stream_id) const;
+  [[nodiscard]] protocol::Transcript transcript(std::uint32_t stream_id) const;
+
+  [[nodiscard]] std::uint64_t shed_observations() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  /// Highest watched-shard queue depth seen by the admission path. Only
+  /// sampled while shed_neutral_when_congested is on — with shedding off
+  /// the admission path never touches the gauges (no cross-shard locking
+  /// on the recognition hot path); use congested() for on-demand reads.
+  [[nodiscard]] std::size_t max_watched_depth() const noexcept {
+    return max_watched_depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const InteractionServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const CommandGrammar& grammar() const noexcept { return grammar_; }
+
+ private:
+  enum class ObservationKind : std::uint8_t { kFrame = 0, kAbort };
+
+  /// Compact admission record — the frame itself stays with perception.
+  struct Observation {
+    ObservationKind kind{ObservationKind::kFrame};
+    std::uint32_t stream_id{0};
+    std::uint64_t sequence{0};
+    signs::HumanSign sign{signs::HumanSign::kNeutral};
+    double confidence{0.0};
+  };
+
+  /// One stream's dialogue session. `mutex` guards everything below it:
+  /// the worker holds it while processing, accessors while snapshotting.
+  struct Session {
+    explicit Session(std::uint32_t stream_id, const InteractionServiceConfig& c,
+                     const CommandGrammar* grammar)
+        : fuser(c.fusion, stream_id), fsm(stream_id, grammar, c.dialogue) {}
+    mutable std::mutex mutex;
+    SignEventFuser fuser;
+    DialogueStateMachine fsm;
+    drone::LedRing led;  ///< boots kDanger (fail-safe), like the hardware
+    drone::FlightPattern last_pattern;
+    std::uint64_t frames{0};
+    std::uint64_t acks{0};
+    std::uint64_t last_sequence{0};
+  };
+
+  void worker_loop();
+  void process(const Observation& observation);
+  void apply_actions(Session& session, const DialogueStateMachine::Actions& actions);
+  Session& session_for(std::uint32_t stream_id);
+  [[nodiscard]] const Session* find_session(std::uint32_t stream_id) const;
+  void admit(Observation observation);
+  void finish_observations(std::size_t count);
+
+  InteractionServiceConfig config_;
+  CommandGrammar grammar_;
+  util::BoundedRing<Observation> ring_;
+  std::atomic<const recognition::PerceptionService*> watched_{nullptr};
+  AckObserver ack_observer_;
+
+  mutable std::shared_mutex sessions_mutex_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Session>> sessions_;
+
+  DialogueStateMachine::Actions actions_scratch_;  ///< worker-only, reused
+  SignEventFuser::Events events_scratch_{};        ///< worker-only, reused
+
+  /// Admitted observations not yet processed, plus the first worker error
+  /// for drain() (shared machinery with PerceptionService).
+  util::PendingCounter pending_;
+
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::size_t> max_watched_depth_{0};
+
+  std::atomic<bool> stopping_{false};
+  bool stopped_{false};  ///< guarded by stop_mutex_
+  std::mutex stop_mutex_;
+  std::thread worker_;
+};
+
+}  // namespace hdc::interaction

@@ -1,0 +1,128 @@
+#include "interaction/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdc::interaction {
+
+namespace {
+
+/// The accepted-but-wrong sign a one-frame misread flips to.
+signs::HumanSign flicker_of(signs::HumanSign sign) noexcept {
+  switch (sign) {
+    case signs::HumanSign::kYes: return signs::HumanSign::kNo;
+    case signs::HumanSign::kNo: return signs::HumanSign::kYes;
+    default: return signs::HumanSign::kYes;
+  }
+}
+
+void append_neutral(signs::SignSchedule& schedule, std::uint64_t ticks) {
+  if (ticks > 0) schedule.push_back({signs::HumanSign::kNeutral, ticks, 0.0});
+}
+
+/// A held sign with the noise model: clean runs of `clean_run` frames
+/// separated by single noise ticks — alternating an oblique (rejecting)
+/// view of the SAME sign and a head-on one-frame flicker of ANOTHER sign.
+/// Noise is inserted between runs, so the hold still contributes exactly
+/// `hold_ticks` clean frames; `noise_phase` carries the alternation across
+/// holds so consecutive holds don't all start with the same noise kind.
+void append_noisy_hold(signs::SignSchedule& schedule, signs::HumanSign sign,
+                       const ScenarioOptions& options,
+                       std::uint64_t& noise_phase) {
+  std::uint64_t remaining = options.hold_ticks;
+  const std::uint64_t run = std::max<std::uint64_t>(1, options.clean_run);
+  while (remaining > 0) {
+    const std::uint64_t take = std::min(run, remaining);
+    schedule.push_back({sign, take, 0.0});
+    remaining -= take;
+    if (remaining > 0 && options.inject_noise) {
+      if (noise_phase++ % 2 == 0) {
+        schedule.push_back({sign, 1, options.oblique_offset_deg});
+      } else {
+        schedule.push_back({flicker_of(sign), 1, 0.0});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<signs::HumanSign> command_sequence(const CommandGrammar& grammar,
+                                               DroneCommandKind command) {
+  for (const CommandRule& rule : grammar.rules()) {
+    if (rule.command.kind == command) return rule.sequence;
+  }
+  throw std::invalid_argument("command_sequence: command not in grammar");
+}
+
+signs::SignSchedule make_dialogue_schedule(const CommandGrammar& grammar,
+                                           DroneCommandKind command,
+                                           bool confirm,
+                                           const ScenarioOptions& options) {
+  if (options.hold_ticks == 0) {
+    throw std::invalid_argument("make_dialogue_schedule: hold_ticks == 0");
+  }
+  signs::SignSchedule schedule;
+  std::uint64_t noise_phase = 0;
+
+  append_neutral(schedule, options.lead_ticks);
+  append_noisy_hold(schedule, signs::HumanSign::kAttentionGained, options,
+                    noise_phase);
+  append_neutral(schedule, options.intra_gap_ticks);
+
+  const std::vector<signs::HumanSign> sequence =
+      command_sequence(grammar, command);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    append_noisy_hold(schedule, sequence[i], options, noise_phase);
+    append_neutral(schedule, i + 1 < sequence.size() ? options.intra_gap_ticks
+                                                     : options.resolve_gap_ticks);
+  }
+
+  append_noisy_hold(schedule,
+                    confirm ? signs::HumanSign::kYes : signs::HumanSign::kNo,
+                    options, noise_phase);
+  append_neutral(schedule, options.tail_ticks);
+  return schedule;
+}
+
+ScenarioExpectation make_expectation(const CommandGrammar& grammar,
+                                     DroneCommandKind command, bool confirm) {
+  ScenarioExpectation expectation;
+  expectation.command = command;
+  expectation.confirmed = confirm;
+  expectation.outcome =
+      confirm ? protocol::Outcome::kGranted : protocol::Outcome::kDenied;
+  // Attention + every command sign + the confirmation/denial — the noise
+  // model adds ZERO events (that is the property under test).
+  expectation.sign_events = 1 + command_sequence(grammar, command).size() + 1;
+  return expectation;
+}
+
+ScenarioCohort make_cohort(std::size_t streams, const CommandGrammar& grammar,
+                           const ScenarioOptions& options) {
+  if (streams == 0) {
+    throw std::invalid_argument("make_cohort: need at least one stream");
+  }
+  ScenarioCohort cohort;
+  cohort.scripts.reserve(streams);
+  cohort.expectations.reserve(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    const DroneCommandKind command = kAllCommands[s % kAllCommands.size()];
+    const bool confirm = !(s % 4 == 2 && s >= 4);
+    cohort.scripts.push_back(
+        make_dialogue_schedule(grammar, command, confirm, options));
+    cohort.expectations.push_back(make_expectation(grammar, command, confirm));
+  }
+  return cohort;
+}
+
+signs::MultiDroneFeedConfig make_feed_config(
+    std::size_t streams, std::vector<signs::SignSchedule> scripts) {
+  signs::MultiDroneFeedConfig config;
+  config.streams = streams;
+  config.azimuth_step_deg = 6.0;  // base azimuths within ±12°: always accepted
+  config.scripts = std::move(scripts);
+  return config;
+}
+
+}  // namespace hdc::interaction

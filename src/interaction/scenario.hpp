@@ -1,0 +1,90 @@
+// Dialogue scenario driver — deterministic multi-human scripts over
+// signs::MultiDroneFeed's scripted schedules.
+//
+// A scenario spells one full dialogue per stream in the grammar's terms —
+// gain attention, sign a command sequence, wait out the disambiguation
+// gap, confirm (or deny) — and then *roughs it up* with the noise model
+// the fuser must absorb:
+//   - every few clean frames a one-tick oblique view (≈60° extra azimuth)
+//     slips in, which the recogniser rejects (the paper's dead angle);
+//   - alternating with one-tick flickers of a DIFFERENT sign at clean
+//     geometry, which the recogniser accepts — the classic single-frame
+//     misread a majority filter must never promote to an event.
+// Noise ticks are inserted *between* clean runs, so a hold's clean support
+// is untouched and the expected fused-event count per script is exact:
+// zero spurious begin/end pairs is a testable property, not a hope.
+//
+// Everything is deterministic per (stream, tick): the schedules are plain
+// data, the feed renders them reproducibly, and the expected command /
+// outcome per stream is computed alongside the script.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interaction/command_grammar.hpp"
+#include "interaction/dialogue_state_machine.hpp"
+#include "signs/multi_drone_feed.hpp"
+
+namespace hdc::interaction {
+
+/// Shape of one scripted dialogue. Defaults are tuned to the default
+/// FusionPolicy (window 5 / majority 3) and DialogueConfig (gap 36,
+/// execute 48): holds are long enough to fuse, gaps long enough to
+/// resolve, tails long enough to finish executing.
+struct ScenarioOptions {
+  std::uint64_t lead_ticks{6};      ///< neutral warm-up before the dialogue
+  std::uint64_t hold_ticks{12};     ///< clean frames per held sign
+  std::uint64_t intra_gap_ticks{6}; ///< neutral frames between sequence signs
+  std::uint64_t resolve_gap_ticks{45};  ///< neutral frames after the last
+                                        ///< command sign (must exceed the
+                                        ///< FSM's sequence_gap)
+  std::uint64_t tail_ticks{80};     ///< neutral run-out (covers execution)
+  std::uint64_t clean_run{4};       ///< clean frames between noise ticks
+  double oblique_offset_deg{60.0};  ///< extra azimuth of a reject tick
+  bool inject_noise{true};
+};
+
+/// Ground truth for one stream's script.
+struct ScenarioExpectation {
+  DroneCommandKind command{DroneCommandKind::kNone};
+  bool confirmed{true};  ///< script ends with Yes (execute) vs No (deny)
+  protocol::Outcome outcome{protocol::Outcome::kGranted};
+  std::size_t sign_events{0};  ///< exact fused Begin count the script yields
+};
+
+/// The sign sequence the standard grammar maps to `command`.
+[[nodiscard]] std::vector<signs::HumanSign> command_sequence(
+    const CommandGrammar& grammar, DroneCommandKind command);
+
+/// One stream's schedule: attention -> command sequence -> resolve gap ->
+/// Yes (confirm) or No (deny) -> tail, with the noise model applied to
+/// every hold when `options.inject_noise`.
+[[nodiscard]] signs::SignSchedule make_dialogue_schedule(
+    const CommandGrammar& grammar, DroneCommandKind command, bool confirm,
+    const ScenarioOptions& options = {});
+
+/// Expected fused events / outcome for the same schedule parameters.
+[[nodiscard]] ScenarioExpectation make_expectation(
+    const CommandGrammar& grammar, DroneCommandKind command, bool confirm);
+
+/// An N-stream cohort cycling the four standard commands; every fourth
+/// session past the first cycle is denied (stream % 4 == 2 && stream >= 4
+/// keeps the small cohorts all-confirmed). Index i of both vectors belongs
+/// to stream i.
+struct ScenarioCohort {
+  std::vector<signs::SignSchedule> scripts;
+  std::vector<ScenarioExpectation> expectations;
+};
+
+[[nodiscard]] ScenarioCohort make_cohort(std::size_t streams,
+                                         const CommandGrammar& grammar,
+                                         const ScenarioOptions& options = {});
+
+/// Feed configuration that plays a cohort: scripted mode, gentle base
+/// azimuths (±12° — comfortably inside the recogniser's acceptance band,
+/// so only the scripted noise rejects), working-band altitudes.
+[[nodiscard]] signs::MultiDroneFeedConfig make_feed_config(
+    std::size_t streams, std::vector<signs::SignSchedule> scripts);
+
+}  // namespace hdc::interaction

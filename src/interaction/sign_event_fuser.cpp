@@ -1,0 +1,162 @@
+#include "interaction/sign_event_fuser.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdc::interaction {
+
+double FusionPolicy::confidence_of(
+    const recognition::RecognitionResult& result) const noexcept {
+  if (!result.accepted || result.sign == signs::HumanSign::kNeutral) return 0.0;
+  if (reference_distance <= 0.0) return 1.0;
+  return std::clamp(1.0 - result.distance / reference_distance, 0.0, 1.0);
+}
+
+SignEventFuser::SignEventFuser(FusionPolicy policy, std::uint32_t stream_id)
+    : policy_(policy), stream_id_(stream_id), ring_(policy.window) {
+  if (policy_.window == 0) {
+    throw std::invalid_argument("SignEventFuser: window must be positive");
+  }
+  if (policy_.majority == 0 || policy_.majority > policy_.window) {
+    throw std::invalid_argument(
+        "SignEventFuser: majority must be in [1, window]");
+  }
+  if (policy_.release_misses == 0) {
+    throw std::invalid_argument("SignEventFuser: release_misses must be positive");
+  }
+}
+
+void SignEventFuser::reset() {
+  head_ = 0;
+  fill_ = 0;
+  counts_.fill(0);
+  confidence_sums_.fill(0.0);
+  active_ = false;
+  active_label_ = signs::HumanSign::kNeutral;
+  miss_run_ = 0;
+  held_frames_ = 0;
+  event_confidence_sum_ = 0.0;
+  event_support_ = 0;
+}
+
+void SignEventFuser::push_frame(signs::HumanSign sign, double confidence) {
+  if (fill_ == ring_.size()) {
+    const Slot& old = ring_[head_];
+    const auto old_index = static_cast<std::size_t>(old.sign);
+    --counts_[old_index];
+    confidence_sums_[old_index] -= old.confidence;
+  } else {
+    ++fill_;
+  }
+  ring_[head_] = {sign, confidence};
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  const auto index = static_cast<std::size_t>(sign);
+  ++counts_[index];
+  confidence_sums_[index] += confidence;
+}
+
+signs::HumanSign SignEventFuser::window_winner() const noexcept {
+  signs::HumanSign winner = signs::HumanSign::kNeutral;
+  std::uint32_t best = 0;
+  for (const signs::HumanSign sign : signs::kCommunicativeSigns) {
+    const std::uint32_t count = counts_[static_cast<std::size_t>(sign)];
+    if (count >= policy_.majority && count > best) {
+      winner = sign;
+      best = count;
+    }
+  }
+  return winner;
+}
+
+double SignEventFuser::window_mean_confidence(signs::HumanSign sign) const noexcept {
+  const auto index = static_cast<std::size_t>(sign);
+  if (counts_[index] == 0) return 0.0;
+  return confidence_sums_[index] / static_cast<double>(counts_[index]);
+}
+
+SignEvent SignEventFuser::make_event(SignEventKind kind, std::uint64_t onset,
+                                     std::uint64_t end,
+                                     double confidence) const noexcept {
+  SignEvent event;
+  event.stream_id = stream_id_;
+  event.kind = kind;
+  event.label = active_label_;
+  event.onset_seq = onset;
+  event.end_seq = end;
+  event.confidence = confidence;
+  return event;
+}
+
+std::size_t SignEventFuser::observe(std::uint64_t sequence,
+                                    const recognition::RecognitionResult& result,
+                                    Events& out) {
+  const double confidence = policy_.confidence_of(result);
+  const signs::HumanSign sign =
+      confidence > 0.0 ? result.sign : signs::HumanSign::kNeutral;
+  return observe(sequence, sign, confidence, out);
+}
+
+std::size_t SignEventFuser::observe(std::uint64_t sequence, signs::HumanSign sign,
+                                    double confidence, Events& out) {
+  push_frame(sign, confidence);
+  std::size_t emitted = 0;
+
+  if (active_) {
+    ++held_frames_;
+    const bool supported =
+        counts_[static_cast<std::size_t>(active_label_)] >= policy_.majority &&
+        window_mean_confidence(active_label_) >= policy_.release_confidence;
+    if (supported) {
+      miss_run_ = 0;
+      last_support_seq_ = sequence;
+      event_confidence_sum_ += window_mean_confidence(active_label_);
+      ++event_support_;
+    } else {
+      ++miss_run_;
+    }
+    if (miss_run_ >= policy_.release_misses && held_frames_ >= policy_.min_hold) {
+      const double mean =
+          event_support_ == 0
+              ? 0.0
+              : event_confidence_sum_ / static_cast<double>(event_support_);
+      out[emitted++] =
+          make_event(SignEventKind::kEnd, onset_seq_, last_support_seq_, mean);
+      ++events_ended_;
+      active_ = false;
+      active_label_ = signs::HumanSign::kNeutral;
+    }
+  }
+
+  if (!active_) {
+    const signs::HumanSign winner = window_winner();
+    if (winner != signs::HumanSign::kNeutral &&
+        window_mean_confidence(winner) >= policy_.onset_confidence) {
+      active_ = true;
+      active_label_ = winner;
+      onset_seq_ = sequence;
+      last_support_seq_ = sequence;
+      held_frames_ = 1;
+      miss_run_ = 0;
+      event_confidence_sum_ = window_mean_confidence(winner);
+      event_support_ = 1;
+      out[emitted++] = make_event(SignEventKind::kBegin, sequence, sequence,
+                                  window_mean_confidence(winner));
+      ++events_begun_;
+    }
+  }
+  return emitted;
+}
+
+std::size_t SignEventFuser::finish(Events& out) {
+  if (!active_) return 0;
+  const double mean = event_support_ == 0 ? 0.0
+                                          : event_confidence_sum_ /
+                                                static_cast<double>(event_support_);
+  out[0] = make_event(SignEventKind::kEnd, onset_seq_, last_support_seq_, mean);
+  ++events_ended_;
+  active_ = false;
+  active_label_ = signs::HumanSign::kNeutral;
+  return 1;
+}
+
+}  // namespace hdc::interaction

@@ -1,0 +1,170 @@
+// SignEventFuser — temporal fusion of noisy per-frame recognition into
+// stable sign begin/end events.
+//
+// PerceptionService delivers one classification per frame, and single
+// frames are noisy: the recogniser rejects oblique views, a one-frame
+// glitch can flip the label, and the human holds a sign across dozens of
+// frames. Dialogue needs the *utterance*, not the frames (cf. temporal
+// filtering in semi-autonomous drone cohorts, Cleland-Huang et al. 2020).
+// The fuser collapses the frame stream into SignEvents:
+//
+//   frames:  n n Y Y y Y Y n Y Y n n n n n ...      (y = low confidence,
+//   events:      ^Begin(Yes)          ^End(Yes)      n = neutral/rejected)
+//
+// via three stacked guards, all tunable through FusionPolicy:
+//   - majority vote over a sliding window (a one-frame flicker of another
+//     sign can never reach majority, so it can never open an event);
+//   - confidence hysteresis (opening demands `onset_confidence`, staying
+//     open only `release_confidence`, so a borderline sign does not
+//     chatter);
+//   - min-hold + release debounce (an open event survives short detection
+//     gaps — `release_misses` consecutive unsupported frames are needed to
+//     close it, and never before `min_hold` frames have elapsed).
+//
+// The fuser is synchronous and deterministic: observe() consumes one frame
+// and reports 0..2 events (an End of the previous sign and a Begin of the
+// next can coincide). It allocates only at construction (the window ring),
+// so the streaming hot path stays allocation-free, and it knows nothing of
+// threads — InteractionService serialises calls per stream.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "recognition/recognizer.hpp"
+#include "signs/sign.hpp"
+
+namespace hdc::interaction {
+
+/// Tuning of the temporal filter. Defaults are matched to the synthetic
+/// feed's noise model (one-frame flickers, two-to-three-frame reject gaps)
+/// and the recogniser's observed distance range.
+struct FusionPolicy {
+  std::size_t window{5};            ///< sliding-window length, frames
+  std::size_t majority{3};          ///< window votes needed to open/support
+  double onset_confidence{0.35};    ///< windowed mean confidence to open
+  double release_confidence{0.18};  ///< hysteresis low bar while open
+  std::size_t min_hold{3};          ///< frames an event must last before it may close
+  std::size_t release_misses{3};    ///< consecutive unsupported frames to close
+  /// Maps a match distance to confidence: 1 - distance / reference_distance
+  /// (clamped to [0, 1]). Must equal the producing recogniser's
+  /// accept_distance or accepted frames near the threshold fuse as zero
+  /// evidence — wire it with matching() rather than trusting the default
+  /// (which mirrors RecognizerConfig's default, 6.5).
+  double reference_distance{6.5};
+
+  /// The policy whose distance->confidence mapping matches the recogniser
+  /// producing the results: reference_distance = config.accept_distance,
+  /// so an accepted frame always carries positive confidence no matter how
+  /// the threshold is tuned. Prefer this at every wiring site.
+  [[nodiscard]] static FusionPolicy matching(
+      const recognition::RecognizerConfig& config) noexcept {
+    FusionPolicy policy;
+    policy.reference_distance = config.accept_distance;
+    return policy;
+  }
+
+  /// Confidence of one frame: rejected frames (and accepted-neutral frames,
+  /// which carry no communicative content) contribute zero evidence.
+  [[nodiscard]] double confidence_of(
+      const recognition::RecognitionResult& result) const noexcept;
+};
+
+enum class SignEventKind : std::uint8_t {
+  kBegin = 0,  ///< the sign became stable (onset)
+  kEnd,        ///< the sign's support drained (offset)
+};
+
+[[nodiscard]] constexpr const char* to_string(SignEventKind kind) noexcept {
+  switch (kind) {
+    case SignEventKind::kBegin: return "Begin";
+    case SignEventKind::kEnd: return "End";
+  }
+  return "?";
+}
+
+/// One fused utterance boundary. For kBegin, end_seq == onset_seq and
+/// confidence is the windowed mean at onset; for kEnd, end_seq is the last
+/// frame that still supported the sign and confidence is the mean over the
+/// event's supported frames.
+struct SignEvent {
+  std::uint32_t stream_id{0};
+  SignEventKind kind{SignEventKind::kBegin};
+  signs::HumanSign label{signs::HumanSign::kNeutral};
+  std::uint64_t onset_seq{0};
+  std::uint64_t end_seq{0};
+  double confidence{0.0};
+};
+
+class SignEventFuser {
+ public:
+  /// observe() emits at most an End (of the previous sign) plus a Begin (of
+  /// the next) per frame.
+  using Events = std::array<SignEvent, 2>;
+
+  explicit SignEventFuser(FusionPolicy policy = {}, std::uint32_t stream_id = 0);
+
+  /// Consumes one frame's label + confidence (kNeutral = no sign evidence).
+  /// `sequence` must be strictly increasing per fuser. Returns how many
+  /// events were written to `out`.
+  std::size_t observe(std::uint64_t sequence, signs::HumanSign sign,
+                      double confidence, Events& out);
+
+  /// Convenience over a raw recognition result (rejected and neutral frames
+  /// map to kNeutral with zero confidence, per FusionPolicy::confidence_of).
+  std::size_t observe(std::uint64_t sequence,
+                      const recognition::RecognitionResult& result, Events& out);
+
+  /// Closes the active event, if any (stream shutdown). Returns 0 or 1.
+  std::size_t finish(Events& out);
+
+  /// Drops all window and event state (counters survive).
+  void reset();
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] signs::HumanSign active_label() const noexcept { return active_label_; }
+  [[nodiscard]] const FusionPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint64_t events_begun() const noexcept { return events_begun_; }
+  [[nodiscard]] std::uint64_t events_ended() const noexcept { return events_ended_; }
+
+ private:
+  static constexpr std::size_t kSignSlots = signs::kAllSigns.size();
+
+  struct Slot {
+    signs::HumanSign sign{signs::HumanSign::kNeutral};
+    double confidence{0.0};
+  };
+
+  /// The communicative sign with a window majority (ties break toward the
+  /// lower enum value — deterministic), or kNeutral when none qualifies.
+  [[nodiscard]] signs::HumanSign window_winner() const noexcept;
+  [[nodiscard]] double window_mean_confidence(signs::HumanSign sign) const noexcept;
+  void push_frame(signs::HumanSign sign, double confidence);
+  SignEvent make_event(SignEventKind kind, std::uint64_t onset,
+                       std::uint64_t end, double confidence) const noexcept;
+
+  FusionPolicy policy_;
+  std::uint32_t stream_id_{0};
+
+  std::vector<Slot> ring_;  ///< last `window` frames; sized at construction
+  std::size_t head_{0};     ///< next slot to overwrite
+  std::size_t fill_{0};
+  std::array<std::uint32_t, kSignSlots> counts_{};
+  std::array<double, kSignSlots> confidence_sums_{};
+
+  bool active_{false};
+  signs::HumanSign active_label_{signs::HumanSign::kNeutral};
+  std::uint64_t onset_seq_{0};
+  std::uint64_t last_support_seq_{0};
+  std::size_t held_frames_{0};
+  std::size_t miss_run_{0};
+  double event_confidence_sum_{0.0};
+  std::uint64_t event_support_{0};
+
+  std::uint64_t events_begun_{0};
+  std::uint64_t events_ended_{0};
+};
+
+}  // namespace hdc::interaction

@@ -99,7 +99,7 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   // Raise pending BEFORE the push: a shard can pop, process and deliver
   // this frame before push() even returns, and its decrement must never
   // precede our increment.
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pending_.raise();
   Job job;
   job.stream_id = stream_id;
   job.sequence = state.next_sequence;
@@ -147,32 +147,17 @@ void PerceptionService::shard_loop(Shard& shard) {
       if (on_result_) on_result_(delivery);
       job.origin->delivered.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      if (first_error_ == nullptr) first_error_ = std::current_exception();
+      pending_.record_error(std::current_exception());
     }
     finish_frames(1);
   }
 }
 
 void PerceptionService::finish_frames(std::size_t count) {
-  if (pending_.fetch_sub(count, std::memory_order_acq_rel) == count) {
-    // ->0 transition: publish it under the mutex so a drain() that just
-    // checked the predicate and is about to sleep cannot miss the wakeup.
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_cv_.notify_all();
-  }
+  pending_.finish(count);
 }
 
-void PerceptionService::drain() {
-  std::unique_lock<std::mutex> lock(pending_mutex_);
-  pending_cv_.wait(lock,
-                   [this] { return pending_.load(std::memory_order_acquire) == 0; });
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
-}
+void PerceptionService::drain() { pending_.drain(); }
 
 void PerceptionService::stop() noexcept {
   std::lock_guard<std::mutex> guard(stop_mutex_);
@@ -185,6 +170,24 @@ void PerceptionService::stop() noexcept {
     if (shard->worker.joinable()) shard->worker.join();
   }
   stopped_ = true;
+}
+
+ShardGauge PerceptionService::shard_gauge(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("PerceptionService::shard_gauge: bad shard index");
+  }
+  const util::BoundedRing<Job>& ring = shards_[shard]->ring;
+  return {ring.size(), ring.capacity(), ring.evicted_count(),
+          ring.rejected_count()};
+}
+
+std::vector<ShardGauge> PerceptionService::shard_gauges() const {
+  std::vector<ShardGauge> gauges;
+  gauges.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    gauges.push_back(shard_gauge(s));
+  }
+  return gauges;
 }
 
 const SignDatabase* PerceptionService::shard_database(std::size_t shard) const {

@@ -38,10 +38,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -51,6 +49,7 @@
 #include <vector>
 
 #include "recognition/recognizer.hpp"
+#include "util/pending_counter.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace hdc::recognition {
@@ -97,6 +96,18 @@ struct StreamStats {
   std::uint64_t rejected{0};   ///< refused at submit under kReject
 };
 
+/// Live gauge of one shard's ingress ring (ROADMAP: per-shard queue-depth
+/// gauges). `depth` is instantaneous — by the time the caller reads it the
+/// worker may have drained frames — so treat it as a congestion signal, not
+/// an exact count. Downstream consumers (e.g. InteractionService) use it
+/// for backpressure decisions; dashboards use the cumulative counters.
+struct ShardGauge {
+  std::size_t depth{0};         ///< frames queued right now
+  std::size_t capacity{0};      ///< ring capacity
+  std::uint64_t evicted{0};     ///< cumulative kDropOldest evictions
+  std::uint64_t rejected{0};    ///< cumulative kReject refusals
+};
+
 class PerceptionService {
  public:
   using ResultCallback = std::function<void(const StreamResult&)>;
@@ -130,7 +141,21 @@ class PerceptionService {
 
   /// Blocks until every frame admitted by a submit() that returned before
   /// this call has been delivered (or evicted). Rethrows the first pipeline
-  /// exception raised on a shard, if any. Safe to call repeatedly.
+  /// exception raised on a shard, if any (the error slot is cleared, so the
+  /// next drain() reports only newer failures).
+  ///
+  /// drain() is a checkpoint, NOT a terminator: the service keeps running.
+  /// The full contract of interleaving drain() with submit():
+  ///   - submit() after drain() is well-defined — frames are admitted,
+  ///     processed, and delivered exactly as before the drain; per-stream
+  ///     sequence counters continue (no reset), and stats accumulate across
+  ///     drain boundaries. Any number of submit/drain cycles is valid.
+  ///   - submit() concurrent with drain(): the drain only promises to cover
+  ///     frames whose submit() returned before drain() was entered; racing
+  ///     frames may land before or after the wakeup.
+  ///   - drain() after stop() returns immediately (nothing is pending) —
+  ///     it never blocks on a stopped service.
+  /// tests/perception_service_test.cpp pins this contract.
   void drain();
 
   /// Graceful shutdown: admits nothing new, drains what is queued, joins
@@ -158,6 +183,11 @@ class PerceptionService {
   [[nodiscard]] StreamStats stream_stats(std::uint32_t stream_id) const;
   /// Aggregate accounting across all streams.
   [[nodiscard]] StreamStats total_stats() const;
+
+  /// Live queue gauge for one shard (throws std::out_of_range on a bad
+  /// index), and the full per-shard vector for dashboards/backpressure.
+  [[nodiscard]] ShardGauge shard_gauge(std::size_t shard) const;
+  [[nodiscard]] std::vector<ShardGauge> shard_gauges() const;
 
  private:
   struct StreamState;
@@ -199,13 +229,10 @@ class PerceptionService {
   mutable std::shared_mutex streams_mutex_;
   std::unordered_map<std::uint32_t, std::unique_ptr<StreamState>> streams_;
 
-  /// Admitted frames not yet delivered/evicted. Atomic so the per-frame
-  /// hot path never locks; pending_mutex_ is taken only to publish the
-  /// ->0 transition to drain() and to record first_error_.
-  std::atomic<std::uint64_t> pending_{0};
-  mutable std::mutex pending_mutex_;
-  std::condition_variable pending_cv_;
-  std::exception_ptr first_error_;  ///< guarded by pending_mutex_
+  /// Admitted frames not yet delivered/evicted, plus the first pipeline
+  /// error for drain() (util::PendingCounter keeps the raise-before-push
+  /// / lock-free-finish invariants in one place for every service).
+  util::PendingCounter pending_;
 
   std::atomic<bool> stopping_{false};
   bool stopped_{false};  ///< set by stop(); guarded by stop_mutex_

@@ -14,11 +14,57 @@ MultiDroneFeed::MultiDroneFeed(MultiDroneFeedConfig config)
   if (config_.altitudes.empty()) {
     throw std::invalid_argument("MultiDroneFeed: need at least one altitude");
   }
+  script_periods_.reserve(config_.scripts.size());
+  for (const SignSchedule& schedule : config_.scripts) {
+    if (schedule.empty()) {
+      throw std::invalid_argument("MultiDroneFeed: empty sign schedule");
+    }
+    std::uint64_t total = 0;
+    for (const SignScheduleStep& step : schedule) {
+      if (step.ticks == 0) {
+        throw std::invalid_argument(
+            "MultiDroneFeed: schedule step needs at least one tick");
+      }
+      total += step.ticks;
+    }
+    script_periods_.push_back(total);
+  }
+}
+
+std::uint64_t MultiDroneFeed::script_period(std::size_t stream) const {
+  if (stream >= config_.streams) {
+    throw std::out_of_range("MultiDroneFeed::script_period: bad stream index");
+  }
+  if (config_.scripts.empty()) {
+    throw std::logic_error("MultiDroneFeed::script_period: no scripts");
+  }
+  return script_periods_[stream % script_periods_.size()];
 }
 
 FramePlan MultiDroneFeed::plan(std::size_t stream, std::uint64_t tick) const {
   if (stream >= config_.streams) {
     throw std::out_of_range("MultiDroneFeed::plan: bad stream index");
+  }
+  const double base_offset =
+      (static_cast<double>(stream % 5) - 2.0) * config_.azimuth_step_deg;
+  if (!config_.scripts.empty()) {
+    // Scripted mode: walk the schedule to the step covering this tick.
+    const std::size_t script = stream % config_.scripts.size();
+    const SignSchedule& schedule = config_.scripts[script];
+    std::uint64_t offset = tick % script_periods_[script];
+    const SignScheduleStep* step = &schedule.front();
+    for (const SignScheduleStep& candidate : schedule) {
+      step = &candidate;
+      if (offset < candidate.ticks) break;
+      offset -= candidate.ticks;
+    }
+    FramePlan out;
+    out.sign = step->sign;
+    out.view.altitude_m =
+        config_.altitudes[stream % config_.altitudes.size()];
+    out.view.distance_m = config_.distance_m;
+    out.view.relative_azimuth_deg = base_offset + step->azimuth_offset_deg;
+    return out;
   }
   FramePlan out;
   // Signs cycle every tick, phase-shifted per stream so the cohort never
@@ -32,11 +78,9 @@ FramePlan MultiDroneFeed::plan(std::size_t stream, std::uint64_t tick) const {
   // Fixed per-stream azimuth offset in {-2,-1,0,1,2} steps plus a +-step/3
   // tick wobble: head-on streams stay recognisable, outer streams go
   // oblique enough to reject sometimes.
-  const double offset =
-      (static_cast<double>(stream % 5) - 2.0) * config_.azimuth_step_deg;
   const double wobble = (static_cast<double>(tick % 3) - 1.0) *
                         (config_.azimuth_step_deg / 3.0);
-  out.view.relative_azimuth_deg = offset + wobble;
+  out.view.relative_azimuth_deg = base_offset + wobble;
   return out;
 }
 

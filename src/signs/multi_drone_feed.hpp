@@ -20,6 +20,20 @@
 
 namespace hdc::signs {
 
+/// One step of a scripted sign schedule: hold `sign` for `ticks` frames,
+/// viewed `azimuth_offset_deg` off the stream's base azimuth. Large
+/// offsets (≈55°+ total) push the view past the recogniser's dead angle —
+/// scripted steps are how scenarios inject deterministic noise (reject
+/// gaps, one-frame flickers of another sign).
+struct SignScheduleStep {
+  HumanSign sign{HumanSign::kNeutral};
+  std::uint64_t ticks{1};
+  double azimuth_offset_deg{0.0};
+};
+
+/// A stream's scripted schedule; the feed repeats it cyclically.
+using SignSchedule = std::vector<SignScheduleStep>;
+
 struct MultiDroneFeedConfig {
   std::size_t streams{4};
   RenderOptions render{};
@@ -30,6 +44,14 @@ struct MultiDroneFeedConfig {
   /// degrees off the signaller's axis, so an 8-stream cohort spans
   /// head-on to oblique views.
   double azimuth_step_deg{9.0};
+  /// Scripted mode: when non-empty, stream s plays scripts[s % size()]
+  /// instead of the default cycling plan — the sign and azimuth offset
+  /// come from the schedule step covering the tick (wrapping at the
+  /// schedule's total length), the altitude is fixed per stream at
+  /// altitudes[s % size()], and the tick wobble is disabled (scripts own
+  /// their noise). Same determinism guarantee: stream s, tick t always
+  /// renders the same frame.
+  std::vector<SignSchedule> scripts{};
 };
 
 /// What a stream's camera sees at one tick (exposed so callers can
@@ -53,7 +75,14 @@ class MultiDroneFeed {
   /// The deterministic (sign, view) script: signs cycle every tick with a
   /// per-stream phase, the altitude advances one band step per sign cycle,
   /// the azimuth is the stream's fixed offset plus a small tick wobble.
+  /// In scripted mode (config.scripts non-empty) the schedule dictates the
+  /// sign and azimuth instead — see MultiDroneFeedConfig::scripts.
   [[nodiscard]] FramePlan plan(std::size_t stream, std::uint64_t tick) const;
+
+  /// Total ticks of `stream`'s schedule before it repeats (scripted mode
+  /// only; throws std::logic_error without scripts, std::out_of_range for
+  /// a bad stream index — same contract as plan()).
+  [[nodiscard]] std::uint64_t script_period(std::size_t stream) const;
 
   /// Renders the frame stream `stream` produces at `tick` (deterministic).
   [[nodiscard]] imaging::GrayImage render_frame(std::size_t stream,
@@ -67,6 +96,9 @@ class MultiDroneFeed {
 
  private:
   MultiDroneFeedConfig config_;
+  /// Total ticks per script, precomputed at construction (index parallels
+  /// config_.scripts) so the per-frame plan never re-sums the schedule.
+  std::vector<std::uint64_t> script_periods_;
 };
 
 }  // namespace hdc::signs

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "imaging/components.hpp"
 #include "imaging/draw.hpp"
 #include "imaging/morphology.hpp"
+#include "util/rng.hpp"
 
 namespace hdc::imaging {
 namespace {
@@ -163,6 +167,157 @@ TEST(RemoveSmall, DespecklesBelowThreshold) {
   const BinaryImage cleaned = remove_small_components(img, 10);
   EXPECT_EQ(foreground_area(cleaned), 25u);
   EXPECT_EQ(cleaned(12, 2), kBackground);
+}
+
+// Straightforward per-pixel reimplementation of the original two-pass
+// labelling (bounds-checked neighbour loop, no row-scan skipping). The
+// production version rewrote the row passes branch-light (memchr runs,
+// peeled edges, branchless mask fill); this reference pins bit-identity —
+// labels, component order AND statistics — across random rasters.
+Labeling reference_label(const BinaryImage& binary) {
+  struct RefSet {
+    std::vector<std::int32_t> parent;
+    std::int32_t make_set() {
+      parent.push_back(static_cast<std::int32_t>(parent.size()));
+      return parent.back();
+    }
+    std::int32_t find(std::int32_t x) {
+      while (parent[static_cast<std::size_t>(x)] != x) {
+        parent[static_cast<std::size_t>(x)] =
+            parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+        x = parent[static_cast<std::size_t>(x)];
+      }
+      return x;
+    }
+    void unite(std::int32_t a, std::int32_t b) {
+      a = find(a);
+      b = find(b);
+      if (a != b) {
+        parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+      }
+    }
+  };
+  Labeling out;
+  out.labels.reset(binary.width(), binary.height(), 0);
+  RefSet sets;
+  sets.make_set();
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      if (binary(x, y) != kForeground) continue;
+      std::int32_t neighbour = 0;
+      constexpr int offsets[4][2] = {{-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
+      for (const auto& off : offsets) {
+        const int nx = x + off[0];
+        const int ny = y + off[1];
+        if (!binary.in_bounds(nx, ny)) continue;
+        const std::int32_t nl = out.labels(nx, ny);
+        if (nl == 0) continue;
+        if (neighbour == 0) {
+          neighbour = nl;
+        } else {
+          sets.unite(neighbour, nl);
+        }
+      }
+      out.labels(x, y) = neighbour != 0 ? neighbour : sets.make_set();
+    }
+  }
+  std::vector<std::int32_t> remap;
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      const std::int32_t l = out.labels(x, y);
+      if (l == 0) continue;
+      const std::int32_t root = sets.find(l);
+      if (static_cast<std::size_t>(root) >= remap.size()) {
+        remap.resize(static_cast<std::size_t>(root) + 1, 0);
+      }
+      if (remap[static_cast<std::size_t>(root)] == 0) {
+        remap[static_cast<std::size_t>(root)] =
+            static_cast<std::int32_t>(out.components.size()) + 1;
+        out.components.push_back(
+            Component{static_cast<std::int32_t>(out.components.size()) + 1, 0, x,
+                      y, x, y, {}});
+      }
+      const std::int32_t compact = remap[static_cast<std::size_t>(root)];
+      out.labels(x, y) = compact;
+      Component& comp = out.components[static_cast<std::size_t>(compact - 1)];
+      ++comp.area;
+      comp.min_x = std::min(comp.min_x, x);
+      comp.min_y = std::min(comp.min_y, y);
+      comp.max_x = std::max(comp.max_x, x);
+      comp.max_y = std::max(comp.max_y, y);
+      comp.centroid.x += x;
+      comp.centroid.y += y;
+    }
+  }
+  for (Component& comp : out.components) {
+    if (comp.area > 0) {
+      comp.centroid.x /= static_cast<double>(comp.area);
+      comp.centroid.y /= static_cast<double>(comp.area);
+    }
+  }
+  return out;
+}
+
+TEST(Components, VectorisedPassesBitIdenticalToReferenceOnRandomRasters) {
+  hdc::util::Rng rng(1234);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int w = 1 + static_cast<int>(rng.uniform() * 70);
+    const int h = 1 + static_cast<int>(rng.uniform() * 50);
+    const double density = rng.uniform();  // sparse through dense
+    BinaryImage img(w, h, kBackground);
+    for (std::uint8_t& px : img.data()) {
+      px = rng.uniform() < density ? kForeground : kBackground;
+    }
+
+    const Labeling got = label_components(img);
+    const Labeling want = reference_label(img);
+    ASSERT_TRUE(got.labels == want.labels) << "trial " << trial;
+    ASSERT_EQ(got.components.size(), want.components.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.components.size(); ++i) {
+      const Component& g = got.components[i];
+      const Component& r = want.components[i];
+      EXPECT_EQ(g.label, r.label);
+      EXPECT_EQ(g.area, r.area);
+      EXPECT_EQ(g.min_x, r.min_x);
+      EXPECT_EQ(g.min_y, r.min_y);
+      EXPECT_EQ(g.max_x, r.max_x);
+      EXPECT_EQ(g.max_y, r.max_y);
+      EXPECT_EQ(g.centroid.x, r.centroid.x);  // same summation order: exact
+      EXPECT_EQ(g.centroid.y, r.centroid.y);
+    }
+
+    // The branchless mask fill and the keep-LUT despeckle agree with a
+    // per-pixel reference over the same labelling.
+    const BinaryImage mask = largest_component_mask(img, 3);
+    const Component* largest = nullptr;
+    for (const Component& comp : want.components) {
+      if (comp.area >= 3 && (largest == nullptr || comp.area > largest->area)) {
+        largest = &comp;
+      }
+    }
+    BinaryImage want_mask(w, h, kBackground);
+    if (largest != nullptr) {
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          if (want.labels(x, y) == largest->label) want_mask(x, y) = kForeground;
+        }
+      }
+    }
+    ASSERT_TRUE(mask == want_mask) << "trial " << trial;
+
+    const BinaryImage cleaned = remove_small_components(img, 4);
+    BinaryImage want_cleaned(w, h, kBackground);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const std::int32_t l = want.labels(x, y);
+        if (l != 0 &&
+            want.components[static_cast<std::size_t>(l - 1)].area >= 4) {
+          want_cleaned(x, y) = kForeground;
+        }
+      }
+    }
+    ASSERT_TRUE(cleaned == want_cleaned) << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -356,6 +356,100 @@ TEST_F(PerceptionServiceSuite, StopIsIdempotentAndRefusesLateSubmits) {
   service.drain();  // no pending frames; returns immediately
 }
 
+TEST_F(PerceptionServiceSuite, DrainIsACheckpointNotATerminator) {
+  // The drain/submit contract: drain() only waits out what was admitted;
+  // the service keeps running, later submits are served identically, the
+  // per-stream sequence counter continues, and stats accumulate. Pinned as
+  // a regression test because callers interleave replay chunks with
+  // checkpoints exactly like this.
+  Collector collect;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&collect](const StreamResult& r) { collect(r); },
+      {/*shards=*/2, /*queue_capacity=*/4, util::OverflowPolicy::kBlock});
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const SubmitReceipt receipt = service.submit(0, (*scripts_)[0][i]);
+      EXPECT_EQ(receipt.status, SubmitStatus::kEnqueued);
+      // Sequences continue across drain boundaries: no reset.
+      EXPECT_EQ(receipt.sequence, static_cast<std::uint64_t>(cycle) * 4 + i);
+    }
+    service.drain();
+    EXPECT_EQ(collect.total_delivered(), (static_cast<std::size_t>(cycle) + 1) * 4);
+    const StreamStats stats = service.stream_stats(0);
+    EXPECT_EQ(stats.submitted, (static_cast<std::uint64_t>(cycle) + 1) * 4);
+    EXPECT_EQ(stats.delivered, stats.submitted);
+  }
+  // Payloads across all three cycles equal three sequential passes.
+  std::string expected_payload;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      append_payload(sequential_->recognize((*scripts_)[0][i]), expected_payload);
+    }
+  }
+  EXPECT_EQ(collect.payload(0), expected_payload);
+
+  // drain() after stop() returns immediately instead of blocking.
+  service.stop();
+  service.drain();
+  EXPECT_EQ(service.submit(0, (*scripts_)[0][0]).status, SubmitStatus::kStopped);
+}
+
+TEST_F(PerceptionServiceSuite, ShardGaugesReportLiveDepthAndOverflowCounters) {
+  // Park the single shard worker inside the callback so the ring depth is
+  // fully deterministic while we read the gauges.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&](const StreamResult& r) {
+        if (r.sequence == 0) {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          worker_parked = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release_worker; });
+        }
+      },
+      {/*shards=*/1, /*queue_capacity=*/4, util::OverflowPolicy::kReject});
+
+  ShardGauge gauge = service.shard_gauge(0);
+  EXPECT_EQ(gauge.depth, 0u);
+  EXPECT_EQ(gauge.capacity, 4u);
+  EXPECT_EQ(gauge.evicted, 0u);
+  EXPECT_EQ(gauge.rejected, 0u);
+
+  const imaging::GrayImage& frame = (*scripts_)[0].front();
+  service.submit(0, frame);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  for (int i = 0; i < 3; ++i) service.submit(0, frame);  // queue 3 behind it
+  gauge = service.shard_gauge(0);
+  EXPECT_EQ(gauge.depth, 3u);
+  EXPECT_EQ(service.shard_gauges().size(), 1u);
+  EXPECT_EQ(service.shard_gauges()[0].depth, 3u);
+
+  service.submit(0, frame);  // fills the ring
+  EXPECT_EQ(service.submit(0, frame).status, SubmitStatus::kRejected);
+  gauge = service.shard_gauge(0);
+  EXPECT_EQ(gauge.depth, 4u);
+  EXPECT_EQ(gauge.rejected, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_worker = true;
+  }
+  gate_cv.notify_all();
+  service.drain();
+  EXPECT_EQ(service.shard_gauge(0).depth, 0u);
+  EXPECT_THROW((void)service.shard_gauge(99), std::out_of_range);
+}
+
 TEST_F(PerceptionServiceSuite, EmptyFrameThrowsAtSubmit) {
   PerceptionService service(
       sequential_->config(), sequential_->database_ptr(),

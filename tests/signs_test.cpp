@@ -6,6 +6,7 @@
 #include "imaging/filter.hpp"
 #include "imaging/morphology.hpp"
 #include "signs/camera.hpp"
+#include "signs/multi_drone_feed.hpp"
 #include "signs/scene.hpp"
 #include "signs/sign_poses.hpp"
 #include "signs/skeleton.hpp"
@@ -207,6 +208,87 @@ TEST(Scene, LightingAppliedInRender) {
   const imaging::GrayImage dark = render_sign(HumanSign::kNo, {3.5, 3.0, 0.0}, dim);
   const imaging::GrayImage normal = render_sign(HumanSign::kNo, {3.5, 3.0, 0.0}, {});
   EXPECT_LT(dark(0, 0), normal(0, 0));
+}
+
+TEST(MultiDroneFeed, DefaultPlanIsDeterministicAcrossTwoRuns) {
+  // Two independently constructed feeds with the same config must render
+  // bit-identical frame sequences — the property every streaming test and
+  // bench rests on.
+  const MultiDroneFeedConfig config;
+  const MultiDroneFeed a(config);
+  const MultiDroneFeed b(config);
+  for (std::size_t stream = 0; stream < config.streams; ++stream) {
+    for (std::uint64_t tick = 0; tick < 10; ++tick) {
+      const FramePlan plan_a = a.plan(stream, tick);
+      const FramePlan plan_b = b.plan(stream, tick);
+      EXPECT_EQ(plan_a.sign, plan_b.sign);
+      EXPECT_EQ(plan_a.view.altitude_m, plan_b.view.altitude_m);
+      EXPECT_EQ(plan_a.view.relative_azimuth_deg, plan_b.view.relative_azimuth_deg);
+      EXPECT_EQ(a.render_frame(stream, tick), b.render_frame(stream, tick));
+    }
+  }
+}
+
+TEST(MultiDroneFeed, ScriptedScheduleIsDeterministicAndBitIdentical) {
+  MultiDroneFeedConfig config;
+  config.streams = 2;
+  config.scripts = {
+      {{HumanSign::kNeutral, 3, 0.0},
+       {HumanSign::kAttentionGained, 4, 0.0},
+       {HumanSign::kAttentionGained, 1, 60.0},  // scripted oblique noise
+       {HumanSign::kYes, 5, 0.0}},
+      {{HumanSign::kNo, 2, 0.0}, {HumanSign::kNeutral, 2, 0.0}},
+  };
+  const MultiDroneFeed a(config);
+  const MultiDroneFeed b(config);
+  ASSERT_EQ(a.script_period(0), 13u);
+  ASSERT_EQ(a.script_period(1), 4u);
+
+  // Same script -> bit-identical frames across two runs, both via
+  // render_frame and via the prerender cache path.
+  for (std::size_t stream = 0; stream < 2; ++stream) {
+    const std::size_t period = static_cast<std::size_t>(a.script_period(stream));
+    const auto frames_a = a.prerender(stream, 2 * period);
+    const auto frames_b = b.prerender(stream, 2 * period);
+    ASSERT_EQ(frames_a.size(), frames_b.size());
+    for (std::size_t i = 0; i < frames_a.size(); ++i) {
+      EXPECT_EQ(frames_a[i], frames_b[i]) << "stream " << stream << " tick " << i;
+      EXPECT_EQ(frames_a[i], a.render_frame(stream, i));
+      // The schedule wraps: tick i and i + period see the same frame.
+      EXPECT_EQ(a.render_frame(stream, i),
+                a.render_frame(stream, i + 2 * period));
+    }
+  }
+
+  // The plan follows the schedule steps and applies the azimuth offset on
+  // top of the stream's base offset.
+  EXPECT_EQ(a.plan(0, 0).sign, HumanSign::kNeutral);
+  EXPECT_EQ(a.plan(0, 3).sign, HumanSign::kAttentionGained);
+  EXPECT_EQ(a.plan(0, 7).sign, HumanSign::kAttentionGained);
+  EXPECT_EQ(a.plan(0, 7).view.relative_azimuth_deg,
+            a.plan(0, 3).view.relative_azimuth_deg + 60.0);
+  EXPECT_EQ(a.plan(0, 8).sign, HumanSign::kYes);
+  // Scripted mode pins the altitude per stream.
+  EXPECT_EQ(a.plan(0, 0).view.altitude_m, a.plan(0, 12).view.altitude_m);
+}
+
+TEST(MultiDroneFeed, ValidatesScriptsAndStreams) {
+  MultiDroneFeedConfig config;
+  config.streams = 0;
+  EXPECT_THROW(MultiDroneFeed{config}, std::invalid_argument);
+  config = {};
+  config.altitudes.clear();
+  EXPECT_THROW(MultiDroneFeed{config}, std::invalid_argument);
+  config = {};
+  config.scripts = {{}};  // empty schedule
+  EXPECT_THROW(MultiDroneFeed{config}, std::invalid_argument);
+  config = {};
+  config.scripts = {{{HumanSign::kYes, 0, 0.0}}};  // zero-tick step
+  EXPECT_THROW(MultiDroneFeed{config}, std::invalid_argument);
+  const MultiDroneFeed feed{MultiDroneFeedConfig{}};
+  EXPECT_THROW((void)feed.plan(99, 0), std::out_of_range);
+  EXPECT_THROW((void)feed.script_period(99), std::out_of_range);
+  EXPECT_THROW((void)feed.script_period(0), std::logic_error);
 }
 
 TEST(ViewCamera, PlacedAtRequestedGeometry) {
