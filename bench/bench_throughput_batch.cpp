@@ -10,7 +10,10 @@
 // win), and the worker pool scales across cores (the >= 2x @ 4 workers
 // target assumes >= 4 physical cores; on fewer cores the pool degrades
 // gracefully and the arena win remains).
+// Flags: --json PATH (machine-readable results for the per-PR perf
+// artifact; scripts/collect_bench.sh folds it into BENCH_<pr>.json).
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -56,11 +59,49 @@ bool payloads_equal(const RecognitionResult& a, const RecognitionResult& b) {
          a.sax_word == b.sax_word;
 }
 
+struct WorkerCell {
+  std::size_t workers{0};
+  double fps{0.0};
+  double speedup{0.0};
+  bool identical{true};
+};
+
+void write_json(const std::string& path, double sequential_fps,
+                const std::vector<WorkerCell>& cells, std::size_t hardware_threads) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for JSON output\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"throughput_batch\",\n"
+      << "  \"hardware_threads\": " << hardware_threads << ",\n"
+      << "  \"sequential_fps\": " << sequential_fps << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const WorkerCell& c = cells[i];
+    out << "    {\"workers\": " << c.workers << ", \"fps\": " << c.fps
+        << ", \"speedup\": " << c.speedup << ", \"bit_identical\": "
+        << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kFrames = 64;
   constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH]\n";
+      return 2;
+    }
+  }
 
   std::cout << "rendering " << kFrames << " frames + canonical database...\n";
   const SaxSignRecognizer sequential(RecognizerConfig{}, DatabaseBuildOptions{});
@@ -89,6 +130,7 @@ int main() {
 
   bool all_identical = true;
   double fps_at_4 = 0.0;
+  std::vector<WorkerCell> cells;
   for (const std::size_t workers : worker_counts) {
     BatchRecognizer engine(sequential.config(), sequential.database(), workers);
     std::vector<RecognitionResult> results;
@@ -106,6 +148,7 @@ int main() {
     all_identical = all_identical && identical;
     const double fps = static_cast<double>(kFrames) / seconds;
     if (workers == 4) fps_at_4 = fps;
+    cells.push_back({workers, fps, fps / seq_fps, identical});
     table.add_row({"batch, " + std::to_string(workers) + " worker(s)",
                    util::fmt(fps, 1), util::fmt(fps / seq_fps, 2) + "x",
                    identical ? "yes" : "NO"});
@@ -115,6 +158,11 @@ int main() {
             << "-frame mixed stream, best of " << kReps << ") ---\n";
   table.print(std::cout);
   std::cout << "hardware threads available: " << hw << "\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, seq_fps, cells, hw);
+    std::cout << "wrote " << json_path << "\n";
+  }
 
   if (!all_identical) {
     std::cout << "FAIL: batch payloads diverge from the sequential baseline\n";

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Docs rot when code moves: fail CI if docs/ARCHITECTURE.md or
+# docs/PERFORMANCE.md reference a repo path that no longer exists.
+#
+# A "path reference" is any token that starts with a known top-level source
+# directory (src/, tests/, bench/, examples/, scripts/, docs/, .github/).
+# Brace groups like src/timeseries/distance.{hpp,cpp} are expanded before
+# checking. Trailing sentence punctuation is stripped.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+docs=(docs/ARCHITECTURE.md docs/PERFORMANCE.md)
+status=0
+
+for doc in "${docs[@]}"; do
+  if [[ ! -f "$doc" ]]; then
+    echo "MISSING DOC: $doc" >&2
+    status=1
+    continue
+  fi
+  # Tokens: known root dir, then path characters (incl. {a,b} groups).
+  while IFS= read -r ref; do
+    # Strip trailing punctuation that belongs to the sentence, not the path.
+    while [[ "$ref" == *. || "$ref" == *, || "$ref" == *: || "$ref" == *\) ]]; do
+      ref="${ref%?}"
+    done
+    [[ -n "$ref" ]] || continue
+    # Expand {a,b} groups; the grep charset admits no shell metacharacters
+    # beyond the braces/commas themselves, so eval-echo is safe here.
+    for candidate in $(eval echo "$ref"); do
+      if [[ ! -e "$candidate" ]]; then
+        echo "STALE PATH in $doc: $candidate (from '$ref')" >&2
+        status=1
+      fi
+    done
+  done < <(grep -oE '\b(src|tests|bench|examples|scripts|docs|\.github)/[A-Za-z0-9_.{},/-]+' "$doc" | sort -u)
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "doc path references OK (${docs[*]})"
+fi
+exit $status

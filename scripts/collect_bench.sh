@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Collects the per-PR perf snapshot: runs the four perf benches
+# (bench_distance_micro, bench_throughput_batch, bench_multi_drone_streaming,
+# bench_interaction_dialogue) with --json and merges their outputs into one
+# BENCH_<pr>.json at the repo root, so the perf trajectory is
+# machine-readable per PR. Schema: docs/PERFORMANCE.md.
+#
+# Usage: scripts/collect_bench.sh [--build-dir DIR] [--out FILE] [--smoke] [--reuse]
+#   --build-dir DIR  where the bench executables live (default: build)
+#   --out FILE       merged snapshot path (default: BENCH_4.json at repo root)
+#   --smoke          pass --smoke to the benches that support it (CI-sized runs)
+#   --reuse          skip running a bench whose per-bench JSON already exists
+#                    in the build dir (CI runs some benches in earlier steps)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+out_file="$repo_root/BENCH_4.json"
+smoke=""
+reuse=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out)       out_file="$2";  shift 2 ;;
+    --smoke)     smoke="--smoke"; shift ;;
+    --reuse)     reuse=1; shift ;;
+    *) echo "usage: $0 [--build-dir DIR] [--out FILE] [--smoke] [--reuse]" >&2
+       exit 2 ;;
+  esac
+done
+[[ "$build_dir" = /* ]] || build_dir="$repo_root/$build_dir"
+
+# bench name -> extra flags (bench_throughput_batch has no smoke mode; its
+# full run is already CI-sized).
+run_bench() {
+  local name="$1"; shift
+  local json="$build_dir/$name.json"
+  if [[ $reuse -eq 1 && -s "$json" ]]; then
+    echo "reusing $json"
+    return 0
+  fi
+  if [[ ! -x "$build_dir/$name" ]]; then
+    echo "error: $build_dir/$name not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+  echo "running $name $*..."
+  (cd "$build_dir" && "./$name" "$@" --json "$name.json")
+}
+
+run_bench bench_distance_micro ${smoke:+$smoke}
+run_bench bench_throughput_batch
+run_bench bench_multi_drone_streaming ${smoke:+$smoke}
+run_bench bench_interaction_dialogue ${smoke:+$smoke}
+
+python3 - "$build_dir" "$out_file" <<'PY'
+import json, pathlib, sys
+
+build_dir, out_file = map(pathlib.Path, sys.argv[1:3])
+benches = {}
+for name in ("bench_distance_micro", "bench_throughput_batch",
+             "bench_multi_drone_streaming", "bench_interaction_dialogue"):
+    with open(build_dir / f"{name}.json") as fh:
+        payload = json.load(fh)
+    benches[payload.pop("bench", name.removeprefix("bench_"))] = payload
+
+hardware_threads = next((p["hardware_threads"] for p in benches.values()
+                         if "hardware_threads" in p), None)
+snapshot = {
+    "schema": 1,
+    "snapshot": out_file.name,
+    "generated_by": "scripts/collect_bench.sh",
+    "hardware_threads": hardware_threads,
+    "benches": benches,
+}
+out_file.write_text(json.dumps(snapshot, indent=2) + "\n")
+print(f"wrote {out_file}")
+PY

@@ -102,6 +102,9 @@ struct RecognizerScratch {
   imaging::Contour normalized_contour;
   imaging::Contour resampled;
   timeseries::Series signature;
+  /// Database-query buffers, incl. the exact-verify rotation-match slots —
+  /// the template-side doubled buffers live in the (shared, immutable)
+  /// SignDatabase itself, so N scratches never duplicate them.
   QueryScratch query;
 };
 

@@ -20,6 +20,9 @@ void SignDatabase::add_template(signs::HumanSign sign,
   entry.sign = sign;
   entry.normalized_signature = timeseries::z_normalize(raw_signature);
   entry.word = encoder_.encode_normalized(entry.normalized_signature);
+  // Precompute the doubled buffer once here so every exact-verify query
+  // runs the vectorised rotation kernel with zero per-query setup.
+  entry.rotation = timeseries::make_rotation_template(entry.normalized_signature);
   entry.label = std::move(label);
   templates_.push_back(std::move(entry));
 }
@@ -37,45 +40,44 @@ std::optional<DatabaseMatch> SignDatabase::query(const timeseries::Series& raw_s
 
   timeseries::z_normalize_into(raw_signature, scratch.normalized);
   const timeseries::Series& normalized = scratch.normalized;
+  // Always encode: the recogniser reads the query word out of the scratch
+  // (RecognitionResult::sax_word) whichever ranking path runs below.
   encoder_.encode_normalized_into(normalized, scratch.word, scratch.paa);
   const timeseries::SaxWord& query_word = scratch.word;
 
-  using Scored = QueryScratch::Scored;
-  std::vector<Scored>& scored = scratch.scored;
-  scored.clear();
-  scored.reserve(templates_.size());
-  for (std::size_t i = 0; i < templates_.size(); ++i) {
-    std::size_t shift = 0;
-    const double d = encoder_.mindist_rotation_invariant(query_word, templates_[i].word,
-                                                         &shift, scratch.rotated);
-    scored.push_back({d, i, shift});
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) { return a.distance < b.distance; });
-
   if (exact_verify) {
-    // Re-rank by exact rotation-invariant distance. Note: the symbolic
+    // Score by exact rotation-invariant distance. Note: the symbolic
     // rotation-invariant distance only explores shifts in whole-symbol
     // steps, so it is NOT a sound lower bound for the exact distance under
-    // arbitrary shifts — every template is verified exactly. The sign
-    // database holds a handful of templates, so this costs microseconds;
-    // the symbolic pass still provides the visit order, which lets the
-    // early-abandon inside the exact distance bite sooner.
+    // arbitrary shifts — every template is verified exactly, and the
+    // symbolic per-template scan is skipped entirely (it used to provide
+    // the early-abandon visit order; the batch kernel has no use for one).
+    // One call scores all templates against this query through their
+    // precomputed doubled buffers; exact ties across templates resolve to
+    // the lowest template index.
+    scratch.rotation_templates.clear();
+    scratch.rotation_templates.reserve(templates_.size());
+    for (const SignTemplate& entry : templates_) {
+      scratch.rotation_templates.push_back(&entry.rotation);
+    }
+    scratch.rotation_matches.resize(templates_.size());
+    timeseries::euclidean_rotation_invariant_many(
+        normalized, scratch.rotation_templates.data(), templates_.size(),
+        scratch.rotation_matches.data());
+
     double best_exact = std::numeric_limits<double>::infinity();
     double second_exact = std::numeric_limits<double>::infinity();
-    std::size_t best_index = scored.front().index;
+    std::size_t best_index = 0;
     std::size_t best_shift = 0;
-    for (const Scored& candidate : scored) {
-      std::size_t shift = 0;
-      const double exact = timeseries::euclidean_rotation_invariant(
-          normalized, templates_[candidate.index].normalized_signature, &shift);
-      if (exact < best_exact) {
+    for (std::size_t i = 0; i < scratch.rotation_matches.size(); ++i) {
+      const timeseries::RotationMatch& exact = scratch.rotation_matches[i];
+      if (exact.distance < best_exact) {
         second_exact = best_exact;
-        best_exact = exact;
-        best_index = candidate.index;
-        best_shift = shift;
-      } else if (exact < second_exact) {
-        second_exact = exact;
+        best_exact = exact.distance;
+        best_index = i;
+        best_shift = exact.shift;
+      } else if (exact.distance < second_exact) {
+        second_exact = exact.distance;
       }
     }
     DatabaseMatch match;
@@ -88,6 +90,20 @@ std::optional<DatabaseMatch> SignDatabase::query(const timeseries::Series& raw_s
     match.best_shift = best_shift;
     return match;
   }
+
+  // Symbolic-only ranking: per-template rotation-invariant MINDIST.
+  using Scored = QueryScratch::Scored;
+  std::vector<Scored>& scored = scratch.scored;
+  scored.clear();
+  scored.reserve(templates_.size());
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    std::size_t shift = 0;
+    const double d = encoder_.mindist_rotation_invariant(query_word, templates_[i].word,
+                                                         &shift, scratch.rotated);
+    scored.push_back({d, i, shift});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.distance < b.distance; });
 
   DatabaseMatch match;
   match.sign = templates_[scored.front().index].sign;

@@ -5,7 +5,11 @@
 // Each template stores the SAX word of a sign's canonical silhouette
 // signature plus the z-normalised signature itself, so queries can use the
 // cheap symbolic MINDIST first and optionally confirm with the exact
-// rotation-invariant Euclidean distance.
+// rotation-invariant Euclidean distance. add_template also precomputes the
+// doubled-buffer form of the signature (timeseries::RotationTemplate) so
+// the exact-verify pass runs the vectorised rotation kernel with no
+// per-query setup — the database pays the O(n) precompute once per
+// template, every query reaps it.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +22,7 @@
 
 #include "signs/scene.hpp"
 #include "signs/sign.hpp"
+#include "timeseries/distance.hpp"
 #include "timeseries/sax.hpp"
 #include "timeseries/series.hpp"
 
@@ -28,6 +33,9 @@ struct SignTemplate {
   signs::HumanSign sign{signs::HumanSign::kNeutral};
   timeseries::SaxWord word{};
   timeseries::Series normalized_signature{};  ///< z-normalised, length = samples
+  /// Doubled-buffer form of normalized_signature for the vectorised
+  /// rotation-invariant kernel; built in add_template, immutable after.
+  timeseries::RotationTemplate rotation{};
   std::string label;                          ///< provenance, e.g. "No@az0/alt5"
 };
 
@@ -42,18 +50,26 @@ struct DatabaseMatch {
 
 /// Reusable buffers for one querying thread. Queries against a shared
 /// database from N workers need N scratches; the database itself is
-/// immutable after build and safe to share.
+/// immutable after build and safe to share. All vectors are resized in
+/// place by query(), so a scratch that has seen one query of a given
+/// signature length performs zero heap allocations on every later query of
+/// that length — the contract the streaming shards (RecognizerScratch
+/// embeds one QueryScratch per shard) rely on. A scratch must never be
+/// shared between concurrently processed frames.
 struct QueryScratch {
   struct Scored {
     double distance;
     std::size_t index;
     std::size_t shift;
   };
-  timeseries::Series normalized;
-  timeseries::Series paa;
-  timeseries::SaxWord word;
-  timeseries::SaxWord rotated;
-  std::vector<Scored> scored;
+  timeseries::Series normalized;  ///< z-normalised query signature
+  timeseries::Series paa;         ///< PAA coefficients for the SAX encode
+  timeseries::SaxWord word;       ///< query SAX word (kept: recognizer reads it)
+  timeseries::SaxWord rotated;    ///< rotation scratch for symbolic MINDIST
+  std::vector<Scored> scored;     ///< per-template symbolic distances
+  /// Exact-verify batch buffers: one pointer + one match slot per template.
+  std::vector<const timeseries::RotationTemplate*> rotation_templates;
+  std::vector<timeseries::RotationMatch> rotation_matches;
 };
 
 /// Immutable-after-build template store.
@@ -61,20 +77,29 @@ class SignDatabase {
  public:
   explicit SignDatabase(timeseries::SaxEncoder encoder) : encoder_(std::move(encoder)) {}
 
-  /// Adds a template from a raw (not yet normalised) signature.
+  /// Adds a template from a raw (not yet normalised) signature: z-normalises
+  /// it, encodes the SAX word, and precomputes the doubled rotation buffer.
+  /// O(n + w) per call. Not thread-safe; build fully before sharing.
   void add_template(signs::HumanSign sign, const timeseries::Series& raw_signature,
                     std::string label);
 
-  /// Nearest template by rotation-invariant MINDIST. When `exact_verify` is
-  /// set the top symbolic candidates are re-ranked by exact
-  /// rotation-invariant Euclidean distance (MINDIST lower-bounds it, so the
-  /// re-rank is sound). Returns nullopt when the database is empty or the
-  /// query signature is empty.
+  /// Nearest template. Without `exact_verify`: by symbolic
+  /// rotation-invariant MINDIST. With it: every template is scored by exact
+  /// rotation-invariant Euclidean distance through the batch kernel (the
+  /// symbolic rotation scan moves in whole-symbol steps, so MINDIST is NOT
+  /// a sound lower bound under arbitrary shifts — all templates must be
+  /// verified, and the symbolic per-template scan is skipped entirely) and
+  /// the result carries the exact distance/margin/shift. Either way the
+  /// query's SAX word is encoded into the scratch (the recogniser reads it
+  /// back). Returns nullopt when the database is empty or the query
+  /// signature is empty. O(T * n^2) with exact_verify, O(T * w^2) without,
+  /// for T templates, word length w, signature length n.
   [[nodiscard]] std::optional<DatabaseMatch> query(
       const timeseries::Series& raw_signature, bool exact_verify = false) const;
 
-  /// query with caller-owned scratch buffers (allocation-free once warm);
-  /// bit-identical to the version above, which delegates here.
+  /// query with caller-owned scratch buffers (allocation-free once warm —
+  /// see QueryScratch); bit-identical to the version above, which delegates
+  /// here.
   [[nodiscard]] std::optional<DatabaseMatch> query(
       const timeseries::Series& raw_signature, bool exact_verify,
       QueryScratch& scratch) const;

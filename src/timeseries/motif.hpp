@@ -26,7 +26,8 @@ struct SubsequenceRef {
 };
 
 /// Extracts all z-normalised sliding windows of `window` points
-/// (stride `stride`) from `input`.
+/// (stride `stride`) from `input`. O(n * window / stride), allocates one
+/// Series per window.
 [[nodiscard]] std::vector<Series> sliding_windows(const Series& input,
                                                   std::size_t window,
                                                   std::size_t stride = 1);
@@ -43,11 +44,14 @@ struct MotifPair {
 /// equal-length) under rotation-invariant Euclidean distance. SAX words are
 /// used to bucket candidates first so most pairs are pruned by MINDIST
 /// before the exact distance is computed. Requires >= 2 candidates.
+/// O(c^2) pair visits worst case, each O(w^2) symbolic or O(n^2) exact
+/// (the vectorised rotation kernel) — offline tooling, not a hot path.
 [[nodiscard]] MotifPair find_closest_pair(const std::vector<Series>& candidates,
                                           const SaxEncoder& encoder);
 
 /// For every candidate, its nearest neighbour index and exact
 /// rotation-invariant distance (brute force with MINDIST pruning).
+/// Same cost model as find_closest_pair.
 struct NearestNeighbour {
   std::size_t index{0};
   double distance{0.0};
@@ -56,7 +60,7 @@ struct NearestNeighbour {
     const std::vector<Series>& candidates, const SaxEncoder& encoder);
 
 /// Groups candidate indices by identical SAX word (the ref-[21] bucketing
-/// step). Map key is the SAX text.
+/// step). Map key is the SAX text. O(c * (n + w)) encodes.
 [[nodiscard]] std::unordered_map<std::string, std::vector<std::size_t>> sax_buckets(
     const std::vector<Series>& candidates, const SaxEncoder& encoder);
 

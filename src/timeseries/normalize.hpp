@@ -13,21 +13,25 @@ namespace hdc::timeseries {
 /// behaviour recommended in the SAX literature.
 inline constexpr double kFlatSeriesEpsilon = 1e-9;
 
-/// Returns the z-normalised copy: (x - mean) / stddev, or all zeros when the
-/// standard deviation is below kFlatSeriesEpsilon.
+/// Returns the z-normalised copy: (x - mean) / stddev (dimensionless
+/// output, whatever the input unit), or all zeros when the standard
+/// deviation is below kFlatSeriesEpsilon. O(n), allocates the result.
 [[nodiscard]] Series z_normalize(const Series& input);
 
-/// z_normalize into `out` (resized in place, allocation-free once warm);
-/// bit-identical to the allocating version, which delegates here. `out`
-/// must not alias `input`.
+/// z_normalize into `out` (resized in place, allocation-free once warm —
+/// the per-query path in SignDatabase relies on this); bit-identical to
+/// the allocating version, which delegates here. `out` must not alias
+/// `input`. O(n).
 void z_normalize_into(const Series& input, Series& out);
 
 /// True if the series is already z-normalised within `tolerance`
 /// (|mean| < tolerance and |stddev - 1| < tolerance), or is all-zero flat.
+/// O(n), no allocation.
 [[nodiscard]] bool is_z_normalized(const Series& input, double tolerance = 1e-6);
 
 /// Min-max scaling to [0, 1]; constant input maps to all 0.5. Used by the
 /// baseline recognisers, which do not assume Gaussian-distributed values.
+/// O(n), allocates the result.
 [[nodiscard]] Series min_max_scale(const Series& input);
 
 }  // namespace hdc::timeseries

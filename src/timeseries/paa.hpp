@@ -14,23 +14,26 @@
 
 namespace hdc::timeseries {
 
-/// Reduces `input` (length n) to `segments` PAA coefficients.
-/// Requires segments >= 1; if segments >= n the input is returned unchanged
-/// (PAA cannot add information).
+/// Reduces `input` (length n) to `segments` PAA coefficients (same unit as
+/// the input; each is a segment mean). Requires segments >= 1; if
+/// segments >= n the input is returned unchanged (PAA cannot add
+/// information). O(n), allocates the result.
 [[nodiscard]] Series paa(const Series& input, std::size_t segments);
 
-/// paa into `out` (resized in place, allocation-free once warm);
+/// paa into `out` (resized in place, allocation-free once warm — the SAX
+/// encode path in SaxEncoder::encode_normalized_into relies on this);
 /// bit-identical to the allocating version, which delegates here. `out`
-/// must not alias `input`.
+/// must not alias `input`. O(n).
 void paa_into(const Series& input, std::size_t segments, Series& out);
 
 /// Inverse transform for visualisation: expands `coefficients` back to a
-/// step function of length `target_size`.
+/// step function of length `target_size`. O(target_size).
 [[nodiscard]] Series paa_expand(const Series& coefficients, std::size_t target_size);
 
 /// Scaled Euclidean distance between two equal-length PAA vectors that
 /// lower-bounds the Euclidean distance between the original length-n series:
 ///   sqrt(n / w) * sqrt(sum_i (a_i - b_i)^2).
+/// O(w) for word length w, no allocation.
 [[nodiscard]] double paa_distance(const Series& a, const Series& b,
                                   std::size_t original_length);
 

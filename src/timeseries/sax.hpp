@@ -80,38 +80,47 @@ class SaxEncoder {
   explicit SaxEncoder(SaxConfig config) : config_(std::move(config)) {}
 
   /// Full pipeline on a raw series: z-normalise -> PAA -> symbols.
+  /// O(n + w), allocates the word (and normalisation scratch).
   [[nodiscard]] SaxWord encode(const Series& raw) const;
 
   /// Encodes a series that is already z-normalised (skips normalisation).
+  /// O(n + w), allocates the word.
   [[nodiscard]] SaxWord encode_normalized(const Series& normalized) const;
 
   /// encode_normalized into `out`, reusing `paa_scratch` for the PAA
-  /// coefficients; bit-identical to the allocating version, which delegates
-  /// here.
+  /// coefficients (both resized in place — allocation-free once warm, the
+  /// contract QueryScratch relies on); bit-identical to the allocating
+  /// version, which delegates here. O(n + w).
   void encode_normalized_into(const Series& normalized, SaxWord& out,
                               Series& paa_scratch) const;
 
-  /// MINDIST between two words produced by this encoder. Lower-bounds the
-  /// Euclidean distance between the original z-normalised series. Words must
-  /// have equal length and equal source_length.
+  /// MINDIST between two words produced by this encoder, in the
+  /// (dimensionless) unit of the z-normalised series. Lower-bounds the
+  /// Euclidean distance between the original z-normalised series. Words
+  /// must have equal length and equal source_length. O(w), no allocation.
   [[nodiscard]] double mindist(const SaxWord& a, const SaxWord& b) const;
 
   /// Minimum MINDIST over all circular rotations of `b`'s word — the
   /// rotation-invariant comparison used for closed-contour signatures
   /// (paper Section IV: "The recognition algorithm must be rotation
-  /// invariant"). Returns the best distance and writes the best shift to
-  /// `best_shift` when non-null.
+  /// invariant"). Rotations move in whole-symbol steps (n/w samples each),
+  /// so this does NOT lower-bound the exact rotation-invariant Euclidean
+  /// distance under arbitrary sample shifts — exact verification must
+  /// score every template (SignDatabase::query does). Returns the best
+  /// distance and writes the best word-rotation (multiply by n/w for an
+  /// approximate sample shift) to `best_shift` when non-null. O(w^2).
   [[nodiscard]] double mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
                                                   std::size_t* best_shift = nullptr) const;
 
   /// mindist_rotation_invariant with a caller-owned scratch word for the
-  /// rotations (keeps the batch query path allocation-free); bit-identical
-  /// to the version above, which delegates here.
+  /// rotations (keeps the batch query path allocation-free once warm);
+  /// bit-identical to the version above, which delegates here.
   [[nodiscard]] double mindist_rotation_invariant(const SaxWord& a, const SaxWord& b,
                                                   std::size_t* best_shift,
                                                   SaxWord& rotated_scratch) const;
 
-  /// Exact Hamming distance between the two words' character strings.
+  /// Exact Hamming distance between the two words' character strings
+  /// (symbol count, not a Euclidean bound). O(w), no allocation.
   [[nodiscard]] static std::size_t hamming(const SaxWord& a, const SaxWord& b);
 
   [[nodiscard]] const SaxConfig& config() const noexcept { return config_; }

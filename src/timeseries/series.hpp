@@ -12,6 +12,10 @@
 
 namespace hdc::timeseries {
 
+/// Values carry whatever unit the producer assigned (the contour signature
+/// uses centroid-distance in pixels; after z-normalisation they are
+/// dimensionless). All helpers below are O(n) in the input length and
+/// allocate only their returned Series.
 using Series = std::vector<double>;
 
 /// Resamples `input` to exactly `target_size` points by linear interpolation
@@ -25,17 +29,20 @@ using Series = std::vector<double>;
 [[nodiscard]] Series resample_circular(const Series& input, std::size_t target_size);
 
 /// Circularly rotates the series left by `shift` positions
-/// (element `shift` becomes element 0).
+/// (element `shift % size` becomes element 0). The rotation direction
+/// matches the shift reported by euclidean_rotation_invariant: rotating the
+/// template left by `best_shift` aligns it with the query.
 [[nodiscard]] Series rotate_left(const Series& input, std::size_t shift);
 
-/// Arithmetic mean; 0 for an empty series.
+/// Arithmetic mean in the series' own unit; 0 for an empty series.
 [[nodiscard]] double mean(const Series& input);
 
-/// Population standard deviation; 0 for series shorter than 2.
+/// Population standard deviation (divides by n, not n-1) in the series'
+/// own unit; 0 for series shorter than 2.
 [[nodiscard]] double stddev(const Series& input);
 
 /// Smooths with a centred moving average of odd window `window` (clamped at
-/// the edges). window <= 1 returns the input unchanged.
+/// the edges). window <= 1 returns the input unchanged. O(n * window).
 [[nodiscard]] Series moving_average(const Series& input, std::size_t window);
 
 /// Index of the maximum element (first occurrence); 0 for empty input.
