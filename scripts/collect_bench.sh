@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
-# Collects the per-PR perf snapshot: runs the four perf benches
+# Collects the per-PR perf snapshot: runs the five perf benches
 # (bench_distance_micro, bench_throughput_batch, bench_multi_drone_streaming,
-# bench_interaction_dialogue) with --json and merges their outputs into one
-# BENCH_<pr>.json at the repo root, so the perf trajectory is
-# machine-readable per PR. Schema: docs/PERFORMANCE.md.
+# bench_interaction_dialogue, bench_fleet_coordination) with --json and
+# merges their outputs into one BENCH_<pr>.json at the repo root, so the
+# perf trajectory is machine-readable per PR. Schema: docs/PERFORMANCE.md.
 #
 # Usage: scripts/collect_bench.sh [--build-dir DIR] [--out FILE] [--smoke] [--reuse]
 #   --build-dir DIR  where the bench executables live (default: build)
-#   --out FILE       merged snapshot path (default: BENCH_4.json at repo root)
+#   --out FILE       merged snapshot path (default: BENCH_5.json at repo root)
 #   --smoke          pass --smoke to the benches that support it (CI-sized runs)
 #   --reuse          skip running a bench whose per-bench JSON already exists
 #                    in the build dir (CI runs some benches in earlier steps)
@@ -15,7 +15,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_file="$repo_root/BENCH_4.json"
+out_file="$repo_root/BENCH_5.json"
 smoke=""
 reuse=0
 
@@ -52,6 +52,7 @@ run_bench bench_distance_micro ${smoke:+$smoke}
 run_bench bench_throughput_batch
 run_bench bench_multi_drone_streaming ${smoke:+$smoke}
 run_bench bench_interaction_dialogue ${smoke:+$smoke}
+run_bench bench_fleet_coordination ${smoke:+$smoke}
 
 python3 - "$build_dir" "$out_file" <<'PY'
 import json, pathlib, sys
@@ -59,7 +60,8 @@ import json, pathlib, sys
 build_dir, out_file = map(pathlib.Path, sys.argv[1:3])
 benches = {}
 for name in ("bench_distance_micro", "bench_throughput_batch",
-             "bench_multi_drone_streaming", "bench_interaction_dialogue"):
+             "bench_multi_drone_streaming", "bench_interaction_dialogue",
+             "bench_fleet_coordination"):
     with open(build_dir / f"{name}.json") as fh:
         payload = json.load(fh)
     benches[payload.pop("bench", name.removeprefix("bench_"))] = payload

@@ -1,0 +1,324 @@
+#include "coordination/coordination_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hdc::coordination {
+
+CoordinationService::CoordinationService(CoordinationConfig config)
+    : config_(config),
+      // kBlock: fleet events are sparse (a handful per dialogue, not per
+      // frame), so the ring essentially never fills; if it ever does, the
+      // dialogue workers pause rather than lose an outcome. The reverse
+      // edge (aborts into InteractionService) is non-blocking, so the pair
+      // cannot deadlock.
+      ring_(config.queue_capacity, util::OverflowPolicy::kBlock),
+      registry_(config.cells, config.grant_ttl),
+      arbiter_(config.arbitration) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+CoordinationService::~CoordinationService() { stop(); }
+
+void CoordinationService::set_registry_observer(RegistryObserver observer) {
+  registry_observer_ = std::move(observer);
+}
+
+void CoordinationService::bind(interaction::InteractionService& dialogue) {
+  interaction::InteractionService::DialogueListener listener;
+  interaction::InteractionService* source = &dialogue;
+  listener.on_event = [this](const interaction::SignEvent& event) {
+    admit_sign_event(event);
+  };
+  listener.on_transition = [this, source](const interaction::AckAction& action) {
+    admit_transition(source, action);
+  };
+  listener.on_outcome = [this](const protocol::OutcomeRecord& record) {
+    admit_outcome(record);
+  };
+  dialogue.set_dialogue_listener(std::move(listener));
+}
+
+void CoordinationService::register_drone(const DroneDescriptor& descriptor) {
+  FleetEvent event;
+  event.kind = EventKind::kRegister;
+  event.drone_id = descriptor.drone_id;
+  event.descriptor = descriptor;
+  admit(std::move(event));
+}
+
+void CoordinationService::update_battery(std::uint32_t drone_id, double soc) {
+  FleetEvent event;
+  event.kind = EventKind::kBattery;
+  event.drone_id = drone_id;
+  event.battery_soc = soc;
+  admit(std::move(event));
+}
+
+void CoordinationService::tick(std::uint64_t sequence) {
+  FleetEvent event;
+  event.kind = EventKind::kTick;
+  event.sequence = sequence;
+  admit(std::move(event));
+}
+
+void CoordinationService::admit_transition(
+    interaction::InteractionService* source,
+    const interaction::AckAction& action) {
+  FleetEvent event;
+  event.kind = EventKind::kTransition;
+  event.drone_id = action.stream_id;
+  event.sequence = action.tick;
+  event.source = source;
+  event.to = action.to;
+  admit(std::move(event));
+}
+
+void CoordinationService::admit_outcome(const protocol::OutcomeRecord& record) {
+  FleetEvent event;
+  event.kind = EventKind::kOutcome;
+  event.drone_id = record.stream_id;
+  event.sequence = record.final_sequence;
+  event.outcome = record.outcome;
+  admit(std::move(event));
+}
+
+void CoordinationService::admit_sign_event(
+    const interaction::SignEvent& sign_event) {
+  FleetEvent event;
+  event.kind = EventKind::kSignEvent;
+  event.drone_id = sign_event.stream_id;
+  event.sequence = sign_event.kind == interaction::SignEventKind::kBegin
+                       ? sign_event.onset_seq
+                       : sign_event.end_seq;
+  event.label = sign_event.label;
+  event.event_kind = sign_event.kind;
+  admit(std::move(event));
+}
+
+void CoordinationService::admit(FleetEvent event) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  pending_.raise();  // raise-before-push (PendingCounter contract)
+  FleetEvent evicted;
+  const util::PushOutcome outcome = ring_.push(std::move(event), &evicted);
+  if (outcome != util::PushOutcome::kEnqueued) pending_.finish(1);
+}
+
+void CoordinationService::worker_loop() {
+  FleetEvent event;
+  while (ring_.pop(event)) {
+    flush_pending_aborts();
+    try {
+      process(event);
+    } catch (...) {
+      pending_.record_error(std::current_exception());
+    }
+    pending_.finish(1);
+  }
+  flush_pending_aborts();
+}
+
+std::uint64_t CoordinationService::advance_clock(std::uint64_t sequence) {
+  std::uint64_t now = fleet_clock_.load(std::memory_order_relaxed);
+  while (sequence > now && !fleet_clock_.compare_exchange_weak(
+                               now, sequence, std::memory_order_release,
+                               std::memory_order_relaxed)) {
+  }
+  return std::max(now, sequence);
+}
+
+void CoordinationService::process(const FleetEvent& event) {
+  events_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now = advance_clock(event.sequence);
+
+  switch (event.kind) {
+    case EventKind::kRegister:
+      drones_[event.drone_id] = event.descriptor;
+      arbiter_.add_drone(event.descriptor);
+      break;
+    case EventKind::kBattery:
+      arbiter_.set_battery(event.drone_id, event.battery_soc);
+      break;
+    case EventKind::kTransition:
+      handle_transition(event);
+      break;
+    case EventKind::kOutcome:
+      handle_outcome(event);
+      break;
+    case EventKind::kSignEvent:
+      handle_sign_event(event);
+      break;
+    case EventKind::kTick:
+      break;  // advance_clock + the sweep below are the whole effect
+  }
+
+  // Lease sweep: TTLs live in the fleet clock, so any event that advanced
+  // it can push leases past their end.
+  registry_.expire(now);
+}
+
+void CoordinationService::handle_transition(const FleetEvent& event) {
+  if (event.source != nullptr) sources_[event.drone_id] = event.source;
+
+  decisions_scratch_.clear();
+  arbiter_.on_phase(event.drone_id, event.to,
+                    fleet_clock_.load(std::memory_order_relaxed),
+                    decisions_scratch_);
+  for (const ArbitrationDecision& decision : decisions_scratch_) {
+    if (decision.reason == AbortReason::kLostArbitration) {
+      arbitrations_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deferrals_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(log_mutex_);
+      arbitration_log_.push_back(decision);
+    }
+    const auto it = sources_.find(decision.loser);
+    issue_abort(it == sources_.end() ? nullptr : it->second, decision.loser);
+  }
+}
+
+void CoordinationService::handle_outcome(const FleetEvent& event) {
+  const auto it = drones_.find(event.drone_id);
+  if (it == drones_.end()) {
+    unknown_drone_events_.fetch_add(1, std::memory_order_relaxed);
+    arbiter_.on_dialogue_end(event.drone_id,
+                             event.outcome == protocol::Outcome::kGranted,
+                             event.sequence);
+    return;
+  }
+  const int cell = it->second.cell;
+  switch (event.outcome) {
+    case protocol::Outcome::kGranted: {
+      const bool accepted =
+          registry_.grant(cell, event.drone_id, event.sequence);
+      observe({cell, registry_.read(cell), !accepted});
+      break;
+    }
+    case protocol::Outcome::kDenied: {
+      const bool accepted = registry_.deny(cell, event.drone_id, event.sequence);
+      observe({cell, registry_.read(cell), !accepted});
+      break;
+    }
+    case protocol::Outcome::kPending:
+    case protocol::Outcome::kNoAttention:
+    case protocol::Outcome::kNoAnswer:
+    case protocol::Outcome::kAborted:
+      break;  // nothing for the registry
+  }
+  arbiter_.on_dialogue_end(event.drone_id,
+                           event.outcome == protocol::Outcome::kGranted,
+                           event.sequence);
+}
+
+void CoordinationService::handle_sign_event(const FleetEvent& event) {
+  // Post-grant human authority: a fused No begin revokes the cell's live
+  // grant (whoever's camera saw it — the human is the authority, not the
+  // stream); a fused Yes begin renews the current holder's lease.
+  if (event.event_kind != interaction::SignEventKind::kBegin) return;
+  const auto it = drones_.find(event.drone_id);
+  if (it == drones_.end()) return;  // not an error: pre-registration chatter
+  const int cell = it->second.cell;
+  const GrantRecord record = registry_.read(cell);
+  const bool live = record.state == GrantState::kGranted &&
+                    event.sequence > record.granted_seq;
+  if (!live) return;
+  if (event.label == signs::HumanSign::kNo) {
+    if (registry_.revoke(cell, event.sequence)) {
+      observe({cell, registry_.read(cell), false});
+    }
+  } else if (event.label == signs::HumanSign::kYes) {
+    if (registry_.renew(cell, record.holder, event.sequence)) {
+      observe({cell, registry_.read(cell), false});
+    }
+  }
+}
+
+void CoordinationService::issue_abort(interaction::InteractionService* source,
+                                      std::uint32_t stream_id) {
+  if (source == nullptr) {
+    // No known source (direct-admitted events): the decision is still
+    // logged; there is nobody to deliver the abort to.
+    return;
+  }
+  if (source->try_abort_stream(stream_id)) {
+    aborts_issued_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    aborts_deferred_.fetch_add(1, std::memory_order_relaxed);
+    pending_aborts_.emplace_back(source, stream_id);
+  }
+}
+
+void CoordinationService::flush_pending_aborts() {
+  if (pending_aborts_.empty()) return;
+  std::vector<std::pair<interaction::InteractionService*, std::uint32_t>> retry;
+  retry.swap(pending_aborts_);
+  for (const auto& [source, stream_id] : retry) {
+    if (source->try_abort_stream(stream_id)) {
+      aborts_issued_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      pending_aborts_.emplace_back(source, stream_id);
+    }
+  }
+}
+
+void CoordinationService::observe(const GrantUpdate& update) {
+  if (registry_observer_) registry_observer_(update);
+}
+
+orchard::PlanHint CoordinationService::plan_hint(std::uint32_t drone_id) const {
+  orchard::PlanHint hint;
+  const std::uint64_t now = fleet_clock();
+  for (std::size_t cell = 0; cell < registry_.cell_count(); ++cell) {
+    const GrantRecord record = registry_.read(static_cast<int>(cell));
+    switch (record.state) {
+      case GrantState::kGranted:
+        if (record.holder == drone_id && now < record.expires_seq) {
+          hint.granted_cells.push_back(static_cast<int>(cell));
+        }
+        break;
+      case GrantState::kDenied:
+        if (now < record.expires_seq) {
+          hint.blocked_cells.push_back(static_cast<int>(cell));
+        }
+        break;
+      case GrantState::kRevoked:
+        if (now < record.expires_seq) {
+          hint.blocked_cells.push_back(static_cast<int>(cell));
+        }
+        break;
+      case GrantState::kNone:
+      case GrantState::kExpired:
+        break;
+    }
+  }
+  return hint;
+}
+
+CoordinationStats CoordinationService::stats() const noexcept {
+  return {events_.load(std::memory_order_relaxed),
+          arbitrations_.load(std::memory_order_relaxed),
+          deferrals_.load(std::memory_order_relaxed),
+          aborts_issued_.load(std::memory_order_relaxed),
+          aborts_deferred_.load(std::memory_order_relaxed),
+          unknown_drone_events_.load(std::memory_order_relaxed)};
+}
+
+std::vector<ArbitrationDecision> CoordinationService::arbitration_log() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return arbitration_log_;
+}
+
+void CoordinationService::drain() { pending_.drain(); }
+
+void CoordinationService::stop() noexcept {
+  std::lock_guard<std::mutex> guard(stop_mutex_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  ring_.close();
+  if (worker_.joinable()) worker_.join();
+  stopped_ = true;
+}
+
+}  // namespace hdc::coordination

@@ -1,0 +1,107 @@
+#include "coordination/fleet_scenario.hpp"
+
+#include <stdexcept>
+
+#include "drone/battery.hpp"
+
+namespace hdc::coordination {
+
+namespace {
+
+void prepend_neutral(signs::SignSchedule& schedule, std::uint64_t ticks) {
+  if (ticks == 0) return;
+  schedule.insert(schedule.begin(),
+                  {signs::HumanSign::kNeutral, ticks, 0.0});
+}
+
+void append_sign_hold(signs::SignSchedule& schedule, signs::HumanSign sign,
+                      std::uint64_t hold, std::uint64_t tail) {
+  schedule.push_back({sign, hold, 0.0});
+  if (tail > 0) schedule.push_back({signs::HumanSign::kNeutral, tail, 0.0});
+}
+
+}  // namespace
+
+double scripted_battery_soc(std::size_t index,
+                            const FleetScenarioOptions& options) {
+  drone::Battery battery;
+  const double hover_seconds =
+      static_cast<double>(index) * options.hover_minutes_step * 60.0;
+  // Steady hover at the paper's communication altitude; one big drain step
+  // is exact for a constant-power model.
+  battery.drain(hover_seconds, /*rotors_on=*/true, /*speed_mps=*/0.0);
+  return battery.state_of_charge();
+}
+
+ContentionFleet make_contention_fleet(std::size_t drones,
+                                      const interaction::CommandGrammar& grammar,
+                                      const FleetScenarioOptions& options) {
+  if (drones == 0 || drones % 2 != 0) {
+    throw std::invalid_argument(
+        "make_contention_fleet: need a positive even drone count");
+  }
+  ContentionFleet fleet;
+  fleet.scripts.reserve(drones);
+  fleet.drones.reserve(drones);
+  fleet.pairs.reserve(drones / 2);
+
+  for (std::size_t pair = 0; pair < drones / 2; ++pair) {
+    const auto winner = static_cast<std::uint32_t>(2 * pair);
+    const auto loser = static_cast<std::uint32_t>(2 * pair + 1);
+
+    // Both drones script the same confirmed Approach dialogue (its sign
+    // vocabulary is Attention + Yes only — no fused No can ever reach the
+    // registry as a revocation). The loser's copy is staggered so its
+    // attention fuses while the winner is already mid-sequence.
+    signs::SignSchedule winner_script = interaction::make_dialogue_schedule(
+        grammar, interaction::DroneCommandKind::kApproach, /*confirm=*/true,
+        options.dialogue);
+    signs::SignSchedule loser_script = winner_script;
+    prepend_neutral(loser_script, options.stagger_ticks);
+
+    fleet.scripts.push_back(std::move(winner_script));
+    fleet.scripts.push_back(std::move(loser_script));
+
+    const int human_id = static_cast<int>(pair);
+    const int cell = static_cast<int>(pair);
+    fleet.drones.push_back({winner, cell, human_id,
+                            scripted_battery_soc(winner, options)});
+    fleet.drones.push_back({loser, cell, human_id,
+                            scripted_battery_soc(loser, options)});
+    fleet.pairs.push_back({winner, loser, human_id, cell});
+  }
+  return fleet;
+}
+
+signs::SignSchedule make_grant_then_revoke_schedule(
+    const interaction::CommandGrammar& grammar,
+    const FleetScenarioOptions& options) {
+  signs::SignSchedule schedule = interaction::make_dialogue_schedule(
+      grammar, interaction::DroneCommandKind::kApproach, /*confirm=*/true,
+      options.dialogue);
+  // The dialogue's tail covers execution (the grant lands at execute:done);
+  // then the human changes their mind: a clean held No fuses into the
+  // Begin(No) that must revoke the lease. The FSM is Idle and ignores it —
+  // the event is for the fleet layer alone.
+  append_sign_hold(schedule, signs::HumanSign::kNo, options.dialogue.hold_ticks,
+                   options.dialogue.intra_gap_ticks);
+  return schedule;
+}
+
+signs::SignSchedule make_grant_then_renew_schedule(
+    const interaction::CommandGrammar& grammar,
+    const FleetScenarioOptions& options) {
+  signs::SignSchedule schedule = interaction::make_dialogue_schedule(
+      grammar, interaction::DroneCommandKind::kApproach, /*confirm=*/true,
+      options.dialogue);
+  // Post-grant re-confirmation: a held Yes renews the lease.
+  append_sign_hold(schedule, signs::HumanSign::kYes, options.dialogue.hold_ticks,
+                   options.dialogue.intra_gap_ticks);
+  return schedule;
+}
+
+signs::MultiDroneFeedConfig make_fleet_feed_config(const ContentionFleet& fleet) {
+  return interaction::make_feed_config(fleet.scripts.size(), fleet.scripts);
+}
+
+}  // namespace hdc::coordination

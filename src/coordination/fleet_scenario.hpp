@@ -1,0 +1,89 @@
+// Fleet contention scenarios — deterministic multi-drone scripts over the
+// interaction scenario driver, with exact expected arbitration outcomes.
+//
+// Where interaction::make_cohort scripts N *independent* dialogues, these
+// scenarios script the fleet-level conflicts CoordinationService exists to
+// resolve:
+//   - contention pairs: two drones converge on ONE human (same human_id /
+//     orchard cell). The second drone's script is staggered so it raises
+//     attention while the first is already deep in its dialogue — the
+//     phase-rank rule then makes the arbitration outcome exact: the early
+//     drone wins, the late one is aborted and backed off, the cell ends
+//     held by the winner, zero conflicting grants.
+//   - grant-then-revoke: one drone completes a granted dialogue, then the
+//     human raises No — the fused event must revoke the lease.
+//   - post-grant renewal: the human re-confirms with Yes — the lease's
+//     expiry must move out.
+//   - lease expiry is scripted by the *absence* of signs: the test pumps
+//     CoordinationService::tick() past the TTL instead.
+//
+// Battery states come from the drone::Battery model (hover time drained
+// per drone), so the arbitration input is the real energy model, not a
+// magic number.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coordination/fleet_types.hpp"
+#include "interaction/scenario.hpp"
+#include "signs/multi_drone_feed.hpp"
+
+namespace hdc::coordination {
+
+struct FleetScenarioOptions {
+  interaction::ScenarioOptions dialogue{};  ///< per-dialogue shape
+  /// Neutral ticks prepended to the second drone of a contention pair.
+  /// Must exceed the first drone's attention fuse point by a comfortable
+  /// margin so the winner is already past Attending when the loser shows
+  /// up (the default clears it by several holds).
+  std::uint64_t stagger_ticks{60};
+  /// Hover minutes already flown per drone index (battery_soc input):
+  /// drone d has hovered d * hover_minutes_step minutes.
+  double hover_minutes_step{4.0};
+};
+
+/// One contention pair's ground truth.
+struct PairExpectation {
+  std::uint32_t winner{0};  ///< completes its dialogue, holds the grant
+  std::uint32_t loser{0};   ///< aborted by arbitration
+  int human_id{0};
+  int cell{0};
+};
+
+/// A fleet of `drones` (even count) split into contention pairs: streams
+/// {2p, 2p+1} both negotiate with human p for cell p; stream 2p starts
+/// first, 2p+1 staggered. Index i of scripts/drones belongs to stream i.
+struct ContentionFleet {
+  std::vector<signs::SignSchedule> scripts;
+  std::vector<DroneDescriptor> drones;
+  std::vector<PairExpectation> pairs;
+};
+
+/// Battery state of charge of drone `index` after its scripted hover time
+/// (drone::Battery model; deterministic, strictly decreasing in index).
+[[nodiscard]] double scripted_battery_soc(std::size_t index,
+                                          const FleetScenarioOptions& options = {});
+
+[[nodiscard]] ContentionFleet make_contention_fleet(
+    std::size_t drones, const interaction::CommandGrammar& grammar,
+    const FleetScenarioOptions& options = {});
+
+/// A granted dialogue followed by a held No: the human withdraws consent
+/// after the grant (expects one revocation).
+[[nodiscard]] signs::SignSchedule make_grant_then_revoke_schedule(
+    const interaction::CommandGrammar& grammar,
+    const FleetScenarioOptions& options = {});
+
+/// A granted dialogue followed by a held Yes: the human re-confirms after
+/// the grant (expects one lease renewal).
+[[nodiscard]] signs::SignSchedule make_grant_then_renew_schedule(
+    const interaction::CommandGrammar& grammar,
+    const FleetScenarioOptions& options = {});
+
+/// Feed configuration for a fleet (same gentle-azimuth contract as
+/// interaction::make_feed_config).
+[[nodiscard]] signs::MultiDroneFeedConfig make_fleet_feed_config(
+    const ContentionFleet& fleet);
+
+}  // namespace hdc::coordination

@@ -1,0 +1,116 @@
+// Fleet-level coordination vocabulary (paper §negotiation, scaled out):
+// the types SessionArbiter, GrantRegistry and CoordinationService share.
+//
+// One negotiated dialogue grants one human's space to ONE drone; a cohort
+// of drones sharing an orchard with the same humans must honour that
+// fleet-wide (cf. semi-autonomous drone-cohort HDI). Identity model:
+//   - a drone IS its perception stream (drone_id == stream_id end to end);
+//   - a human is a world actor id, stationed at an orchard cell;
+//   - a space-grant is keyed by orchard cell (tree id) — the thing the
+//     mission planner routes over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interaction/dialogue_state_machine.hpp"
+
+namespace hdc::coordination {
+
+/// One drone's standing in the fleet. Registered before (or while)
+/// streaming; battery updates flow through the event stream so they stay
+/// ordered with everything else.
+struct DroneDescriptor {
+  std::uint32_t drone_id{0};   ///< == perception stream id
+  int cell{0};                 ///< orchard cell (tree id) it negotiates for
+  int human_id{0};             ///< the signaller it faces (contention key)
+  double battery_soc{1.0};     ///< state of charge in [0, 1], arbitration input
+};
+
+/// Arbitration tuning. Priority is fixed (dialogue phase > battery >
+/// stream id, see SessionArbiter); the policy tunes the loser's
+/// deferred-retry backoff, in fleet-clock frames.
+struct ArbitrationPolicy {
+  std::uint64_t retry_backoff{64};       ///< first loss: retry after this many frames
+  std::uint64_t retry_backoff_max{512};  ///< doubling cap
+};
+
+/// Why the arbiter told a drone to abort.
+enum class AbortReason : std::uint8_t {
+  kLostArbitration = 0,  ///< another drone won the same human
+  kDeferredRetry,        ///< retried before its backoff elapsed
+};
+
+[[nodiscard]] constexpr const char* to_string(AbortReason reason) noexcept {
+  switch (reason) {
+    case AbortReason::kLostArbitration: return "LostArbitration";
+    case AbortReason::kDeferredRetry: return "DeferredRetry";
+  }
+  return "?";
+}
+
+/// One arbitration decision: `loser` must abort its dialogue and may retry
+/// from `retry_at` (fleet clock). `winner` keeps its session (for
+/// kDeferredRetry there may be no live contender; winner == loser then).
+struct ArbitrationDecision {
+  std::uint32_t loser{0};
+  std::uint32_t winner{0};
+  int human_id{0};
+  std::uint64_t sequence{0};  ///< fleet-clock frame of the decision
+  std::uint64_t retry_at{0};
+  AbortReason reason{AbortReason::kLostArbitration};
+};
+
+/// Rank of a dialogue phase for arbitration: how much invested work an
+/// abort would throw away. An Aborting session is already ending and never
+/// outranks anyone.
+[[nodiscard]] constexpr int phase_rank(interaction::DialogueState state) noexcept {
+  switch (state) {
+    case interaction::DialogueState::kIdle: return 0;
+    case interaction::DialogueState::kAborting: return 0;
+    case interaction::DialogueState::kAttending: return 1;
+    case interaction::DialogueState::kCommandPending: return 2;
+    case interaction::DialogueState::kConfirming: return 3;
+    case interaction::DialogueState::kExecuting: return 4;
+  }
+  return 0;
+}
+
+/// Lifecycle of one orchard cell's space-grant.
+enum class GrantState : std::uint8_t {
+  kNone = 0,   ///< never negotiated (or lease record aged out)
+  kGranted,    ///< a drone holds the human's space until expires_seq
+  kDenied,     ///< the human refused; keep clear until expires_seq
+  kRevoked,    ///< the human withdrew an issued grant (No after grant)
+  kExpired,    ///< the lease ran out without renewal
+};
+
+[[nodiscard]] constexpr const char* to_string(GrantState state) noexcept {
+  switch (state) {
+    case GrantState::kNone: return "None";
+    case GrantState::kGranted: return "Granted";
+    case GrantState::kDenied: return "Denied";
+    case GrantState::kRevoked: return "Revoked";
+    case GrantState::kExpired: return "Expired";
+  }
+  return "?";
+}
+
+/// Snapshot of one cell's grant slot (what GrantRegistry readers get).
+struct GrantRecord {
+  GrantState state{GrantState::kNone};
+  std::uint32_t holder{0};        ///< drone holding (kGranted) or last touching
+  std::uint64_t granted_seq{0};   ///< when the current state was entered
+  std::uint64_t expires_seq{0};   ///< lease end (kGranted / kDenied)
+  std::uint32_t renewals{0};      ///< lease renewals of the current grant
+};
+
+/// One registry mutation, as seen by CoordinationService's registry
+/// observer (benches timestamp outcome -> grant-visible with this).
+struct GrantUpdate {
+  int cell{0};
+  GrantRecord record{};
+  bool conflict{false};  ///< a grant was REFUSED because another drone holds the cell
+};
+
+}  // namespace hdc::coordination

@@ -1,9 +1,43 @@
 #include "interaction/command_grammar.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace hdc::interaction {
+
+GrammarLibrary::GrammarLibrary(
+    std::vector<std::pair<std::string, CommandGrammar>> vocabularies)
+    : vocabularies_(std::move(vocabularies)) {
+  if (vocabularies_.empty()) {
+    throw std::invalid_argument("GrammarLibrary: no vocabularies");
+  }
+  for (std::size_t i = 0; i < vocabularies_.size(); ++i) {
+    for (std::size_t j = i + 1; j < vocabularies_.size(); ++j) {
+      if (vocabularies_[i].first == vocabularies_[j].first) {
+        throw std::invalid_argument("GrammarLibrary: duplicate vocabulary " +
+                                    vocabularies_[i].first);
+      }
+    }
+  }
+}
+
+const CommandGrammar* GrammarLibrary::find(std::string_view name) const noexcept {
+  for (const auto& [vocabulary_name, grammar] : vocabularies_) {
+    if (vocabulary_name == name) return &grammar;
+  }
+  return nullptr;
+}
+
+const CommandGrammar& GrammarLibrary::at(std::string_view name) const {
+  const CommandGrammar* grammar = find(name);
+  if (grammar == nullptr) {
+    throw std::out_of_range("GrammarLibrary: unknown vocabulary " +
+                            std::string(name));
+  }
+  return *grammar;
+}
 
 CommandGrammar::CommandGrammar(std::vector<CommandRule> rules)
     : rules_(std::move(rules)) {
@@ -37,21 +71,210 @@ CommandGrammar::CommandGrammar(std::vector<CommandRule> rules)
 CommandGrammar CommandGrammar::standard() {
   using signs::HumanSign;
   std::vector<CommandRule> rules;
-  rules.push_back({{HumanSign::kYes},
-                   {DroneCommandKind::kApproach,
-                    drone::PatternType::kHorizontalTransit,
-                    drone::RingMode::kNavigation}});
+  rules.push_back(
+      {{HumanSign::kYes}, standard_command(DroneCommandKind::kApproach)});
   rules.push_back({{HumanSign::kYes, HumanSign::kYes},
-                   {DroneCommandKind::kLand, drone::PatternType::kLanding,
-                    drone::RingMode::kLanding}});
-  rules.push_back({{HumanSign::kNo},
-                   {DroneCommandKind::kRetreat,
-                    drone::PatternType::kHorizontalTransit,
-                    drone::RingMode::kNavigation}});
+                   standard_command(DroneCommandKind::kLand)});
+  rules.push_back(
+      {{HumanSign::kNo}, standard_command(DroneCommandKind::kRetreat)});
   rules.push_back({{HumanSign::kNo, HumanSign::kNo},
-                   {DroneCommandKind::kLeave, drone::PatternType::kTakeOff,
-                    drone::RingMode::kTakeoff}});
+                   standard_command(DroneCommandKind::kLeave)});
   return CommandGrammar(std::move(rules));
+}
+
+DroneCommand CommandGrammar::standard_command(DroneCommandKind kind) {
+  switch (kind) {
+    case DroneCommandKind::kApproach:
+      return {kind, drone::PatternType::kHorizontalTransit,
+              drone::RingMode::kNavigation};
+    case DroneCommandKind::kLand:
+      return {kind, drone::PatternType::kLanding, drone::RingMode::kLanding};
+    case DroneCommandKind::kRetreat:
+      return {kind, drone::PatternType::kHorizontalTransit,
+              drone::RingMode::kNavigation};
+    case DroneCommandKind::kLeave:
+      return {kind, drone::PatternType::kTakeOff, drone::RingMode::kTakeoff};
+    case DroneCommandKind::kNone:
+      break;
+  }
+  throw std::invalid_argument("standard_command: no embodiment for None");
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::string_view origin, std::size_t line,
+                             const std::string& message) {
+  std::ostringstream out;
+  out << origin << ":" << line << ": " << message;
+  throw std::runtime_error(out.str());
+}
+
+/// signs::to_string spelling -> sign; nullopt for unknown names.
+[[nodiscard]] const signs::HumanSign* sign_by_name(std::string_view token) {
+  static constexpr auto kSigns = signs::kAllSigns;
+  for (const signs::HumanSign& sign : kSigns) {
+    if (signs::to_string(sign) == token) return &sign;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] const DroneCommandKind* command_by_name(std::string_view token) {
+  static constexpr auto kCommands = kAllCommands;
+  for (const DroneCommandKind& kind : kCommands) {
+    if (to_string(kind) == token) return &kind;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view s) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    if (i > start) tokens.push_back(s.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+GrammarLibrary CommandGrammar::parse_library(std::string_view text,
+                                             std::string_view origin) {
+  struct Section {
+    std::string name;
+    std::size_t line;  ///< header line, for section-level error reports
+    std::vector<CommandRule> rules;
+  };
+  std::vector<Section> sections;
+  auto section_rules = [&sections, &origin](
+                           std::string name,
+                           std::size_t line) -> std::vector<CommandRule>& {
+    for (const Section& section : sections) {
+      if (section.name == name) {
+        parse_fail(origin, line, "duplicate vocabulary [" + name + "]");
+      }
+    }
+    sections.push_back({std::move(name), line, {}});
+    return sections.back().rules;
+  };
+
+  std::vector<CommandRule>* current = nullptr;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        parse_fail(origin, line_no, "unterminated section header");
+      }
+      const std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (name.empty()) {
+        parse_fail(origin, line_no, "empty vocabulary name");
+      }
+      current = &section_rules(std::string(name), line_no);
+      continue;
+    }
+
+    const std::size_t arrow = line.find("->");
+    if (arrow == std::string_view::npos) {
+      parse_fail(origin, line_no,
+                 "expected 'SIGN [SIGN...] -> COMMAND' or '[section]'");
+    }
+    CommandRule rule;
+    for (const std::string_view token : split_tokens(trim(line.substr(0, arrow)))) {
+      const signs::HumanSign* sign = sign_by_name(token);
+      if (sign == nullptr) {
+        parse_fail(origin, line_no, "unknown sign '" + std::string(token) + "'");
+      }
+      rule.sequence.push_back(*sign);
+    }
+    if (rule.sequence.empty()) {
+      parse_fail(origin, line_no, "rule has no sign sequence");
+    }
+    const std::vector<std::string_view> command_tokens =
+        split_tokens(trim(line.substr(arrow + 2)));
+    if (command_tokens.size() != 1) {
+      parse_fail(origin, line_no, "expected exactly one command after '->'");
+    }
+    const DroneCommandKind* kind = command_by_name(command_tokens.front());
+    if (kind == nullptr) {
+      parse_fail(origin, line_no,
+                 "unknown command '" + std::string(command_tokens.front()) + "'");
+    }
+    rule.command = standard_command(*kind);
+    if (current == nullptr) {
+      current = &section_rules("default", line_no);
+    }
+    current->push_back(std::move(rule));
+  }
+
+  if (sections.empty()) {
+    parse_fail(origin, line_no, "grammar file defines no rules");
+  }
+  std::vector<std::pair<std::string, CommandGrammar>> vocabularies;
+  vocabularies.reserve(sections.size());
+  for (Section& section : sections) {
+    // Section-level failures blame the section's own header line, not
+    // wherever the file happened to end.
+    if (section.rules.empty()) {
+      parse_fail(origin, section.line,
+                 "vocabulary [" + section.name + "] has no rules");
+    }
+    try {
+      vocabularies.emplace_back(section.name,
+                                CommandGrammar(std::move(section.rules)));
+    } catch (const std::invalid_argument& error) {
+      parse_fail(origin, section.line,
+                 "vocabulary [" + section.name + "]: " + error.what());
+    }
+  }
+  return GrammarLibrary(std::move(vocabularies));
+}
+
+GrammarLibrary CommandGrammar::load_library(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("CommandGrammar::load: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_library(buffer.str(), path);
+}
+
+CommandGrammar CommandGrammar::load(const std::string& path) {
+  GrammarLibrary library = load_library(path);
+  if (const CommandGrammar* grammar = library.find("default")) {
+    return *grammar;
+  }
+  if (library.vocabularies().size() == 1) {
+    return library.vocabularies().front().second;
+  }
+  throw std::runtime_error("CommandGrammar::load: " + path +
+                           " has no [default] vocabulary");
 }
 
 MatchResult CommandGrammar::classify(

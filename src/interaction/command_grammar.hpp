@@ -86,6 +86,32 @@ struct MatchResult {
   const CommandRule* rule{nullptr};  ///< set for kComplete / kCompleteExtendable
 };
 
+class CommandGrammar;
+
+/// A deployment's grammar file: one or more named vocabularies (the
+/// per-deployment default plus per-human overrides — a surveyor who only
+/// ever lands and leaves gets a two-rule table, see
+/// examples/grammars/orchard_default.grammar). Vocabularies keep file
+/// order; lookup is by section name.
+class GrammarLibrary {
+ public:
+  explicit GrammarLibrary(
+      std::vector<std::pair<std::string, CommandGrammar>> vocabularies);
+
+  /// The vocabulary for one signaller, nullptr when the name is unknown.
+  [[nodiscard]] const CommandGrammar* find(std::string_view name) const noexcept;
+  /// Like find(), but throws std::out_of_range for an unknown name.
+  [[nodiscard]] const CommandGrammar& at(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, CommandGrammar>>&
+  vocabularies() const noexcept {
+    return vocabularies_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, CommandGrammar>> vocabularies_;
+};
+
 class CommandGrammar {
  public:
   /// Validates the table: rules must be non-empty, sequences non-empty,
@@ -94,6 +120,36 @@ class CommandGrammar {
 
   /// The default four-command vocabulary described above.
   [[nodiscard]] static CommandGrammar standard();
+
+  /// The embodiment standard() assigns to each command (pattern flown +
+  /// ring mode shown while executing); the loader uses the same mapping so
+  /// file-defined rules behave exactly like the built-in table.
+  [[nodiscard]] static DroneCommand standard_command(DroneCommandKind kind);
+
+  // --- rule-table file format (ROADMAP: richer command grammars) --------
+  //
+  //   # comment (blank lines ignored)
+  //   [default]             <- section header = vocabulary name
+  //   Yes        -> Approach
+  //   Yes Yes    -> Land    <- sign names, whitespace-separated, then the
+  //   No         -> Retreat    command (signs::to_string / DroneCommandKind
+  //   No No      -> Leave      spellings, case-sensitive)
+  //   [human:7]             <- per-human vocabulary section
+  //   Yes        -> Land
+  //
+  // Rules before any section header belong to "default". Every parse error
+  // reports origin:line. Validation is CommandGrammar's constructor —
+  // duplicate sequences, neutral signs etc. fail the load.
+
+  /// Parses a grammar file. Throws std::runtime_error (with origin:line)
+  /// on malformed input or an unreadable path.
+  [[nodiscard]] static GrammarLibrary load_library(const std::string& path);
+  /// Convenience: load_library(path), then the "default" vocabulary (the
+  /// sole vocabulary when the file defines exactly one under another name).
+  [[nodiscard]] static CommandGrammar load(const std::string& path);
+  /// The parser behind load_library, for in-memory tables and tests.
+  [[nodiscard]] static GrammarLibrary parse_library(
+      std::string_view text, std::string_view origin = "<string>");
 
   /// Classifies a sign buffer against the table (stateless — the dialogue
   /// FSM owns the buffer and the disambiguation clock).

@@ -102,7 +102,7 @@ void DialogueStateMachine::on_event(const SignEvent& event, Actions& out) {
   switch (state_) {
     case DialogueState::kIdle:
       if (label == signs::HumanSign::kAttentionGained) {
-        outcome_ = protocol::Outcome::kPending;
+        set_outcome(protocol::Outcome::kPending, seq);
         AckAction& ack =
             transition(DialogueState::kAttending, seq, "ack:attention", out);
         ack.set_ring = true;
@@ -133,7 +133,7 @@ void DialogueStateMachine::on_event(const SignEvent& event, Actions& out) {
         ack.command = last_command_.kind;
       } else if (label == signs::HumanSign::kNo) {
         ++stats_.confirm_rejections;
-        outcome_ = protocol::Outcome::kDenied;
+        set_outcome(protocol::Outcome::kDenied, seq);
         AckAction& ack =
             transition(DialogueState::kAborting, seq, "confirm:denied", out);
         ack.set_ring = true;
@@ -147,7 +147,7 @@ void DialogueStateMachine::on_event(const SignEvent& event, Actions& out) {
       if (label == signs::HumanSign::kNo) {
         // Mid-execution cancel: the human withdrew consent.
         ++stats_.aborts;
-        outcome_ = protocol::Outcome::kAborted;
+        set_outcome(protocol::Outcome::kAborted, seq);
         AckAction& ack =
             transition(DialogueState::kAborting, seq, "execute:cancelled", out);
         ack.set_ring = true;
@@ -172,7 +172,7 @@ void DialogueStateMachine::on_tick(std::uint64_t sequence, Actions& out) {
     case DialogueState::kAttending:
       if (in_state >= config_.attending_timeout) {
         ++stats_.timeouts;
-        outcome_ = protocol::Outcome::kNoAnswer;
+        set_outcome(protocol::Outcome::kNoAnswer, sequence);
         sequence_buffer_.clear();
         AckAction& ack =
             transition(DialogueState::kIdle, sequence, "timeout:attending", out);
@@ -200,7 +200,7 @@ void DialogueStateMachine::on_tick(std::uint64_t sequence, Actions& out) {
     case DialogueState::kConfirming:
       if (in_state >= config_.confirm_timeout) {
         ++stats_.timeouts;
-        outcome_ = protocol::Outcome::kNoAnswer;
+        set_outcome(protocol::Outcome::kNoAnswer, sequence);
         AckAction& ack =
             transition(DialogueState::kAborting, sequence, "timeout:confirm", out);
         ack.set_ring = true;
@@ -213,7 +213,7 @@ void DialogueStateMachine::on_tick(std::uint64_t sequence, Actions& out) {
     case DialogueState::kExecuting:
       if (in_state >= config_.execute_ticks) {
         ++stats_.commands_executed;
-        outcome_ = protocol::Outcome::kGranted;
+        set_outcome(protocol::Outcome::kGranted, sequence);
         AckAction& ack =
             transition(DialogueState::kIdle, sequence, "execute:done", out);
         ack.set_ring = true;
@@ -239,7 +239,7 @@ void DialogueStateMachine::abort(std::uint64_t sequence, Actions& out) {
     return;
   }
   ++stats_.aborts;
-  outcome_ = protocol::Outcome::kAborted;
+  set_outcome(protocol::Outcome::kAborted, sequence);
   sequence_buffer_.clear();
   pending_rule_ = nullptr;
   AckAction& ack =

@@ -125,6 +125,12 @@ class DialogueStateMachine {
   [[nodiscard]] DialogueState state() const noexcept { return state_; }
   [[nodiscard]] const DialogueStats& stats() const noexcept { return stats_; }
   [[nodiscard]] protocol::Outcome outcome() const noexcept { return outcome_; }
+  /// The outcome plus its downstream-usable identity: this FSM's stream id
+  /// and the frame sequence at which the outcome was decided (0 while the
+  /// dialogue is still kPending). Fleet-level consumers key on this.
+  [[nodiscard]] protocol::OutcomeRecord outcome_record() const noexcept {
+    return {outcome_, stream_id_, outcome_sequence_};
+  }
   [[nodiscard]] const protocol::Transcript& transcript() const noexcept {
     return transcript_;
   }
@@ -136,6 +142,12 @@ class DialogueStateMachine {
 
  private:
   void log(std::uint64_t sequence, const char* actor, std::string event);
+  /// Single write point for outcome_ so the deciding sequence can never
+  /// drift from the value (outcome_record()'s coherence rests on this).
+  void set_outcome(protocol::Outcome outcome, std::uint64_t sequence) noexcept {
+    outcome_ = outcome;
+    outcome_sequence_ = outcome == protocol::Outcome::kPending ? 0 : sequence;
+  }
   /// Appends the transition ack, logs it, and switches state; the returned
   /// reference (valid until `out` grows) lets callers attach ring/pattern.
   AckAction& transition(DialogueState next, std::uint64_t sequence,
@@ -158,6 +170,7 @@ class DialogueStateMachine {
 
   DialogueStats stats_;
   protocol::Outcome outcome_{protocol::Outcome::kPending};
+  std::uint64_t outcome_sequence_{0};  ///< sequence that decided outcome_
   protocol::Transcript transcript_;
 };
 

@@ -22,6 +22,10 @@ void InteractionService::set_ack_observer(AckObserver observer) {
   ack_observer_ = std::move(observer);
 }
 
+void InteractionService::set_dialogue_listener(DialogueListener listener) {
+  listener_ = std::move(listener);
+}
+
 bool InteractionService::congested() const {
   const recognition::PerceptionService* perception =
       watched_.load(std::memory_order_acquire);
@@ -76,6 +80,20 @@ void InteractionService::abort_stream(std::uint32_t stream_id) {
   admit(std::move(observation));
 }
 
+bool InteractionService::try_abort_stream(std::uint32_t stream_id) {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  Observation observation;
+  observation.kind = ObservationKind::kAbort;
+  observation.stream_id = stream_id;
+  pending_.raise();  // same raise-before-push contract as admit()
+  Observation evicted;
+  const util::PushOutcome outcome =
+      ring_.try_push(std::move(observation), &evicted);
+  if (outcome == util::PushOutcome::kEnqueued) return true;
+  finish_observations(1);
+  return outcome == util::PushOutcome::kEvictedOldest;
+}
+
 void InteractionService::admit(Observation observation) {
   if (stopping_.load(std::memory_order_acquire)) return;
   // Raise pending BEFORE the push — the worker can process the observation
@@ -114,6 +132,7 @@ void InteractionService::process(const Observation& observation) {
   if (observation.kind == ObservationKind::kAbort) {
     session.fsm.abort(session.last_sequence, actions_scratch_);
     apply_actions(session, actions_scratch_);
+    notify_listener(session, events_scratch_, 0, actions_scratch_);
     return;
   }
 
@@ -127,6 +146,26 @@ void InteractionService::process(const Observation& observation) {
   }
   session.fsm.on_tick(observation.sequence, actions_scratch_);
   apply_actions(session, actions_scratch_);
+  notify_listener(session, events_scratch_, emitted, actions_scratch_);
+}
+
+void InteractionService::notify_listener(
+    Session& session, const SignEventFuser::Events& events,
+    std::size_t event_count, const DialogueStateMachine::Actions& actions) {
+  if (listener_.on_event) {
+    for (std::size_t i = 0; i < event_count; ++i) listener_.on_event(events[i]);
+  }
+  if (listener_.on_transition) {
+    for (const AckAction& action : actions) listener_.on_transition(action);
+  }
+  if (listener_.on_outcome) {
+    const protocol::OutcomeRecord record = session.fsm.outcome_record();
+    if (record.outcome != protocol::Outcome::kPending &&
+        record != session.reported_outcome) {
+      session.reported_outcome = record;
+      listener_.on_outcome(record);
+    }
+  }
 }
 
 void InteractionService::apply_actions(
@@ -214,6 +253,14 @@ protocol::Outcome InteractionService::outcome(std::uint32_t stream_id) const {
   if (session == nullptr) return protocol::Outcome::kPending;
   std::lock_guard<std::mutex> lock(session->mutex);
   return session->fsm.outcome();
+}
+
+protocol::OutcomeRecord InteractionService::outcome_record(
+    std::uint32_t stream_id) const {
+  const Session* session = find_session(stream_id);
+  if (session == nullptr) return {protocol::Outcome::kPending, stream_id, 0};
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->fsm.outcome_record();
 }
 
 drone::LedRing InteractionService::led_ring(std::uint32_t stream_id) const {

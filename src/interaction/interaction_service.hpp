@@ -94,6 +94,22 @@ class InteractionService {
   /// re-enter the service). Used by benches to timestamp frame->ack.
   using AckObserver = std::function<void(const AckAction&)>;
 
+  /// Fleet-coordination hook: a listener sees, on the dialogue worker,
+  /// every fused SignEvent, every FSM transition (as the AckAction that
+  /// embodied it), and every decided dialogue outcome — exactly once each,
+  /// in per-stream processing order. This is the seam CoordinationService
+  /// consumes; the separate AckObserver slot stays free for benches.
+  /// Callbacks must not re-enter this service (abort_stream() is re-entry;
+  /// use try_abort_stream() from a listener-fed worker instead).
+  struct DialogueListener {
+    std::function<void(const SignEvent&)> on_event;
+    std::function<void(const AckAction&)> on_transition;
+    /// Fired when a dialogue DECIDES its outcome (kGranted at execution
+    /// end, kDenied at the confirm-No, kAborted / kNoAnswer when they
+    /// strike) — not when the session later returns to Idle.
+    std::function<void(const protocol::OutcomeRecord&)> on_outcome;
+  };
+
   explicit InteractionService(InteractionServiceConfig config = {},
                               CommandGrammar grammar = CommandGrammar::standard());
   ~InteractionService();
@@ -122,10 +138,18 @@ class InteractionService {
   [[nodiscard]] bool congested() const;
 
   void set_ack_observer(AckObserver observer);  ///< set before streaming
+  void set_dialogue_listener(DialogueListener listener);  ///< set before streaming
 
   /// External safety abort for one stream's dialogue (processed in order
   /// with the observation stream).
   void abort_stream(std::uint32_t stream_id);
+
+  /// Non-blocking abort_stream(): returns false (and admits nothing) when
+  /// the observation ring is full under kBlock, instead of waiting. The
+  /// coordination worker uses this — it consumes this service's listener
+  /// events, so blocking here could cycle with the dialogue worker
+  /// blocking on the coordination ring.
+  [[nodiscard]] bool try_abort_stream(std::uint32_t stream_id);
 
   /// Blocks until every observation admitted before the call is processed.
   /// Same checkpoint contract as PerceptionService::drain().
@@ -138,6 +162,9 @@ class InteractionService {
   [[nodiscard]] InteractionStreamStats stream_stats(std::uint32_t stream_id) const;
   [[nodiscard]] DialogueState dialogue_state(std::uint32_t stream_id) const;
   [[nodiscard]] protocol::Outcome outcome(std::uint32_t stream_id) const;
+  /// Outcome plus stream identity + deciding sequence (kPending record for
+  /// a stream never seen).
+  [[nodiscard]] protocol::OutcomeRecord outcome_record(std::uint32_t stream_id) const;
   /// The stream's acknowledgement LED ring (copy; kDanger fail-safe default
   /// for a stream never seen — same boot state as the hardware).
   [[nodiscard]] drone::LedRing led_ring(std::uint32_t stream_id) const;
@@ -188,10 +215,16 @@ class InteractionService {
     std::uint64_t frames{0};
     std::uint64_t acks{0};
     std::uint64_t last_sequence{0};
+    /// Last OutcomeRecord reported to the dialogue listener, so each
+    /// decided outcome fires exactly once (worker-only).
+    protocol::OutcomeRecord reported_outcome{};
   };
 
   void worker_loop();
   void process(const Observation& observation);
+  void notify_listener(Session& session, const SignEventFuser::Events& events,
+                       std::size_t event_count,
+                       const DialogueStateMachine::Actions& actions);
   void apply_actions(Session& session, const DialogueStateMachine::Actions& actions);
   Session& session_for(std::uint32_t stream_id);
   [[nodiscard]] const Session* find_session(std::uint32_t stream_id) const;
@@ -203,6 +236,7 @@ class InteractionService {
   util::BoundedRing<Observation> ring_;
   std::atomic<const recognition::PerceptionService*> watched_{nullptr};
   AckObserver ack_observer_;
+  DialogueListener listener_;
 
   mutable std::shared_mutex sessions_mutex_;
   std::unordered_map<std::uint32_t, std::unique_ptr<Session>> sessions_;

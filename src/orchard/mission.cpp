@@ -35,6 +35,66 @@ void MissionController::plan_route(const Vec2& from) {
   queue_ = std::move(route);
 }
 
+PlanHintEffect MissionController::apply_plan_hint(const PlanHint& hint) {
+  PlanHintEffect effect;
+  const std::size_t protect = front_task_active() && !queue_.empty() ? 1 : 0;
+
+  // Blocked cells leave the route (skipped, recoverable via restore_cell).
+  for (const int cell : hint.blocked_cells) {
+    for (std::size_t i = protect; i < queue_.size();) {
+      if (queue_[i].tree_id == cell) {
+        removed_.push_back(queue_[i]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.traps_skipped;
+        ++effect.removed;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Granted cells move to the head, preserving the hint's order among
+  // themselves (hint index 0 ends up at the queue head). The search
+  // starts at insert_at: positions before it hold already-placed cells,
+  // so a duplicate cell id in the hint is a no-op instead of demoting
+  // the copy it already promoted.
+  std::size_t insert_at = protect;
+  for (const int cell : hint.granted_cells) {
+    for (std::size_t i = insert_at; i < queue_.size(); ++i) {
+      if (queue_[i].tree_id != cell) continue;
+      if (i != insert_at) {
+        TrapTask task = queue_[i];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                      task);
+        ++effect.promoted;
+      }
+      ++insert_at;
+      break;
+    }
+  }
+  return effect;
+}
+
+bool MissionController::restore_cell(int tree_id) {
+  for (std::size_t i = 0; i < removed_.size(); ++i) {
+    if (removed_[i].tree_id != tree_id) continue;
+    TrapTask task = removed_[i];
+    removed_.erase(removed_.begin() + static_cast<std::ptrdiff_t>(i));
+    --stats_.traps_skipped;
+    queue_.push_back(task);
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> MissionController::route() const {
+  std::vector<int> ids;
+  ids.reserve(queue_.size());
+  for (const TrapTask& task : queue_) ids.push_back(task.tree_id);
+  return ids;
+}
+
 void MissionController::enter(MissionPhase next) {
   phase_ = next;
   phase_clock_ = 0.0;

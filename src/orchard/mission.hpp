@@ -85,6 +85,22 @@ struct MissionWorldView {
   std::optional<signs::HumanSign> perceived_sign;  ///< from the sign channel
 };
 
+/// Fleet-level routing input (produced by coordination::CoordinationService
+/// ::plan_hint, but plain data so orchard does not depend upward): which
+/// orchard cells (tree ids) this drone currently holds a negotiated space
+/// grant for, and which it must keep clear of (denied or revoked).
+struct PlanHint {
+  std::vector<int> granted_cells;  ///< use them now, before the lease expires
+  std::vector<int> blocked_cells;  ///< keep clear (denied / revoked)
+};
+
+/// What apply_plan_hint changed, so callers (and tests) can see the route
+/// move.
+struct PlanHintEffect {
+  int promoted{0};  ///< granted tasks moved to the head of the route
+  int removed{0};   ///< blocked tasks dropped from the route
+};
+
 /// What the controller asks of the world this tick.
 struct MissionDirective {
   enum class Kind : std::uint8_t {
@@ -106,6 +122,22 @@ class MissionController {
   /// Advances the mission one tick against the vehicle. The caller supplies
   /// a per-tick world view and applies the returned directive.
   MissionDirective step(double dt, drone::Drone& drone, const MissionWorldView& view);
+
+  /// Folds a fleet-level grant hint into the route: granted cells move to
+  /// the head of the queue (a negotiated space must be used before its
+  /// lease expires — no point finishing the far rows first), blocked cells
+  /// leave the queue (counted as skipped; a later grant can re-add them
+  /// via restore_cell). The task the controller is actively working
+  /// (phases kAssess..kRead) is never touched mid-flight — it is promoted
+  /// or removed only from kTransit or earlier/later phases.
+  PlanHintEffect apply_plan_hint(const PlanHint& hint);
+
+  /// Re-queues a previously removed (blocked) trap cell, e.g. when its
+  /// denial expired. No-op if the cell is already queued or unknown.
+  bool restore_cell(int tree_id);
+
+  /// The queued route as tree ids, in visit order (head = next target).
+  [[nodiscard]] std::vector<int> route() const;
 
   [[nodiscard]] MissionPhase phase() const noexcept { return phase_; }
   [[nodiscard]] bool done() const noexcept { return phase_ == MissionPhase::kDone; }
@@ -131,9 +163,19 @@ class MissionController {
   [[nodiscard]] bool queue_empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] const TrapTask& queue_front() const { return queue_.front(); }
 
+  /// True while queue_.front() is the task the phase machinery is actively
+  /// working (so plan hints must not reorder it out from under a
+  /// negotiation or read in progress).
+  [[nodiscard]] bool front_task_active() const noexcept {
+    return phase_ == MissionPhase::kAssess ||
+           phase_ == MissionPhase::kApproachStation ||
+           phase_ == MissionPhase::kNegotiate || phase_ == MissionPhase::kRead;
+  }
+
   MissionConfig config_;
   Vec2 base_;
   std::vector<TrapTask> queue_;
+  std::vector<TrapTask> removed_;  ///< blocked tasks, kept for restore_cell
   protocol::DroneNegotiator negotiator_;
   MissionStats stats_{};
   MissionPhase phase_{MissionPhase::kPreflight};

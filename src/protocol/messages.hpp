@@ -35,6 +35,21 @@ enum class Outcome : std::uint8_t {
   return "?";
 }
 
+/// An Outcome with the identity downstream consumers need (ABI-additive:
+/// the bare enum and every API returning it are unchanged). A fleet-level
+/// arbiter cannot do anything with "someone was granted space" — it needs
+/// to know WHICH stream/drone's dialogue ended, and WHEN in that stream's
+/// frame-sequence domain, to register the grant and order it against other
+/// streams' events.
+struct OutcomeRecord {
+  Outcome outcome{Outcome::kPending};
+  std::uint32_t stream_id{0};      ///< originating perception stream / drone
+  std::uint64_t final_sequence{0}; ///< frame sequence at which the outcome
+                                   ///< was decided (0 while kPending)
+
+  [[nodiscard]] bool operator==(const OutcomeRecord&) const = default;
+};
+
 /// Timing / retry policy of the drone-side negotiator. Values derive from
 /// the user stories: an orchard worker should never be hurried, but a
 /// blocked drone must give up in bounded time and re-plan.

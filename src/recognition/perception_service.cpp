@@ -42,10 +42,17 @@ PerceptionService::PerceptionService(const RecognizerConfig& config,
                                      ResultCallback on_result,
                                      const PerceptionServiceConfig& service_config)
     : config_(config),
+      service_config_(service_config),
       database_(std::move(database)),
       on_result_(std::move(on_result)) {
   if (database_ == nullptr) {
     throw std::invalid_argument("PerceptionService: null database handle");
+  }
+  const DynamicBackpressureConfig& dynamic =
+      service_config_.dynamic_backpressure;
+  if (dynamic.enabled && dynamic.low_water >= dynamic.high_water) {
+    throw std::invalid_argument(
+        "PerceptionService: dynamic backpressure needs low_water < high_water");
   }
   const std::size_t shard_count = resolve_shards(service_config.shards);
   shards_.reserve(shard_count);
@@ -94,6 +101,9 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   }
   StreamState& state = stream_state(stream_id);
   Shard& shard = *shards_[receipt.shard];
+  if (service_config_.dynamic_backpressure.enabled) {
+    maybe_switch_policy(shard);
+  }
 
   std::lock_guard<std::mutex> order(state.order_mutex);
   // Raise pending BEFORE the push: a shard can pop, process and deliver
@@ -157,6 +167,28 @@ void PerceptionService::finish_frames(std::size_t count) {
   pending_.finish(count);
 }
 
+void PerceptionService::maybe_switch_policy(Shard& shard) {
+  // Only the kBlock <-> kDropOldest pair is managed: a deployment that
+  // chose kDropOldest or kReject at construction made a static decision.
+  if (service_config_.overflow != util::OverflowPolicy::kBlock) return;
+  const DynamicBackpressureConfig& dynamic =
+      service_config_.dynamic_backpressure;
+  // One decider at a time per shard: without this, two producers can both
+  // observe kBlock at high water and the switch counter ticks twice for
+  // one logical transition.
+  std::lock_guard<std::mutex> decide(shard.policy_mutex);
+  const std::size_t depth = shard.ring.size();
+  const util::OverflowPolicy current = shard.ring.policy();
+  if (current == util::OverflowPolicy::kBlock && depth >= dynamic.high_water) {
+    shard.ring.set_policy(util::OverflowPolicy::kDropOldest);
+    policy_switches_.fetch_add(1, std::memory_order_relaxed);
+  } else if (current == util::OverflowPolicy::kDropOldest &&
+             depth <= dynamic.low_water) {
+    shard.ring.set_policy(util::OverflowPolicy::kBlock);
+    policy_switches_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void PerceptionService::drain() { pending_.drain(); }
 
 void PerceptionService::stop() noexcept {
@@ -178,7 +210,14 @@ ShardGauge PerceptionService::shard_gauge(std::size_t shard) const {
   }
   const util::BoundedRing<Job>& ring = shards_[shard]->ring;
   return {ring.size(), ring.capacity(), ring.evicted_count(),
-          ring.rejected_count()};
+          ring.rejected_count(), ring.policy()};
+}
+
+util::OverflowPolicy PerceptionService::shard_policy(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("PerceptionService::shard_policy: bad shard index");
+  }
+  return shards_[shard]->ring.policy();
 }
 
 std::vector<ShardGauge> PerceptionService::shard_gauges() const {

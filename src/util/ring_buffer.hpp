@@ -61,33 +61,28 @@ class BoundedRing {
 
   /// Pushes one item (any thread). Under kDropOldest a full ring evicts its
   /// oldest item into `*evicted` (when non-null) before admitting `item`;
-  /// under kBlock the call waits until space frees or the ring closes.
+  /// under kBlock the call waits until space frees, the ring closes, or the
+  /// policy is switched away from kBlock (see set_policy()).
   PushOutcome push(T item, T* evicted = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (policy_ == OverflowPolicy::kBlock) {
-      not_full_.wait(lock, [this] { return closed_ || size_ < storage_.size(); });
+    not_full_.wait(lock, [this] {
+      return closed_ || size_ < storage_.size() ||
+             policy_ != OverflowPolicy::kBlock;
+    });
+    return push_locked(lock, std::move(item), evicted);
+  }
+
+  /// Non-blocking push: identical to push() except under kBlock on a full
+  /// ring, where it returns kRejected immediately instead of waiting. Lets
+  /// a consumer of ring A safely feed ring B when B's consumer also feeds
+  /// A (no blocking cycle); the caller owns the retry.
+  PushOutcome try_push(T item, T* evicted = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!closed_ && size_ == storage_.size() &&
+        policy_ == OverflowPolicy::kBlock) {
+      return PushOutcome::kRejected;
     }
-    if (closed_) return PushOutcome::kClosed;
-    PushOutcome outcome = PushOutcome::kEnqueued;
-    if (size_ == storage_.size()) {
-      if (policy_ == OverflowPolicy::kReject) {
-        ++rejected_;
-        return PushOutcome::kRejected;
-      }
-      // kDropOldest: overwrite the head slot's occupant.
-      T old = std::move(storage_[head_]);
-      head_ = next(head_);
-      --size_;
-      ++evicted_;
-      if (evicted != nullptr) *evicted = std::move(old);
-      outcome = PushOutcome::kEvictedOldest;
-    }
-    storage_[tail_] = std::move(item);
-    tail_ = next(tail_);
-    ++size_;
-    lock.unlock();
-    not_empty_.notify_one();
-    return outcome;
+    return push_locked(lock, std::move(item), evicted);
   }
 
   /// Pops the oldest item, blocking until one arrives or the ring is closed
@@ -129,7 +124,22 @@ class BoundedRing {
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
-  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] OverflowPolicy policy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return policy_;
+  }
+
+  /// Switches the overflow policy at runtime (dynamic backpressure: a
+  /// congested live feed flips kBlock -> kDropOldest and back). Producers
+  /// blocked on a full kBlock ring wake and re-resolve under the new
+  /// policy; queued items are untouched (FIFO order is preserved).
+  void set_policy(OverflowPolicy policy) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      policy_ = policy;
+    }
+    not_full_.notify_all();
+  }
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -162,8 +172,35 @@ class BoundedRing {
     return i + 1 == storage_.size() ? 0 : i + 1;
   }
 
+  /// Shared tail of push()/try_push(): caller holds `lock` and has already
+  /// resolved the kBlock wait (or chosen not to wait).
+  PushOutcome push_locked(std::unique_lock<std::mutex>& lock, T item,
+                          T* evicted) {
+    if (closed_) return PushOutcome::kClosed;
+    PushOutcome outcome = PushOutcome::kEnqueued;
+    if (size_ == storage_.size()) {
+      if (policy_ != OverflowPolicy::kDropOldest) {
+        ++rejected_;  // kReject (kBlock never reaches here full and open)
+        return PushOutcome::kRejected;
+      }
+      // kDropOldest: overwrite the head slot's occupant.
+      T old = std::move(storage_[head_]);
+      head_ = next(head_);
+      --size_;
+      ++evicted_;
+      if (evicted != nullptr) *evicted = std::move(old);
+      outcome = PushOutcome::kEvictedOldest;
+    }
+    storage_[tail_] = std::move(item);
+    tail_ = next(tail_);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return outcome;
+  }
+
   std::vector<T> storage_;
-  const OverflowPolicy policy_;
+  OverflowPolicy policy_;  ///< guarded by mutex_ (runtime-switchable)
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -256,6 +257,111 @@ TEST(CommandGrammar, ValidatesRuleTable) {
       std::invalid_argument);
 }
 
+// --------------------------------------------------------- grammar loader ---
+
+TEST(GrammarLoader, ParsesSectionsRulesAndComments) {
+  const GrammarLibrary library = CommandGrammar::parse_library(
+      "# orchard deployment\n"
+      "[default]\n"
+      "Yes -> Approach   # trailing comment\n"
+      "Yes Yes -> Land\n"
+      "No\tNo -> Leave\n"
+      "\n"
+      "[human:7]\n"
+      "AttentionGained Yes -> Land\n");
+  ASSERT_EQ(library.vocabularies().size(), 2u);
+  const CommandGrammar& grammar = library.at("default");
+  ASSERT_EQ(grammar.rules().size(), 3u);
+  EXPECT_EQ(grammar.rules()[0].sequence,
+            (std::vector<HumanSign>{HumanSign::kYes}));
+  EXPECT_EQ(grammar.rules()[0].command.kind, DroneCommandKind::kApproach);
+  // File-defined commands get the same embodiment as the built-in table.
+  EXPECT_EQ(grammar.rules()[1].command.execute_pattern,
+            drone::PatternType::kLanding);
+  EXPECT_EQ(grammar.rules()[1].command.execute_ring, drone::RingMode::kLanding);
+  EXPECT_EQ(grammar.rules()[2].sequence,
+            (std::vector<HumanSign>{HumanSign::kNo, HumanSign::kNo}));
+
+  const CommandGrammar* human7 = library.find("human:7");
+  ASSERT_NE(human7, nullptr);
+  ASSERT_EQ(human7->rules().size(), 1u);
+  EXPECT_EQ(human7->rules()[0].sequence,
+            (std::vector<HumanSign>{HumanSign::kAttentionGained,
+                                    HumanSign::kYes}));
+  EXPECT_EQ(library.find("nobody"), nullptr);
+  EXPECT_THROW((void)library.at("nobody"), std::out_of_range);
+}
+
+TEST(GrammarLoader, RulesBeforeAnySectionBelongToDefault) {
+  const GrammarLibrary library =
+      CommandGrammar::parse_library("Yes -> Approach\nNo -> Retreat\n");
+  ASSERT_EQ(library.vocabularies().size(), 1u);
+  EXPECT_EQ(library.vocabularies()[0].first, "default");
+  EXPECT_EQ(library.at("default").rules().size(), 2u);
+}
+
+TEST(GrammarLoader, MalformedInputsFailWithOriginAndLine) {
+  const auto expect_fail = [](const char* text, const char* needle) {
+    try {
+      (void)CommandGrammar::parse_library(text, "bad.grammar");
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("bad.grammar:"),
+                std::string::npos)
+          << error.what();
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_fail("Yes Approach\n", "expected");              // no arrow
+  expect_fail("Maybe -> Approach\n", "unknown sign");
+  expect_fail("Yes -> Hover\n", "unknown command");
+  expect_fail("-> Approach\n", "no sign sequence");
+  expect_fail("Yes -> Approach Land\n", "exactly one command");
+  expect_fail("[default\nYes -> Approach\n", "unterminated");
+  expect_fail("[]\nYes -> Approach\n", "empty vocabulary name");
+  expect_fail("[a]\nYes -> Approach\n[a]\nNo -> Leave\n", "duplicate");
+  expect_fail("", "no rules");
+  expect_fail("[empty]\n", "has no rules");
+  // Section-level failures blame the section's OWN header line, not the
+  // end of the file.
+  expect_fail("[empty]\n[ok]\nYes -> Approach\n", "bad.grammar:1:");
+  expect_fail("[ok]\nYes -> Approach\n[dup]\nYes -> Land\nYes -> Leave\n",
+              "bad.grammar:3:");
+  // Table-level validation (duplicate sequence) surfaces as a parse error.
+  expect_fail("Yes -> Approach\nYes -> Land\n", "duplicate sign sequence");
+  // Neutral is a sign name, but not a communicative one.
+  expect_fail("Neutral -> Approach\n", "communicative");
+}
+
+TEST(GrammarLoader, LoadsFileAndPicksDefaultVocabulary) {
+  const std::string path = ::testing::TempDir() + "/hdc_loader_test.grammar";
+  {
+    std::ofstream out(path);
+    out << "[scout]\nYes -> Approach\n[default]\nNo No -> Leave\n";
+  }
+  const CommandGrammar grammar = CommandGrammar::load(path);
+  ASSERT_EQ(grammar.rules().size(), 1u);
+  EXPECT_EQ(grammar.rules()[0].command.kind, DroneCommandKind::kLeave);
+
+  // A single-vocabulary file needs no [default] section.
+  {
+    std::ofstream out(path);
+    out << "[solo]\nYes -> Land\n";
+  }
+  EXPECT_EQ(CommandGrammar::load(path).rules()[0].command.kind,
+            DroneCommandKind::kLand);
+
+  // Two vocabularies, neither "default": ambiguous.
+  {
+    std::ofstream out(path);
+    out << "[a]\nYes -> Land\n[b]\nNo -> Leave\n";
+  }
+  EXPECT_THROW((void)CommandGrammar::load(path), std::runtime_error);
+  EXPECT_THROW((void)CommandGrammar::load("/nonexistent/x.grammar"),
+               std::runtime_error);
+}
+
 // ------------------------------------------------------------------ FSM ---
 
 SignEvent make_event(SignEventKind kind, HumanSign label, std::uint64_t seq) {
@@ -294,6 +400,9 @@ TEST(DialogueStateMachine, AttentionOpensSessionAndAcksOnRing) {
   EXPECT_TRUE(h.actions.empty());
   h.begin(HumanSign::kAttentionGained, 5);
   EXPECT_EQ(h.fsm.state(), DialogueState::kAttending);
+  // A freshly opened session is pending with no deciding sequence yet.
+  EXPECT_EQ(h.fsm.outcome_record(),
+            (protocol::OutcomeRecord{protocol::Outcome::kPending, 7, 0}));
   EXPECT_TRUE(h.last().set_ring);
   EXPECT_EQ(h.last().ring, drone::RingMode::kAllGreen);
   EXPECT_TRUE(h.last().fly_pattern);
@@ -316,6 +425,11 @@ TEST(DialogueStateMachine, FullConfirmedCycleForTwoSignCommand) {
   h.idle_until(60 + h.fsm.config().execute_ticks);
   EXPECT_EQ(h.fsm.state(), DialogueState::kIdle);
   EXPECT_EQ(h.fsm.outcome(), protocol::Outcome::kGranted);
+  // The record carries the FSM's stream id and the deciding sequence —
+  // what the fleet layer keys grants on.
+  EXPECT_EQ(h.fsm.outcome_record(),
+            (protocol::OutcomeRecord{protocol::Outcome::kGranted, 7,
+                                     60 + h.fsm.config().execute_ticks}));
   EXPECT_EQ(h.last().event, std::string("execute:done"));
   EXPECT_EQ(h.last().ring, drone::RingMode::kNavigation);
   EXPECT_EQ(h.fsm.stats().commands_parsed, 1u);
@@ -375,6 +489,8 @@ TEST(DialogueStateMachine, ConfirmDeniedAbortsWithDangerRing) {
   h.begin(HumanSign::kNo, 70);                     // human denies
   EXPECT_EQ(h.fsm.state(), DialogueState::kAborting);
   EXPECT_EQ(h.fsm.outcome(), protocol::Outcome::kDenied);
+  EXPECT_EQ(h.fsm.outcome_record(),
+            (protocol::OutcomeRecord{protocol::Outcome::kDenied, 7, 70}));
   EXPECT_EQ(h.fsm.stats().confirm_rejections, 1u);
   EXPECT_EQ(h.last().ring, drone::RingMode::kDanger);
   EXPECT_EQ(h.last().pattern, drone::PatternType::kTurnNo);
@@ -435,6 +551,8 @@ TEST(DialogueStateMachine, ExternalAbortFromAnyActiveState) {
   h.fsm.abort(10, h.actions);
   EXPECT_EQ(h.fsm.state(), DialogueState::kAborting);
   EXPECT_EQ(h.fsm.outcome(), protocol::Outcome::kAborted);
+  EXPECT_EQ(h.fsm.outcome_record(),
+            (protocol::OutcomeRecord{protocol::Outcome::kAborted, 7, 10}));
   EXPECT_EQ(h.fsm.stats().aborts, 1u);
   EXPECT_EQ(h.last().ring, drone::RingMode::kDanger);
   h.fsm.abort(11, h.actions);  // already aborting: a no-op
@@ -711,6 +829,12 @@ TEST_F(InteractionEndToEnd, ExternalAbortInterruptsADialogue) {
   interaction.drain();
   EXPECT_EQ(interaction.dialogue_state(0), DialogueState::kAborting);
   EXPECT_EQ(interaction.outcome(0), protocol::Outcome::kAborted);
+  // outcome_record identifies the stream and the frame the abort struck at
+  // (the last observation processed before it, frame 21).
+  EXPECT_EQ(interaction.outcome_record(0),
+            (protocol::OutcomeRecord{protocol::Outcome::kAborted, 0, 21}));
+  EXPECT_EQ(interaction.outcome_record(9).outcome,
+            protocol::Outcome::kPending);  // unknown stream: pending
   EXPECT_EQ(interaction.ring_mode(0), drone::RingMode::kDanger);
   EXPECT_EQ(interaction.last_pattern(0).type, drone::PatternType::kTurnNo);
 }

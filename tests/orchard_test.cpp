@@ -202,5 +202,69 @@ TEST(Mission, RouteVisitsNearestFirst) {
   EXPECT_EQ(mission.stats().traps_total, 3);
 }
 
+TEST(Mission, PlanHintPromotesGrantedCellToRouteHead) {
+  const std::vector<std::pair<int, util::Vec2>> traps = {
+      {0, {100.0, 0.0}}, {1, {1.0, 0.0}}, {2, {50.0, 0.0}}, {3, {75.0, 0.0}}};
+  MissionController mission(MissionConfig{}, {0.0, 0.0}, traps);
+  EXPECT_EQ(mission.route(), (std::vector<int>{1, 2, 3, 0}));  // nearest-first
+
+  // A fleet-level grant for trap 0's cell: use the negotiated space NOW,
+  // before the lease expires — the route must measurably change.
+  PlanHint hint;
+  hint.granted_cells = {0};
+  const PlanHintEffect effect = mission.apply_plan_hint(hint);
+  EXPECT_EQ(effect.promoted, 1);
+  EXPECT_EQ(effect.removed, 0);
+  EXPECT_EQ(mission.route(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(*mission.current_trap(), 0);
+
+  // Re-applying the same hint is idempotent (already at the head).
+  EXPECT_EQ(mission.apply_plan_hint(hint).promoted, 0);
+  EXPECT_EQ(mission.route(), (std::vector<int>{0, 1, 2, 3}));
+
+  // Two grants keep the hint's order among themselves.
+  PlanHint two;
+  two.granted_cells = {3, 2};
+  EXPECT_EQ(mission.apply_plan_hint(two).promoted, 2);
+  EXPECT_EQ(mission.route(), (std::vector<int>{3, 2, 0, 1}));
+
+  // A duplicated cell id in a hint is a no-op, not a demotion.
+  PlanHint duplicated;
+  duplicated.granted_cells = {3, 3};
+  EXPECT_EQ(mission.apply_plan_hint(duplicated).promoted, 0);
+  EXPECT_EQ(mission.route(), (std::vector<int>{3, 2, 0, 1}));
+}
+
+TEST(Mission, PlanHintRemovesBlockedCellAndRestores) {
+  const std::vector<std::pair<int, util::Vec2>> traps = {
+      {0, {10.0, 0.0}}, {1, {1.0, 0.0}}, {2, {5.0, 0.0}}};
+  MissionController mission(MissionConfig{}, {0.0, 0.0}, traps);
+  EXPECT_EQ(mission.route(), (std::vector<int>{1, 2, 0}));
+
+  // A revoked/denied cell leaves the route (counted as skipped)...
+  PlanHint hint;
+  hint.blocked_cells = {2};
+  const PlanHintEffect effect = mission.apply_plan_hint(hint);
+  EXPECT_EQ(effect.removed, 1);
+  EXPECT_EQ(mission.route(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(mission.stats().traps_skipped, 1);
+
+  // ...and can come back when the denial expires.
+  EXPECT_TRUE(mission.restore_cell(2));
+  EXPECT_EQ(mission.route(), (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(mission.stats().traps_skipped, 0);
+  EXPECT_FALSE(mission.restore_cell(2));   // nothing left to restore
+  EXPECT_FALSE(mission.restore_cell(99));  // unknown cell
+
+  // Unknown cells in a hint are ignored.
+  PlanHint unknown;
+  unknown.granted_cells = {42};
+  unknown.blocked_cells = {43};
+  const PlanHintEffect none = mission.apply_plan_hint(unknown);
+  EXPECT_EQ(none.promoted, 0);
+  EXPECT_EQ(none.removed, 0);
+  EXPECT_EQ(mission.route(), (std::vector<int>{1, 0, 2}));
+}
+
 }  // namespace
 }  // namespace hdc::orchard

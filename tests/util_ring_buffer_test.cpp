@@ -209,5 +209,70 @@ TEST(BoundedRing, DropOldestUnderConcurrentLoadAccountsEveryItem) {
   EXPECT_EQ(ring.rejected_count(), 0u);
 }
 
+TEST(BoundedRing, SetPolicyWakesBlockedProducerIntoNewPolicy) {
+  BoundedRing<int> ring(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(ring.push(1), PushOutcome::kEnqueued);
+
+  std::atomic<bool> producer_returned{false};
+  PushOutcome outcome = PushOutcome::kEnqueued;
+  int evicted = 0;
+  std::thread producer([&] {
+    outcome = ring.push(2, &evicted);
+    producer_returned.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(producer_returned.load(std::memory_order_acquire))
+      << "kBlock on a full ring must wait";
+
+  // Dynamic backpressure flips the policy: the waiting producer must wake
+  // and resolve under kDropOldest (evicting the oldest, not waiting on).
+  ring.set_policy(OverflowPolicy::kDropOldest);
+  producer.join();
+  EXPECT_EQ(outcome, PushOutcome::kEvictedOldest);
+  EXPECT_EQ(evicted, 1);
+
+  int out = 0;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(ring.policy(), OverflowPolicy::kDropOldest);
+}
+
+TEST(BoundedRing, TryPushNeverBlocksUnderAnyPolicy) {
+  // kBlock + full: refused immediately (this is what lets two workers feed
+  // each other's rings without a blocking cycle). NOT counted as a policy
+  // rejection — the caller owns the retry.
+  {
+    BoundedRing<int> ring(1, OverflowPolicy::kBlock);
+    EXPECT_EQ(ring.try_push(1), PushOutcome::kEnqueued);
+    EXPECT_EQ(ring.try_push(2), PushOutcome::kRejected);
+    EXPECT_EQ(ring.rejected_count(), 0u);
+    int out = 0;
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_EQ(ring.try_push(3), PushOutcome::kEnqueued);
+  }
+  // kDropOldest + full: evicts, same as push().
+  {
+    BoundedRing<int> ring(1, OverflowPolicy::kDropOldest);
+    EXPECT_EQ(ring.try_push(1), PushOutcome::kEnqueued);
+    int evicted = 0;
+    EXPECT_EQ(ring.try_push(2, &evicted), PushOutcome::kEvictedOldest);
+    EXPECT_EQ(evicted, 1);
+  }
+  // kReject + full: refused AND counted, same as push().
+  {
+    BoundedRing<int> ring(1, OverflowPolicy::kReject);
+    EXPECT_EQ(ring.try_push(1), PushOutcome::kEnqueued);
+    EXPECT_EQ(ring.try_push(2), PushOutcome::kRejected);
+    EXPECT_EQ(ring.rejected_count(), 1u);
+  }
+  // Closed: kClosed, like push().
+  {
+    BoundedRing<int> ring(2, OverflowPolicy::kBlock);
+    ring.close();
+    EXPECT_EQ(ring.try_push(1), PushOutcome::kClosed);
+  }
+}
+
 }  // namespace
 }  // namespace hdc::util
