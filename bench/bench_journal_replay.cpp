@@ -1,0 +1,282 @@
+// Journal + replay bench: what event journaling costs the live stack, and
+// how fast (and how deterministically) a recorded run replays.
+//
+// For each fleet size in {4, 8, 16} drones (contention pairs, same
+// scripted scenario as bench_fleet_coordination), the run is executed
+// twice through perception -> interaction -> coordination:
+//
+//   - baseline: CoordinationService::bind(), no journal;
+//   - journaled: protocol::JournalRecorder spliced into the listener/tap
+//     seams, recording every observation, sign event, transition,
+//     outcome, fleet event and grant update to the wire format.
+//
+// Reported per cell: aggregate frames/sec both ways and the journaling
+// overhead %, the journal size and record count, replay wall time and
+// replayed-inputs/sec, plus two gates:
+//
+//   - replay_ok: the journal replays through fresh services with every
+//     record type bit-identical to the recording;
+//   - deterministic: two replays of the same journal produce byte-for-
+//     byte identical replay journals (the CI determinism gate).
+//
+// Flags: --smoke (4 drones only, for CI), --json PATH.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coordination/coordination_service.hpp"
+#include "coordination/fleet_scenario.hpp"
+#include "interaction/interaction_service.hpp"
+#include "protocol/journal.hpp"
+#include "protocol/replay_driver.hpp"
+#include "recognition/perception_service.hpp"
+#include "signs/multi_drone_feed.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc;
+
+struct CellResult {
+  std::size_t drones{0};
+  std::size_t frames_total{0};
+  double baseline_fps{0.0};
+  double journaled_fps{0.0};
+  double overhead_pct{0.0};
+  std::size_t journal_bytes{0};
+  std::uint64_t records{0};
+  double replay_ms{0.0};
+  double replay_inputs_per_sec{0.0};
+  bool replay_ok{false};
+  bool deterministic{false};
+};
+
+struct RunOutput {
+  double seconds{0.0};
+  std::vector<std::uint8_t> journal;  ///< empty for a baseline run
+  std::uint64_t records{0};
+};
+
+RunOutput run_once(const recognition::SaxSignRecognizer& reference,
+                   const interaction::CommandGrammar& grammar,
+                   const coordination::ContentionFleet& fleet,
+                   const std::vector<std::vector<imaging::GrayImage>>& scripts,
+                   std::size_t drones, bool journaled) {
+  RunOutput out;
+
+  coordination::CoordinationConfig coordination_config;
+  coordination_config.cells = std::max<std::size_t>(1, drones / 2);
+  coordination_config.grant_ttl = 1'000'000;
+  interaction::InteractionServiceConfig dialogue_config;
+  dialogue_config.fusion =
+      interaction::FusionPolicy::matching(reference.config());
+
+  protocol::EventJournal journal;
+  protocol::JournalRecorder recorder(journal);
+
+  coordination::CoordinationService coordinator(coordination_config);
+  interaction::InteractionService dialogue(
+      dialogue_config, interaction::CommandGrammar(grammar.rules()));
+  if (journaled) {
+    recorder.record_config(
+        protocol::make_run_config(dialogue_config, coordination_config));
+    recorder.attach_interaction(dialogue, &coordinator);
+    recorder.attach_coordination(coordinator);
+  } else {
+    coordinator.bind(dialogue);
+  }
+  for (std::size_t s = 0; s < drones; ++s) {
+    coordinator.register_drone(fleet.drones[s]);
+  }
+
+  recognition::PerceptionServiceConfig perception_config;
+  perception_config.shards = std::min<std::size_t>(drones, 4);
+  perception_config.queue_capacity = 64;
+  recognition::PerceptionService perception(
+      reference.config(), reference.database_ptr(), dialogue.callback(),
+      perception_config);
+
+  util::Stopwatch wall;
+  std::vector<std::thread> producers;
+  producers.reserve(drones);
+  for (std::size_t s = 0; s < drones; ++s) {
+    producers.emplace_back([&, s] {
+      for (const imaging::GrayImage& frame : scripts[s]) {
+        perception.submit(static_cast<std::uint32_t>(s), frame);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (int round = 0; round < 3; ++round) {
+    perception.drain();
+    dialogue.drain();
+    coordinator.drain();
+  }
+  out.seconds = wall.elapsed_seconds();
+
+  perception.stop();
+  dialogue.stop();
+  coordinator.stop();
+
+  if (journaled) {
+    std::vector<std::uint32_t> stream_ids;
+    for (std::size_t s = 0; s < drones; ++s) {
+      stream_ids.push_back(static_cast<std::uint32_t>(s));
+    }
+    recorder.finalize(dialogue, std::move(stream_ids), coordinator);
+    out.journal = journal.bytes();
+    out.records = journal.record_count();
+  }
+  return out;
+}
+
+CellResult run_cell(const recognition::SaxSignRecognizer& reference,
+                    const interaction::CommandGrammar& grammar,
+                    const coordination::ContentionFleet& fleet,
+                    const std::vector<std::vector<imaging::GrayImage>>& scripts,
+                    std::size_t drones) {
+  CellResult cell;
+  cell.drones = drones;
+  for (std::size_t s = 0; s < drones; ++s) {
+    cell.frames_total += scripts[s].size();
+  }
+
+  const RunOutput baseline =
+      run_once(reference, grammar, fleet, scripts, drones, false);
+  const RunOutput recorded =
+      run_once(reference, grammar, fleet, scripts, drones, true);
+  cell.baseline_fps = static_cast<double>(cell.frames_total) / baseline.seconds;
+  cell.journaled_fps =
+      static_cast<double>(cell.frames_total) / recorded.seconds;
+  cell.overhead_pct =
+      100.0 * (baseline.seconds > 0.0
+                   ? (recorded.seconds - baseline.seconds) / baseline.seconds
+                   : 0.0);
+  cell.journal_bytes = recorded.journal.size();
+  cell.records = recorded.records;
+
+  const protocol::ReplayDriver driver;
+  util::Stopwatch replay_wall;
+  const protocol::ReplayReport first = driver.replay(recorded.journal);
+  cell.replay_ms = replay_wall.elapsed_seconds() * 1e3;
+  const protocol::ReplayReport second = driver.replay(recorded.journal);
+  cell.replay_ok = first.ok && second.ok;
+  cell.deterministic =
+      cell.replay_ok && first.journal_bytes == second.journal_bytes;
+  const double inputs = static_cast<double>(first.observations_fed +
+                                            first.fleet_events_fed);
+  cell.replay_inputs_per_sec = inputs / (cell.replay_ms / 1e3);
+  if (!first.ok) std::cerr << "replay gate: " << first.mismatch << "\n";
+  return cell;
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                std::size_t hardware_threads) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for JSON output\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"journal_replay\",\n"
+      << "  \"hardware_threads\": " << hardware_threads << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"drones\": " << c.drones
+        << ", \"frames_total\": " << c.frames_total
+        << ", \"baseline_fps\": " << c.baseline_fps
+        << ", \"journaled_fps\": " << c.journaled_fps
+        << ", \"overhead_pct\": " << c.overhead_pct
+        << ", \"journal_bytes\": " << c.journal_bytes
+        << ", \"records\": " << c.records
+        << ", \"replay_ms\": " << c.replay_ms
+        << ", \"replay_inputs_per_sec\": " << c.replay_inputs_per_sec
+        << ", \"replay_ok\": " << (c.replay_ok ? "true" : "false")
+        << ", \"deterministic\": " << (c.deterministic ? "true" : "false")
+        << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> drone_counts =
+      smoke ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 8, 16};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::cout << "building canonical database + rendering contention scripts...\n";
+  const recognition::SaxSignRecognizer reference(
+      recognition::RecognizerConfig{}, recognition::DatabaseBuildOptions{});
+  const interaction::CommandGrammar grammar =
+      interaction::CommandGrammar::standard();
+
+  const std::size_t max_drones = drone_counts.back();
+  const coordination::ContentionFleet fleet =
+      coordination::make_contention_fleet(max_drones, grammar);
+  const signs::MultiDroneFeed feed(coordination::make_fleet_feed_config(fleet));
+  std::vector<std::vector<imaging::GrayImage>> scripts(max_drones);
+  for (std::size_t s = 0; s < max_drones; ++s) {
+    scripts[s] =
+        feed.prerender(s, static_cast<std::size_t>(feed.script_period(s)));
+  }
+
+  util::TextTable table({"drones", "frames", "baseline fps", "journaled fps",
+                         "overhead %", "journal KiB", "records", "replay ms",
+                         "replay in/s", "replay", "determ"});
+  std::vector<CellResult> cells;
+  bool all_ok = true;
+  for (const std::size_t drones : drone_counts) {
+    const CellResult cell =
+        run_cell(reference, grammar, fleet, scripts, drones);
+    all_ok = all_ok && cell.replay_ok && cell.deterministic;
+    table.add_row(
+        {std::to_string(cell.drones), std::to_string(cell.frames_total),
+         util::fmt(cell.baseline_fps, 1), util::fmt(cell.journaled_fps, 1),
+         util::fmt(cell.overhead_pct, 2),
+         util::fmt(static_cast<double>(cell.journal_bytes) / 1024.0, 1),
+         std::to_string(cell.records), util::fmt(cell.replay_ms, 2),
+         util::fmt(cell.replay_inputs_per_sec, 0),
+         cell.replay_ok ? "ok" : "FAIL",
+         cell.deterministic ? "ok" : "FAIL"});
+    cells.push_back(cell);
+  }
+
+  std::cout << "\n--- journal + replay (contention pairs, "
+            << (smoke ? "smoke" : "full") << ") ---\n";
+  table.print(std::cout);
+  std::cout << "hardware threads: " << hw
+            << "; overhead = journaled vs baseline wall time of the live "
+               "stack; replay is single-threaded stage-by-stage\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, cells, hw);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!all_ok) {
+    std::cout << "FAIL: a journal failed to replay bit-identically\n";
+    return 1;
+  }
+  std::cout << "every recorded run replayed bit-identically, twice\n";
+  return 0;
+}

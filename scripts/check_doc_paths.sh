@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Docs rot when code moves: fail CI if docs/ARCHITECTURE.md or
-# docs/PERFORMANCE.md reference a repo path that no longer exists.
+# Docs rot when code moves: fail CI if docs/ARCHITECTURE.md,
+# docs/PERFORMANCE.md or docs/WIRE_FORMAT.md reference a repo path that no
+# longer exists.
 #
 # A "path reference" is any token that starts with a known top-level source
 # directory (src/, tests/, bench/, examples/, scripts/, docs/, .github/).
@@ -11,7 +12,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-docs=(docs/ARCHITECTURE.md docs/PERFORMANCE.md)
+docs=(docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/WIRE_FORMAT.md)
 status=0
 
 for doc in "${docs[@]}"; do

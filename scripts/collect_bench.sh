@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Collects the per-PR perf snapshot: runs the five perf benches
+# Collects the per-PR perf snapshot: runs the six perf benches
 # (bench_distance_micro, bench_throughput_batch, bench_multi_drone_streaming,
-# bench_interaction_dialogue, bench_fleet_coordination) with --json and
-# merges their outputs into one BENCH_<pr>.json at the repo root, so the
-# perf trajectory is machine-readable per PR. Schema: docs/PERFORMANCE.md.
+# bench_interaction_dialogue, bench_fleet_coordination, bench_journal_replay)
+# with --json and merges their outputs into one BENCH_<pr>.json at the repo
+# root, so the perf trajectory is machine-readable per PR. Schema:
+# docs/PERFORMANCE.md.
 #
 # Usage: scripts/collect_bench.sh [--build-dir DIR] [--out FILE] [--smoke] [--reuse]
 #   --build-dir DIR  where the bench executables live (default: build)
-#   --out FILE       merged snapshot path (default: BENCH_5.json at repo root)
+#   --out FILE       merged snapshot path (default: BENCH_6.json at repo root)
 #   --smoke          pass --smoke to the benches that support it (CI-sized runs)
 #   --reuse          skip running a bench whose per-bench JSON already exists
 #                    in the build dir (CI runs some benches in earlier steps)
@@ -15,7 +16,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_file="$repo_root/BENCH_5.json"
+out_file="$repo_root/BENCH_6.json"
 smoke=""
 reuse=0
 
@@ -53,6 +54,7 @@ run_bench bench_throughput_batch
 run_bench bench_multi_drone_streaming ${smoke:+$smoke}
 run_bench bench_interaction_dialogue ${smoke:+$smoke}
 run_bench bench_fleet_coordination ${smoke:+$smoke}
+run_bench bench_journal_replay ${smoke:+$smoke}
 
 python3 - "$build_dir" "$out_file" <<'PY'
 import json, pathlib, sys
@@ -61,7 +63,7 @@ build_dir, out_file = map(pathlib.Path, sys.argv[1:3])
 benches = {}
 for name in ("bench_distance_micro", "bench_throughput_batch",
              "bench_multi_drone_streaming", "bench_interaction_dialogue",
-             "bench_fleet_coordination"):
+             "bench_fleet_coordination", "bench_journal_replay"):
     with open(build_dir / f"{name}.json") as fh:
         payload = json.load(fh)
     benches[payload.pop("bench", name.removeprefix("bench_"))] = payload

@@ -24,6 +24,16 @@ void CoordinationService::set_registry_observer(RegistryObserver observer) {
   registry_observer_ = std::move(observer);
 }
 
+void CoordinationService::set_event_tap(EventTap tap) {
+  event_tap_ = std::move(tap);
+}
+
+void CoordinationService::admit_recorded(const FleetEvent& event) {
+  FleetEvent copy = event;
+  copy.source = nullptr;  // recorded pointers are meaningless; see header
+  admit(std::move(copy));
+}
+
 void CoordinationService::bind(interaction::InteractionService& dialogue) {
   interaction::InteractionService::DialogueListener listener;
   interaction::InteractionService* source = &dialogue;
@@ -128,7 +138,13 @@ std::uint64_t CoordinationService::advance_clock(std::uint64_t sequence) {
 }
 
 void CoordinationService::process(const FleetEvent& event) {
+  if (event_tap_) event_tap_(event);
   events_.fetch_add(1, std::memory_order_relaxed);
+  // `now` is the monotone fleet clock AFTER observing this event. Handlers
+  // must timestamp every registry mutation with `now`, never the event's
+  // raw sequence: an out-of-order (stale) sequence would otherwise open a
+  // lease in the past — born expired, or expiring earlier than a lease the
+  // same cell already had — regressing lease-expiry decisions.
   const std::uint64_t now = advance_clock(event.sequence);
 
   switch (event.kind) {
@@ -143,10 +159,10 @@ void CoordinationService::process(const FleetEvent& event) {
       handle_transition(event);
       break;
     case EventKind::kOutcome:
-      handle_outcome(event);
+      handle_outcome(event, now);
       break;
     case EventKind::kSignEvent:
-      handle_sign_event(event);
+      handle_sign_event(event, now);
       break;
     case EventKind::kTick:
       break;  // advance_clock + the sweep below are the whole effect
@@ -179,7 +195,8 @@ void CoordinationService::handle_transition(const FleetEvent& event) {
   }
 }
 
-void CoordinationService::handle_outcome(const FleetEvent& event) {
+void CoordinationService::handle_outcome(const FleetEvent& event,
+                                         std::uint64_t now) {
   const auto it = drones_.find(event.drone_id);
   if (it == drones_.end()) {
     unknown_drone_events_.fetch_add(1, std::memory_order_relaxed);
@@ -191,13 +208,17 @@ void CoordinationService::handle_outcome(const FleetEvent& event) {
   const int cell = it->second.cell;
   switch (event.outcome) {
     case protocol::Outcome::kGranted: {
-      const bool accepted =
-          registry_.grant(cell, event.drone_id, event.sequence);
+      // Lease born at `now`, not the outcome's own sequence: a stale
+      // outcome (decided at sequence S but processed after the clock
+      // passed S + ttl) must still open a full-length lease, not one
+      // that is already expired — the sweep below would kill it in the
+      // same breath.
+      const bool accepted = registry_.grant(cell, event.drone_id, now);
       observe({cell, registry_.read(cell), !accepted});
       break;
     }
     case protocol::Outcome::kDenied: {
-      const bool accepted = registry_.deny(cell, event.drone_id, event.sequence);
+      const bool accepted = registry_.deny(cell, event.drone_id, now);
       observe({cell, registry_.read(cell), !accepted});
       break;
     }
@@ -212,7 +233,8 @@ void CoordinationService::handle_outcome(const FleetEvent& event) {
                            event.sequence);
 }
 
-void CoordinationService::handle_sign_event(const FleetEvent& event) {
+void CoordinationService::handle_sign_event(const FleetEvent& event,
+                                            std::uint64_t now) {
   // Post-grant human authority: a fused No begin revokes the cell's live
   // grant (whoever's camera saw it — the human is the authority, not the
   // stream); a fused Yes begin renews the current holder's lease.
@@ -221,15 +243,20 @@ void CoordinationService::handle_sign_event(const FleetEvent& event) {
   if (it == drones_.end()) return;  // not an error: pre-registration chatter
   const int cell = it->second.cell;
   const GrantRecord record = registry_.read(cell);
+  // Causality check on the RAW sequence: a sign fused before the grant
+  // existed must not act on it. The mutation itself is stamped with `now`
+  // (the monotone clock) — a stale Yes renewing with its own old sequence
+  // would SHORTEN the lease, and a stale No would open a keep-clear
+  // window that is already partly in the past.
   const bool live = record.state == GrantState::kGranted &&
                     event.sequence > record.granted_seq;
   if (!live) return;
   if (event.label == signs::HumanSign::kNo) {
-    if (registry_.revoke(cell, event.sequence)) {
+    if (registry_.revoke(cell, now)) {
       observe({cell, registry_.read(cell), false});
     }
   } else if (event.label == signs::HumanSign::kYes) {
-    if (registry_.renew(cell, record.holder, event.sequence)) {
+    if (registry_.renew(cell, record.holder, now)) {
       observe({cell, registry_.read(cell), false});
     }
   }

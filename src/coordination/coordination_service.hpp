@@ -76,10 +76,42 @@ struct CoordinationStats {
 
 class CoordinationService {
  public:
+  enum class EventKind : std::uint8_t {
+    kRegister = 0,
+    kBattery,
+    kTransition,
+    kOutcome,
+    kSignEvent,
+    kTick,
+  };
+
+  /// One fleet event. Small tagged struct instead of a variant: the ring
+  /// copies it around and every field is trivially copyable. Public (with
+  /// EventKind) because the event journal records these verbatim — a
+  /// FleetEvent IS the coordination worker's replayable input unit.
+  struct FleetEvent {
+    EventKind kind{EventKind::kTransition};
+    std::uint32_t drone_id{0};
+    std::uint64_t sequence{0};
+    interaction::InteractionService* source{nullptr};  ///< kTransition only
+    interaction::DialogueState to{interaction::DialogueState::kIdle};
+    protocol::Outcome outcome{protocol::Outcome::kPending};
+    signs::HumanSign label{signs::HumanSign::kNeutral};
+    interaction::SignEventKind event_kind{interaction::SignEventKind::kBegin};
+    DroneDescriptor descriptor{};  ///< kRegister only
+    double battery_soc{1.0};       ///< kBattery only
+  };
+
   /// Observes every registry mutation (grant/deny/revoke/renew + refused
   /// conflicting grants) on the coordination worker. Benches timestamp
   /// outcome -> grant-visible with this. Must not re-enter the service.
   using RegistryObserver = std::function<void(const GrantUpdate&)>;
+
+  /// Observes every fleet event at the head of process(), on the
+  /// coordination worker — i.e. in the exact order the single worker
+  /// consumed them, which is the order a replay must re-feed them in.
+  /// The journal recorder hangs off this. Must not re-enter the service.
+  using EventTap = std::function<void(const FleetEvent&)>;
 
   explicit CoordinationService(CoordinationConfig config = {});
   ~CoordinationService();
@@ -116,6 +148,13 @@ class CoordinationService {
   void admit_sign_event(const interaction::SignEvent& event);
 
   void set_registry_observer(RegistryObserver observer);  ///< set before streaming
+  void set_event_tap(EventTap tap);  ///< set before streaming
+
+  /// Admits a recorded fleet event verbatim (the replay path). kTransition
+  /// events are admitted without a source — arbitration aborts are logged
+  /// but not delivered, because during replay abort EFFECTS arrive as the
+  /// recorded abort observations of the interaction layer.
+  void admit_recorded(const FleetEvent& event);
 
   /// Blocks until every event admitted before the call is processed
   /// (PendingCounter checkpoint contract, as everywhere in this codebase).
@@ -150,36 +189,12 @@ class CoordinationService {
   }
 
  private:
-  enum class EventKind : std::uint8_t {
-    kRegister = 0,
-    kBattery,
-    kTransition,
-    kOutcome,
-    kSignEvent,
-    kTick,
-  };
-
-  /// One fleet event. Small tagged struct instead of a variant: the ring
-  /// copies it around and every field is trivially copyable.
-  struct FleetEvent {
-    EventKind kind{EventKind::kTransition};
-    std::uint32_t drone_id{0};
-    std::uint64_t sequence{0};
-    interaction::InteractionService* source{nullptr};  ///< kTransition only
-    interaction::DialogueState to{interaction::DialogueState::kIdle};
-    protocol::Outcome outcome{protocol::Outcome::kPending};
-    signs::HumanSign label{signs::HumanSign::kNeutral};
-    interaction::SignEventKind event_kind{interaction::SignEventKind::kBegin};
-    DroneDescriptor descriptor{};  ///< kRegister only
-    double battery_soc{1.0};       ///< kBattery only
-  };
-
   void admit(FleetEvent event);
   void worker_loop();
   void process(const FleetEvent& event);
   void handle_transition(const FleetEvent& event);
-  void handle_outcome(const FleetEvent& event);
-  void handle_sign_event(const FleetEvent& event);
+  void handle_outcome(const FleetEvent& event, std::uint64_t now);
+  void handle_sign_event(const FleetEvent& event, std::uint64_t now);
   void issue_abort(interaction::InteractionService* source,
                    std::uint32_t stream_id);
   void flush_pending_aborts();
@@ -201,6 +216,7 @@ class CoordinationService {
   SessionArbiter::Decisions decisions_scratch_;
 
   RegistryObserver registry_observer_;
+  EventTap event_tap_;
 
   mutable std::mutex log_mutex_;
   std::vector<ArbitrationDecision> arbitration_log_;

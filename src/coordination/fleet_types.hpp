@@ -27,12 +27,22 @@ struct DroneDescriptor {
   double battery_soc{1.0};     ///< state of charge in [0, 1], arbitration input
 };
 
-/// Arbitration tuning. Priority is fixed (dialogue phase > battery >
-/// stream id, see SessionArbiter); the policy tunes the loser's
-/// deferred-retry backoff, in fleet-clock frames.
+/// Arbitration tuning. Priority is lexicographic (aged dialogue phase >
+/// unresolved losses > battery > stream id, see SessionArbiter); the
+/// policy tunes the loser's deferred-retry backoff (fleet-clock frames)
+/// and the fairness aging that bounds starvation.
 struct ArbitrationPolicy {
   std::uint64_t retry_backoff{64};       ///< first loss: retry after this many frames
   std::uint64_t retry_backoff_max{512};  ///< doubling cap
+  /// Fairness aging: every unresolved arbitration loss raises the drone's
+  /// EFFECTIVE phase rank by this much (up to fairness_boost_cap), and
+  /// more losses win the tiebreak at equal effective rank — so a
+  /// repeatedly-outranked loser provably wins within a bounded number of
+  /// attempts (see SessionArbiter's header for the bound). A won dialogue
+  /// resets the aging. 0 disables aging (strict fixed priority — can
+  /// starve a low-id drone under repeated contention).
+  int fairness_boost_per_loss{1};
+  int fairness_boost_cap{8};  ///< max effective-rank boost from aging
 };
 
 /// Why the arbiter told a drone to abort.

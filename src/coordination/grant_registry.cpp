@@ -1,5 +1,6 @@
 #include "coordination/grant_registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hdc::coordination {
@@ -161,7 +162,9 @@ bool GrantRegistry::renew(int cell, std::uint32_t holder,
   // Revoked/expired/denied grants stay dead: renewal extends a LIVE lease
   // only (the revocation-vs-renewal race always ends revoked).
   if (!live_grant(current, sequence) || current.holder != holder) return false;
-  current.expires_seq = sequence + ttl_;
+  // Monotone lease end: a renewal stamped with a stale sequence extends
+  // the lease or leaves it alone — it can never pull expiry earlier.
+  current.expires_seq = std::max(current.expires_seq, sequence + ttl_);
   current.renewals += 1;
   publish(s, current);
   renewals_.fetch_add(1, std::memory_order_relaxed);

@@ -35,11 +35,26 @@ SessionArbiter::DroneStanding& SessionArbiter::standing(std::uint32_t drone_id) 
   return fresh;
 }
 
+int SessionArbiter::effective_rank(const DroneStanding& s) const noexcept {
+  if (policy_.fairness_boost_per_loss <= 0) return phase_rank(s.phase);
+  const long long boost =
+      static_cast<long long>(s.losses) * policy_.fairness_boost_per_loss;
+  return phase_rank(s.phase) +
+         static_cast<int>(std::min<long long>(boost, policy_.fairness_boost_cap));
+}
+
 bool SessionArbiter::outranks(const DroneStanding& a,
-                              const DroneStanding& b) noexcept {
-  const int rank_a = phase_rank(a.phase);
-  const int rank_b = phase_rank(b.phase);
+                              const DroneStanding& b) const noexcept {
+  const int rank_a = effective_rank(a);
+  const int rank_b = effective_rank(b);
   if (rank_a != rank_b) return rank_a > rank_b;
+  // Equal effective rank: the drone turned away more often goes first
+  // (this is what makes the starvation bound exact — aging alone can only
+  // TIE a higher raw phase, see the header). Part of the fairness aging,
+  // so boost = 0 disables it too and restores the legacy total order.
+  if (policy_.fairness_boost_per_loss > 0 && a.losses != b.losses) {
+    return a.losses > b.losses;
+  }
   if (a.descriptor.battery_soc != b.descriptor.battery_soc) {
     return a.descriptor.battery_soc > b.descriptor.battery_soc;
   }
@@ -91,6 +106,7 @@ void SessionArbiter::on_phase(std::uint32_t drone_id,
     DroneStanding& loser = outranks(self, other) ? other : self;
     DroneStanding& winner = outranks(self, other) ? self : other;
     defer(loser, sequence);
+    ++loser.losses;  // fairness aging input; reset by a won dialogue
     loser.abort_pending = true;
     out.push_back({loser.descriptor.drone_id, winner.descriptor.drone_id,
                    self.descriptor.human_id, sequence, loser.retry_at,
@@ -108,9 +124,10 @@ void SessionArbiter::on_dialogue_end(std::uint32_t drone_id, bool won,
   ++stats_.sessions_ended;
   if (won) {
     // A completed negotiation clears the loser history — the next
-    // contention starts from the base backoff again.
+    // contention starts from the base backoff again, with no aging boost.
     self.backoff = 0;
     self.retry_at = 0;
+    self.losses = 0;
   }
 }
 
@@ -124,6 +141,11 @@ interaction::DialogueState SessionArbiter::phase_of(
 std::uint64_t SessionArbiter::retry_at(std::uint32_t drone_id) const {
   const auto it = drones_.find(drone_id);
   return it == drones_.end() ? 0 : it->second.retry_at;
+}
+
+std::uint32_t SessionArbiter::losses(std::uint32_t drone_id) const {
+  const auto it = drones_.find(drone_id);
+  return it == drones_.end() ? 0 : it->second.losses;
 }
 
 }  // namespace hdc::coordination

@@ -80,6 +80,18 @@ void InteractionService::abort_stream(std::uint32_t stream_id) {
   admit(std::move(observation));
 }
 
+void InteractionService::inject_observation(std::uint32_t stream_id,
+                                            std::uint64_t sequence,
+                                            signs::HumanSign sign,
+                                            double confidence) {
+  Observation observation;
+  observation.stream_id = stream_id;
+  observation.sequence = sequence;
+  observation.sign = sign;
+  observation.confidence = confidence;
+  admit(std::move(observation));
+}
+
 bool InteractionService::try_abort_stream(std::uint32_t stream_id) {
   if (stopping_.load(std::memory_order_acquire)) return false;
   Observation observation;
@@ -128,6 +140,18 @@ void InteractionService::process(const Observation& observation) {
   Session& session = session_for(observation.stream_id);
   std::lock_guard<std::mutex> lock(session.mutex);
   actions_scratch_.clear();
+
+  if (listener_.on_observation) {
+    ObservationSample sample;
+    sample.stream_id = observation.stream_id;
+    sample.abort = observation.kind == ObservationKind::kAbort;
+    // Aborts carry no frame; stamp the stream's last processed sequence so
+    // the journal entry still orders against the frame stream.
+    sample.sequence = sample.abort ? session.last_sequence : observation.sequence;
+    sample.sign = observation.sign;
+    sample.confidence = observation.confidence;
+    listener_.on_observation(sample);
+  }
 
   if (observation.kind == ObservationKind::kAbort) {
     session.fsm.abort(session.last_sequence, actions_scratch_);

@@ -94,14 +94,33 @@ class InteractionService {
   /// re-enter the service). Used by benches to timestamp frame->ack.
   using AckObserver = std::function<void(const AckAction&)>;
 
+  /// One observation exactly as the dialogue worker processed it — the
+  /// service's replayable input unit. Re-feeding the recorded samples of a
+  /// run through inject_observation() / abort_stream() in recorded order
+  /// reproduces the run bit-identically (protocol::JournalRecorder and the
+  /// replay driver are built on this).
+  struct ObservationSample {
+    std::uint32_t stream_id{0};
+    /// Frame sequence; for an abort sample this is the stream's last
+    /// processed sequence (aborts carry no frame of their own).
+    std::uint64_t sequence{0};
+    signs::HumanSign sign{signs::HumanSign::kNeutral};
+    double confidence{0.0};
+    bool abort{false};  ///< external abort, not a frame
+  };
+
   /// Fleet-coordination hook: a listener sees, on the dialogue worker,
-  /// every fused SignEvent, every FSM transition (as the AckAction that
-  /// embodied it), and every decided dialogue outcome — exactly once each,
-  /// in per-stream processing order. This is the seam CoordinationService
-  /// consumes; the separate AckObserver slot stays free for benches.
+  /// every processed observation, every fused SignEvent, every FSM
+  /// transition (as the AckAction that embodied it), and every decided
+  /// dialogue outcome — exactly once each, in per-stream processing
+  /// order. This is the seam CoordinationService and the event journal
+  /// consume; the separate AckObserver slot stays free for benches.
   /// Callbacks must not re-enter this service (abort_stream() is re-entry;
   /// use try_abort_stream() from a listener-fed worker instead).
   struct DialogueListener {
+    /// Fired for every observation BEFORE it is processed (the input-side
+    /// tap journal recording needs; outputs follow on the same callstack).
+    std::function<void(const ObservationSample&)> on_observation;
     std::function<void(const SignEvent&)> on_event;
     std::function<void(const AckAction&)> on_transition;
     /// Fired when a dialogue DECIDES its outcome (kGranted at execution
@@ -143,6 +162,13 @@ class InteractionService {
   /// External safety abort for one stream's dialogue (processed in order
   /// with the observation stream).
   void abort_stream(std::uint32_t stream_id);
+
+  /// Admits one observation directly, bypassing perception — the replay
+  /// path (and tests): re-feeding a journal's ObservationSamples through
+  /// here in recorded order reproduces the recorded run. Thread-safe, but
+  /// replay feeds from ONE thread so ring order equals recorded order.
+  void inject_observation(std::uint32_t stream_id, std::uint64_t sequence,
+                          signs::HumanSign sign, double confidence);
 
   /// Non-blocking abort_stream(): returns false (and admits nothing) when
   /// the observation ring is full under kBlock, instead of waiting. The

@@ -1,0 +1,139 @@
+// EventJournal + JournalRecorder — the append-only per-run record of a
+// fleet run, in the versioned wire format (protocol/wire.hpp), and the
+// hooks that fill it from the live services.
+//
+// What gets recorded, and why replay works (see ARCHITECTURE.md):
+//   - The dialogue worker's INPUTS (every ObservationSample, via the
+//     DialogueListener's on_observation tap) and OUTPUTS (sign events,
+//     transitions, outcomes) in processing order. Observations are the
+//     interaction layer's replayable input unit: re-feeding them from one
+//     thread reproduces the ring order, hence the processing order, hence
+//     every output bit-identically.
+//   - The coordination worker's INPUTS (every FleetEvent, via the event
+//     tap, in the exact order the single worker consumed them) and
+//     OUTPUTS (grant updates via the registry observer). Cross-worker
+//     interleavings that are nondeterministic live become explicit data.
+//   - A finalize() section: arbitration log, final grant slots, final plan
+//     hints, per-stream transcript digests + outcomes, and a JournalEnd
+//     trailer — the expected end state a replay must reproduce.
+//
+// Threading: EventJournal::append() is mutex-guarded — the dialogue worker
+// and the coordination worker both append. Within one record TYPE the
+// writer is unique, so per-type record order is deterministic; the
+// interleaving BETWEEN types from different workers is not (the replay
+// driver therefore compares per-type, and full-byte only between two
+// sequential replays, which are single-threaded stage by stage).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "coordination/coordination_service.hpp"
+#include "interaction/interaction_service.hpp"
+#include "protocol/wire.hpp"
+
+namespace hdc::protocol {
+
+/// Append-only journal buffer: wire-enveloped records, in append order.
+class EventJournal {
+ public:
+  void append(const wire::AnyRecord& record);
+
+  /// Snapshot of the journal bytes so far (copy under the mutex).
+  [[nodiscard]] std::vector<std::uint8_t> bytes() const;
+  /// Records appended so far (JournalEnd's record_count input).
+  [[nodiscard]] std::uint64_t record_count() const;
+  void clear();
+
+  /// Whole-journal file I/O (binary). Both return false on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static bool load(const std::string& path,
+                                 std::vector<std::uint8_t>& out);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t records_{0};
+};
+
+// -------------------------------------------- live <-> wire conversions --
+// Public because the replay driver and tests use them too.
+
+[[nodiscard]] wire::ObservationRecord to_wire(
+    const interaction::InteractionService::ObservationSample& sample);
+[[nodiscard]] wire::SignEventRecord to_wire(const interaction::SignEvent& event);
+[[nodiscard]] wire::TransitionRecord to_wire(const interaction::AckAction& action);
+[[nodiscard]] wire::OutcomeRecordWire to_wire(const OutcomeRecord& record);
+[[nodiscard]] wire::FleetEventRecord to_wire(
+    const coordination::CoordinationService::FleetEvent& event);
+[[nodiscard]] wire::GrantUpdateRecord to_wire(
+    const coordination::GrantUpdate& update);
+[[nodiscard]] wire::ArbitrationRecord to_wire(
+    const coordination::ArbitrationDecision& decision);
+[[nodiscard]] wire::GrantSlotRecord to_wire(
+    int cell, const coordination::GrantRecord& record);
+[[nodiscard]] wire::PlanHintRecord to_wire(std::uint32_t drone_id,
+                                           const orchard::PlanHint& hint);
+
+/// Reconstructs a coordination input event from the wire (source is null —
+/// replay aborts arrive as recorded abort observations instead).
+[[nodiscard]] coordination::CoordinationService::FleetEvent from_wire(
+    const wire::FleetEventRecord& record);
+
+/// The run-config header a journal starts with, from the live configs.
+[[nodiscard]] wire::RunConfigRecord make_run_config(
+    const interaction::InteractionServiceConfig& interaction_config,
+    const coordination::CoordinationConfig& coordination_config);
+/// Rebuilds the service configs a replay must construct from the header.
+[[nodiscard]] interaction::InteractionServiceConfig interaction_config_of(
+    const wire::RunConfigRecord& config);
+[[nodiscard]] coordination::CoordinationConfig coordination_config_of(
+    const wire::RunConfigRecord& config);
+
+/// FNV-1a 64 over a transcript (timestamps as IEEE-754 bit patterns, then
+/// each string with a terminator) — "bit-identical transcripts" is
+/// asserted by digest equality.
+[[nodiscard]] std::uint64_t transcript_digest(const Transcript& transcript);
+[[nodiscard]] wire::TranscriptDigestRecord digest_record(
+    std::uint32_t stream_id, const Transcript& transcript);
+
+// ---------------------------------------------------------- recorder -----
+
+/// Hooks an EventJournal into the live services. One recorder per run;
+/// install the hooks BEFORE streaming (they take the services' listener /
+/// tap slots).
+class JournalRecorder {
+ public:
+  explicit JournalRecorder(EventJournal& journal) : journal_(&journal) {}
+
+  /// Writes the journal header. Call first, before streaming.
+  void record_config(const wire::RunConfigRecord& config);
+
+  /// Installs a recording DialogueListener on `dialogue`. Every
+  /// observation/event/transition/outcome is journaled, then forwarded to
+  /// `coordinator` (exactly what CoordinationService::bind() would have
+  /// received). Pass nullptr for record-only wiring — the replay driver
+  /// does, because during replay the coordination layer is fed from the
+  /// recorded FleetEvents, not from the re-run dialogues.
+  void attach_interaction(interaction::InteractionService& dialogue,
+                          coordination::CoordinationService* coordinator);
+
+  /// Installs the event tap + registry observer on `coordinator` (takes
+  /// both observer slots).
+  void attach_coordination(coordination::CoordinationService& coordinator);
+
+  /// Writes the end-state section: per-stream transcript digests and final
+  /// outcomes (ids deduplicated + sorted for a deterministic layout),
+  /// the arbitration log, every grant slot, per-drone plan hints, then the
+  /// JournalEnd trailer. Call after the services are drained/stopped.
+  void finalize(interaction::InteractionService& dialogue,
+                std::vector<std::uint32_t> stream_ids,
+                coordination::CoordinationService& coordinator);
+
+ private:
+  EventJournal* journal_;
+};
+
+}  // namespace hdc::protocol

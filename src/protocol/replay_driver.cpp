@@ -1,0 +1,166 @@
+#include "protocol/replay_driver.hpp"
+
+#include <array>
+#include <sstream>
+#include <utility>
+
+#include "protocol/journal.hpp"
+
+namespace hdc::protocol {
+
+namespace {
+
+/// Records of one journal, bucketed by type (bucket order == append order,
+/// which per type is the single writer's deterministic order).
+struct Buckets {
+  std::array<std::vector<wire::AnyRecord>, 13> by_type;
+
+  void add(wire::AnyRecord record) {
+    by_type[static_cast<std::size_t>(wire::record_type(record))].push_back(
+        std::move(record));
+  }
+  [[nodiscard]] const std::vector<wire::AnyRecord>& of(
+      wire::RecordType type) const {
+    return by_type[static_cast<std::size_t>(type)];
+  }
+};
+
+/// First per-type divergence between the recorded and replayed journals,
+/// or "" when they agree everywhere.
+std::string first_mismatch(const Buckets& recorded, const Buckets& replayed) {
+  for (std::uint8_t t = static_cast<std::uint8_t>(wire::RecordType::kRunConfig);
+       t <= static_cast<std::uint8_t>(wire::RecordType::kJournalEnd); ++t) {
+    const auto type = static_cast<wire::RecordType>(t);
+    const std::vector<wire::AnyRecord>& a = recorded.of(type);
+    const std::vector<wire::AnyRecord>& b = replayed.of(type);
+    if (a.size() != b.size()) {
+      std::ostringstream out;
+      out << wire::to_string(type) << " count diverged: recorded " << a.size()
+          << ", replayed " << b.size();
+      return out.str();
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) {
+        std::ostringstream out;
+        out << wire::to_string(type) << " record " << i
+            << " diverged between recording and replay";
+        return out.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+ReplayDriver::ReplayDriver(ReplayOptions options)
+    : options_(std::move(options)) {}
+
+ReplayReport ReplayDriver::replay(std::span<const std::uint8_t> journal) const {
+  ReplayReport report;
+
+  std::vector<wire::AnyRecord> records;
+  if (!wire::parse_all(journal, records, report.error)) {
+    std::ostringstream out;
+    out << "journal rejected at offset " << report.error.offset << ": "
+        << wire::to_string(report.error.code) << " (" << report.error.message
+        << ")";
+    report.mismatch = out.str();
+    return report;
+  }
+
+  // Structural checks before any replay work: a journal must open with its
+  // RunConfig header and close with a JournalEnd whose count covers every
+  // record before it — otherwise the file was cut short mid-run.
+  if (records.empty() ||
+      wire::record_type(records.front()) != wire::RecordType::kRunConfig) {
+    report.mismatch = "journal does not start with a RunConfig header";
+    return report;
+  }
+  if (wire::record_type(records.back()) != wire::RecordType::kJournalEnd) {
+    report.mismatch = "journal truncated: missing the JournalEnd trailer";
+    return report;
+  }
+  const auto& end = std::get<wire::JournalEndRecord>(records.back());
+  if (end.record_count != records.size() - 1) {
+    std::ostringstream out;
+    out << "JournalEnd record count " << end.record_count
+        << " does not match the " << (records.size() - 1)
+        << " records before it";
+    report.mismatch = out.str();
+    return report;
+  }
+  report.parsed = true;
+
+  Buckets recorded;
+  for (wire::AnyRecord& record : records) recorded.add(std::move(record));
+
+  const auto& run_config =
+      std::get<wire::RunConfigRecord>(recorded.of(wire::RecordType::kRunConfig).front());
+
+  EventJournal replay_journal;
+  JournalRecorder recorder(replay_journal);
+  recorder.record_config(run_config);
+
+  // Stage 1: the interaction layer, fed single-threaded in recorded order
+  // (record-only wiring — stage 2 gets the RECORDED fleet events, so the
+  // replayed dialogue outputs must not reach the coordinator too).
+  interaction::InteractionService dialogue(interaction_config_of(run_config),
+                                           options_.grammar);
+  recorder.attach_interaction(dialogue, nullptr);
+  for (const wire::AnyRecord& any :
+       recorded.of(wire::RecordType::kObservation)) {
+    const auto& observation = std::get<wire::ObservationRecord>(any);
+    if (observation.abort != 0) {
+      dialogue.abort_stream(observation.stream_id);
+    } else {
+      dialogue.inject_observation(
+          observation.stream_id, observation.sequence,
+          static_cast<signs::HumanSign>(observation.sign),
+          observation.confidence);
+    }
+    ++report.observations_fed;
+  }
+  dialogue.drain();
+  dialogue.stop();
+
+  // Stage 2: the coordination layer, fed the recorded worker inputs.
+  coordination::CoordinationService coordinator(
+      coordination_config_of(run_config));
+  recorder.attach_coordination(coordinator);
+  for (const wire::AnyRecord& any :
+       recorded.of(wire::RecordType::kFleetEvent)) {
+    coordinator.admit_recorded(
+        from_wire(std::get<wire::FleetEventRecord>(any)));
+    ++report.fleet_events_fed;
+  }
+  coordinator.drain();
+  coordinator.stop();
+
+  // Finalize over the same stream ids the recording finalized over.
+  std::vector<std::uint32_t> stream_ids;
+  for (const wire::AnyRecord& any :
+       recorded.of(wire::RecordType::kTranscriptDigest)) {
+    stream_ids.push_back(std::get<wire::TranscriptDigestRecord>(any).stream_id);
+  }
+  recorder.finalize(dialogue, std::move(stream_ids), coordinator);
+
+  report.journal_bytes = replay_journal.bytes();
+
+  Buckets replayed;
+  std::vector<wire::AnyRecord> replay_records;
+  wire::WireError replay_error;
+  if (!wire::parse_all(report.journal_bytes, replay_records, replay_error)) {
+    report.mismatch = "internal: replay journal failed to re-parse";
+    return report;
+  }
+  for (wire::AnyRecord& record : replay_records) {
+    replayed.add(std::move(record));
+  }
+
+  report.mismatch = first_mismatch(recorded, replayed);
+  report.ok = report.mismatch.empty();
+  return report;
+}
+
+}  // namespace hdc::protocol

@@ -1,0 +1,736 @@
+#include "protocol/wire.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace hdc::protocol::wire {
+
+namespace {
+
+// ------------------------------------------------------------ CRC-16 ----
+
+constexpr std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint16_t byte = 0; byte < 256; ++byte) {
+    std::uint16_t crc = static_cast<std::uint16_t>(byte << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000U) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021U)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint16_t, 256> kCrc16Table = make_crc16_table();
+
+// ----------------------------------------------------- LE field writer ---
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  /// IEEE-754 bit pattern, so the value round-trips bit-identically.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const std::string& s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// ------------------------------------------ bounds-checked LE reader -----
+
+/// Reads payload fields; every accessor returns false on overrun instead
+/// of reading out of bounds. `offset()` is absolute in the parsed buffer,
+/// so payload errors can name the offending byte.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> payload, std::size_t base)
+      : payload_(payload), base_(base) {}
+
+  [[nodiscard]] std::size_t offset() const { return base_ + pos_; }
+  [[nodiscard]] std::size_t remaining() const { return payload_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == payload_.size(); }
+
+  bool u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = payload_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (remaining() < 2) return false;
+    v = static_cast<std::uint16_t>(payload_[pos_] |
+                                   (payload_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(payload_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(payload_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool i32(std::int32_t& v) {
+    std::uint32_t raw;
+    if (!u32(raw)) return false;
+    v = static_cast<std::int32_t>(raw);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t raw;
+    if (!u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  }
+  bool bytes(std::string& s, std::size_t n) {
+    if (remaining() < n) return false;
+    s.assign(reinterpret_cast<const char*>(payload_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> payload_;
+  std::size_t base_;
+  std::size_t pos_{0};
+};
+
+// ------------------------------------------------ enum range validation --
+
+// Highest valid wire byte for each enum carried as u8. These pin the v1
+// value sets: growing any enum is a wire-version bump (see
+// docs/WIRE_FORMAT.md).
+constexpr std::uint8_t kMaxSign = 3;          // signs::HumanSign::kNo
+constexpr std::uint8_t kMaxSignEventKind = 1; // interaction::SignEventKind::kEnd
+constexpr std::uint8_t kMaxDialogueState = 5; // interaction::DialogueState::kAborting
+constexpr std::uint8_t kMaxRingMode = 5;      // drone::RingMode count - 1
+constexpr std::uint8_t kMaxPatternType = 6;   // drone::PatternType count - 1
+constexpr std::uint8_t kMaxCommandKind = 4;   // interaction::DroneCommandKind count - 1
+constexpr std::uint8_t kMaxOutcome = 5;       // protocol::Outcome::kAborted
+constexpr std::uint8_t kMaxFleetEventKind = 5;// CoordinationService EventKind::kTick
+constexpr std::uint8_t kMaxGrantState = 4;    // coordination::GrantState::kExpired
+constexpr std::uint8_t kMaxAbortReason = 1;   // coordination::AbortReason::kDeferredRetry
+constexpr std::uint8_t kMaxBool = 1;
+
+struct PayloadError {
+  std::size_t offset{0};
+  const char* message{""};
+};
+
+bool fail(PayloadError& error, std::size_t offset, const char* message) {
+  error.offset = offset;
+  error.message = message;
+  return false;
+}
+
+bool read_enum(Reader& reader, std::uint8_t& v, std::uint8_t max,
+               const char* what, PayloadError& error) {
+  const std::size_t at = reader.offset();
+  if (!reader.u8(v)) return fail(error, at, "payload truncated");
+  if (v > max) return fail(error, at, what);
+  return true;
+}
+
+// ------------------------------------------------- per-type encoding -----
+
+void encode_payload(Writer& w, const RunConfigRecord& r) {
+  w.u32(r.fusion_window);
+  w.u32(r.fusion_majority);
+  w.f64(r.onset_confidence);
+  w.f64(r.release_confidence);
+  w.u32(r.min_hold);
+  w.u32(r.release_misses);
+  w.f64(r.reference_distance);
+  w.u64(r.attending_timeout);
+  w.u64(r.sequence_gap);
+  w.u64(r.confirm_timeout);
+  w.u64(r.execute_ticks);
+  w.u64(r.abort_ticks);
+  w.u32(r.observation_queue);
+  w.u32(r.cells);
+  w.u64(r.grant_ttl);
+  w.u32(r.fleet_queue);
+  w.u64(r.retry_backoff);
+  w.u64(r.retry_backoff_max);
+  w.u32(r.fairness_boost_per_loss);
+  w.u32(r.fairness_boost_cap);
+}
+
+void encode_payload(Writer& w, const ObservationRecord& r) {
+  w.u32(r.stream_id);
+  w.u64(r.sequence);
+  w.u8(r.sign);
+  w.u8(r.abort);
+  w.f64(r.confidence);
+}
+
+void encode_payload(Writer& w, const SignEventRecord& r) {
+  w.u32(r.stream_id);
+  w.u8(r.kind);
+  w.u8(r.label);
+  w.u64(r.onset_seq);
+  w.u64(r.end_seq);
+  w.f64(r.confidence);
+}
+
+void encode_payload(Writer& w, const TransitionRecord& r) {
+  w.u32(r.stream_id);
+  w.u8(r.from);
+  w.u8(r.to);
+  w.u8(r.set_ring);
+  w.u8(r.ring);
+  w.u8(r.fly_pattern);
+  w.u8(r.pattern);
+  w.u8(r.command);
+  w.u64(r.tick);
+  w.u16(static_cast<std::uint16_t>(r.event.size()));
+  w.bytes(r.event);
+}
+
+void encode_payload(Writer& w, const OutcomeRecordWire& r) {
+  w.u8(r.outcome);
+  w.u32(r.stream_id);
+  w.u64(r.final_sequence);
+}
+
+void encode_payload(Writer& w, const FleetEventRecord& r) {
+  w.u8(r.kind);
+  w.u32(r.drone_id);
+  w.u64(r.sequence);
+  w.u8(r.to);
+  w.u8(r.outcome);
+  w.u8(r.label);
+  w.u8(r.event_kind);
+  w.u32(r.descriptor_drone_id);
+  w.i32(r.descriptor_cell);
+  w.i32(r.descriptor_human_id);
+  w.f64(r.descriptor_battery_soc);
+  w.f64(r.battery_soc);
+}
+
+void encode_payload(Writer& w, const GrantUpdateRecord& r) {
+  w.i32(r.cell);
+  w.u8(r.state);
+  w.u32(r.holder);
+  w.u64(r.granted_seq);
+  w.u64(r.expires_seq);
+  w.u32(r.renewals);
+  w.u8(r.conflict);
+}
+
+void encode_payload(Writer& w, const ArbitrationRecord& r) {
+  w.u32(r.loser);
+  w.u32(r.winner);
+  w.i32(r.human_id);
+  w.u64(r.sequence);
+  w.u64(r.retry_at);
+  w.u8(r.reason);
+}
+
+void encode_payload(Writer& w, const PlanHintRecord& r) {
+  w.u32(r.drone_id);
+  w.u16(static_cast<std::uint16_t>(r.granted_cells.size()));
+  for (std::int32_t cell : r.granted_cells) w.i32(cell);
+  w.u16(static_cast<std::uint16_t>(r.blocked_cells.size()));
+  for (std::int32_t cell : r.blocked_cells) w.i32(cell);
+}
+
+void encode_payload(Writer& w, const TranscriptDigestRecord& r) {
+  w.u32(r.stream_id);
+  w.u32(r.entries);
+  w.u64(r.digest);
+}
+
+void encode_payload(Writer& w, const GrantSlotRecord& r) {
+  w.i32(r.cell);
+  w.u8(r.state);
+  w.u32(r.holder);
+  w.u64(r.granted_seq);
+  w.u64(r.expires_seq);
+  w.u32(r.renewals);
+}
+
+void encode_payload(Writer& w, const JournalEndRecord& r) {
+  w.u64(r.record_count);
+}
+
+// ------------------------------------------------- per-type decoding -----
+// Each decoder must consume the payload EXACTLY (trailing garbage after a
+// valid prefix is kBadPayload — canonical encoding has no slack bytes).
+
+bool decode_payload(Reader& reader, RunConfigRecord& r, PayloadError& error) {
+  const std::size_t at = reader.offset();
+  const bool ok =
+      reader.u32(r.fusion_window) && reader.u32(r.fusion_majority) &&
+      reader.f64(r.onset_confidence) && reader.f64(r.release_confidence) &&
+      reader.u32(r.min_hold) && reader.u32(r.release_misses) &&
+      reader.f64(r.reference_distance) && reader.u64(r.attending_timeout) &&
+      reader.u64(r.sequence_gap) && reader.u64(r.confirm_timeout) &&
+      reader.u64(r.execute_ticks) && reader.u64(r.abort_ticks) &&
+      reader.u32(r.observation_queue) && reader.u32(r.cells) &&
+      reader.u64(r.grant_ttl) && reader.u32(r.fleet_queue) &&
+      reader.u64(r.retry_backoff) && reader.u64(r.retry_backoff_max) &&
+      reader.u32(r.fairness_boost_per_loss) &&
+      reader.u32(r.fairness_boost_cap);
+  if (!ok) return fail(error, at, "RunConfig payload truncated");
+  return true;
+}
+
+bool decode_payload(Reader& reader, ObservationRecord& r, PayloadError& error) {
+  std::size_t at = reader.offset();
+  if (!reader.u32(r.stream_id) || !reader.u64(r.sequence)) {
+    return fail(error, at, "Observation payload truncated");
+  }
+  if (!read_enum(reader, r.sign, kMaxSign, "bad HumanSign value", error)) {
+    return false;
+  }
+  if (!read_enum(reader, r.abort, kMaxBool, "bad abort flag", error)) {
+    return false;
+  }
+  at = reader.offset();
+  if (!reader.f64(r.confidence)) {
+    return fail(error, at, "Observation payload truncated");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, SignEventRecord& r, PayloadError& error) {
+  std::size_t at = reader.offset();
+  if (!reader.u32(r.stream_id)) {
+    return fail(error, at, "SignEvent payload truncated");
+  }
+  if (!read_enum(reader, r.kind, kMaxSignEventKind, "bad SignEventKind value",
+                 error) ||
+      !read_enum(reader, r.label, kMaxSign, "bad HumanSign value", error)) {
+    return false;
+  }
+  at = reader.offset();
+  if (!reader.u64(r.onset_seq) || !reader.u64(r.end_seq) ||
+      !reader.f64(r.confidence)) {
+    return fail(error, at, "SignEvent payload truncated");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, TransitionRecord& r, PayloadError& error) {
+  std::size_t at = reader.offset();
+  if (!reader.u32(r.stream_id)) {
+    return fail(error, at, "Transition payload truncated");
+  }
+  if (!read_enum(reader, r.from, kMaxDialogueState, "bad DialogueState value",
+                 error) ||
+      !read_enum(reader, r.to, kMaxDialogueState, "bad DialogueState value",
+                 error) ||
+      !read_enum(reader, r.set_ring, kMaxBool, "bad set_ring flag", error) ||
+      !read_enum(reader, r.ring, kMaxRingMode, "bad RingMode value", error) ||
+      !read_enum(reader, r.fly_pattern, kMaxBool, "bad fly_pattern flag",
+                 error) ||
+      !read_enum(reader, r.pattern, kMaxPatternType, "bad PatternType value",
+                 error) ||
+      !read_enum(reader, r.command, kMaxCommandKind,
+                 "bad DroneCommandKind value", error)) {
+    return false;
+  }
+  at = reader.offset();
+  std::uint16_t event_len = 0;
+  if (!reader.u64(r.tick) || !reader.u16(event_len)) {
+    return fail(error, at, "Transition payload truncated");
+  }
+  at = reader.offset();
+  if (!reader.bytes(r.event, event_len)) {
+    return fail(error, at, "Transition event literal overruns payload");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, OutcomeRecordWire& r, PayloadError& error) {
+  if (!read_enum(reader, r.outcome, kMaxOutcome, "bad Outcome value", error)) {
+    return false;
+  }
+  const std::size_t at = reader.offset();
+  if (!reader.u32(r.stream_id) || !reader.u64(r.final_sequence)) {
+    return fail(error, at, "Outcome payload truncated");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, FleetEventRecord& r, PayloadError& error) {
+  if (!read_enum(reader, r.kind, kMaxFleetEventKind, "bad FleetEvent kind",
+                 error)) {
+    return false;
+  }
+  std::size_t at = reader.offset();
+  if (!reader.u32(r.drone_id) || !reader.u64(r.sequence)) {
+    return fail(error, at, "FleetEvent payload truncated");
+  }
+  if (!read_enum(reader, r.to, kMaxDialogueState, "bad DialogueState value",
+                 error) ||
+      !read_enum(reader, r.outcome, kMaxOutcome, "bad Outcome value", error) ||
+      !read_enum(reader, r.label, kMaxSign, "bad HumanSign value", error) ||
+      !read_enum(reader, r.event_kind, kMaxSignEventKind,
+                 "bad SignEventKind value", error)) {
+    return false;
+  }
+  at = reader.offset();
+  if (!reader.u32(r.descriptor_drone_id) || !reader.i32(r.descriptor_cell) ||
+      !reader.i32(r.descriptor_human_id) ||
+      !reader.f64(r.descriptor_battery_soc) || !reader.f64(r.battery_soc)) {
+    return fail(error, at, "FleetEvent payload truncated");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, GrantUpdateRecord& r, PayloadError& error) {
+  std::size_t at = reader.offset();
+  if (!reader.i32(r.cell)) {
+    return fail(error, at, "GrantUpdate payload truncated");
+  }
+  if (!read_enum(reader, r.state, kMaxGrantState, "bad GrantState value",
+                 error)) {
+    return false;
+  }
+  at = reader.offset();
+  if (!reader.u32(r.holder) || !reader.u64(r.granted_seq) ||
+      !reader.u64(r.expires_seq) || !reader.u32(r.renewals)) {
+    return fail(error, at, "GrantUpdate payload truncated");
+  }
+  if (!read_enum(reader, r.conflict, kMaxBool, "bad conflict flag", error)) {
+    return false;
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, ArbitrationRecord& r, PayloadError& error) {
+  const std::size_t at = reader.offset();
+  if (!reader.u32(r.loser) || !reader.u32(r.winner) ||
+      !reader.i32(r.human_id) || !reader.u64(r.sequence) ||
+      !reader.u64(r.retry_at)) {
+    return fail(error, at, "Arbitration payload truncated");
+  }
+  return read_enum(reader, r.reason, kMaxAbortReason, "bad AbortReason value",
+                   error);
+}
+
+bool decode_payload(Reader& reader, PlanHintRecord& r, PayloadError& error) {
+  std::size_t at = reader.offset();
+  std::uint16_t count = 0;
+  if (!reader.u32(r.drone_id) || !reader.u16(count)) {
+    return fail(error, at, "PlanHint payload truncated");
+  }
+  r.granted_cells.clear();
+  r.granted_cells.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::int32_t cell;
+    at = reader.offset();
+    if (!reader.i32(cell)) {
+      return fail(error, at, "PlanHint granted list overruns payload");
+    }
+    r.granted_cells.push_back(cell);
+  }
+  at = reader.offset();
+  if (!reader.u16(count)) {
+    return fail(error, at, "PlanHint payload truncated");
+  }
+  r.blocked_cells.clear();
+  r.blocked_cells.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::int32_t cell;
+    at = reader.offset();
+    if (!reader.i32(cell)) {
+      return fail(error, at, "PlanHint blocked list overruns payload");
+    }
+    r.blocked_cells.push_back(cell);
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, TranscriptDigestRecord& r,
+                    PayloadError& error) {
+  const std::size_t at = reader.offset();
+  if (!reader.u32(r.stream_id) || !reader.u32(r.entries) ||
+      !reader.u64(r.digest)) {
+    return fail(error, at, "TranscriptDigest payload truncated");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, GrantSlotRecord& r, PayloadError& error) {
+  std::size_t at = reader.offset();
+  if (!reader.i32(r.cell)) {
+    return fail(error, at, "GrantSlot payload truncated");
+  }
+  if (!read_enum(reader, r.state, kMaxGrantState, "bad GrantState value",
+                 error)) {
+    return false;
+  }
+  at = reader.offset();
+  if (!reader.u32(r.holder) || !reader.u64(r.granted_seq) ||
+      !reader.u64(r.expires_seq) || !reader.u32(r.renewals)) {
+    return fail(error, at, "GrantSlot payload truncated");
+  }
+  return true;
+}
+
+bool decode_payload(Reader& reader, JournalEndRecord& r, PayloadError& error) {
+  const std::size_t at = reader.offset();
+  if (!reader.u64(r.record_count)) {
+    return fail(error, at, "JournalEnd payload truncated");
+  }
+  return true;
+}
+
+template <typename Record>
+bool decode_into(std::span<const std::uint8_t> payload, std::size_t base,
+                 AnyRecord& out, PayloadError& error) {
+  Reader reader(payload, base);
+  Record record;
+  if (!decode_payload(reader, record, error)) return false;
+  if (!reader.done()) {
+    return fail(error, reader.offset(), "trailing bytes after payload");
+  }
+  out = std::move(record);
+  return true;
+}
+
+}  // namespace
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t size) noexcept {
+  std::uint16_t crc = 0xFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = static_cast<std::uint16_t>((crc << 8) ^
+                                     kCrc16Table[(crc >> 8) ^ data[i]]);
+  }
+  return crc;
+}
+
+RecordType record_type(const AnyRecord& record) noexcept {
+  return std::visit(
+      [](const auto& r) -> RecordType {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, RunConfigRecord>) {
+          return RecordType::kRunConfig;
+        } else if constexpr (std::is_same_v<T, ObservationRecord>) {
+          return RecordType::kObservation;
+        } else if constexpr (std::is_same_v<T, SignEventRecord>) {
+          return RecordType::kSignEvent;
+        } else if constexpr (std::is_same_v<T, TransitionRecord>) {
+          return RecordType::kTransition;
+        } else if constexpr (std::is_same_v<T, OutcomeRecordWire>) {
+          return RecordType::kOutcome;
+        } else if constexpr (std::is_same_v<T, FleetEventRecord>) {
+          return RecordType::kFleetEvent;
+        } else if constexpr (std::is_same_v<T, GrantUpdateRecord>) {
+          return RecordType::kGrantUpdate;
+        } else if constexpr (std::is_same_v<T, ArbitrationRecord>) {
+          return RecordType::kArbitration;
+        } else if constexpr (std::is_same_v<T, PlanHintRecord>) {
+          return RecordType::kPlanHint;
+        } else if constexpr (std::is_same_v<T, TranscriptDigestRecord>) {
+          return RecordType::kTranscriptDigest;
+        } else if constexpr (std::is_same_v<T, GrantSlotRecord>) {
+          return RecordType::kGrantSlot;
+        } else {
+          static_assert(std::is_same_v<T, JournalEndRecord>);
+          return RecordType::kJournalEnd;
+        }
+      },
+      record);
+}
+
+void encode(std::vector<std::uint8_t>& out, const AnyRecord& record) {
+  const std::size_t envelope_start = out.size();
+  Writer writer(out);
+  writer.u8(kWireMagic);
+  writer.u8(kWireVersion);
+  writer.u8(static_cast<std::uint8_t>(record_type(record)));
+  writer.u16(0);  // payload size backpatched below
+  const std::size_t payload_start = out.size();
+  std::visit([&writer](const auto& r) { encode_payload(writer, r); }, record);
+  const std::size_t payload_size = out.size() - payload_start;
+  out[envelope_start + 3] = static_cast<std::uint8_t>(payload_size);
+  out[envelope_start + 4] = static_cast<std::uint8_t>(payload_size >> 8);
+  writer.u16(crc16(out.data() + envelope_start,
+                   kEnvelopeHeaderSize + payload_size));
+}
+
+std::vector<std::uint8_t> encode_one(const AnyRecord& record) {
+  std::vector<std::uint8_t> out;
+  encode(out, record);
+  return out;
+}
+
+ParseResult parse_record(std::span<const std::uint8_t> buffer,
+                         std::size_t& offset, AnyRecord& out,
+                         WireError& error) {
+  const std::size_t start = offset;
+  if (start == buffer.size()) return ParseResult::kEnd;
+  error = {};
+
+  const std::size_t available = buffer.size() - start;
+  if (available < kEnvelopeHeaderSize) {
+    error = {WireErrorCode::kTruncated, start,
+             "buffer ends inside an envelope header"};
+    return ParseResult::kError;
+  }
+  if (buffer[start] != kWireMagic) {
+    error = {WireErrorCode::kBadMagic, start,
+             "envelope does not start with the wire magic byte"};
+    return ParseResult::kError;
+  }
+  const std::uint8_t version = buffer[start + 1];
+  if (version != kWireVersion) {
+    // A reader must REJECT records from any other version — in particular
+    // a future v2 — rather than guess at their layout.
+    error = {WireErrorCode::kBadVersion, start + 1,
+             version > kWireVersion
+                 ? "record from a future wire version"
+                 : "record from an unsupported old wire version"};
+    return ParseResult::kError;
+  }
+  const std::uint8_t type_byte = buffer[start + 2];
+  if (type_byte < static_cast<std::uint8_t>(RecordType::kRunConfig) ||
+      type_byte > static_cast<std::uint8_t>(RecordType::kJournalEnd)) {
+    error = {WireErrorCode::kBadRecordType, start + 2,
+             "unknown record type for wire version 1"};
+    return ParseResult::kError;
+  }
+  const std::size_t payload_size = static_cast<std::size_t>(
+      buffer[start + 3] | (buffer[start + 4] << 8));
+  if (payload_size > kMaxPayloadSize) {
+    error = {WireErrorCode::kBadLength, start + 3,
+             "declared payload size exceeds the per-record cap"};
+    return ParseResult::kError;
+  }
+  const std::size_t body_size =
+      kEnvelopeHeaderSize + payload_size + kEnvelopeTrailerSize;
+  if (available < body_size) {
+    error = {WireErrorCode::kBadLength, start + 3,
+             "declared payload size overruns the buffer"};
+    return ParseResult::kError;
+  }
+
+  const std::size_t crc_at = start + kEnvelopeHeaderSize + payload_size;
+  const std::uint16_t stored = static_cast<std::uint16_t>(
+      buffer[crc_at] | (buffer[crc_at + 1] << 8));
+  const std::uint16_t computed =
+      crc16(buffer.data() + start, kEnvelopeHeaderSize + payload_size);
+  if (stored != computed) {
+    error = {WireErrorCode::kBadCrc, crc_at,
+             "envelope checksum mismatch (corrupt record)"};
+    return ParseResult::kError;
+  }
+
+  const std::span<const std::uint8_t> payload =
+      buffer.subspan(start + kEnvelopeHeaderSize, payload_size);
+  const std::size_t payload_base = start + kEnvelopeHeaderSize;
+  PayloadError payload_error;
+  bool ok = false;
+  switch (static_cast<RecordType>(type_byte)) {
+    case RecordType::kRunConfig:
+      ok = decode_into<RunConfigRecord>(payload, payload_base, out,
+                                        payload_error);
+      break;
+    case RecordType::kObservation:
+      ok = decode_into<ObservationRecord>(payload, payload_base, out,
+                                          payload_error);
+      break;
+    case RecordType::kSignEvent:
+      ok = decode_into<SignEventRecord>(payload, payload_base, out,
+                                        payload_error);
+      break;
+    case RecordType::kTransition:
+      ok = decode_into<TransitionRecord>(payload, payload_base, out,
+                                         payload_error);
+      break;
+    case RecordType::kOutcome:
+      ok = decode_into<OutcomeRecordWire>(payload, payload_base, out,
+                                          payload_error);
+      break;
+    case RecordType::kFleetEvent:
+      ok = decode_into<FleetEventRecord>(payload, payload_base, out,
+                                         payload_error);
+      break;
+    case RecordType::kGrantUpdate:
+      ok = decode_into<GrantUpdateRecord>(payload, payload_base, out,
+                                          payload_error);
+      break;
+    case RecordType::kArbitration:
+      ok = decode_into<ArbitrationRecord>(payload, payload_base, out,
+                                          payload_error);
+      break;
+    case RecordType::kPlanHint:
+      ok = decode_into<PlanHintRecord>(payload, payload_base, out,
+                                       payload_error);
+      break;
+    case RecordType::kTranscriptDigest:
+      ok = decode_into<TranscriptDigestRecord>(payload, payload_base, out,
+                                               payload_error);
+      break;
+    case RecordType::kGrantSlot:
+      ok = decode_into<GrantSlotRecord>(payload, payload_base, out,
+                                        payload_error);
+      break;
+    case RecordType::kJournalEnd:
+      ok = decode_into<JournalEndRecord>(payload, payload_base, out,
+                                         payload_error);
+      break;
+  }
+  if (!ok) {
+    error = {WireErrorCode::kBadPayload, payload_error.offset,
+             payload_error.message};
+    return ParseResult::kError;
+  }
+
+  offset = start + body_size;
+  return ParseResult::kOk;
+}
+
+bool parse_all(std::span<const std::uint8_t> buffer,
+               std::vector<AnyRecord>& out, WireError& error) {
+  std::size_t offset = 0;
+  AnyRecord record;
+  for (;;) {
+    switch (parse_record(buffer, offset, record, error)) {
+      case ParseResult::kOk:
+        out.push_back(std::move(record));
+        break;
+      case ParseResult::kEnd:
+        return true;
+      case ParseResult::kError:
+        return false;
+    }
+  }
+}
+
+}  // namespace hdc::protocol::wire

@@ -5,6 +5,7 @@
 // perception -> interaction -> coordination.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -76,6 +77,10 @@ TEST(Arbiter, LoserBackoffDoublesUpToCapAndWinClearsIt) {
   ArbitrationPolicy policy;
   policy.retry_backoff = 10;
   policy.retry_backoff_max = 25;
+  // Aging off: this test pins the backoff-doubling mechanics in isolation,
+  // so drone 1 must keep losing (fairness would flip round two — that
+  // behaviour is pinned by the Fairness* tests instead).
+  policy.fairness_boost_per_loss = 0;
   SessionArbiter arbiter(policy);
   arbiter.add_drone(drone(0, 0, 0, 0.9));
   arbiter.add_drone(drone(1, 0, 0, 0.1));
@@ -505,6 +510,149 @@ TEST(Service, UnknownDroneOutcomeIsCountedNotCrashed) {
   EXPECT_EQ(service.stats().unknown_drone_events, 1u);
   EXPECT_EQ(service.registry_stats().grants, 0u);
   service.stop();
+}
+
+// ------------------------------------------------------ fairness aging ---
+
+TEST(Arbiter, FairnessAgingBoundsStarvationWithinDocumentedBound) {
+  // Contract (session_arbiter.hpp): with boost b > 0, a loser that keeps
+  // retrying after each backoff wins within N = 1 + ceil((max_rank -
+  // min_rank) / b) attempts — N = 4 with the default b = 1 — even from
+  // the worst seat: entering at Attending against a perpetually Executing
+  // rival with the better battery and the lower id. Without aging this
+  // drone loses forever (the pre-fix starvation bug).
+  SessionArbiter arbiter;  // defaults: boost 1 per loss, cap 8
+  arbiter.add_drone(drone(0, 0, 0, 0.95));
+  arbiter.add_drone(drone(1, 0, 0, 0.05));
+
+  SessionArbiter::Decisions out;
+  arbiter.on_phase(0, DialogueState::kExecuting, 10, out);
+  ASSERT_TRUE(out.empty());
+
+  const int kBound = 4;  // 1 + ceil((4 - 1) / 1)
+  std::uint64_t seq = 10;
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    ASSERT_LE(attempts, kBound) << "loser starved past the documented bound";
+    seq = std::max(seq + 1, arbiter.retry_at(1));
+    out.clear();
+    arbiter.on_phase(1, DialogueState::kAttending, seq, out);
+    ASSERT_EQ(out.size(), 1u) << "attempt " << attempts;
+    if (out[0].loser == 0) break;  // the aged challenger finally outranks
+    EXPECT_EQ(out[0].winner, 0u) << "attempt " << attempts;
+    EXPECT_EQ(arbiter.losses(1), static_cast<std::uint32_t>(attempts));
+    arbiter.on_dialogue_end(1, false, seq);  // aborted; settles to Idle
+  }
+  // The bound is exact: the aged rank first TIES Executing at N - 1
+  // losses, and the losses tiebreak converts the tie into the win.
+  EXPECT_EQ(attempts, kBound);
+  EXPECT_EQ(out[0].winner, 1u);
+  EXPECT_EQ(arbiter.losses(1), 3u);
+
+  // A won dialogue resets the aging — the next contention starts fresh.
+  arbiter.on_dialogue_end(1, true, seq);
+  EXPECT_EQ(arbiter.losses(1), 0u);
+  EXPECT_EQ(arbiter.retry_at(1), 0u);
+}
+
+TEST(Arbiter, LargerFairnessBoostTightensTheBound) {
+  // b = 3 closes the whole Attending-to-Executing gap in one loss:
+  // N = 1 + ceil(3 / 3) = 2 attempts.
+  ArbitrationPolicy policy;
+  policy.fairness_boost_per_loss = 3;
+  SessionArbiter arbiter(policy);
+  arbiter.add_drone(drone(0, 0, 0, 0.95));
+  arbiter.add_drone(drone(1, 0, 0, 0.05));
+
+  SessionArbiter::Decisions out;
+  arbiter.on_phase(0, DialogueState::kExecuting, 10, out);
+  arbiter.on_phase(1, DialogueState::kAttending, 11, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].loser, 1u);
+  arbiter.on_dialogue_end(1, false, 11);
+
+  out.clear();
+  arbiter.on_phase(1, DialogueState::kAttending, arbiter.retry_at(1), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].loser, 0u);
+  EXPECT_EQ(out[0].winner, 1u);
+}
+
+// ------------------------------------------- fleet-clock monotonicity ---
+
+TEST(Service, StaleOutcomeCannotRegressLeaseExpiry) {
+  // Outcomes carry the frame sequence they were DECIDED at; delivery can
+  // lag the fleet clock arbitrarily. A lease must be stamped with the
+  // monotone clock, never the stale sequence — otherwise it is born
+  // (nearly) expired and the next sweep revokes space the human just
+  // granted (the pre-fix lease-regression bug).
+  CoordinationConfig config;
+  config.cells = 2;
+  config.grant_ttl = 500;
+  CoordinationService service(config);
+  service.register_drone(drone(0, 0, 0));
+  service.register_drone(drone(1, 1, 1));
+
+  service.tick(1000);
+  service.admit_outcome({protocol::Outcome::kGranted, 0, 100});
+  // Interleaved out-of-order delivery: another stale sequence while the
+  // clock holds at 1000 (sequences must never move it backwards).
+  service.admit_outcome({protocol::Outcome::kGranted, 1, 900});
+  service.drain();
+
+  EXPECT_EQ(service.fleet_clock(), 1000u);
+  EXPECT_EQ(service.grant(0).state, GrantState::kGranted);
+  EXPECT_EQ(service.grant(0).granted_seq, 1000u);
+  EXPECT_EQ(service.grant(0).expires_seq, 1500u);
+  EXPECT_EQ(service.grant(1).granted_seq, 1000u);
+  EXPECT_EQ(service.grant(1).expires_seq, 1500u);
+
+  service.tick(1499);
+  service.drain();
+  EXPECT_EQ(service.grant(0).state, GrantState::kGranted);
+  EXPECT_EQ(service.grant(1).state, GrantState::kGranted);
+  service.tick(1500);
+  service.drain();
+  EXPECT_EQ(service.grant(0).state, GrantState::kExpired);
+  EXPECT_EQ(service.grant(1).state, GrantState::kExpired);
+  service.stop();
+}
+
+TEST(Service, StaleRenewalNeverShortensLease) {
+  CoordinationConfig config;
+  config.cells = 1;
+  config.grant_ttl = 500;
+  CoordinationService service(config);
+  service.register_drone(drone(0, 0, 0));
+
+  service.admit_outcome({protocol::Outcome::kGranted, 0, 1000});
+  service.drain();
+  EXPECT_EQ(service.grant(0).expires_seq, 1500u);
+
+  service.admit_sign_event(begin_event(0, signs::HumanSign::kYes, 1400));
+  service.drain();
+  EXPECT_EQ(service.grant(0).expires_seq, 1900u);
+
+  // A reordered stale Yes (fused at frame 1100, delivered late) is still
+  // a valid post-grant renewal, but must never pull the expiry back in.
+  service.admit_sign_event(begin_event(0, signs::HumanSign::kYes, 1100));
+  service.drain();
+  EXPECT_EQ(service.grant(0).state, GrantState::kGranted);
+  EXPECT_EQ(service.grant(0).expires_seq, 1900u);
+  service.stop();
+}
+
+TEST(Registry, StaleRenewalNeverShrinksExpiry) {
+  GrantRegistry registry(1, 100);
+  EXPECT_TRUE(registry.grant(0, 3, 10));
+  EXPECT_EQ(registry.read(0).expires_seq, 110u);
+  EXPECT_TRUE(registry.renew(0, 3, 90));
+  EXPECT_EQ(registry.read(0).expires_seq, 190u);
+  // Out-of-order renewal with an older sequence: monotone lease end.
+  EXPECT_TRUE(registry.renew(0, 3, 50));
+  EXPECT_EQ(registry.read(0).expires_seq, 190u);
+  EXPECT_EQ(registry.read(0).renewals, 2u);
 }
 
 // ----------------------------------------------------------- end to end ---

@@ -1,0 +1,355 @@
+// Record/replay tests: journal a run of the live services, replay it
+// through fresh services with the ReplayDriver, and assert bit-identical
+// reproduction — plus the rejection paths (corrupt / truncated /
+// future-versioned journals) and the committed 8-drone contention
+// fixture CI replays twice (the determinism gate).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coordination/coordination_service.hpp"
+#include "coordination/fleet_scenario.hpp"
+#include "interaction/interaction_service.hpp"
+#include "protocol/journal.hpp"
+#include "protocol/replay_driver.hpp"
+#include "protocol/wire.hpp"
+#include "recognition/perception_service.hpp"
+#include "signs/multi_drone_feed.hpp"
+
+namespace hdc::protocol {
+namespace {
+
+namespace wire = hdc::protocol::wire;
+
+const char* fixture_path() {
+  return HDC_SOURCE_DIR "/tests/data/fleet_contention_8.journal";
+}
+
+// ------------------------------------------ direct-admission recording ---
+
+/// Records a small deterministic run via direct admission (no rendering):
+/// drone 0 walks through enough held Attention/Yes frames to fuse events,
+/// the coordination side sees registrations, outcomes, a renewal and a
+/// tick past the TTL. Exercises every journal hook without perception.
+std::vector<std::uint8_t> record_direct_run() {
+  interaction::InteractionServiceConfig dialogue_config;
+  coordination::CoordinationConfig coordination_config;
+  coordination_config.cells = 4;
+  coordination_config.grant_ttl = 500;
+
+  EventJournal journal;
+  JournalRecorder recorder(journal);
+  recorder.record_config(
+      make_run_config(dialogue_config, coordination_config));
+
+  coordination::CoordinationService coordinator(coordination_config);
+  interaction::InteractionService dialogue(dialogue_config);
+  recorder.attach_interaction(dialogue, &coordinator);
+  recorder.attach_coordination(coordinator);
+
+  coordinator.register_drone({0, 0, 0, 0.9});
+  coordinator.register_drone({1, 1, 0, 0.4});
+  coordinator.update_battery(0, 0.85);
+
+  std::uint64_t seq = 0;
+  const auto feed = [&](std::uint32_t stream, signs::HumanSign sign,
+                        double confidence, int frames) {
+    for (int i = 0; i < frames; ++i) {
+      dialogue.inject_observation(stream, ++seq, sign, confidence);
+    }
+  };
+  feed(0, signs::HumanSign::kAttentionGained, 0.9, 8);
+  feed(0, signs::HumanSign::kNeutral, 0.05, 4);
+  feed(0, signs::HumanSign::kYes, 0.85, 8);
+  feed(0, signs::HumanSign::kNeutral, 0.05, 4);
+  feed(1, signs::HumanSign::kAttentionGained, 0.9, 6);
+  dialogue.abort_stream(1);
+  dialogue.drain();
+
+  coordinator.admit_outcome({Outcome::kGranted, 0, 100});
+  coordinator.admit_sign_event(
+      {0, interaction::SignEventKind::kBegin, signs::HumanSign::kYes,
+       200, 200, 0.9});
+  coordinator.tick(700);  // lease born at 100 expires at 600
+  coordinator.drain();
+
+  dialogue.stop();
+  coordinator.stop();
+  recorder.finalize(dialogue, {0, 1}, coordinator);
+  return journal.bytes();
+}
+
+// --------------------------------------------- full-stack 8-drone run ----
+
+class ReplayEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    reference_ = new recognition::SaxSignRecognizer(
+        recognition::RecognizerConfig{}, recognition::DatabaseBuildOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete reference_;
+    reference_ = nullptr;
+  }
+
+  static recognition::SaxSignRecognizer* reference_;
+};
+
+recognition::SaxSignRecognizer* ReplayEndToEnd::reference_ = nullptr;
+
+/// The scripted 8-drone contention scenario (4 pairs, 4 cells) through the
+/// full perception -> interaction -> coordination stack, with the journal
+/// recorder spliced in where CoordinationService::bind() would sit.
+/// Mirrors coordination_test.cpp's run_fleet().
+std::vector<std::uint8_t> record_contention_run(
+    const recognition::SaxSignRecognizer& reference) {
+  const interaction::CommandGrammar grammar =
+      interaction::CommandGrammar::standard();
+  const coordination::ContentionFleet fleet =
+      coordination::make_contention_fleet(8, grammar);
+
+  coordination::CoordinationConfig coordination_config;
+  coordination_config.cells = fleet.pairs.size();
+  coordination_config.grant_ttl = 1'000'000;
+  interaction::InteractionServiceConfig dialogue_config;
+  dialogue_config.fusion =
+      interaction::FusionPolicy::matching(reference.config());
+
+  EventJournal journal;
+  JournalRecorder recorder(journal);
+  recorder.record_config(
+      make_run_config(dialogue_config, coordination_config));
+
+  coordination::CoordinationService coordinator(coordination_config);
+  interaction::InteractionService dialogue(
+      dialogue_config, interaction::CommandGrammar(grammar.rules()));
+  recorder.attach_interaction(dialogue, &coordinator);
+  recorder.attach_coordination(coordinator);
+  for (const coordination::DroneDescriptor& descriptor : fleet.drones) {
+    coordinator.register_drone(descriptor);
+  }
+
+  const signs::MultiDroneFeed feed(make_fleet_feed_config(fleet));
+  recognition::PerceptionServiceConfig perception_config;
+  perception_config.shards = 2;
+  recognition::PerceptionService perception(
+      reference.config(), reference.database_ptr(), dialogue.callback(),
+      perception_config);
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < fleet.scripts.size(); ++s) {
+    producers.emplace_back([&, s] {
+      const std::uint64_t period = feed.script_period(s);
+      for (std::uint64_t t = 0; t < period; ++t) {
+        perception.submit(static_cast<std::uint32_t>(s),
+                          feed.render_frame(s, t));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (int round = 0; round < 3; ++round) {
+    perception.drain();
+    dialogue.drain();
+    coordinator.drain();
+  }
+  perception.stop();
+  dialogue.stop();
+  coordinator.stop();
+
+  std::vector<std::uint32_t> stream_ids;
+  for (std::size_t s = 0; s < fleet.scripts.size(); ++s) {
+    stream_ids.push_back(static_cast<std::uint32_t>(s));
+  }
+  recorder.finalize(dialogue, std::move(stream_ids), coordinator);
+  return journal.bytes();
+}
+
+// -------------------------------------------------------------- tests ----
+
+TEST(Replay, DirectAdmissionRunReplaysBitIdentically) {
+  const std::vector<std::uint8_t> recorded = record_direct_run();
+  ASSERT_FALSE(recorded.empty());
+
+  const ReplayDriver driver;
+  const ReplayReport first = driver.replay(recorded);
+  EXPECT_TRUE(first.parsed) << first.mismatch;
+  EXPECT_TRUE(first.ok) << first.mismatch;
+  EXPECT_GT(first.observations_fed, 0u);
+  EXPECT_GT(first.fleet_events_fed, 0u);
+
+  // The determinism gate in miniature: two replays, byte-for-byte equal.
+  const ReplayReport second = driver.replay(recorded);
+  ASSERT_TRUE(second.ok) << second.mismatch;
+  EXPECT_EQ(first.journal_bytes, second.journal_bytes);
+}
+
+TEST(Replay, RecordingIsItselfReplayableAsAJournal) {
+  // A replay's own journal is a valid journal: replaying it succeeds too
+  // (the replay fixed point — sequential stages are self-reproducing).
+  const ReplayDriver driver;
+  const ReplayReport first = driver.replay(record_direct_run());
+  ASSERT_TRUE(first.ok) << first.mismatch;
+  const ReplayReport again = driver.replay(first.journal_bytes);
+  EXPECT_TRUE(again.ok) << again.mismatch;
+  EXPECT_EQ(again.journal_bytes, first.journal_bytes);
+}
+
+TEST(Replay, JournalSaveLoadRoundTrip) {
+  EventJournal journal;
+  journal.append(wire::ObservationRecord{1, 2, 1, 0, 0.5});
+  journal.append(wire::JournalEndRecord{1});
+
+  const std::string path = "replay_roundtrip.journal.tmp";
+  ASSERT_TRUE(journal.save(path));
+  std::vector<std::uint8_t> loaded;
+  ASSERT_TRUE(EventJournal::load(path, loaded));
+  EXPECT_EQ(loaded, journal.bytes());
+  std::remove(path.c_str());
+
+  std::vector<std::uint8_t> missing;
+  EXPECT_FALSE(EventJournal::load("does_not_exist.journal.tmp", missing));
+}
+
+TEST(Replay, CorruptedJournalIsRejectedWithPreciseOffset) {
+  std::vector<std::uint8_t> bytes = record_direct_run();
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x01;  // one flipped bit mid-journal
+
+  const ReplayReport report = ReplayDriver().replay(bytes);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.parsed);
+  EXPECT_NE(report.error.code, wire::WireErrorCode::kNone);
+  EXPECT_NE(report.mismatch.find("journal rejected at offset"),
+            std::string::npos)
+      << report.mismatch;
+  EXPECT_EQ(report.observations_fed, 0u);  // rejected before any replay
+}
+
+TEST(Replay, FutureVersionedJournalIsRejected) {
+  std::vector<std::uint8_t> bytes = record_direct_run();
+  bytes[1] = wire::kWireVersion + 1;  // first record claims a v2 layout
+
+  const ReplayReport report = ReplayDriver().replay(bytes);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.parsed);
+  EXPECT_EQ(report.error.code, wire::WireErrorCode::kBadVersion);
+  EXPECT_EQ(report.error.offset, 1u);
+  EXPECT_NE(report.mismatch.find("future"), std::string::npos)
+      << report.mismatch;
+}
+
+TEST(Replay, JournalWithoutEndTrailerIsRejected) {
+  // Cut at the last record boundary: the bytes still parse, but the
+  // JournalEnd trailer is gone — the structural check must catch it.
+  const std::vector<std::uint8_t> bytes = record_direct_run();
+  const std::vector<std::uint8_t> end =
+    wire::encode_one(wire::JournalEndRecord{0});
+  // Every JournalEnd payload is 8 bytes, so the trailer envelope size is
+  // fixed; the recorded trailer is the journal's final record.
+  ASSERT_GT(bytes.size(), end.size());
+  const std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.end() - end.size());
+
+  const ReplayReport report = ReplayDriver().replay(cut);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.parsed);
+  EXPECT_NE(report.mismatch.find("JournalEnd"), std::string::npos)
+      << report.mismatch;
+}
+
+TEST(Replay, JournalEndCountMismatchIsRejected) {
+  EventJournal journal;
+  JournalRecorder recorder(journal);
+  recorder.record_config(make_run_config({}, {}));
+  journal.append(wire::JournalEndRecord{5});  // lies: only 1 record before
+
+  const ReplayReport report = ReplayDriver().replay(journal.bytes());
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.parsed);
+  EXPECT_NE(report.mismatch.find("record count"), std::string::npos)
+      << report.mismatch;
+}
+
+TEST_F(ReplayEndToEnd, RecordedContentionRunReplaysBitIdentically) {
+  const std::vector<std::uint8_t> recorded =
+      record_contention_run(*reference_);
+  ASSERT_FALSE(recorded.empty());
+
+  // Regeneration path for the committed fixture (run once, then commit):
+  //   HDC_WRITE_FIXTURE=1 ./protocol_replay_test
+  //     --gtest_filter='*RecordedContentionRun*'
+  if (std::getenv("HDC_WRITE_FIXTURE") != nullptr) {
+    std::FILE* file = std::fopen(fixture_path(), "wb");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(recorded.data(), 1, recorded.size(), file),
+              recorded.size());
+    std::fclose(file);
+  }
+
+  const ReplayDriver driver;
+  const ReplayReport first = driver.replay(recorded);
+  EXPECT_TRUE(first.parsed) << first.mismatch;
+  EXPECT_TRUE(first.ok) << first.mismatch;
+  EXPECT_GT(first.observations_fed, 0u);
+  EXPECT_GT(first.fleet_events_fed, 0u);
+
+  const ReplayReport second = driver.replay(recorded);
+  ASSERT_TRUE(second.ok) << second.mismatch;
+  EXPECT_EQ(first.journal_bytes, second.journal_bytes);
+}
+
+TEST_F(ReplayEndToEnd, CommittedContentionFixtureReplaysTwiceIdentically) {
+  // The CI determinism gate in test form: the committed journal of the
+  // scripted 8-drone contention run must replay cleanly, twice, with
+  // byte-identical replay journals.
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(EventJournal::load(fixture_path(), bytes))
+      << "missing fixture " << fixture_path()
+      << " — regenerate with HDC_WRITE_FIXTURE=1 (see "
+         "RecordedContentionRunReplaysBitIdentically)";
+
+  const ReplayDriver driver;
+  const ReplayReport first = driver.replay(bytes);
+  EXPECT_TRUE(first.parsed) << first.mismatch;
+  EXPECT_TRUE(first.ok) << first.mismatch;
+
+  const ReplayReport second = driver.replay(bytes);
+  ASSERT_TRUE(second.ok) << second.mismatch;
+  EXPECT_EQ(first.journal_bytes, second.journal_bytes);
+
+  // The scripted ground truth still holds through the wire: every pair
+  // produced one arbitration decision, and the winner holds its cell.
+  const interaction::CommandGrammar grammar =
+      interaction::CommandGrammar::standard();
+  const coordination::ContentionFleet fleet =
+      coordination::make_contention_fleet(8, grammar);
+  std::vector<wire::AnyRecord> records;
+  wire::WireError error;
+  ASSERT_TRUE(wire::parse_all(bytes, records, error));
+  std::size_t arbitrations = 0;
+  std::vector<wire::GrantSlotRecord> slots;
+  for (const wire::AnyRecord& record : records) {
+    if (wire::record_type(record) == wire::RecordType::kArbitration) {
+      ++arbitrations;
+    } else if (wire::record_type(record) == wire::RecordType::kGrantSlot) {
+      slots.push_back(std::get<wire::GrantSlotRecord>(record));
+    }
+  }
+  EXPECT_EQ(arbitrations, fleet.pairs.size());
+  ASSERT_EQ(slots.size(), fleet.pairs.size());
+  for (const coordination::PairExpectation& pair : fleet.pairs) {
+    const wire::GrantSlotRecord& slot = slots[pair.cell];
+    EXPECT_EQ(slot.cell, pair.cell);
+    EXPECT_EQ(slot.holder, pair.winner) << "cell " << pair.cell;
+    EXPECT_EQ(slot.state,
+              static_cast<std::uint8_t>(coordination::GrantState::kGranted))
+        << "cell " << pair.cell;
+  }
+}
+
+}  // namespace
+}  // namespace hdc::protocol

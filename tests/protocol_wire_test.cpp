@@ -1,0 +1,410 @@
+// Wire-format tests: round-trip fuzz over every record type, canonical
+// re-encode equality, golden pinned bytes (layout freeze), and the full
+// rejection matrix — truncation at every prefix, a flip of every bit,
+// oversized lengths, future versions, unknown types, out-of-range enums,
+// trailing garbage. Malformed input must yield an offset-bearing
+// WireError, never UB (CI also runs this binary under ASan+UBSan via
+// HDC_SANITIZE).
+#include "protocol/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace wire = hdc::protocol::wire;
+
+namespace {
+
+std::vector<std::uint8_t> envelope(std::uint8_t version, std::uint8_t type,
+                                   const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.push_back(wire::kWireMagic);
+  out.push_back(version);
+  out.push_back(type);
+  out.push_back(static_cast<std::uint8_t>(payload.size()));
+  out.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t crc = wire::crc16(out.data(), out.size());
+  out.push_back(static_cast<std::uint8_t>(crc));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return out;
+}
+
+wire::WireError parse_expecting_error(const std::vector<std::uint8_t>& bytes) {
+  std::vector<wire::AnyRecord> records;
+  wire::WireError error;
+  EXPECT_FALSE(wire::parse_all(bytes, records, error));
+  EXPECT_NE(error.code, wire::WireErrorCode::kNone);
+  EXPECT_FALSE(error.message.empty());
+  return error;
+}
+
+// ------------------------------------------------------- random records --
+
+class Fuzz {
+ public:
+  explicit Fuzz(std::uint32_t seed) : rng_(seed) {}
+
+  std::uint8_t u8(std::uint8_t max) {
+    return static_cast<std::uint8_t>(
+        std::uniform_int_distribution<int>(0, max)(rng_));
+  }
+  std::uint32_t u32() { return rng_(); }
+  std::uint64_t u64() {
+    return (static_cast<std::uint64_t>(rng_()) << 32) | rng_();
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(rng_()); }
+  double f64() {
+    return std::uniform_real_distribution<double>(-1e6, 1e6)(rng_);
+  }
+  std::string text() {
+    std::string s;
+    const int n = std::uniform_int_distribution<int>(0, 20)(rng_);
+    for (int i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>(
+          std::uniform_int_distribution<int>(' ', '~')(rng_)));
+    }
+    return s;
+  }
+  std::vector<std::int32_t> cells() {
+    std::vector<std::int32_t> out;
+    const int n = std::uniform_int_distribution<int>(0, 8)(rng_);
+    for (int i = 0; i < n; ++i) out.push_back(i32());
+    return out;
+  }
+
+  /// One random-but-valid record of the given wire type.
+  wire::AnyRecord record(wire::RecordType type) {
+    switch (type) {
+      case wire::RecordType::kRunConfig: {
+        wire::RunConfigRecord r;
+        r.fusion_window = u32();
+        r.fusion_majority = u32();
+        r.onset_confidence = f64();
+        r.release_confidence = f64();
+        r.min_hold = u32();
+        r.release_misses = u32();
+        r.reference_distance = f64();
+        r.attending_timeout = u64();
+        r.sequence_gap = u64();
+        r.confirm_timeout = u64();
+        r.execute_ticks = u64();
+        r.abort_ticks = u64();
+        r.observation_queue = u32();
+        r.cells = u32();
+        r.grant_ttl = u64();
+        r.fleet_queue = u32();
+        r.retry_backoff = u64();
+        r.retry_backoff_max = u64();
+        r.fairness_boost_per_loss = u32();
+        r.fairness_boost_cap = u32();
+        return r;
+      }
+      case wire::RecordType::kObservation:
+        return wire::ObservationRecord{u32(), u64(), u8(3), u8(1), f64()};
+      case wire::RecordType::kSignEvent:
+        return wire::SignEventRecord{u32(), u8(1), u8(3), u64(), u64(), f64()};
+      case wire::RecordType::kTransition:
+        return wire::TransitionRecord{u32(),  u8(5), u8(5), u8(1), u8(5),
+                                      u8(1),  u8(6), u8(4), u64(), text()};
+      case wire::RecordType::kOutcome:
+        return wire::OutcomeRecordWire{u8(5), u32(), u64()};
+      case wire::RecordType::kFleetEvent:
+        return wire::FleetEventRecord{u8(5), u32(), u64(),  u8(5),
+                                      u8(5), u8(3), u8(1),  u32(),
+                                      i32(), i32(), f64(),  f64()};
+      case wire::RecordType::kGrantUpdate:
+        return wire::GrantUpdateRecord{i32(), u8(4), u32(), u64(),
+                                       u64(), u32(), u8(1)};
+      case wire::RecordType::kArbitration:
+        return wire::ArbitrationRecord{u32(), u32(), i32(),
+                                       u64(), u64(), u8(1)};
+      case wire::RecordType::kPlanHint:
+        return wire::PlanHintRecord{u32(), cells(), cells()};
+      case wire::RecordType::kTranscriptDigest:
+        return wire::TranscriptDigestRecord{u32(), u32(), u64()};
+      case wire::RecordType::kGrantSlot:
+        return wire::GrantSlotRecord{i32(), u8(4), u32(), u64(), u64(), u32()};
+      case wire::RecordType::kJournalEnd:
+        return wire::JournalEndRecord{u64()};
+    }
+    return wire::JournalEndRecord{};
+  }
+
+ private:
+  std::mt19937 rng_;
+};
+
+constexpr wire::RecordType kAllTypes[] = {
+    wire::RecordType::kRunConfig,    wire::RecordType::kObservation,
+    wire::RecordType::kSignEvent,    wire::RecordType::kTransition,
+    wire::RecordType::kOutcome,      wire::RecordType::kFleetEvent,
+    wire::RecordType::kGrantUpdate,  wire::RecordType::kArbitration,
+    wire::RecordType::kPlanHint,     wire::RecordType::kTranscriptDigest,
+    wire::RecordType::kGrantSlot,    wire::RecordType::kJournalEnd,
+};
+
+}  // namespace
+
+// --------------------------------------------------------------- basics --
+
+TEST(Wire, Crc16MatchesCcittFalseCheckValue) {
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(wire::crc16(check, sizeof(check)), 0x29B1);
+}
+
+TEST(Wire, EmptyBufferParsesToZeroRecords) {
+  std::vector<wire::AnyRecord> records;
+  wire::WireError error;
+  EXPECT_TRUE(wire::parse_all({}, records, error));
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(error.code, wire::WireErrorCode::kNone);
+}
+
+// ------------------------------------------------------------ round-trip --
+
+TEST(Wire, FuzzRoundTripEveryRecordTypeIsLosslessAndCanonical) {
+  Fuzz fuzz(0xD0A11u);  // fixed seed: deterministic corpus
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    std::vector<wire::AnyRecord> originals;
+    std::vector<std::uint8_t> buffer;
+    for (wire::RecordType type : kAllTypes) {
+      originals.push_back(fuzz.record(type));
+      wire::encode(buffer, originals.back());
+    }
+
+    std::vector<wire::AnyRecord> parsed;
+    wire::WireError error;
+    ASSERT_TRUE(wire::parse_all(buffer, parsed, error))
+        << "iteration " << iteration << ": " << wire::to_string(error.code)
+        << " at " << error.offset << " (" << error.message << ")";
+    ASSERT_EQ(parsed.size(), originals.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      EXPECT_EQ(parsed[i], originals[i]) << "record " << i;
+    }
+
+    // Canonical encoding: re-encoding the parse reproduces the bytes.
+    std::vector<std::uint8_t> reencoded;
+    for (const wire::AnyRecord& record : parsed) {
+      wire::encode(reencoded, record);
+    }
+    EXPECT_EQ(reencoded, buffer) << "iteration " << iteration;
+  }
+}
+
+// --------------------------------------------------------- golden bytes --
+// Pinned envelope layouts: if either test breaks, the wire layout changed
+// and kWireVersion MUST be bumped (docs/WIRE_FORMAT.md).
+
+TEST(Wire, GoldenObservationBytes) {
+  const wire::ObservationRecord record{7, 0x0123456789ABCDEFull, 2, 0, 0.5};
+  const std::vector<std::uint8_t> expected = {
+      0xDC, 0x01, 0x02, 0x16, 0x00,                    // magic ver type len
+      0x07, 0x00, 0x00, 0x00,                          // stream_id
+      0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01,  // sequence
+      0x02, 0x00,                                      // sign, abort
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,  // confidence 0.5
+      0xA3, 0xA7,                                      // crc16
+  };
+  EXPECT_EQ(wire::encode_one(record), expected);
+
+  std::vector<wire::AnyRecord> parsed;
+  wire::WireError error;
+  ASSERT_TRUE(wire::parse_all(expected, parsed, error));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], wire::AnyRecord(record));
+}
+
+TEST(Wire, GoldenTransitionBytes) {
+  const wire::TransitionRecord record{1, 1, 3, 1, 2, 0, 4, 1, 1000, "confirm"};
+  const std::vector<std::uint8_t> expected = {
+      0xDC, 0x01, 0x04, 0x1C, 0x00,                    // magic ver type len
+      0x01, 0x00, 0x00, 0x00,                          // stream_id
+      0x01, 0x03, 0x01, 0x02, 0x00, 0x04, 0x01,        // state/command bytes
+      0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // tick 1000
+      0x07, 0x00,                                      // event length
+      0x63, 0x6F, 0x6E, 0x66, 0x69, 0x72, 0x6D,        // "confirm"
+      0x48, 0xF8,                                      // crc16
+  };
+  EXPECT_EQ(wire::encode_one(record), expected);
+
+  std::vector<wire::AnyRecord> parsed;
+  wire::WireError error;
+  ASSERT_TRUE(wire::parse_all(expected, parsed, error));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], wire::AnyRecord(record));
+}
+
+// ----------------------------------------------------- rejection matrix --
+
+TEST(Wire, TruncationAtEveryNonBoundaryPrefixIsRejected) {
+  Fuzz fuzz(0xBEEFu);
+  std::vector<std::uint8_t> buffer;
+  std::vector<std::size_t> boundaries{0};
+  for (wire::RecordType type : kAllTypes) {
+    wire::encode(buffer, fuzz.record(type));
+    boundaries.push_back(buffer.size());
+  }
+
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(buffer.begin(),
+                                           buffer.begin() + cut);
+    std::vector<wire::AnyRecord> records;
+    wire::WireError error;
+    const bool ok = wire::parse_all(prefix, records, error);
+    const bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    if (at_boundary) {
+      // A cut exactly between envelopes is a clean (shorter) journal at
+      // this layer; the JournalEnd record-count check catches it above.
+      EXPECT_TRUE(ok) << "cut at " << cut;
+    } else {
+      ASSERT_FALSE(ok) << "cut at " << cut;
+      EXPECT_TRUE(error.code == wire::WireErrorCode::kTruncated ||
+                  error.code == wire::WireErrorCode::kBadLength)
+          << "cut at " << cut << ": " << wire::to_string(error.code);
+      EXPECT_FALSE(error.message.empty());
+      // The error names the envelope that was cut short.
+      EXPECT_GE(error.offset, records.empty() ? 0u : boundaries[records.size()]);
+      EXPECT_LT(error.offset, cut == 0 ? 1u : cut + 1);
+    }
+  }
+}
+
+TEST(Wire, EveryPossibleBitFlipIsRejected) {
+  const std::vector<std::uint8_t> golden = wire::encode_one(
+      wire::ObservationRecord{7, 0x0123456789ABCDEFull, 2, 0, 0.5});
+  for (std::size_t byte = 0; byte < golden.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = golden;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      std::vector<wire::AnyRecord> records;
+      wire::WireError error;
+      EXPECT_FALSE(wire::parse_all(corrupt, records, error))
+          << "flip of byte " << byte << " bit " << bit << " went undetected";
+      EXPECT_NE(error.code, wire::WireErrorCode::kNone);
+    }
+  }
+}
+
+TEST(Wire, OversizedDeclaredLengthIsRejectedAtTheLengthField) {
+  // Declared length far beyond the per-record cap, with a buffer that
+  // would even cover it: the cap rejects first.
+  std::vector<std::uint8_t> bytes = {0xDC, 0x01, 0x02, 0xFF, 0xFF};
+  bytes.resize(wire::kEnvelopeHeaderSize + 0xFFFF +
+               wire::kEnvelopeTrailerSize);
+  wire::WireError error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadLength);
+  EXPECT_EQ(error.offset, 3u);
+
+  // Declared length under the cap but overrunning the actual buffer.
+  std::vector<std::uint8_t> short_buffer = {0xDC, 0x01, 0x02, 0x40, 0x00,
+                                            0x00, 0x00, 0x00};
+  error = parse_expecting_error(short_buffer);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadLength);
+  EXPECT_EQ(error.offset, 3u);
+}
+
+TEST(Wire, FutureVersionIsRejectedBeforeTheChecksum) {
+  std::vector<std::uint8_t> bytes =
+      wire::encode_one(wire::JournalEndRecord{42});
+  bytes[1] = 2;  // CRC left stale on purpose: version must reject first
+  wire::WireError error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadVersion);
+  EXPECT_EQ(error.offset, 1u);
+  EXPECT_NE(error.message.find("future"), std::string::npos);
+
+  bytes[1] = 0;
+  error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadVersion);
+  EXPECT_EQ(error.offset, 1u);
+}
+
+TEST(Wire, BadMagicIsRejectedAtTheEnvelopeStart) {
+  std::vector<std::uint8_t> bytes =
+      wire::encode_one(wire::JournalEndRecord{42});
+  bytes[0] = 0x00;
+  const wire::WireError error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadMagic);
+  EXPECT_EQ(error.offset, 0u);
+}
+
+TEST(Wire, UnknownRecordTypeIsRejectedEvenWithAValidChecksum) {
+  for (std::uint8_t type : {std::uint8_t{0}, std::uint8_t{13},
+                            std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
+    const std::vector<std::uint8_t> bytes =
+        envelope(wire::kWireVersion, type,
+                 {0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00});
+    const wire::WireError error = parse_expecting_error(bytes);
+    EXPECT_EQ(error.code, wire::WireErrorCode::kBadRecordType)
+        << "type byte " << int(type);
+    EXPECT_EQ(error.offset, 2u);
+  }
+}
+
+TEST(Wire, OutOfRangeEnumIsRejectedAtTheOffendingField) {
+  // encode_one writes raw bytes, so an out-of-range enum CAN be produced
+  // by a buggy/hostile writer with a perfectly valid CRC.
+  wire::ObservationRecord record{7, 99, 0, 0, 0.25};
+  record.sign = 9;  // signs::HumanSign tops out at 3
+  const wire::WireError error =
+      parse_expecting_error(wire::encode_one(record));
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadPayload);
+  // sign sits 12 bytes into the payload (stream_id + sequence).
+  EXPECT_EQ(error.offset, wire::kEnvelopeHeaderSize + 12);
+  EXPECT_NE(error.message.find("HumanSign"), std::string::npos);
+}
+
+TEST(Wire, TrailingPayloadGarbageIsRejected) {
+  // A JournalEnd payload with one slack byte, valid CRC: decoders must
+  // consume the payload exactly — canonical encoding has no padding.
+  const std::vector<std::uint8_t> bytes = envelope(
+      wire::kWireVersion,
+      static_cast<std::uint8_t>(wire::RecordType::kJournalEnd),
+      {0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00});
+  const wire::WireError error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadPayload);
+  EXPECT_EQ(error.offset, wire::kEnvelopeHeaderSize + 8);
+  EXPECT_NE(error.message.find("trailing"), std::string::npos);
+}
+
+TEST(Wire, InnerLengthOverrunIsRejectedNotOverread) {
+  // A Transition whose event-length field claims more bytes than the
+  // payload holds (inner overrun behind a valid CRC).
+  std::vector<std::uint8_t> payload = {
+      0x01, 0x00, 0x00, 0x00,                          // stream_id
+      0x01, 0x03, 0x01, 0x02, 0x00, 0x04, 0x01,        // enums
+      0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // tick
+      0xFF, 0x00,                                      // event length 255...
+      0x63,                                            // ...but 1 byte left
+  };
+  const std::vector<std::uint8_t> bytes = envelope(
+      wire::kWireVersion,
+      static_cast<std::uint8_t>(wire::RecordType::kTransition), payload);
+  const wire::WireError error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadPayload);
+  EXPECT_NE(error.message.find("overruns"), std::string::npos);
+}
+
+TEST(Wire, ParseAllKeepsRecordsParsedBeforeTheFault) {
+  std::vector<std::uint8_t> buffer;
+  wire::encode(buffer, wire::ObservationRecord{1, 10, 1, 0, 0.5});
+  wire::encode(buffer, wire::ObservationRecord{2, 20, 2, 0, 0.75});
+  const std::size_t fault_at = buffer.size();
+  std::vector<std::uint8_t> bad =
+      wire::encode_one(wire::JournalEndRecord{3});
+  bad[1] = 9;  // future version
+  buffer.insert(buffer.end(), bad.begin(), bad.end());
+
+  std::vector<wire::AnyRecord> records;
+  wire::WireError error;
+  EXPECT_FALSE(wire::parse_all(buffer, records, error));
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadVersion);
+  EXPECT_EQ(error.offset, fault_at + 1);
+}
