@@ -8,7 +8,7 @@
 #
 # Usage: scripts/collect_bench.sh [--build-dir DIR] [--out FILE] [--smoke] [--reuse]
 #   --build-dir DIR  where the bench executables live (default: build)
-#   --out FILE       merged snapshot path (default: BENCH_6.json at repo root)
+#   --out FILE       merged snapshot path (default: BENCH_7.json at repo root)
 #   --smoke          pass --smoke to the benches that support it (CI-sized runs)
 #   --reuse          skip running a bench whose per-bench JSON already exists
 #                    in the build dir (CI runs some benches in earlier steps)
@@ -16,7 +16,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_file="$repo_root/BENCH_6.json"
+out_file="$repo_root/BENCH_7.json"
 smoke=""
 reuse=0
 
@@ -70,11 +70,28 @@ for name in ("bench_distance_micro", "bench_throughput_batch",
 
 hardware_threads = next((p["hardware_threads"] for p in benches.values()
                          if "hardware_threads" in p), None)
+
+# Surface the parallel-scaling curves at the top level so a reader (or a
+# trend script) gets worker/shard scaling next to hardware_threads without
+# digging through per-bench cells.
+worker_scaling = [
+    {"workers": c["workers"], "fps": c["fps"], "speedup": c["speedup"]}
+    for c in benches.get("throughput_batch", {}).get("cells", [])
+    if "workers" in c
+]
+shard_scaling = [
+    {"streams": c["streams"], "shards": c["shards"],
+     "aggregate_fps": c["aggregate_fps"], "p99_ms": c["p99_ms"]}
+    for c in benches.get("multi_drone_streaming", {}).get("cells", [])
+    if "shards" in c
+]
 snapshot = {
-    "schema": 1,
+    "schema": 2,
     "snapshot": out_file.name,
     "generated_by": "scripts/collect_bench.sh",
     "hardware_threads": hardware_threads,
+    "worker_scaling": worker_scaling,
+    "shard_scaling": shard_scaling,
     "benches": benches,
 }
 out_file.write_text(json.dumps(snapshot, indent=2) + "\n")

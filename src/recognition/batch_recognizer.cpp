@@ -1,5 +1,6 @@
 #include "recognition/batch_recognizer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hdc::recognition {
@@ -35,7 +36,8 @@ BatchRecognizer::BatchRecognizer(const RecognizerConfig& config,
     : config_(config),
       database_(std::move(database)),
       pool_(workers),
-      scratch_(pool_.worker_count()) {
+      scratch_(pool_.worker_count()),
+      micro_(pool_.worker_count()) {
   if (database_ == nullptr) {
     throw std::invalid_argument("BatchRecognizer: null database handle");
   }
@@ -50,10 +52,24 @@ void BatchRecognizer::recognize_batch(const std::vector<imaging::GrayImage>& fra
     return;
   }
   results.resize(frames.size());
-  pool_.run(frames.size(), [this, &frames, &results](std::size_t worker,
-                                                     std::size_t index) {
-    recognize_frame_into(config_, *database_, frames[index], scratch_[worker],
-                         results[index]);
+  // Jobs are contiguous windows of kMicroBatchWindow frames, each answered
+  // by one recognize_frames_micro_batch call so the blocked exact-verify
+  // pass amortises its template-panel walks across the window. Payload
+  // fields stay bit-identical to per-frame dispatch (see recognizer.hpp).
+  constexpr std::size_t kWindow = kMicroBatchWindow;
+  const std::size_t windows = (frames.size() + kWindow - 1) / kWindow;
+  pool_.run(windows, [this, &frames, &results](std::size_t worker,
+                                               std::size_t window_index) {
+    const std::size_t begin = window_index * kWindow;
+    const std::size_t end = std::min(begin + kWindow, frames.size());
+    const imaging::GrayImage* frame_ptrs[kWindow];
+    RecognitionResult* result_ptrs[kWindow];
+    for (std::size_t i = begin; i < end; ++i) {
+      frame_ptrs[i - begin] = &frames[i];
+      result_ptrs[i - begin] = &results[i];
+    }
+    recognize_frames_micro_batch(config_, *database_, frame_ptrs, end - begin,
+                                 scratch_[worker], micro_[worker], result_ptrs);
   });
 }
 

@@ -10,9 +10,13 @@
 // path performs zero per-frame heap allocations.
 //
 // Results are deterministic and bit-identical to SaxSignRecognizer: frame i
-// always lands in results[i], every frame is processed independently against
-// the shared immutable database, and both paths run the same canonical
-// recognize_frame_into() implementation — worker count and scheduling can
+// always lands in results[i] and every frame is processed independently
+// against the shared immutable database. Workers claim frames in contiguous
+// micro-batches of kMicroBatchWindow and run them through
+// recognize_frames_micro_batch, so the exact-verify pass walks the template
+// panels once per window (blocked rotation engine) instead of once per
+// frame — the micro-batch entry point is payload-bit-identical to the
+// single-frame pipeline, so worker count, scheduling and windowing can
 // change timing fields (total_ms) but never a payload field.
 #pragma once
 
@@ -27,6 +31,11 @@ namespace hdc::recognition {
 
 class BatchRecognizer {
  public:
+  /// Frames dispatched to a worker per claim: large enough that the blocked
+  /// database pass amortises its panel walks, small enough that one claim
+  /// never holds a meaningful slice of a batch hostage on one worker.
+  static constexpr std::size_t kMicroBatchWindow = 8;
+
   /// Builds the engine and its canonical database (same semantics as
   /// SaxSignRecognizer). `workers` == 0 selects hardware concurrency.
   BatchRecognizer(const RecognizerConfig& config,
@@ -77,7 +86,8 @@ class BatchRecognizer {
   RecognizerConfig config_;
   std::shared_ptr<const SignDatabase> database_;
   util::ThreadPool pool_;
-  std::vector<RecognizerScratch> scratch_;  ///< one arena per worker
+  std::vector<RecognizerScratch> scratch_;   ///< one arena per worker
+  std::vector<MicroBatchScratch> micro_;     ///< one micro-batch arena per worker
 };
 
 }  // namespace hdc::recognition

@@ -54,6 +54,10 @@ PerceptionService::PerceptionService(const RecognizerConfig& config,
     throw std::invalid_argument(
         "PerceptionService: dynamic backpressure needs low_water < high_water");
   }
+  if (service_config_.micro_batch_window == 0) {
+    throw std::invalid_argument(
+        "PerceptionService: micro_batch_window must be >= 1");
+  }
   const std::size_t shard_count = resolve_shards(service_config.shards);
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -146,20 +150,43 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
 }
 
 void PerceptionService::shard_loop(Shard& shard) {
-  Job job;
-  StreamResult delivery;  // reused: result string capacity survives frames
-  while (shard.ring.pop(job)) {
+  const std::size_t window = service_config_.micro_batch_window;
+  // Window arenas (worker-thread only). Reused across windows, so the
+  // steady state stays allocation-free; result string capacity survives.
+  std::vector<Job> jobs(window);
+  std::vector<RecognitionResult> results(window);
+  std::vector<const imaging::GrayImage*> frame_ptrs(window);
+  std::vector<RecognitionResult*> result_ptrs(window);
+  StreamResult delivery;
+  while (shard.ring.pop(jobs[0])) {
+    // Bounded, non-blocking gather: whatever is already queued joins this
+    // window, up to the configured cap. The gather NEVER waits — with a
+    // shallow queue (e.g. one live stream) m stays 1 and the frame takes
+    // the plain single-frame path, which is the latency bound the config
+    // documents.
+    std::size_t m = 1;
+    while (m < window && shard.ring.try_pop(jobs[m])) ++m;
+    for (std::size_t k = 0; k < m; ++k) {
+      frame_ptrs[k] = &jobs[k].frame;
+      result_ptrs[k] = &results[k];
+    }
     try {
-      recognize_frame_into(config_, *shard.database, job.frame, shard.scratch,
-                           delivery.result);
-      delivery.stream_id = job.stream_id;
-      delivery.sequence = job.sequence;
-      if (on_result_) on_result_(delivery);
-      job.origin->delivered.fetch_add(1, std::memory_order_relaxed);
+      recognize_frames_micro_batch(config_, *shard.database, frame_ptrs.data(),
+                                   m, shard.scratch, shard.micro,
+                                   result_ptrs.data());
+      // Deliver in pop (== per-stream sequence) order, preserving the
+      // stream-ordering guarantee documented in the header.
+      for (std::size_t k = 0; k < m; ++k) {
+        delivery.stream_id = jobs[k].stream_id;
+        delivery.sequence = jobs[k].sequence;
+        delivery.result = results[k];  // copy: both sides keep warm capacity
+        if (on_result_) on_result_(delivery);
+        jobs[k].origin->delivered.fetch_add(1, std::memory_order_relaxed);
+      }
     } catch (...) {
       pending_.record_error(std::current_exception());
     }
-    finish_frames(1);
+    finish_frames(m);
   }
 }
 

@@ -14,10 +14,15 @@
 //     the frame geometry it keeps seeing) via a bounded MPSC ring
 //     (util::BoundedRing) with a configurable overflow policy: block,
 //     drop-oldest (live feeds prefer fresh frames) or reject.
-//   - Every shard owns a RecognizerScratch and runs the same canonical
-//     recognize_frame_into() pipeline as SaxSignRecognizer/BatchRecognizer,
-//     so streamed results are bit-identical to sequential recognition of
-//     the same frames.
+//   - Every shard owns a RecognizerScratch + MicroBatchScratch and runs the
+//     same canonical pipeline as SaxSignRecognizer/BatchRecognizer. A shard
+//     pops one frame (blocking), then gathers whatever is ALREADY queued up
+//     to micro_batch_window frames (non-blocking try_pop — the gather never
+//     waits for frames that have not arrived, so an idle stream keeps plain
+//     single-frame latency) and answers the window with one blocked
+//     database pass (recognize_frames_micro_batch). Payload fields are
+//     bit-identical to sequential recognition of the same frames; only the
+//     timing field total_ms reflects the batching.
 //   - Completed frames are delivered through a per-frame callback carrying
 //     {stream_id, sequence, result}. RecognitionResult itself is unchanged
 //     (wrapped, not mutated), keeping the single-frame API ABI-stable.
@@ -102,6 +107,12 @@ struct PerceptionServiceConfig {
   std::size_t queue_capacity{64};  ///< frames buffered per shard ring
   util::OverflowPolicy overflow{util::OverflowPolicy::kBlock};
   DynamicBackpressureConfig dynamic_backpressure{};
+  /// Max frames a shard answers with one blocked database pass. The gather
+  /// is bounded AND non-blocking (only frames already queued join a window),
+  /// so raising it amortises the exact-verify template walks under load
+  /// without adding latency when the queue is shallow. 1 = micro-batching
+  /// off. Must be >= 1 (std::invalid_argument otherwise).
+  std::size_t micro_batch_window{4};
 };
 
 /// Per-stream accounting snapshot.
@@ -239,6 +250,7 @@ class PerceptionService {
     util::BoundedRing<Job> ring;
     const SignDatabase* database{nullptr};
     RecognizerScratch scratch;
+    MicroBatchScratch micro;  ///< window-gather scratch (worker thread only)
     /// Serialises dynamic-backpressure decisions: the depth read, the
     /// hysteresis comparison and the set_policy must be one atomic step
     /// across producer threads or a flip double-applies and

@@ -84,15 +84,14 @@ void reset_result(RecognitionResult& result) {
   result.total_ms = 0.0;
 }
 
-}  // namespace
-
-void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& database,
-                          const imaging::GrayImage& frame, RecognizerScratch& scratch,
-                          RecognitionResult& result, util::StageTimers* timers,
-                          RecognitionTrace* trace) {
-  reset_result(result);
-  util::Stopwatch total;
-
+/// Stages 1-6 (photometrics through signature extraction) of the canonical
+/// pipeline. Returns true when scratch.signature is ready for the database
+/// query; on false the result's reject fields are final (the caller stamps
+/// total_ms). Shared verbatim by the single-frame and micro-batched entry
+/// points so their per-frame imaging behaviour cannot diverge.
+bool prepare_frame(const RecognizerConfig& config, const imaging::GrayImage& frame,
+                   RecognizerScratch& scratch, RecognitionResult& result,
+                   util::StageTimers* timers, RecognitionTrace* trace) {
   // Stage 1: photometric pre-processing. `source` tracks the latest image
   // without copying when a step is disabled.
   const imaging::GrayImage* source = &frame;
@@ -145,13 +144,11 @@ void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& da
   }
   if (scratch.contour.empty()) {
     result.reject_reason = RejectReason::kNoSilhouette;
-    result.total_ms = total.elapsed_ms();
-    return;
+    return false;
   }
   if (scratch.contour.size() < 8) {
     result.reject_reason = RejectReason::kDegenerateShape;
-    result.total_ms = total.elapsed_ms();
-    return;
+    return false;
   }
 
   // Stage 6: shape -> time series.
@@ -171,31 +168,30 @@ void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& da
   }
   if (scratch.signature.empty()) {
     result.reject_reason = RejectReason::kDegenerateShape;
-    result.total_ms = total.elapsed_ms();
-    return;
+    return false;
   }
   if (trace != nullptr) {
     trace->raw_signature = scratch.signature;
     trace->normalized_signature = timeseries::z_normalize(scratch.signature);
   }
+  return true;
+}
 
-  // Stage 7: SAX encoding + database search.
-  std::optional<DatabaseMatch> match;
-  {
-    MaybeScope scope(timers, "7-sax-search");
-    match = database.query(scratch.signature, config.exact_verify, scratch.query);
-  }
+/// Maps a stage-7 database answer onto the result's payload fields — the one
+/// acceptance policy both entry points share. `sax_word` is the query word
+/// the database encoded during the search (only read when a match exists,
+/// mirroring the historical early-return on nullopt).
+void finalize_from_match(const RecognizerConfig& config,
+                         const std::optional<DatabaseMatch>& match,
+                         const std::string& sax_word, RecognitionResult& result) {
   if (!match) {
     result.reject_reason = RejectReason::kNoSilhouette;
-    result.total_ms = total.elapsed_ms();
     return;
   }
-
   result.sign = match->sign;
   result.distance = match->distance;
   result.margin = match->margin;
-  // The query already encoded this signature's SAX word into its scratch.
-  result.sax_word = scratch.query.word.text;
+  result.sax_word = sax_word;
 
   if (match->distance > config.accept_distance) {
     result.reject_reason = RejectReason::kAboveThreshold;
@@ -210,7 +206,83 @@ void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& da
     result.accepted = false;
     result.reject_reason = RejectReason::kNone;  // recognised, just not communicative
   }
+}
+
+}  // namespace
+
+void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& database,
+                          const imaging::GrayImage& frame, RecognizerScratch& scratch,
+                          RecognitionResult& result, util::StageTimers* timers,
+                          RecognitionTrace* trace) {
+  reset_result(result);
+  util::Stopwatch total;
+
+  if (!prepare_frame(config, frame, scratch, result, timers, trace)) {
+    result.total_ms = total.elapsed_ms();
+    return;
+  }
+
+  // Stage 7: SAX encoding + database search.
+  std::optional<DatabaseMatch> match;
+  {
+    MaybeScope scope(timers, "7-sax-search");
+    match = database.query(scratch.signature, config.exact_verify, scratch.query);
+  }
+  // The query already encoded this signature's SAX word into its scratch.
+  finalize_from_match(config, match, scratch.query.word.text, result);
   result.total_ms = total.elapsed_ms();
+}
+
+void recognize_frames_micro_batch(const RecognizerConfig& config,
+                                  const SignDatabase& database,
+                                  const imaging::GrayImage* const* frames,
+                                  std::size_t count, RecognizerScratch& scratch,
+                                  MicroBatchScratch& micro,
+                                  RecognitionResult* const* results) {
+  micro.pending.clear();
+  micro.prepare_ms.clear();
+  if (count == 0) return;
+  if (micro.raw_signatures.size() < count) micro.raw_signatures.resize(count);
+
+  // Imaging stages run frame-at-a-time through the one shared scratch (same
+  // calls, same order as the single-frame path), keeping only the signature
+  // copy per frame — the cheapest artefact that lets stage 7 batch.
+  for (std::size_t i = 0; i < count; ++i) {
+    RecognitionResult& result = *results[i];
+    reset_result(result);
+    util::Stopwatch watch;
+    if (!prepare_frame(config, *frames[i], scratch, result, nullptr, nullptr)) {
+      result.total_ms = watch.elapsed_ms();
+      continue;
+    }
+    const std::size_t j = micro.pending.size();
+    micro.raw_signatures[j] = scratch.signature;  // copy reuses slot capacity
+    micro.pending.push_back(i);
+    micro.prepare_ms.push_back(watch.elapsed_ms());
+  }
+  if (micro.pending.empty()) return;
+
+  // One multi-query call answers every surviving frame; per-query answers
+  // are independent inside the engine, so each equals what query() returns.
+  micro.signature_ptrs.clear();
+  for (std::size_t j = 0; j < micro.pending.size(); ++j) {
+    micro.signature_ptrs.push_back(&micro.raw_signatures[j]);
+  }
+  micro.matches.resize(micro.pending.size());
+  util::Stopwatch query_watch;
+  database.query_many(micro.signature_ptrs.data(), micro.pending.size(),
+                      config.exact_verify, micro.query, micro.matches.data());
+  const double query_share =
+      query_watch.elapsed_ms() / static_cast<double>(micro.pending.size());
+
+  for (std::size_t j = 0; j < micro.pending.size(); ++j) {
+    RecognitionResult& result = *results[micro.pending[j]];
+    finalize_from_match(config, micro.matches[j], micro.query.slots[j].word.text,
+                        result);
+    // total_ms is a timing field, not a payload field: the batched query's
+    // cost is attributed evenly across the frames it answered.
+    result.total_ms = micro.prepare_ms[j] + query_share;
+  }
 }
 
 RecognitionResult SaxSignRecognizer::recognize(const imaging::GrayImage& frame,

@@ -118,6 +118,36 @@ void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& da
                           RecognitionResult& result, util::StageTimers* timers = nullptr,
                           RecognitionTrace* trace = nullptr);
 
+/// Buffers for recognize_frames_micro_batch: per-frame signature copies (the
+/// imaging stages share ONE RecognizerScratch, so each frame's signature must
+/// survive until the batched database query) plus the multi-query scratch.
+/// Same warm-reuse contract as RecognizerScratch; one per worker.
+struct MicroBatchScratch {
+  MultiQueryScratch query;
+  std::vector<timeseries::Series> raw_signatures;  ///< slot j = pending frame j
+  std::vector<const timeseries::Series*> signature_ptrs;
+  std::vector<std::size_t> pending;  ///< frame indices that reached the query stage
+  std::vector<std::optional<DatabaseMatch>> matches;
+  std::vector<double> prepare_ms;  ///< per-pending-frame stage 1-6 wall time
+};
+
+/// Micro-batched recognition: runs the imaging stages (1-6) of each frame in
+/// turn through `scratch`, then answers every frame that produced a signature
+/// with ONE SignDatabase::query_many call — the exact-verify pass walks the
+/// template panels once per micro-batch instead of once per frame. Writes
+/// *results[i] for every frame. Every payload field (accepted / sign /
+/// reject_reason / distance / margin / sax_word) is bit-identical to calling
+/// recognize_frame_into on each frame in order with the same scratch; only
+/// total_ms differs (the shared query cost is attributed evenly across the
+/// batched frames). Callers bound `count` (the batching window) to keep
+/// single-frame latency bounded — see BatchRecognizer / PerceptionService.
+void recognize_frames_micro_batch(const RecognizerConfig& config,
+                                  const SignDatabase& database,
+                                  const imaging::GrayImage* const* frames,
+                                  std::size_t count, RecognizerScratch& scratch,
+                                  MicroBatchScratch& micro,
+                                  RecognitionResult* const* results);
+
 class SaxSignRecognizer {
  public:
   /// Builds the recogniser and its canonical database. `db_options.render`

@@ -49,57 +49,107 @@ std::optional<DatabaseMatch> SignDatabase::query(const timeseries::Series& raw_s
     // Score by exact rotation-invariant distance. Note: the symbolic
     // rotation-invariant distance only explores shifts in whole-symbol
     // steps, so it is NOT a sound lower bound for the exact distance under
-    // arbitrary shifts — every template is verified exactly, and the
-    // symbolic per-template scan is skipped entirely (it used to provide
-    // the early-abandon visit order; the batch kernel has no use for one).
-    // One call scores all templates against this query through their
-    // precomputed doubled buffers; exact ties across templates resolve to
-    // the lowest template index.
-    scratch.rotation_templates.clear();
-    scratch.rotation_templates.reserve(templates_.size());
-    for (const SignTemplate& entry : templates_) {
-      scratch.rotation_templates.push_back(&entry.rotation);
-    }
-    scratch.rotation_matches.resize(templates_.size());
-    timeseries::euclidean_rotation_invariant_many(
-        normalized, scratch.rotation_templates.data(), templates_.size(),
-        scratch.rotation_matches.data());
-
-    double best_exact = std::numeric_limits<double>::infinity();
-    double second_exact = std::numeric_limits<double>::infinity();
-    std::size_t best_index = 0;
-    std::size_t best_shift = 0;
-    for (std::size_t i = 0; i < scratch.rotation_matches.size(); ++i) {
-      const timeseries::RotationMatch& exact = scratch.rotation_matches[i];
-      if (exact.distance < best_exact) {
-        second_exact = best_exact;
-        best_exact = exact.distance;
-        best_index = i;
-        best_shift = exact.shift;
-      } else if (exact.distance < second_exact) {
-        second_exact = exact.distance;
-      }
-    }
-    DatabaseMatch match;
-    match.sign = templates_[best_index].sign;
-    match.distance = best_exact;
-    match.margin = (second_exact == std::numeric_limits<double>::infinity())
-                       ? best_exact
-                       : second_exact - best_exact;
-    match.template_index = best_index;
-    match.best_shift = best_shift;
-    return match;
+    // arbitrary shifts — every template must be covered exactly. The top-2
+    // blocked engine does exactly that: its quantised lower bound prunes a
+    // template's float re-verify only when it provably cannot enter the
+    // top 2, and its update rules are the same index-order, strict-< reduce
+    // this function historically ran by hand, so best/second/index/shift
+    // (and therefore margin) are bit-identical to scoring every template
+    // with euclidean_rotation_invariant and reducing in a loop.
+    fill_template_panel(scratch.rotation_templates);
+    const timeseries::Series* query_ptr = &normalized;
+    timeseries::RotationTopMatch top;
+    timeseries::rotation_match_top2_block(&query_ptr, 1,
+                                          scratch.rotation_templates.data(),
+                                          templates_.size(), scratch.block, &top);
+    return match_from_top(top);
   }
 
-  // Symbolic-only ranking: per-template rotation-invariant MINDIST.
+  return symbolic_rank(query_word, scratch.scored, scratch.rotated);
+}
+
+void SignDatabase::query_many(const timeseries::Series* const* raw_signatures,
+                              std::size_t count, bool exact_verify,
+                              MultiQueryScratch& scratch,
+                              std::optional<DatabaseMatch>* out) const {
+  if (count == 0) return;
+  if (scratch.slots.size() < count) scratch.slots.resize(count);
+  scratch.active.clear();
+  scratch.queries.clear();
+
+  // Per-query normalisation + SAX encode — the same calls, in the same
+  // order, as the single-query path, so slot state (and the word the
+  // recogniser reads back) matches query() bit for bit.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (templates_.empty() || raw_signatures[i]->empty()) {
+      out[i] = std::nullopt;
+      continue;
+    }
+    MultiQueryScratch::Slot& slot = scratch.slots[i];
+    timeseries::z_normalize_into(*raw_signatures[i], slot.normalized);
+    encoder_.encode_normalized_into(slot.normalized, slot.word, slot.paa);
+    scratch.active.push_back(i);
+    scratch.queries.push_back(&slot.normalized);
+  }
+  if (scratch.active.empty()) return;
+
+  if (exact_verify) {
+    // One blocked call answers every live query: template panels are walked
+    // once per block (cache-hot across the whole micro-batch) instead of
+    // once per query. Per-query results remain independent, so each cell is
+    // bit-identical to the single-query engine call query() makes.
+    fill_template_panel(scratch.rotation_templates);
+    scratch.top.resize(scratch.active.size());
+    timeseries::rotation_match_top2_block(
+        scratch.queries.data(), scratch.queries.size(),
+        scratch.rotation_templates.data(), templates_.size(), scratch.block,
+        scratch.top.data());
+    for (std::size_t j = 0; j < scratch.active.size(); ++j) {
+      out[scratch.active[j]] = match_from_top(scratch.top[j]);
+    }
+    return;
+  }
+
+  for (std::size_t j = 0; j < scratch.active.size(); ++j) {
+    const std::size_t i = scratch.active[j];
+    out[i] = symbolic_rank(scratch.slots[i].word, scratch.scored, scratch.rotated);
+  }
+}
+
+void SignDatabase::fill_template_panel(
+    std::vector<const timeseries::RotationTemplate*>& panel) const {
+  panel.clear();
+  panel.reserve(templates_.size());
+  for (const SignTemplate& entry : templates_) {
+    panel.push_back(&entry.rotation);
+  }
+}
+
+DatabaseMatch SignDatabase::match_from_top(
+    const timeseries::RotationTopMatch& top) const {
+  DatabaseMatch match;
+  match.sign = templates_[top.template_index].sign;
+  match.distance = top.distance;
+  match.margin = (top.second == std::numeric_limits<double>::infinity())
+                     ? top.distance
+                     : top.second - top.distance;
+  match.template_index = top.template_index;
+  match.best_shift = top.shift;
+  return match;
+}
+
+// Symbolic-only ranking: per-template rotation-invariant MINDIST.
+DatabaseMatch SignDatabase::symbolic_rank(
+    const timeseries::SaxWord& query_word,
+    std::vector<QueryScratch::Scored>& scored,
+    timeseries::SaxWord& rotated) const {
   using Scored = QueryScratch::Scored;
-  std::vector<Scored>& scored = scratch.scored;
   scored.clear();
   scored.reserve(templates_.size());
   for (std::size_t i = 0; i < templates_.size(); ++i) {
     std::size_t shift = 0;
     const double d = encoder_.mindist_rotation_invariant(query_word, templates_[i].word,
-                                                         &shift, scratch.rotated);
+                                                         &shift, rotated);
     scored.push_back({d, i, shift});
   }
   std::sort(scored.begin(), scored.end(),

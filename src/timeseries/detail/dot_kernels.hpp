@@ -1,0 +1,413 @@
+// Shared inner kernels for the rotation-invariant matching paths.
+//
+// dot_n / squared_diff_n started life inside distance.cpp's anonymous
+// namespace; the blocked multi-query engine (rotation_block.cpp) must score
+// candidate shifts with EXACTLY the same floating-point evaluation as the
+// single-query kernel — same instruction selection, same accumulator
+// splitting, same reduction order — or near-tie shifts could resolve
+// differently between the batch and single entry points and break the
+// bit-identity contract on euclidean_rotation_invariant_many. Moving the
+// kernels into one inline header makes that guarantee structural instead of
+// copy-paste discipline.
+//
+// All variants reassociate the sum (4 independent accumulators); callers
+// that need agreement with strict left-to-right accumulation compare
+// against euclidean_rotation_invariant_reference within a tolerance, not
+// bitwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(HDC_SIMD) && defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define HDC_ROTATION_KERNEL_NAME "avx2-fma"
+#define HDC_ROTATION_KERNEL_AVX2 1
+#elif defined(HDC_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define HDC_ROTATION_KERNEL_NAME "neon"
+#define HDC_ROTATION_KERNEL_NEON 1
+#else
+#define HDC_ROTATION_KERNEL_NAME "unrolled-scalar"
+#endif
+
+// The int16 bound-scan kernel has its own ISA ladder: SSE2 pmaddwd is part
+// of the x86-64 baseline, so the quantised pre-filter vectorises even in
+// the portable build where the double kernels fall back to unrolled scalar.
+#if defined(HDC_SIMD) && defined(__AVX2__)
+#define HDC_PREFILTER_KERNEL_NAME "avx2-madd"
+#define HDC_PREFILTER_KERNEL_AVX2 1
+#elif defined(HDC_SIMD) && defined(__ARM_NEON)
+#define HDC_PREFILTER_KERNEL_NAME "neon-mlal"
+#define HDC_PREFILTER_KERNEL_NEON 1
+#elif defined(HDC_SIMD) && defined(__SSE2__)
+#include <emmintrin.h>
+#define HDC_PREFILTER_KERNEL_NAME "sse2-madd"
+#define HDC_PREFILTER_KERNEL_SSE2 1
+#else
+#define HDC_PREFILTER_KERNEL_NAME "scalar-int32"
+#endif
+
+namespace hdc::timeseries::detail {
+
+#if defined(HDC_ROTATION_KERNEL_AVX2)
+
+inline double dot_n(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8), _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12), _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc0);
+  }
+  const __m256d acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline double squared_diff_n(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+#elif defined(HDC_ROTATION_KERNEL_NEON)
+
+inline double dot_n(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  float64x2_t acc2 = vdupq_n_f64(0.0);
+  float64x2_t acc3 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc2 = vfmaq_f64(acc2, vld1q_f64(a + i + 4), vld1q_f64(b + i + 4));
+    acc3 = vfmaq_f64(acc3, vld1q_f64(a + i + 6), vld1q_f64(b + i + 6));
+  }
+  for (; i + 2 <= n; i += 2) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+  }
+  double sum = vaddvq_f64(vaddq_f64(vaddq_f64(acc0, acc1), vaddq_f64(acc2, acc3)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline double squared_diff_n(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t d1 = vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc0 = vfmaq_f64(acc0, d0, d0);
+    acc1 = vfmaq_f64(acc1, d1, d1);
+  }
+  double sum = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+#else
+
+inline double dot_n(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline double squared_diff_n(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+#endif
+
+// Integer dot product of two int16 vectors, accumulated in int32. Exact
+// (integer arithmetic is associativity-free), so the bound scan may tile
+// and reassociate freely without any bit-identity concern. Safe from
+// overflow as long as |values| <= kQuantRange (510) and n <= 8192:
+// n * 510 * 510 = 8192 * 260100 < 2^31.
+#if defined(HDC_PREFILTER_KERNEL_AVX2)
+
+inline std::int32_t dot_q_n(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int32_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] +
+                     lanes[5] + lanes[6] + lanes[7];
+  for (; i < n; ++i)
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return sum;
+}
+
+#elif defined(HDC_PREFILTER_KERNEL_NEON)
+
+inline std::int32_t dot_q_n(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  int32x4_t acc0 = vdupq_n_s32(0);
+  int32x4_t acc1 = vdupq_n_s32(0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t va = vld1q_s16(a + i);
+    const int16x8_t vb = vld1q_s16(b + i);
+    acc0 = vmlal_s16(acc0, vget_low_s16(va), vget_low_s16(vb));
+    acc1 = vmlal_s16(acc1, vget_high_s16(va), vget_high_s16(vb));
+  }
+  std::int32_t sum = vaddvq_s32(vaddq_s32(acc0, acc1));
+  for (; i < n; ++i)
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return sum;
+}
+
+#elif defined(HDC_PREFILTER_KERNEL_SSE2)
+
+inline std::int32_t dot_q_n(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  __m128i acc0 = _mm_setzero_si128();
+  __m128i acc1 = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i + 8));
+    const __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i + 8));
+    acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(a0, b0));
+    acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(a1, b1));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(a0, b0));
+  }
+  const __m128i acc = _mm_add_epi32(acc0, acc1);
+  alignas(16) std::int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::int32_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i)
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return sum;
+}
+
+#else
+
+inline std::int32_t dot_q_n(const std::int16_t* a, const std::int16_t* b,
+                            std::size_t n) {
+  std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+    s1 += static_cast<std::int32_t>(a[i + 1]) * static_cast<std::int32_t>(b[i + 1]);
+    s2 += static_cast<std::int32_t>(a[i + 2]) * static_cast<std::int32_t>(b[i + 2]);
+    s3 += static_cast<std::int32_t>(a[i + 3]) * static_cast<std::int32_t>(b[i + 3]);
+  }
+  std::int32_t sum = s0 + s1 + s2 + s3;
+  for (; i < n; ++i)
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return sum;
+}
+
+#endif
+
+// Register-blocked 1x2 micro-kernel: one quantised query against TWO
+// template windows at once. The query vector is loaded into registers once
+// per step and multiplied against both panels, halving the dominant load
+// traffic of the bound scan — the GEMM move, at the register tile level.
+#if defined(HDC_PREFILTER_KERNEL_AVX2)
+
+inline void dot_q_n_x2(const std::int16_t* a, const std::int16_t* b0,
+                       const std::int16_t* b1, std::size_t n,
+                       std::int32_t& out0, std::int32_t& out1) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b0 + i));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b1 + i));
+    acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, vb0));
+    acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, vb1));
+  }
+  alignas(32) std::int32_t l0[8];
+  alignas(32) std::int32_t l1[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(l0), acc0);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(l1), acc1);
+  std::int32_t s0 = l0[0] + l0[1] + l0[2] + l0[3] + l0[4] + l0[5] + l0[6] + l0[7];
+  std::int32_t s1 = l1[0] + l1[1] + l1[2] + l1[3] + l1[4] + l1[5] + l1[6] + l1[7];
+  for (; i < n; ++i) {
+    const std::int32_t va = a[i];
+    s0 += va * static_cast<std::int32_t>(b0[i]);
+    s1 += va * static_cast<std::int32_t>(b1[i]);
+  }
+  out0 = s0;
+  out1 = s1;
+}
+
+#elif defined(HDC_PREFILTER_KERNEL_NEON)
+
+inline void dot_q_n_x2(const std::int16_t* a, const std::int16_t* b0,
+                       const std::int16_t* b1, std::size_t n,
+                       std::int32_t& out0, std::int32_t& out1) {
+  int32x4_t acc0 = vdupq_n_s32(0);
+  int32x4_t acc1 = vdupq_n_s32(0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t va = vld1q_s16(a + i);
+    const int16x8_t vb0 = vld1q_s16(b0 + i);
+    const int16x8_t vb1 = vld1q_s16(b1 + i);
+    acc0 = vmlal_s16(acc0, vget_low_s16(va), vget_low_s16(vb0));
+    acc0 = vmlal_s16(acc0, vget_high_s16(va), vget_high_s16(vb0));
+    acc1 = vmlal_s16(acc1, vget_low_s16(va), vget_low_s16(vb1));
+    acc1 = vmlal_s16(acc1, vget_high_s16(va), vget_high_s16(vb1));
+  }
+  std::int32_t s0 = vaddvq_s32(acc0);
+  std::int32_t s1 = vaddvq_s32(acc1);
+  for (; i < n; ++i) {
+    const std::int32_t va = a[i];
+    s0 += va * static_cast<std::int32_t>(b0[i]);
+    s1 += va * static_cast<std::int32_t>(b1[i]);
+  }
+  out0 = s0;
+  out1 = s1;
+}
+
+#elif defined(HDC_PREFILTER_KERNEL_SSE2)
+
+inline void dot_q_n_x2(const std::int16_t* a, const std::int16_t* b0,
+                       const std::int16_t* b1, std::size_t n,
+                       std::int32_t& out0, std::int32_t& out1) {
+  __m128i acc0 = _mm_setzero_si128();
+  __m128i acc1 = _mm_setzero_si128();
+  __m128i acc2 = _mm_setzero_si128();
+  __m128i acc3 = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i + 8));
+    acc0 = _mm_add_epi32(
+        acc0, _mm_madd_epi16(
+                  va, _mm_loadu_si128(reinterpret_cast<const __m128i*>(b0 + i))));
+    acc1 = _mm_add_epi32(
+        acc1, _mm_madd_epi16(
+                  va, _mm_loadu_si128(reinterpret_cast<const __m128i*>(b1 + i))));
+    acc2 = _mm_add_epi32(
+        acc2,
+        _mm_madd_epi16(
+            vc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(b0 + i + 8))));
+    acc3 = _mm_add_epi32(
+        acc3,
+        _mm_madd_epi16(
+            vc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(b1 + i + 8))));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b0 + i));
+    const __m128i vb1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b1 + i));
+    acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va, vb0));
+    acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(va, vb1));
+  }
+  acc0 = _mm_add_epi32(acc0, acc2);
+  acc1 = _mm_add_epi32(acc1, acc3);
+  alignas(16) std::int32_t l0[4];
+  alignas(16) std::int32_t l1[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(l0), acc0);
+  _mm_store_si128(reinterpret_cast<__m128i*>(l1), acc1);
+  std::int32_t s0 = l0[0] + l0[1] + l0[2] + l0[3];
+  std::int32_t s1 = l1[0] + l1[1] + l1[2] + l1[3];
+  for (; i < n; ++i) {
+    const std::int32_t va = a[i];
+    s0 += va * static_cast<std::int32_t>(b0[i]);
+    s1 += va * static_cast<std::int32_t>(b1[i]);
+  }
+  out0 = s0;
+  out1 = s1;
+}
+
+#else
+
+inline void dot_q_n_x2(const std::int16_t* a, const std::int16_t* b0,
+                       const std::int16_t* b1, std::size_t n,
+                       std::int32_t& out0, std::int32_t& out1) {
+  std::int32_t s0 = 0, s1 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t va = a[i];
+    s0 += va * static_cast<std::int32_t>(b0[i]);
+    s1 += va * static_cast<std::int32_t>(b1[i]);
+  }
+  out0 = s0;
+  out1 = s1;
+}
+
+#endif
+
+}  // namespace hdc::timeseries::detail

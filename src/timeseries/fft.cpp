@@ -1,0 +1,67 @@
+#include "timeseries/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace hdc::timeseries {
+
+std::size_t next_pow2(std::size_t x) noexcept {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t m) : m_(m) {
+  if (m == 0 || (m & (m - 1)) != 0) {
+    throw std::invalid_argument("FftPlan: size must be a power of two >= 1");
+  }
+  bit_reverse_.resize(m);
+  std::size_t log2m = 0;
+  while ((std::size_t{1} << log2m) < m) ++log2m;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t bit = 0; bit < log2m; ++bit) {
+      rev = (rev << 1) | ((i >> bit) & 1);
+    }
+    bit_reverse_[i] = rev;
+  }
+  twiddles_.resize(m / 2);
+  for (std::size_t k = 0; k < m / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(m);
+    twiddles_[k] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void FftPlan::transform(std::complex<double>* data) const {
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= m_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t stride = m_ / len;  // twiddle index step at this stage
+    for (std::size_t base = 0; base < m_; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w = twiddles_[k * stride];
+        const std::complex<double> odd = data[base + k + half] * w;
+        const std::complex<double> even = data[base + k];
+        data[base + k] = even + odd;
+        data[base + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+void FftPlan::forward(std::complex<double>* data) const { transform(data); }
+
+void FftPlan::inverse(std::complex<double>* data) const {
+  for (std::size_t i = 0; i < m_; ++i) data[i] = std::conj(data[i]);
+  transform(data);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  for (std::size_t i = 0; i < m_; ++i) data[i] = std::conj(data[i]) * inv_m;
+}
+
+}  // namespace hdc::timeseries

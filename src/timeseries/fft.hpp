@@ -1,0 +1,49 @@
+// Minimal power-of-two complex FFT for the long-signature rotation path.
+//
+// The blocked matching engine uses circular cross-correlation
+// (IFFT(conj(FFT(query)) * FFT(doubled-template))) to approximate all n
+// rotation dot products in O(M log M) instead of O(n^2), then re-verifies
+// candidate shifts with the exact float kernel. Only forward/inverse
+// transforms over pre-sized power-of-two buffers are needed, so this is a
+// plain iterative radix-2 Cooley-Tukey with a precomputed plan (bit-reverse
+// permutation + twiddle table) — no external dependency, no allocation per
+// transform once the plan is built.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace hdc::timeseries {
+
+/// Smallest power of two >= x (x = 0 or 1 -> 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t x) noexcept;
+
+/// Precomputed transform plan for one size M (power of two). Immutable
+/// after construction; safe to share across threads for concurrent
+/// transforms (the work buffers live with the caller).
+class FftPlan {
+ public:
+  /// Builds the bit-reverse permutation and twiddle table for size `m`.
+  /// Throws std::invalid_argument unless m is a power of two >= 1.
+  explicit FftPlan(std::size_t m);
+
+  [[nodiscard]] std::size_t size() const noexcept { return m_; }
+
+  /// In-place forward DFT of `data` (size() complex values, unscaled).
+  void forward(std::complex<double>* data) const;
+
+  /// In-place inverse DFT with the 1/M scale folded in, so
+  /// inverse(forward(x)) == x up to round-off. Implemented as
+  /// conj(forward(conj(x))) / M over the same twiddle table.
+  void inverse(std::complex<double>* data) const;
+
+ private:
+  void transform(std::complex<double>* data) const;
+
+  std::size_t m_{1};
+  std::vector<std::size_t> bit_reverse_;          // permutation, size m_
+  std::vector<std::complex<double>> twiddles_;    // e^{-2πik/m}, size m_/2
+};
+
+}  // namespace hdc::timeseries

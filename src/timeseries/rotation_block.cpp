@@ -1,0 +1,614 @@
+#include "timeseries/rotation_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "timeseries/detail/dot_kernels.hpp"
+
+namespace hdc::timeseries {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+// One query's quantised image plus the scalars the error bounds need.
+// Pointers alias the block scratch; valid for one block call.
+struct QueryMeta {
+  const double* a{nullptr};
+  const std::int16_t* qa{nullptr};
+  double scale{0.0};  ///< 0 = quantised form unavailable for this query
+  double sum_sq{0.0};
+  double abs_sum{0.0};
+  double max_abs{0.0};
+  std::int64_t int_abs{0};
+};
+
+void prepare_query(const double* a, std::size_t n, std::int16_t* qa,
+                   QueryMeta& meta, bool quantize) {
+  meta.a = a;
+  meta.qa = qa;
+  meta.scale = 0.0;
+  meta.sum_sq = 0.0;
+  meta.abs_sum = 0.0;
+  meta.max_abs = 0.0;
+  meta.int_abs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = a[i];
+    meta.abs_sum += std::abs(v);
+    meta.sum_sq += v * v;
+    meta.max_abs = std::max(meta.max_abs, std::abs(v));
+  }
+  if (!quantize || n == 0 || n > kQuantPrefilterMaxLength ||
+      meta.max_abs <= 0.0 || !std::isfinite(meta.max_abs)) {
+    return;
+  }
+  meta.scale = meta.max_abs / static_cast<double>(kQuantRange);
+  for (std::size_t i = 0; i < n; ++i) {
+    qa[i] = static_cast<std::int16_t>(std::llround(a[i] / meta.scale));
+    meta.int_abs += std::abs(static_cast<std::int64_t>(qa[i]));
+  }
+}
+
+// Upper-bound slack for the quantised dot: covers (a) the quantisation
+// residual — each value sits within half a quantum of its int16 image, and
+// a length-n window of the doubled buffer covers each template residue
+// exactly once, so the window |q| sum equals the per-period q_int_abs
+// regardless of the shift — and (b) the float round-off of the exact
+// dot_n kernel the bound must dominate. k-independent, so one value serves
+// the whole scan.
+double quant_pair_slack(const QueryMeta& q, const RotationTemplate& t,
+                        std::size_t n) {
+  const double ss = q.scale * t.quant_scale;
+  const double quant =
+      ss * (0.5 * static_cast<double>(q.int_abs) +
+            0.5 * static_cast<double>(t.q_int_abs) +
+            0.25 * static_cast<double>(n));
+  const double fp = 16.0 * kEps * static_cast<double>(n) *
+                    std::min(q.abs_sum * t.max_abs, q.max_abs * t.abs_sum);
+  return quant + fp;
+}
+
+// The dense float scan, byte-for-byte the same algorithm as the
+// single-query kernel's best_rotation (shared detail::dot_n /
+// detail::squared_diff_n do the arithmetic): the fallback when neither
+// bound path applies to a pair.
+RotationMatch full_scan(const double* a, const RotationTemplate& t,
+                        RotationBlockStats& st) {
+  const std::size_t n = t.length;
+  const double* doubled = t.doubled.data();
+  double best_dot = -kInf;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double d = detail::dot_n(a, doubled + k, n);
+    if (d > best_dot) {
+      best_dot = d;
+      best_k = k;
+    }
+  }
+  st.exact_dot_shifts += n;
+  const double sum_sq = detail::squared_diff_n(a, doubled + best_k, n);
+  return {std::sqrt(sum_sq), best_k};
+}
+
+// Candidate re-verify: given a per-shift upper bound ub(k) >= the float
+// dot_n value at k, evaluates exactly the shifts whose bound reaches the
+// running threshold. Every shift achieving the global float maximum has
+// ub(k) >= max >= threshold, so it IS evaluated; the ascending-k loop with
+// the strict `>` update then selects the lowest such shift — the same
+// winner, bit for bit, as the dense scan above. Skipped shifts satisfy
+// dot(k) <= ub(k) < final best, strictly, so no tie is ever lost.
+template <typename UpperBound>
+RotationMatch verify_candidates(const double* a, const RotationTemplate& t,
+                                std::size_t n, std::size_t khat,
+                                UpperBound&& ub, RotationBlockStats& st) {
+  const double* doubled = t.doubled.data();
+  const double seed = detail::dot_n(a, doubled + khat, n);
+  ++st.exact_dot_shifts;
+  double best_dot = -kInf;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double threshold = seed > best_dot ? seed : best_dot;
+    if (ub(k) < threshold) continue;
+    const double d = detail::dot_n(a, doubled + k, n);
+    ++st.exact_dot_shifts;
+    if (d > best_dot) {
+      best_dot = d;
+      best_k = k;
+    }
+  }
+  const double sum_sq = detail::squared_diff_n(a, doubled + best_k, n);
+  return {std::sqrt(sum_sq), best_k};
+}
+
+// Which bound feeds the re-verify for one (query, template) pair.
+enum class PairPath { kFull, kQuant, kFft };
+
+PairPath pick_path(RotationScanMode mode, const QueryMeta& q,
+                   const RotationTemplate& t, std::size_t n) {
+  const bool quant_ok = q.scale > 0.0 && !t.q_doubled.empty();
+  switch (mode) {
+    case RotationScanMode::kFft:
+      if (t.spectrum.empty()) {
+        throw std::invalid_argument(
+            "rotation block: RotationScanMode::kFft requires templates built "
+            "with a spectrum");
+      }
+      return PairPath::kFft;
+    case RotationScanMode::kQuantized:
+      return quant_ok ? PairPath::kQuant : PairPath::kFull;
+    case RotationScanMode::kAuto:
+    default:
+      if (!t.spectrum.empty()) return PairPath::kFft;
+      if (n < kQuantAutoMinLength) return PairPath::kFull;
+      return quant_ok ? PairPath::kQuant : PairPath::kFull;
+  }
+}
+
+// Everything one block call shares: the resolved shape, per-query metas,
+// and the lazily built FFT state.
+struct BlockContext {
+  std::size_t n{0};
+  std::vector<QueryMeta> metas;  // lives here, pointers into scratch
+  RotationBlockScratch* scratch{nullptr};
+  bool query_spec_valid{false};
+
+  void prepare(const Series* const* queries, std::size_t query_count,
+               RotationBlockScratch& s, std::size_t length,
+               RotationScanMode mode) {
+    n = length;
+    scratch = &s;
+    s.qa.resize(query_count * n);
+    metas.resize(query_count);
+    // kAuto below the small-n threshold never consults the quantised form
+    // (pick_path routes those pairs to the dense float scan, and kFft pairs
+    // use the spectrum), so skip the llround pass — it is pure overhead.
+    const bool quantize =
+        mode != RotationScanMode::kAuto || n >= kQuantAutoMinLength;
+    for (std::size_t qi = 0; qi < query_count; ++qi) {
+      prepare_query(queries[qi]->data(), n, s.qa.data() + qi * n, metas[qi],
+                    quantize);
+    }
+  }
+
+  // Builds (or reuses) the plan for M = next_pow2(2n) and transforms the
+  // current query. Called once per query before its first FFT pair.
+  void build_query_spectrum(const QueryMeta& q) {
+    const std::size_t m = next_pow2(2 * n);
+    if (!scratch->plan || scratch->plan->size() != m) {
+      scratch->plan = std::make_unique<FftPlan>(m);
+    }
+    scratch->query_spec.assign(m, {0.0, 0.0});
+    for (std::size_t i = 0; i < n; ++i) scratch->query_spec[i] = {q.a[i], 0.0};
+    scratch->plan->forward(scratch->query_spec.data());
+    scratch->corr.resize(m);
+    query_spec_valid = true;
+  }
+};
+
+// FFT bound for one pair: circular cross-correlation against the template
+// spectrum approximates all n rotation dots at once; the round-off slack
+// makes it a true upper bound for the re-verify step. Returns the bound in
+// scratch->corr (real parts) plus the slack and the argmax lag.
+struct FftBound {
+  double slack{0.0};
+  double cmax{-kInf};
+  std::size_t khat{0};
+};
+
+FftBound fft_bound_scan(BlockContext& ctx, const QueryMeta& q,
+                        const RotationTemplate& t) {
+  RotationBlockScratch& s = *ctx.scratch;
+  const std::size_t m = s.plan->size();
+  const std::complex<double>* spec_q = s.query_spec.data();
+  const std::complex<double>* spec_t = t.spectrum.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    s.corr[i] = std::conj(spec_q[i]) * spec_t[i];
+  }
+  s.plan->inverse(s.corr.data());
+  FftBound bound;
+  // Empirically the per-lag correlation error is a few eps * ||a|| ||d||;
+  // the log2(M) * 64 headroom keeps the bound safe with margin to spare
+  // (fuzzed in tests), while staying tight enough that only a handful of
+  // shifts survive to the float re-verify.
+  bound.slack = 64.0 * kEps * std::log2(static_cast<double>(m)) *
+                std::sqrt(q.sum_sq * 2.0 * t.sum_sq + 1.0);
+  for (std::size_t k = 0; k < ctx.n; ++k) {
+    const double c = s.corr[k].real();
+    if (c > bound.cmax) {
+      bound.cmax = c;
+      bound.khat = k;
+    }
+  }
+  return bound;
+}
+
+RotationMatch fft_match(BlockContext& ctx, const QueryMeta& q,
+                        const RotationTemplate& t, RotationBlockStats& st) {
+  const FftBound bound = fft_bound_scan(ctx, q, t);
+  ++st.fft_pairs;
+  const std::complex<double>* corr = ctx.scratch->corr.data();
+  const double slack = bound.slack;
+  return verify_candidates(
+      q.a, t, ctx.n, bound.khat,
+      [corr, slack](std::size_t k) { return corr[k].real() + slack; }, st);
+}
+
+// Quantised bound scan for one query against one / two template panels.
+void bound_scan_one(const QueryMeta& q, const RotationTemplate& t,
+                    std::size_t n, std::int32_t* out) {
+  const std::int16_t* qd = t.q_doubled.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = detail::dot_q_n(q.qa, qd + k, n);
+  }
+}
+
+void bound_scan_two(const QueryMeta& q, const RotationTemplate& t0,
+                    const RotationTemplate& t1, std::size_t n,
+                    std::int32_t* out0, std::int32_t* out1) {
+  const std::int16_t* qd0 = t0.q_doubled.data();
+  const std::int16_t* qd1 = t1.q_doubled.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    detail::dot_q_n_x2(q.qa, qd0 + k, qd1 + k, n, out0[k], out1[k]);
+  }
+}
+
+// Quantised-path re-verify with an INTEGER skip threshold: a shift is
+// skippable when ss * lane[k] + slack < threshold, i.e. when lane[k] is
+// below (threshold - slack) / ss. Mapping the threshold into lane units
+// once (re-mapped only on the rare best-dot improvement) turns the per-
+// shift test into a single integer compare — no int→double conversion in
+// the scan. The floor(x) - 1 bias strictly under-approximates the real
+// cut-off, absorbing the division's round-off, so every skip remains
+// provably safe; it costs at most a couple of extra candidate evaluations.
+RotationMatch verify_candidates_quant(const double* a,
+                                      const RotationTemplate& t, std::size_t n,
+                                      std::size_t khat,
+                                      const std::int32_t* lane, double ss,
+                                      double slack, RotationBlockStats& st) {
+  const double* doubled = t.doubled.data();
+  const double seed = detail::dot_n(a, doubled + khat, n);
+  ++st.exact_dot_shifts;
+  const auto lane_cutoff = [ss, slack](double threshold) -> std::int64_t {
+    const double x = (threshold - slack) / ss;
+    if (!(x > -9.0e15) || !(x < 9.0e15)) {
+      return std::numeric_limits<std::int64_t>::min();  // degenerate: skip nothing
+    }
+    return static_cast<std::int64_t>(std::floor(x)) - 1;
+  };
+  double best_dot = -kInf;
+  std::size_t best_k = 0;
+  std::int64_t cutoff = lane_cutoff(seed);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (static_cast<std::int64_t>(lane[k]) < cutoff) continue;
+    const double d = detail::dot_n(a, doubled + k, n);
+    ++st.exact_dot_shifts;
+    if (d > best_dot) {
+      best_dot = d;
+      best_k = k;
+      if (best_dot > seed) cutoff = lane_cutoff(best_dot);
+    }
+  }
+  const double sum_sq = detail::squared_diff_n(a, doubled + best_k, n);
+  return {std::sqrt(sum_sq), best_k};
+}
+
+RotationMatch quant_match_from_bounds(const QueryMeta& q,
+                                      const RotationTemplate& t,
+                                      std::size_t n, const std::int32_t* bound,
+                                      RotationBlockStats& st) {
+  const double ss = q.scale * t.quant_scale;
+  const double slack = quant_pair_slack(q, t, n);
+  std::int32_t dmax = bound[0];
+  std::size_t khat = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (bound[k] > dmax) {
+      dmax = bound[k];
+      khat = k;
+    }
+  }
+  return verify_candidates_quant(q.a, t, n, khat, bound, ss, slack, st);
+}
+
+// Lower bound on the exact (computed) rotation distance from a bound-scan
+// maximum: d^2 >= sum_sq_a + sum_sq_b - 2 * (true max dot), and the true
+// max dot is at most upper + slack. The extra fp term dominates the
+// round-off of both the squared_diff_n evaluation the exact path performs
+// and the scalar sums entering this formula, so lb <= the exact computed
+// distance always (the pruning proof obligation).
+double distance_lower_bound(double sum_sq_a, double sum_sq_b, double dot_upper,
+                            std::size_t n) {
+  const double fp = 32.0 * kEps * static_cast<double>(n + 1) *
+                    (sum_sq_a + sum_sq_b + 2.0 * std::abs(dot_upper));
+  const double lb2 = sum_sq_a + sum_sq_b - 2.0 * dot_upper - fp;
+  if (!(lb2 > 0.0)) return 0.0;
+  return std::sqrt(lb2) * (1.0 - 4.0 * kEps);
+}
+
+std::size_t validate_block(const char* where, const Series* const* queries,
+                           std::size_t query_count,
+                           const RotationTemplate* const* templates,
+                           std::size_t template_count) {
+  const std::size_t n = query_count > 0 ? queries[0]->size() : 0;
+  for (std::size_t qi = 0; qi < query_count; ++qi) {
+    if (queries[qi]->size() != n) {
+      throw std::invalid_argument(std::string(where) + ": size mismatch");
+    }
+  }
+  for (std::size_t ti = 0; ti < template_count; ++ti) {
+    if (templates[ti]->length != n) {
+      throw std::invalid_argument(std::string(where) + ": size mismatch");
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const char* rotation_prefilter_kernel() noexcept {
+  return HDC_PREFILTER_KERNEL_NAME;
+}
+
+std::size_t rotation_fft_crossover() noexcept {
+  // Measured on the 1-hardware-thread reference container via
+  // bench_distance_micro's forced-mode crossover cells (kQuantized vs kFft
+  // pairs/sec at n in {512, 1024, ..., 8192}): the SSE2 int16 bound scan
+  // wins every length through 4096 (74k vs 13k pairs/s at 512; near-tie by
+  // 4096) and the FFT path first wins at 8192 (~550 vs ~310 pairs/s) — the
+  // dot-product constants carry much further than the asymptotics suggest.
+  // 8192 is also kQuantPrefilterMaxLength (the int32 overflow cap), so the
+  // two bound scans hand off exactly where the cheaper one stops being
+  // available. See docs/PERFORMANCE.md for the methodology.
+  return 8192;
+}
+
+void euclidean_rotation_invariant_block(
+    const Series* const* queries, std::size_t query_count,
+    const RotationTemplate* const* templates, std::size_t template_count,
+    RotationBlockScratch& scratch, RotationMatch* out, RotationScanMode mode,
+    RotationBlockStats* stats) {
+  const std::size_t n = validate_block("euclidean_rotation_invariant_block",
+                                       queries, query_count, templates,
+                                       template_count);
+  if (query_count == 0 || template_count == 0) return;
+
+  RotationBlockStats st;
+  st.pairs = query_count * template_count;
+  st.total_shifts = st.pairs * n;
+
+  if (n == 0) {
+    for (std::size_t i = 0; i < st.pairs; ++i) out[i] = {0.0, 0};
+    if (stats != nullptr) {
+      stats->pairs += st.pairs;
+      stats->total_shifts += st.total_shifts;
+    }
+    return;
+  }
+
+  BlockContext ctx;
+  ctx.prepare(queries, query_count, scratch, n, mode);
+  scratch.bound0.resize(n);
+  scratch.bound1.resize(n);
+
+  for (std::size_t qi = 0; qi < query_count; ++qi) {
+    const QueryMeta& q = ctx.metas[qi];
+    ctx.query_spec_valid = false;
+    RotationMatch* row = out + qi * template_count;
+    std::size_t ti = 0;
+    while (ti < template_count) {
+      const RotationTemplate& t0 = *templates[ti];
+      const PairPath p0 = pick_path(mode, q, t0, n);
+      if (p0 == PairPath::kQuant && ti + 1 < template_count &&
+          pick_path(mode, q, *templates[ti + 1], n) == PairPath::kQuant) {
+        const RotationTemplate& t1 = *templates[ti + 1];
+        bound_scan_two(q, t0, t1, n, scratch.bound0.data(),
+                       scratch.bound1.data());
+        row[ti] = quant_match_from_bounds(q, t0, n, scratch.bound0.data(), st);
+        row[ti + 1] =
+            quant_match_from_bounds(q, t1, n, scratch.bound1.data(), st);
+        ti += 2;
+        continue;
+      }
+      switch (p0) {
+        case PairPath::kQuant:
+          bound_scan_one(q, t0, n, scratch.bound0.data());
+          row[ti] = quant_match_from_bounds(q, t0, n, scratch.bound0.data(), st);
+          break;
+        case PairPath::kFft:
+          if (!ctx.query_spec_valid) ctx.build_query_spectrum(q);
+          row[ti] = fft_match(ctx, q, t0, st);
+          break;
+        case PairPath::kFull:
+        default:
+          row[ti] = full_scan(q.a, t0, st);
+          ++st.fullscan_pairs;
+          break;
+      }
+      ++ti;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->pairs += st.pairs;
+    stats->pruned_templates += st.pruned_templates;
+    stats->exact_dot_shifts += st.exact_dot_shifts;
+    stats->total_shifts += st.total_shifts;
+    stats->fft_pairs += st.fft_pairs;
+    stats->fullscan_pairs += st.fullscan_pairs;
+  }
+}
+
+namespace {
+
+// Strict-< best/second update shared by the top-2 reduction — the exact
+// rules SignDatabase's hand-rolled ranking loop uses, so the engine's
+// output is substitutable bit for bit.
+void top2_update(RotationTopMatch& acc, double distance, std::size_t index,
+                 std::size_t shift) {
+  if (distance < acc.distance) {
+    acc.second = acc.distance;
+    acc.distance = distance;
+    acc.template_index = index;
+    acc.shift = shift;
+  } else if (distance < acc.second) {
+    acc.second = distance;
+  }
+}
+
+}  // namespace
+
+void rotation_match_top2_block(
+    const Series* const* queries, std::size_t query_count,
+    const RotationTemplate* const* templates, std::size_t template_count,
+    RotationBlockScratch& scratch, RotationTopMatch* out, RotationScanMode mode,
+    RotationBlockStats* stats) {
+  if (template_count == 0) {
+    throw std::invalid_argument("rotation_match_top2_block: no templates");
+  }
+  const std::size_t n =
+      validate_block("rotation_match_top2_block", queries, query_count,
+                     templates, template_count);
+  if (query_count == 0) return;
+
+  RotationBlockStats st;
+  st.pairs = query_count * template_count;
+  st.total_shifts = st.pairs * n;
+
+  if (n == 0) {
+    for (std::size_t qi = 0; qi < query_count; ++qi) {
+      out[qi] = RotationTopMatch{};
+      out[qi].distance = 0.0;
+      out[qi].template_index = 0;
+      out[qi].shift = 0;
+      out[qi].second = template_count > 1 ? 0.0 : kInf;
+    }
+    if (stats != nullptr) {
+      stats->pairs += st.pairs;
+      stats->total_shifts += st.total_shifts;
+    }
+    return;
+  }
+
+  BlockContext ctx;
+  ctx.prepare(queries, query_count, scratch, n, mode);
+  scratch.bound0.resize(n);
+  scratch.bound1.resize(n);
+
+  for (std::size_t qi = 0; qi < query_count; ++qi) {
+    const QueryMeta& q = ctx.metas[qi];
+    ctx.query_spec_valid = false;
+    RotationTopMatch acc;
+
+    // Scores template `ti` from an already-computed quantised bound lane,
+    // pruning it outright when its lower bound proves it cannot displace
+    // the current runner-up (and therefore cannot change best, second,
+    // index, shift, or margin under the strict-< rules).
+    const auto score_quant_lane = [&](std::size_t ti,
+                                      const std::int32_t* lane) {
+      const RotationTemplate& t = *templates[ti];
+      const double ss = q.scale * t.quant_scale;
+      const double slack = quant_pair_slack(q, t, n);
+      std::int32_t dmax = lane[0];
+      std::size_t khat = 0;
+      for (std::size_t k = 1; k < n; ++k) {
+        if (lane[k] > dmax) {
+          dmax = lane[k];
+          khat = k;
+        }
+      }
+      const double dot_upper = ss * static_cast<double>(dmax) + slack;
+      const double lb = distance_lower_bound(q.sum_sq, t.sum_sq, dot_upper, n);
+      if (lb > acc.second) {
+        ++st.pruned_templates;
+        return;
+      }
+      const RotationMatch m =
+          verify_candidates_quant(q.a, t, n, khat, lane, ss, slack, st);
+      top2_update(acc, m.distance, ti, m.shift);
+    };
+
+    std::size_t ti = 0;
+    while (ti < template_count) {
+      const RotationTemplate& t0 = *templates[ti];
+      const PairPath p0 = pick_path(mode, q, t0, n);
+      if (p0 == PairPath::kQuant && ti + 1 < template_count &&
+          pick_path(mode, q, *templates[ti + 1], n) == PairPath::kQuant) {
+        bound_scan_two(q, t0, *templates[ti + 1], n, scratch.bound0.data(),
+                       scratch.bound1.data());
+        score_quant_lane(ti, scratch.bound0.data());
+        score_quant_lane(ti + 1, scratch.bound1.data());
+        ti += 2;
+        continue;
+      }
+      switch (p0) {
+        case PairPath::kQuant:
+          bound_scan_one(q, t0, n, scratch.bound0.data());
+          score_quant_lane(ti, scratch.bound0.data());
+          break;
+        case PairPath::kFft: {
+          if (!ctx.query_spec_valid) ctx.build_query_spectrum(q);
+          const FftBound bound = fft_bound_scan(ctx, q, t0);
+          ++st.fft_pairs;
+          const double lb = distance_lower_bound(
+              q.sum_sq, t0.sum_sq, bound.cmax + bound.slack, n);
+          if (lb > acc.second) {
+            ++st.pruned_templates;
+            break;
+          }
+          const std::complex<double>* corr = ctx.scratch->corr.data();
+          const double slack = bound.slack;
+          const RotationMatch m = verify_candidates(
+              q.a, t0, n, bound.khat,
+              [corr, slack](std::size_t k) { return corr[k].real() + slack; },
+              st);
+          top2_update(acc, m.distance, ti, m.shift);
+          break;
+        }
+        case PairPath::kFull:
+        default: {
+          const RotationMatch m = full_scan(q.a, t0, st);
+          ++st.fullscan_pairs;
+          top2_update(acc, m.distance, ti, m.shift);
+          break;
+        }
+      }
+      ++ti;
+    }
+    out[qi] = acc;
+  }
+
+  if (stats != nullptr) {
+    stats->pairs += st.pairs;
+    stats->pruned_templates += st.pruned_templates;
+    stats->exact_dot_shifts += st.exact_dot_shifts;
+    stats->total_shifts += st.total_shifts;
+    stats->fft_pairs += st.fft_pairs;
+    stats->fullscan_pairs += st.fullscan_pairs;
+  }
+}
+
+double rotation_distance_lower_bound(const Series& a,
+                                     const RotationTemplate& t) {
+  if (a.size() != t.length) {
+    throw std::invalid_argument("rotation_distance_lower_bound: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n == 0) return 0.0;
+  thread_local RotationBlockScratch scratch;
+  scratch.qa.resize(n);
+  QueryMeta q;
+  prepare_query(a.data(), n, scratch.qa.data(), q, /*quantize=*/true);
+  if (q.scale <= 0.0 || t.q_doubled.empty()) return 0.0;
+  scratch.bound0.resize(n);
+  bound_scan_one(q, t, n, scratch.bound0.data());
+  const double ss = q.scale * t.quant_scale;
+  const double slack = quant_pair_slack(q, t, n);
+  std::int32_t dmax = scratch.bound0[0];
+  for (std::size_t k = 1; k < n; ++k) dmax = std::max(dmax, scratch.bound0[k]);
+  return distance_lower_bound(q.sum_sq, t.sum_sq,
+                              ss * static_cast<double>(dmax) + slack, n);
+}
+
+}  // namespace hdc::timeseries

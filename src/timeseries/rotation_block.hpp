@@ -1,0 +1,174 @@
+// Blocked multi-query rotation-invariant matching engine.
+//
+// The single-query kernel in distance.hpp scores one (query, template) pair
+// as n contiguous double dot products. Fleet traffic is Q in-flight queries
+// against the same T database templates, which is a (queries x rotations) ·
+// templates GEMM-shaped workload. This engine scores the whole Q x T block
+// with three cooperating ideas:
+//
+//   1. Quantised pre-filter (the default). Queries and templates are
+//      quantised to int16 (range ±kQuantRange, per-series scale), and the
+//      rotation dot scan runs in int32 multiply-accumulate — exact integer
+//      arithmetic, 8 lanes per SSE2 `pmaddwd` even in the portable build
+//      where the double kernel is scalar. The integer scan yields a rigorous
+//      UPPER bound on every float rotation dot (quantisation + float-kernel
+//      round-off slack), so only shifts whose bound reaches the running best
+//      are re-verified with the exact float kernel (detail::dot_n — the same
+//      code the single-query kernel runs, so re-verified values are
+//      bit-identical to it). Every shift that could win IS re-verified;
+//      selection and distance are therefore bit-identical to the
+//      single-query kernel, not merely close.
+//
+//   2. Register-blocked micro-kernel. The bound scan processes one query
+//      against TWO template panels at once (each quantised query window is
+//      loaded once and multiplied against both templates), and the panels
+//      walk the block in template-major order so a panel stays cache-hot
+//      across every query in the tile.
+//
+//   3. FFT long-signature path. For long signatures the O(n^2) scan loses to
+//      circular cross-correlation: IFFT(conj(FFT(a)) * spectrum) gives all n
+//      rotation dots in O(M log M), M = next_pow2(2n). The correlation is
+//      approximate (float round-off), so the same candidate re-verify step
+//      restores bit-identical selection. Templates carry their precomputed
+//      spectrum when built at length >= rotation_fft_crossover(); the
+//      crossover is measured, not assumed (bench_distance_micro records it —
+//      at n = 128 the dot-product constants still win).
+//
+// The top-2 entry point additionally prunes whole templates: the integer
+// bound also yields a LOWER bound on each template's exact rotation
+// distance, and a template whose lower bound exceeds the running runner-up
+// distance can affect neither the best match, the runner-up, nor the margin
+// (strict-< update rules), so its float re-verify is skipped entirely.
+// Proof obligation (never drops the true best or second) is enforced by
+// property tests in tests/timeseries_block_match_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "timeseries/distance.hpp"
+#include "timeseries/fft.hpp"
+#include "timeseries/series.hpp"
+
+namespace hdc::timeseries {
+
+/// Quantisation headroom: values map to [-kQuantRange, kQuantRange] so the
+/// int32 accumulator cannot overflow for any n <= kQuantPrefilterMaxLength
+/// (n * 510^2 < 2^31). Longer series skip the pre-filter (the FFT path
+/// covers them long before that).
+inline constexpr int kQuantRange = 510;
+inline constexpr std::size_t kQuantPrefilterMaxLength = 8192;
+
+/// Below this length RotationScanMode::kAuto skips the quantised bound scan
+/// and runs the dense float scan directly: the bound scan is also O(n^2),
+/// and at small n its fixed per-shift costs (lane store, cutoff compare)
+/// eat the pruning win — measured ~1.0x at n = 32 on this container, i.e.
+/// pure overhead plus noise. Forced kQuantized is unaffected (tests
+/// exercise the bound machinery at every length through it).
+inline constexpr std::size_t kQuantAutoMinLength = 64;
+
+/// Which scan feeds the candidate re-verify step. Selection is about SPEED
+/// only — every mode re-verifies candidates with the exact float kernel, so
+/// results are bit-identical across modes.
+enum class RotationScanMode {
+  kAuto,       ///< FFT when the template carries a spectrum, else quantised
+               ///< (dense float below kQuantAutoMinLength, where the bound
+               ///< scan does not pay)
+  kQuantized,  ///< force the int16 bound scan (templates without a
+               ///< quantised form fall back to the dense float scan)
+  kFft,        ///< force the FFT path; throws if a template has no spectrum
+};
+
+/// Work counters for one block call (accumulated into `*stats` when the
+/// caller passes one; never reset by the engine). Exposed so bench JSON can
+/// record measured prune rates instead of claims.
+struct RotationBlockStats {
+  std::size_t pairs{0};             ///< (query, template) pairs scored
+  std::size_t pruned_templates{0};  ///< pairs skipped whole by the top-2 lower bound
+  std::size_t exact_dot_shifts{0};  ///< float dot_n calls spent on candidate re-verify
+  std::size_t total_shifts{0};      ///< pairs * n — the full-scan denominator
+  std::size_t fft_pairs{0};         ///< pairs whose bound came from the FFT path
+  std::size_t fullscan_pairs{0};    ///< pairs that fell back to the dense float scan
+};
+
+/// Reusable buffers for one engine-calling thread (quantised query forms,
+/// integer bound lanes, FFT plan + spectra). Resized in place; a scratch
+/// that has seen one block of a given shape performs zero heap allocations
+/// on every later block of that shape. Move-only; never share between
+/// concurrently scored blocks.
+struct RotationBlockScratch {
+  std::vector<std::int16_t> qa;          ///< Q x n quantised queries, row-major
+  std::vector<double> q_scale;           ///< per-query quantisation scale (0 = unavailable)
+  std::vector<double> q_sum_sq;          ///< per-query sum of squares
+  std::vector<double> q_abs_sum;         ///< per-query sum of |values|
+  std::vector<double> q_max_abs;         ///< per-query max |value|
+  std::vector<std::int64_t> q_int_abs;   ///< per-query sum of |quantised values|
+  std::vector<std::int32_t> bound0;      ///< integer dot lanes, template panel 0
+  std::vector<std::int32_t> bound1;      ///< integer dot lanes, template panel 1
+  std::vector<std::complex<double>> query_spec;  ///< FFT of the current query
+  std::vector<std::complex<double>> corr;        ///< correlation work buffer
+  std::unique_ptr<FftPlan> plan;                 ///< plan for the current M
+};
+
+/// Dense block entry point: scores every query against every template,
+/// writing out[q * template_count + t]. Each cell is bit-identical to a
+/// standalone euclidean_rotation_invariant(*queries[q], *templates[t])
+/// call — same distance bits, same shift, same lowest-shift tie rule.
+/// All queries and templates must share one length (mixed lengths throw
+/// std::invalid_argument); length 0 yields {0.0, 0} everywhere.
+/// Allocation-free once the scratch is warm.
+void euclidean_rotation_invariant_block(
+    const Series* const* queries, std::size_t query_count,
+    const RotationTemplate* const* templates, std::size_t template_count,
+    RotationBlockScratch& scratch, RotationMatch* out,
+    RotationScanMode mode = RotationScanMode::kAuto,
+    RotationBlockStats* stats = nullptr);
+
+/// Best and runner-up template for one query (the shape SignDatabase's
+/// exact-verify ranking needs: margin = second - distance).
+struct RotationTopMatch {
+  double distance{std::numeric_limits<double>::infinity()};
+  std::size_t template_index{0};
+  std::size_t shift{0};
+  /// Runner-up distance; +inf when only one template was scored.
+  double second{std::numeric_limits<double>::infinity()};
+};
+
+/// Top-2 block entry point: for each query, the best and runner-up template
+/// under the same index-order, strict-< update rules as scoring every
+/// template with euclidean_rotation_invariant and reducing by hand —
+/// bit-identical best/second/index/shift, but templates provably unable to
+/// enter the top 2 are pruned by the quantised lower bound before their
+/// float re-verify. template_count must be >= 1. Writes out[q].
+void rotation_match_top2_block(
+    const Series* const* queries, std::size_t query_count,
+    const RotationTemplate* const* templates, std::size_t template_count,
+    RotationBlockScratch& scratch, RotationTopMatch* out,
+    RotationScanMode mode = RotationScanMode::kAuto,
+    RotationBlockStats* stats = nullptr);
+
+/// Test hook: the engine's quantised lower bound on the exact
+/// rotation-invariant distance between `a` and `t` (0.0 when the pre-filter
+/// is unavailable for this pair — zero-signal series or length caps). The
+/// pruning proof obligation is exactly `lower_bound <= exact distance`,
+/// fuzzed in tests/timeseries_block_match_test.cpp.
+[[nodiscard]] double rotation_distance_lower_bound(const Series& a,
+                                                   const RotationTemplate& t);
+
+/// Which integer bound-scan implementation this build compiled in:
+/// "avx2-madd", "neon-mlal", "sse2-madd", or "scalar-int32". SSE2 is part
+/// of the x86-64 baseline, so the pre-filter stays vectorised even when
+/// rotation_kernel() reports "unrolled-scalar".
+[[nodiscard]] const char* rotation_prefilter_kernel() noexcept;
+
+/// Signature length at and above which make_rotation_template builds the
+/// FFT spectrum and RotationScanMode::kAuto prefers the FFT path. Measured
+/// on a 1-hardware-thread container via bench_distance_micro's crossover
+/// cells (see docs/PERFORMANCE.md for the methodology), not derived from
+/// asymptotics.
+[[nodiscard]] std::size_t rotation_fft_crossover() noexcept;
+
+}  // namespace hdc::timeseries

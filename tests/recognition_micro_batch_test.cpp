@@ -1,0 +1,218 @@
+// Multi-query database entry point and micro-batched recognition: every
+// query_many answer bit-identical to the corresponding single query() call
+// (both ranking paths, empty queries interleaved), recognize_frames_micro_batch
+// payload-bit-identical to per-frame recognize_frame_into, and the
+// PerceptionService micro-batch window validated and payload-preserving.
+#include "recognition/recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "recognition/perception_service.hpp"
+#include "signs/scene.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::recognition {
+namespace {
+
+timeseries::Series noise_signature(std::size_t n, std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  timeseries::Series out;
+  // Positive, radius-like values — the shape of a centroid-distance
+  // signature (z-normalisation inside the database handles the offset).
+  for (std::size_t i = 0; i < n; ++i) out.push_back(5.0 + rng.uniform());
+  return out;
+}
+
+SignDatabase make_database(const RecognizerConfig& config, std::size_t templates,
+                           std::size_t n) {
+  SignDatabase db(make_encoder(config));
+  for (std::size_t t = 0; t < templates; ++t) {
+    const signs::HumanSign sign =
+        signs::kAllSigns[t % signs::kAllSigns.size()];
+    db.add_template(sign, noise_signature(n, 100 + t), "synthetic");
+  }
+  return db;
+}
+
+void expect_same_match(const std::optional<DatabaseMatch>& got,
+                       const std::optional<DatabaseMatch>& want, std::size_t i) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << "query " << i;
+  if (!got) return;
+  std::uint64_t got_bits = 0, want_bits = 0;
+  std::memcpy(&got_bits, &got->distance, sizeof(double));
+  std::memcpy(&want_bits, &want->distance, sizeof(double));
+  EXPECT_EQ(got_bits, want_bits) << "distance, query " << i;
+  std::memcpy(&got_bits, &got->margin, sizeof(double));
+  std::memcpy(&want_bits, &want->margin, sizeof(double));
+  EXPECT_EQ(got_bits, want_bits) << "margin, query " << i;
+  EXPECT_EQ(got->sign, want->sign) << "query " << i;
+  EXPECT_EQ(got->template_index, want->template_index) << "query " << i;
+  EXPECT_EQ(got->best_shift, want->best_shift) << "query " << i;
+}
+
+TEST(QueryMany, BitIdenticalToSingleQueriesBothPaths) {
+  const RecognizerConfig config;
+  const SignDatabase db = make_database(config, 11, config.signature_samples);
+
+  std::vector<timeseries::Series> raw;
+  for (std::uint64_t q = 0; q < 9; ++q) {
+    raw.push_back(noise_signature(config.signature_samples, 500 + q));
+  }
+  raw[3] = db.templates()[4].normalized_signature;  // an exact-template query
+  raw[6] = timeseries::Series{};                    // empty query mid-batch
+  std::vector<const timeseries::Series*> ptrs;
+  for (const timeseries::Series& s : raw) ptrs.push_back(&s);
+
+  for (const bool exact : {true, false}) {
+    MultiQueryScratch scratch;
+    std::vector<std::optional<DatabaseMatch>> many(raw.size());
+    db.query_many(ptrs.data(), ptrs.size(), exact, scratch, many.data());
+    QueryScratch single_scratch;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const std::optional<DatabaseMatch> single =
+          db.query(raw[i], exact, single_scratch);
+      expect_same_match(many[i], single, i);
+      // The recogniser reads the SAX word back out of the slot; it must be
+      // the word the single path encodes.
+      if (single) {
+        EXPECT_EQ(scratch.slots[i].word.text, single_scratch.word.text);
+      }
+    }
+    // Second call on the same warm scratch (resize-in-place contract).
+    db.query_many(ptrs.data(), ptrs.size(), exact, scratch, many.data());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      expect_same_match(many[i], db.query(raw[i], exact, single_scratch), i);
+    }
+  }
+}
+
+TEST(QueryMany, EmptyDatabaseAndEmptyBatch) {
+  const RecognizerConfig config;
+  const SignDatabase empty_db(make_encoder(config));
+  const timeseries::Series sig = noise_signature(config.signature_samples, 1);
+  const timeseries::Series* ptr = &sig;
+  MultiQueryScratch scratch;
+  std::optional<DatabaseMatch> out = DatabaseMatch{};  // sentinel: must be cleared
+  empty_db.query_many(&ptr, 1, true, scratch, &out);
+  EXPECT_FALSE(out.has_value());
+  // count == 0 is a no-op.
+  const SignDatabase db = make_database(config, 3, config.signature_samples);
+  db.query_many(nullptr, 0, true, scratch, nullptr);
+}
+
+/// Renders a deterministic frame sequence covering accepts and rejects.
+std::vector<imaging::GrayImage> render_frames(std::size_t count) {
+  std::vector<imaging::GrayImage> frames;
+  hdc::util::Rng rng(77);
+  for (std::size_t i = 0; i < count; ++i) {
+    const signs::HumanSign sign = signs::kAllSigns[i % signs::kAllSigns.size()];
+    signs::ViewGeometry view{3.5, 3.0, 0.0};
+    view.relative_azimuth_deg = rng.uniform(-40.0, 40.0);
+    view.altitude_m = rng.uniform(2.0, 5.0);
+    frames.push_back(signs::render_sign(sign, view, signs::RenderOptions{}));
+  }
+  return frames;
+}
+
+void append_payload(const RecognitionResult& result, std::string& out) {
+  out.push_back(result.accepted ? 1 : 0);
+  out.push_back(static_cast<char>(result.sign));
+  out.push_back(static_cast<char>(result.reject_reason));
+  char bits[sizeof(double)];
+  std::memcpy(bits, &result.distance, sizeof(double));
+  out.append(bits, sizeof(double));
+  std::memcpy(bits, &result.margin, sizeof(double));
+  out.append(bits, sizeof(double));
+  out.append(result.sax_word);
+  out.push_back('|');
+}
+
+TEST(MicroBatch, PayloadBitIdenticalToPerFramePipeline) {
+  const RecognizerConfig config;
+  const SaxSignRecognizer reference(config, DatabaseBuildOptions{});
+  const std::vector<imaging::GrayImage> frames = render_frames(10);
+
+  // Sequential reference payloads through the canonical per-frame path.
+  std::string expected;
+  {
+    RecognizerScratch scratch;
+    RecognitionResult result;
+    for (const imaging::GrayImage& frame : frames) {
+      recognize_frame_into(config, reference.database(), frame, scratch, result);
+      append_payload(result, expected);
+    }
+  }
+
+  // Micro-batched across several window splits, one shared scratch pair.
+  RecognizerScratch scratch;
+  MicroBatchScratch micro;
+  for (const std::size_t window : {1u, 3u, 4u, 10u}) {
+    std::vector<RecognitionResult> results(frames.size());
+    for (std::size_t begin = 0; begin < frames.size(); begin += window) {
+      const std::size_t end = std::min(begin + window, frames.size());
+      std::vector<const imaging::GrayImage*> frame_ptrs;
+      std::vector<RecognitionResult*> result_ptrs;
+      for (std::size_t i = begin; i < end; ++i) {
+        frame_ptrs.push_back(&frames[i]);
+        result_ptrs.push_back(&results[i]);
+      }
+      recognize_frames_micro_batch(config, reference.database(), frame_ptrs.data(),
+                                   frame_ptrs.size(), scratch, micro,
+                                   result_ptrs.data());
+    }
+    std::string got;
+    for (const RecognitionResult& result : results) append_payload(result, got);
+    EXPECT_EQ(got, expected) << "window=" << window;
+  }
+}
+
+TEST(MicroBatch, ServiceValidatesWindowAndStaysBitIdentical) {
+  const RecognizerConfig config;
+  const SaxSignRecognizer reference(config, DatabaseBuildOptions{});
+  const std::vector<imaging::GrayImage> frames = render_frames(8);
+  std::string expected;
+  for (const imaging::GrayImage& frame : frames) {
+    append_payload(reference.recognize(frame), expected);
+  }
+
+  PerceptionServiceConfig bad;
+  bad.micro_batch_window = 0;
+  EXPECT_THROW(PerceptionService(config, reference.database_ptr(),
+                                 [](const StreamResult&) {}, bad),
+               std::invalid_argument);
+
+  for (const std::size_t window : {1u, 2u, 8u}) {
+    PerceptionServiceConfig service_config;
+    service_config.shards = 1;
+    service_config.queue_capacity = 16;
+    service_config.micro_batch_window = window;
+    std::string got;
+    std::mutex mutex;
+    {
+      PerceptionService service(
+          config, reference.database_ptr(),
+          [&](const StreamResult& r) {
+            std::lock_guard<std::mutex> lock(mutex);
+            append_payload(r.result, got);
+          },
+          service_config);
+      // Submit the whole script before draining so the shard's gather
+      // actually forms multi-frame windows (single producer, one stream —
+      // delivery order is submission order).
+      for (const imaging::GrayImage& frame : frames) {
+        ASSERT_EQ(service.submit(9, frame).status, SubmitStatus::kEnqueued);
+      }
+      service.drain();
+    }
+    EXPECT_EQ(got, expected) << "window=" << window;
+  }
+}
+
+}  // namespace
+}  // namespace hdc::recognition

@@ -1,0 +1,383 @@
+// Blocked multi-query rotation engine: every dense cell and every top-2
+// answer bit-identical to the single-query kernel (which is itself pinned
+// against the historical scalar reference); the quantised lower bound sound
+// on random AND adversarial near-tie inputs (the prune-correctness proof
+// obligation); the FFT path equal to the quantised path bit for bit; stats
+// counters consistent; mixed lengths rejected everywhere.
+#include "timeseries/rotation_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "timeseries/distance.hpp"
+#include "timeseries/series.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::timeseries {
+namespace {
+
+Series noise(std::size_t n, std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  Series out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.gaussian());
+  return out;
+}
+
+/// Coarse integer-valued series: rotations of these collide exactly, so the
+/// lowest-shift / lowest-index tie rules actually fire.
+Series coarse(std::size_t n, std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  Series out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(rng.uniform_int(-2, 2)));
+  }
+  return out;
+}
+
+/// Bit-exact double comparison (EXPECT_EQ on doubles treats -0.0 == 0.0 and
+/// would pass NaN != NaN; the engine contract is identical BITS).
+void expect_same_bits(double a, double b, const char* what) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  EXPECT_EQ(ba, bb) << what << ": " << a << " vs " << b;
+}
+
+struct TemplateSet {
+  std::vector<RotationTemplate> storage;
+  std::vector<const RotationTemplate*> ptrs;
+};
+
+TemplateSet make_templates(const std::vector<Series>& series, bool with_spectrum) {
+  TemplateSet set;
+  set.storage.resize(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    make_rotation_template_into(series[i], set.storage[i], with_spectrum);
+  }
+  for (const RotationTemplate& t : set.storage) set.ptrs.push_back(&t);
+  return set;
+}
+
+std::vector<const Series*> as_ptrs(const std::vector<Series>& series) {
+  std::vector<const Series*> ptrs;
+  for (const Series& s : series) ptrs.push_back(&s);
+  return ptrs;
+}
+
+/// Checks one dense block against per-pair single-kernel calls, bit for bit.
+void check_dense_block(const std::vector<Series>& queries, const TemplateSet& tset,
+                       RotationScanMode mode) {
+  RotationBlockScratch scratch;
+  const std::vector<const Series*> qptrs = as_ptrs(queries);
+  std::vector<RotationMatch> out(queries.size() * tset.ptrs.size());
+  euclidean_rotation_invariant_block(qptrs.data(), qptrs.size(), tset.ptrs.data(),
+                                     tset.ptrs.size(), scratch, out.data(), mode);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t t = 0; t < tset.ptrs.size(); ++t) {
+      std::size_t shift = 0;
+      const double d = euclidean_rotation_invariant(queries[q], *tset.ptrs[t], &shift);
+      const RotationMatch& cell = out[q * tset.ptrs.size() + t];
+      expect_same_bits(cell.distance, d, "dense cell distance");
+      EXPECT_EQ(cell.shift, shift) << "q=" << q << " t=" << t;
+    }
+  }
+}
+
+/// The hand reduce SignDatabase historically ran: index order, strict-<.
+RotationTopMatch reduce_by_hand(const Series& query, const TemplateSet& tset) {
+  RotationTopMatch top;
+  for (std::size_t i = 0; i < tset.ptrs.size(); ++i) {
+    std::size_t shift = 0;
+    const double d = euclidean_rotation_invariant(query, *tset.ptrs[i], &shift);
+    if (d < top.distance) {
+      top.second = top.distance;
+      top.distance = d;
+      top.template_index = i;
+      top.shift = shift;
+    } else if (d < top.second) {
+      top.second = d;
+    }
+  }
+  return top;
+}
+
+void check_top2_block(const std::vector<Series>& queries, const TemplateSet& tset,
+                      RotationScanMode mode) {
+  RotationBlockScratch scratch;
+  const std::vector<const Series*> qptrs = as_ptrs(queries);
+  std::vector<RotationTopMatch> out(queries.size());
+  rotation_match_top2_block(qptrs.data(), qptrs.size(), tset.ptrs.data(),
+                            tset.ptrs.size(), scratch, out.data(), mode);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const RotationTopMatch expected = reduce_by_hand(queries[q], tset);
+    expect_same_bits(out[q].distance, expected.distance, "top2 best");
+    expect_same_bits(out[q].second, expected.second, "top2 second");
+    EXPECT_EQ(out[q].template_index, expected.template_index) << "q=" << q;
+    EXPECT_EQ(out[q].shift, expected.shift) << "q=" << q;
+  }
+}
+
+TEST(BlockDense, FuzzBitIdenticalToSingleKernelAcrossShapes) {
+  // Random gaussian and coarse (tie-rich) inputs across (Q, T, n) shapes,
+  // including n = 1 and single-row/column blocks. One scratch reused across
+  // every shape to exercise the resize-in-place path.
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {1, 7, 5}, {3, 1, 16}, {4, 6, 32}, {2, 9, 33},
+      {8, 3, 64}, {5, 5, 128}, {2, 4, 200},
+  };
+  std::uint64_t seed = 1000;
+  for (const auto& shape : shapes) {
+    const std::size_t q_count = shape[0], t_count = shape[1], n = shape[2];
+    for (const bool tie_rich : {false, true}) {
+      std::vector<Series> queries, temps;
+      for (std::size_t q = 0; q < q_count; ++q) {
+        queries.push_back(tie_rich ? coarse(n, ++seed) : noise(n, ++seed));
+      }
+      for (std::size_t t = 0; t < t_count; ++t) {
+        temps.push_back(tie_rich ? coarse(n, ++seed) : noise(n, ++seed));
+      }
+      // Rotated copies guarantee exact cross-template ties as well.
+      if (t_count > 1) temps[t_count - 1] = rotate_left(temps[0], n / 2);
+      const TemplateSet tset = make_templates(temps, /*with_spectrum=*/false);
+      check_dense_block(queries, tset, RotationScanMode::kAuto);
+      check_dense_block(queries, tset, RotationScanMode::kQuantized);
+      if (t_count >= 1) check_top2_block(queries, tset, RotationScanMode::kAuto);
+    }
+  }
+}
+
+TEST(BlockDense, ZeroLengthAndZeroSignalSeries) {
+  // n = 0: every cell is {0.0, 0} by contract. Zero-signal (constant-zero)
+  // series have no quantised form — the engine must fall back to the dense
+  // float scan and still match the single kernel bitwise.
+  {
+    const std::vector<Series> queries(2, Series{});
+    const TemplateSet tset = make_templates({Series{}, Series{}, Series{}}, false);
+    RotationBlockScratch scratch;
+    const std::vector<const Series*> qptrs = as_ptrs(queries);
+    std::vector<RotationMatch> out(queries.size() * tset.ptrs.size());
+    euclidean_rotation_invariant_block(qptrs.data(), qptrs.size(), tset.ptrs.data(),
+                                       tset.ptrs.size(), scratch, out.data());
+    for (const RotationMatch& cell : out) {
+      EXPECT_EQ(cell.distance, 0.0);
+      EXPECT_EQ(cell.shift, 0u);
+    }
+  }
+  {
+    const std::vector<Series> queries = {Series(16, 0.0), noise(16, 77)};
+    const TemplateSet tset =
+        make_templates({Series(16, 0.0), noise(16, 78), coarse(16, 79)}, false);
+    EXPECT_EQ(tset.storage[0].quant_scale, 0.0);  // pre-filter unavailable
+    check_dense_block(queries, tset, RotationScanMode::kAuto);
+    check_top2_block(queries, tset, RotationScanMode::kAuto);
+  }
+}
+
+TEST(BlockDense, AgreesWithScalarReference) {
+  // Transitively pinned through the single kernel already; this closes the
+  // loop directly against the historical scalar scan.
+  const std::size_t n = 48;
+  const std::vector<Series> queries = {noise(n, 500), coarse(n, 501)};
+  std::vector<Series> temps;
+  for (std::uint64_t t = 0; t < 5; ++t) temps.push_back(noise(n, 510 + t));
+  const TemplateSet tset = make_templates(temps, false);
+
+  RotationBlockScratch scratch;
+  const std::vector<const Series*> qptrs = as_ptrs(queries);
+  std::vector<RotationMatch> out(queries.size() * temps.size());
+  euclidean_rotation_invariant_block(qptrs.data(), qptrs.size(), tset.ptrs.data(),
+                                     tset.ptrs.size(), scratch, out.data());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t t = 0; t < temps.size(); ++t) {
+      std::size_t ref_shift = 0;
+      const double ref =
+          euclidean_rotation_invariant_reference(queries[q], temps[t], &ref_shift);
+      const RotationMatch& cell = out[q * temps.size() + t];
+      EXPECT_NEAR(cell.distance, ref, 1e-9) << "q=" << q << " t=" << t;
+      EXPECT_EQ(cell.shift, ref_shift) << "q=" << q << " t=" << t;
+    }
+  }
+}
+
+TEST(BlockDense, MixedLengthsThrowEverywhere) {
+  const std::vector<Series> queries = {noise(16, 1), noise(16, 2)};
+  const TemplateSet good = make_templates({noise(16, 3)}, false);
+  const TemplateSet bad = make_templates({noise(16, 4), noise(17, 5)}, false);
+  const std::vector<Series> bad_queries = {noise(16, 6), noise(15, 7)};
+  RotationBlockScratch scratch;
+  const std::vector<const Series*> qptrs = as_ptrs(queries);
+  const std::vector<const Series*> bad_qptrs = as_ptrs(bad_queries);
+  std::vector<RotationMatch> dense(4);
+  std::vector<RotationTopMatch> top(2);
+  EXPECT_THROW(euclidean_rotation_invariant_block(qptrs.data(), 2, bad.ptrs.data(),
+                                                  2, scratch, dense.data()),
+               std::invalid_argument);
+  EXPECT_THROW(euclidean_rotation_invariant_block(bad_qptrs.data(), 2,
+                                                  good.ptrs.data(), 1, scratch,
+                                                  dense.data()),
+               std::invalid_argument);
+  EXPECT_THROW(rotation_match_top2_block(qptrs.data(), 2, bad.ptrs.data(), 2,
+                                         scratch, top.data()),
+               std::invalid_argument);
+  EXPECT_THROW(rotation_match_top2_block(bad_qptrs.data(), 2, good.ptrs.data(), 1,
+                                         scratch, top.data()),
+               std::invalid_argument);
+  // Top-2 with zero templates is meaningless (there is no best) — rejected.
+  EXPECT_THROW(rotation_match_top2_block(qptrs.data(), 2, good.ptrs.data(), 0,
+                                         scratch, top.data()),
+               std::invalid_argument);
+  // Forcing the FFT path without spectra is a contract violation.
+  EXPECT_THROW(euclidean_rotation_invariant_block(qptrs.data(), 2, good.ptrs.data(),
+                                                  1, scratch, dense.data(),
+                                                  RotationScanMode::kFft),
+               std::invalid_argument);
+}
+
+TEST(BlockFft, BitIdenticalToQuantizedAndSingleKernel) {
+  // The FFT bound is approximate; the candidate re-verify must erase that.
+  // Same inputs through kFft, kQuantized and the single kernel — three ways,
+  // one answer, bit for bit. Includes tie-rich inputs and a planted
+  // rotation (exact match at a known shift).
+  for (const std::size_t n : {8u, 33u, 64u, 128u}) {
+    std::vector<Series> queries = {noise(n, 900 + n), coarse(n, 901 + n)};
+    std::vector<Series> temps;
+    for (std::uint64_t t = 0; t < 4; ++t) temps.push_back(noise(n, 910 + 10 * t + n));
+    temps.push_back(rotate_left(queries[0], n / 3));  // planted exact match
+    const TemplateSet with_fft = make_templates(temps, /*with_spectrum=*/true);
+    for (const RotationTemplate& t : with_fft.storage) {
+      ASSERT_FALSE(t.spectrum.empty());
+    }
+    check_dense_block(queries, with_fft, RotationScanMode::kFft);
+    check_top2_block(queries, with_fft, RotationScanMode::kFft);
+
+    // kAuto prefers the spectrum when present; still identical.
+    check_dense_block(queries, with_fft, RotationScanMode::kAuto);
+  }
+}
+
+TEST(BlockPrune, LowerBoundNeverExceedsExactDistance) {
+  // The pruning proof obligation, fuzzed: lb(a, t) <= exact(a, t) for
+  // random pairs and for adversarial near-tie pairs (template = query plus
+  // a perturbation at one coordinate, across magnitudes down to 1e-12 —
+  // exactly the regime where a sloppy bound would prune the true winner).
+  std::uint64_t seed = 4242;
+  for (const std::size_t n : {4u, 16u, 64u, 128u}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const Series a = noise(n, ++seed);
+      const Series b = noise(n, ++seed);
+      const RotationTemplate t = make_rotation_template(b);
+      const double exact = euclidean_rotation_invariant(a, t);
+      EXPECT_LE(rotation_distance_lower_bound(a, t), exact) << "n=" << n;
+    }
+    for (const double eps : {1.0, 1e-3, 1e-6, 1e-9, 1e-12}) {
+      Series a = noise(n, ++seed);
+      Series b = rotate_left(a, n / 2);
+      b[0] += eps;
+      const RotationTemplate t = make_rotation_template(b);
+      const double exact = euclidean_rotation_invariant(a, t);
+      EXPECT_LE(rotation_distance_lower_bound(a, t), exact)
+          << "n=" << n << " eps=" << eps;
+    }
+  }
+}
+
+TEST(BlockPrune, NearTieTemplatesNeverChangeTheTop2Answer) {
+  // Adversarial template sets where best and second are separated by next
+  // to nothing (clones of the query with tiny perturbations) — if pruning
+  // ever dropped a template that belonged in the top 2, the block answer
+  // would diverge from the hand reduce here.
+  std::uint64_t seed = 7100;
+  for (const std::size_t n : {16u, 64u, 128u}) {
+    const Series query = noise(n, ++seed);
+    std::vector<Series> temps;
+    for (const double eps : {0.0, 1e-12, 1e-9, 1e-6, 1e-3, 1e-1}) {
+      Series t = rotate_left(query, (temps.size() * 7) % n);
+      t[temps.size() % n] += eps;
+      temps.push_back(std::move(t));
+    }
+    temps.push_back(noise(n, ++seed));  // one genuinely far template
+    const TemplateSet tset = make_templates(temps, false);
+    check_top2_block({query}, tset, RotationScanMode::kAuto);
+  }
+}
+
+TEST(BlockStats, CountersAreConsistentAndPruningHappens) {
+  const std::size_t n = 128, q_count = 4, t_count = 12;
+  std::vector<Series> queries, temps;
+  std::uint64_t seed = 9000;
+  for (std::size_t q = 0; q < q_count; ++q) queries.push_back(noise(n, ++seed));
+  for (std::size_t t = 0; t < t_count; ++t) temps.push_back(noise(n, ++seed));
+  // Make each query near one template so the rest are prunable.
+  for (std::size_t q = 0; q < q_count; ++q) {
+    temps[q] = rotate_left(queries[q], 3);
+    temps[q][0] += 1e-3;
+  }
+  const TemplateSet tset = make_templates(temps, false);
+  const std::vector<const Series*> qptrs = as_ptrs(queries);
+  RotationBlockScratch scratch;
+
+  RotationBlockStats dense_stats;
+  std::vector<RotationMatch> dense(q_count * t_count);
+  euclidean_rotation_invariant_block(qptrs.data(), q_count, tset.ptrs.data(),
+                                     t_count, scratch, dense.data(),
+                                     RotationScanMode::kAuto, &dense_stats);
+  EXPECT_EQ(dense_stats.pairs, q_count * t_count);
+  EXPECT_EQ(dense_stats.total_shifts, q_count * t_count * n);
+  EXPECT_EQ(dense_stats.pruned_templates, 0u);  // dense mode scores every pair
+  EXPECT_EQ(dense_stats.fullscan_pairs, 0u);
+  EXPECT_GE(dense_stats.exact_dot_shifts, dense_stats.pairs);  // >= 1 verify each
+  EXPECT_LT(dense_stats.exact_dot_shifts, dense_stats.total_shifts / 4)
+      << "pre-filter no longer filtering";
+
+  RotationBlockStats top_stats;
+  std::vector<RotationTopMatch> top(q_count);
+  rotation_match_top2_block(qptrs.data(), q_count, tset.ptrs.data(), t_count,
+                            scratch, top.data(), RotationScanMode::kAuto,
+                            &top_stats);
+  EXPECT_EQ(top_stats.pairs, q_count * t_count);
+  EXPECT_GT(top_stats.pruned_templates, 0u)
+      << "near-match sets should let the lower bound prune something";
+  // Accumulation contract: a second call adds, never resets.
+  const std::size_t pairs_once = top_stats.pairs;
+  rotation_match_top2_block(qptrs.data(), q_count, tset.ptrs.data(), t_count,
+                            scratch, top.data(), RotationScanMode::kAuto,
+                            &top_stats);
+  EXPECT_EQ(top_stats.pairs, 2 * pairs_once);
+}
+
+TEST(BlockIntrospection, KernelNameAndCrossoverAreSane) {
+  const char* name = rotation_prefilter_kernel();
+  ASSERT_NE(name, nullptr);
+  EXPECT_GT(std::strlen(name), 0u);
+  // The measured crossover hands off exactly where the int16 pre-filter
+  // stops being available, so kAuto never has a no-mans-land in between.
+  EXPECT_GE(rotation_fft_crossover(), 1024u);
+  EXPECT_LE(rotation_fft_crossover(), kQuantPrefilterMaxLength);
+}
+
+TEST(DtwInto, MatchesAllocatingDtwAndReusesScratch) {
+  DtwScratch scratch;
+  std::uint64_t seed = 3030;
+  for (const std::size_t window : {0u, 3u, 1000u}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const Series a = noise(40 + 3 * static_cast<std::size_t>(rep), ++seed);
+      const Series b = noise(37, ++seed);
+      expect_same_bits(dtw_into(a, b, window, scratch), dtw(a, b, window),
+                       "dtw_into vs dtw");
+    }
+  }
+  // Warm scratch is resized in place: same-size rerun reuses capacity.
+  const Series a = noise(64, 1), b = noise(64, 2);
+  (void)dtw_into(a, b, 5, scratch);
+  const std::size_t cap = scratch.prev.capacity();
+  (void)dtw_into(a, b, 5, scratch);
+  EXPECT_EQ(scratch.prev.capacity(), cap);
+  EXPECT_THROW((void)dtw_into(Series{}, b, 5, scratch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::timeseries
