@@ -26,6 +26,8 @@
 
 #include "recognition/perception_service.hpp"
 #include "signs/multi_drone_feed.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/stage_names.hpp"
 #include "util/statistics.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -65,7 +67,7 @@ struct CellResult {
 CellResult run_cell(const SaxSignRecognizer& reference,
                     const std::vector<std::vector<imaging::GrayImage>>& scripts,
                     const std::vector<std::vector<RecognitionResult>>& expected,
-                    std::size_t shards) {
+                    std::size_t shards, telemetry::MetricsRegistry* metrics) {
   const std::size_t streams = scripts.size();
   const std::size_t frames_per_stream = scripts.front().size();
 
@@ -90,6 +92,7 @@ CellResult run_cell(const SaxSignRecognizer& reference,
     service_config.shards = shards;
     service_config.queue_capacity = 32;
     service_config.overflow = util::OverflowPolicy::kBlock;  // lossless run
+    service_config.metrics = metrics;  // telemetry ON — the shipped config
     PerceptionService service(
         reference.config(), reference.database_ptr(),
         [&](const StreamResult& r) {
@@ -138,7 +141,8 @@ CellResult run_cell(const SaxSignRecognizer& reference,
 }
 
 void write_json(const std::string& path, const std::vector<CellResult>& cells,
-                double sequential_fps, std::size_t hardware_threads) {
+                double sequential_fps, std::size_t hardware_threads,
+                const telemetry::MetricsSnapshot& snapshot) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot open " << path << " for JSON output\n";
@@ -156,7 +160,30 @@ void write_json(const std::string& path, const std::vector<CellResult>& cells,
         << ", \"bit_identical\": " << (c.identical ? "true" : "false") << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  // Aggregate pipeline telemetry across the whole matrix (every cell runs
+  // with the registry wired — telemetry on is the configuration shipped,
+  // and the one the overhead gate vouches for).
+  out << "  \"telemetry\": {\n    \"stages\": [\n";
+  bool first = true;
+  for (const telemetry::HistogramSnapshot& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "      {\"name\": \"" << h.name << "\", \"count\": " << h.count
+        << ", \"p50_ns\": " << h.percentile(0.50)
+        << ", \"p99_ns\": " << h.percentile(0.99) << ", \"max_ns\": " << h.max
+        << "}";
+  }
+  out << "\n    ],\n    \"counters\": [\n";
+  first = true;
+  for (const telemetry::CounterSnapshot& c : snapshot.counters) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "      {\"name\": \"" << c.name << "\", \"value\": " << c.value
+        << "}";
+  }
+  out << "\n    ]\n  }\n}\n";
 }
 
 }  // namespace
@@ -220,6 +247,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"streams", "shards", "aggregate fps", "vs sequential",
                          "p50 ms", "p99 ms", "bit-identical"});
   std::vector<CellResult> cells;
+  telemetry::MetricsRegistry metrics;
   bool all_identical = true;
   for (const std::size_t streams : stream_counts) {
     const std::vector<std::vector<imaging::GrayImage>> cohort_scripts(
@@ -228,7 +256,7 @@ int main(int argc, char** argv) {
         expected.begin(), expected.begin() + static_cast<std::ptrdiff_t>(streams));
     for (const std::size_t shards : shard_counts) {
       const CellResult cell =
-          run_cell(reference, cohort_scripts, cohort_expected, shards);
+          run_cell(reference, cohort_scripts, cohort_expected, shards, &metrics);
       all_identical = all_identical && cell.identical;
       table.add_row({std::to_string(cell.streams), std::to_string(cell.shards),
                      util::fmt(cell.aggregate_fps, 1),
@@ -247,8 +275,18 @@ int main(int argc, char** argv) {
   std::cout << "matrix includes streams > shards and shards > streams; "
                "completion of every cell is the no-deadlock gate\n";
 
+  const telemetry::MetricsSnapshot snapshot = metrics.snapshot();
+  const telemetry::HistogramSnapshot* recognize =
+      snapshot.find_histogram(telemetry::kPerceptionRecognize);
+  if (recognize != nullptr && recognize->count > 0) {
+    std::cout << "telemetry (whole matrix): recognize p50 "
+              << recognize->percentile(0.50) / 1000 << " us, p99 "
+              << recognize->percentile(0.99) / 1000 << " us over "
+              << recognize->count << " micro-batches\n";
+  }
+
   if (!json_path.empty()) {
-    write_json(json_path, cells, sequential_fps, hw);
+    write_json(json_path, cells, sequential_fps, hw, snapshot);
     std::cout << "wrote " << json_path << "\n";
   }
 

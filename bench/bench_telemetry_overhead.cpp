@@ -1,0 +1,201 @@
+// Telemetry overhead gate: the instrumented recognition hot path must stay
+// within the 3 % measurement-noise floor of docs/PERFORMANCE.md relative
+// to the un-instrumented path. This is the enforcement arm of the
+// telemetry layer's cost contract (src/telemetry/metrics.hpp): wait-free
+// striped recording, zero locks and zero allocation per frame.
+//
+// Method: the same micro-batched recognition loop runs three ways —
+// disarmed handles (no registry wired), armed handles with spans globally
+// disabled (counters only), and fully armed — interleaved rep by rep so
+// thermal/scheduler drift hits all three equally, best-of-N per mode.
+// Exit code 1 when the fully-armed overhead exceeds the gate (CI fails).
+//
+// Flags: --smoke (CI-sized run), --reps N, --json PATH, --gate PCT.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "recognition/recognizer.hpp"
+#include "signs/scene.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdc;
+using recognition::DatabaseBuildOptions;
+using recognition::MicroBatchScratch;
+using recognition::RecognitionResult;
+using recognition::RecognizerConfig;
+using recognition::RecognizerScratch;
+using recognition::SaxSignRecognizer;
+
+/// Mixed accept/reject stream (same shape as bench_throughput_batch).
+std::vector<imaging::GrayImage> make_frames(std::size_t total) {
+  std::vector<imaging::GrayImage> distinct;
+  for (const signs::HumanSign sign : signs::kAllSigns) {
+    for (const double altitude : {2.0, 3.5, 5.0}) {
+      distinct.push_back(signs::render_sign(sign, {altitude, 3.0, 0.0}, {}));
+    }
+  }
+  distinct.push_back(signs::render_sign(signs::HumanSign::kNo, {3.5, 3.0, 40.0}, {}));
+  distinct.push_back(signs::render_sign(signs::HumanSign::kYes, {3.5, 3.0, 75.0}, {}));
+  std::vector<imaging::GrayImage> frames;
+  frames.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) frames.push_back(distinct[i % distinct.size()]);
+  return frames;
+}
+
+/// One full pass of the micro-batched hot loop over the frame set.
+double timed_pass(const RecognizerConfig& config,
+                  const recognition::SignDatabase& database,
+                  const std::vector<imaging::GrayImage>& frames,
+                  RecognizerScratch& scratch, MicroBatchScratch& micro,
+                  std::vector<RecognitionResult>& results) {
+  constexpr std::size_t kWindow = 8;
+  util::Stopwatch watch;
+  for (std::size_t begin = 0; begin < frames.size(); begin += kWindow) {
+    const std::size_t end = std::min(begin + kWindow, frames.size());
+    const imaging::GrayImage* frame_ptrs[kWindow];
+    RecognitionResult* result_ptrs[kWindow];
+    for (std::size_t i = begin; i < end; ++i) {
+      frame_ptrs[i - begin] = &frames[i];
+      result_ptrs[i - begin] = &results[i];
+    }
+    recognize_frames_micro_batch(config, database, frame_ptrs, end - begin,
+                                 scratch, micro, result_ptrs);
+  }
+  return watch.elapsed_seconds();
+}
+
+struct Mode {
+  std::string name;
+  bool armed{false};
+  bool spans_enabled{true};
+  double best_seconds{1e300};
+};
+
+void write_json(const std::string& path, const std::vector<Mode>& modes,
+                std::size_t frames, double overhead_pct, double gate_pct,
+                bool pass) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for JSON output\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"telemetry_overhead\",\n"
+      << "  \"frames\": " << frames << ",\n  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const Mode& m = modes[i];
+    out << "    {\"mode\": \"" << m.name << "\", \"fps\": "
+        << (static_cast<double>(frames) / m.best_seconds) << "}"
+        << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overhead_pct\": " << overhead_pct
+      << ",\n  \"gate_pct\": " << gate_pct
+      << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t frames_count = 96;
+  int reps = 7;
+  double gate_pct = 3.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      frames_count = 32;
+      reps = 3;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--gate" && i + 1 < argc) {
+      gate_pct = std::stod(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--reps N] [--gate PCT] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "rendering " << frames_count
+            << " frames + canonical database...\n";
+  const SaxSignRecognizer reference(RecognizerConfig{}, DatabaseBuildOptions{});
+  const std::vector<imaging::GrayImage> frames = make_frames(frames_count);
+
+  telemetry::MetricsRegistry registry;
+  const telemetry::RecognitionStageMetrics armed_handles =
+      telemetry::RecognitionStageMetrics::from(registry);
+
+  std::vector<Mode> modes = {
+      {"disarmed", false, true, 1e300},
+      {"counters_only", true, false, 1e300},
+      {"armed", true, true, 1e300},
+  };
+
+  RecognizerScratch scratch;
+  MicroBatchScratch micro;
+  std::vector<RecognitionResult> results(frames.size());
+  // Warm-up sizes every arena so no mode pays first-touch allocation.
+  (void)timed_pass(reference.config(), reference.database(), frames, scratch,
+                   micro, results);
+
+  // Interleaved best-of-N: mode order rotates inside each rep so no mode
+  // systematically runs hotter or colder than the others.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Mode& mode : modes) {
+      scratch.metrics =
+          mode.armed ? armed_handles : telemetry::RecognitionStageMetrics{};
+      telemetry::set_enabled(mode.spans_enabled);
+      const double seconds = timed_pass(reference.config(), reference.database(),
+                                        frames, scratch, micro, results);
+      mode.best_seconds = std::min(mode.best_seconds, seconds);
+    }
+  }
+  scratch.metrics = telemetry::RecognitionStageMetrics{};
+  telemetry::set_enabled(true);
+
+  const double base_fps = static_cast<double>(frames_count) / modes[0].best_seconds;
+  util::TextTable table({"mode", "frames/sec", "vs disarmed"});
+  for (const Mode& mode : modes) {
+    const double fps = static_cast<double>(frames_count) / mode.best_seconds;
+    table.add_row({mode.name, util::fmt(fps, 1),
+                   util::fmt(100.0 * (fps / base_fps - 1.0), 2) + "%"});
+  }
+  std::cout << "\n--- telemetry overhead on the recognition hot path ("
+            << frames_count << " frames, best of " << reps << ") ---\n";
+  table.print(std::cout);
+
+  // The gate: fully armed vs disarmed.
+  const double overhead_pct =
+      100.0 * (modes[2].best_seconds / modes[0].best_seconds - 1.0);
+  const bool pass = overhead_pct <= gate_pct;
+  std::cout << "armed overhead: " << util::fmt(overhead_pct, 2)
+            << "% (gate: <= " << util::fmt(gate_pct, 1) << "%) -> "
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  // Sanity: the armed passes really recorded (one sample per span per
+  // frame would be the minimum; prepare/match/finalize each fire per
+  // frame, and counters-only mode still moves nothing histogram-wise
+  // beyond the armed reps).
+  const telemetry::MetricsSnapshot snapshot = registry.snapshot();
+  const telemetry::HistogramSnapshot* match =
+      snapshot.find_histogram(telemetry::kRecognitionMatch);
+  if (match == nullptr || match->count == 0) {
+    std::cout << "FAIL: armed reps recorded no recognition_match_ns samples "
+                 "(instrumentation is not actually wired)\n";
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, modes, frames_count, overhead_pct, gate_pct, pass);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return pass ? 0 : 1;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Docs rot when code moves: fail CI if docs/ARCHITECTURE.md,
-# docs/PERFORMANCE.md or docs/WIRE_FORMAT.md reference a repo path that no
+# docs/PERFORMANCE.md, docs/WIRE_FORMAT.md or docs/OBSERVABILITY.md reference a repo path that no
 # longer exists.
 #
 # A "path reference" is any token that starts with a known top-level source
@@ -12,7 +12,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-docs=(docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/WIRE_FORMAT.md)
+docs=(docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/WIRE_FORMAT.md docs/OBSERVABILITY.md)
 status=0
 
 for doc in "${docs[@]}"; do

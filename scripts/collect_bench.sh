@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Collects the per-PR perf snapshot: runs the six perf benches
+# Collects the per-PR perf snapshot: runs the seven perf benches
 # (bench_distance_micro, bench_throughput_batch, bench_multi_drone_streaming,
-# bench_interaction_dialogue, bench_fleet_coordination, bench_journal_replay)
-# with --json and merges their outputs into one BENCH_<pr>.json at the repo
-# root, so the perf trajectory is machine-readable per PR. Schema:
-# docs/PERFORMANCE.md.
+# bench_interaction_dialogue, bench_fleet_coordination, bench_journal_replay,
+# bench_telemetry_overhead) with --json and merges their outputs into one
+# BENCH_<pr>.json at the repo root, so the perf trajectory is
+# machine-readable per PR. Schema: docs/PERFORMANCE.md.
 #
 # Usage: scripts/collect_bench.sh [--build-dir DIR] [--out FILE] [--smoke] [--reuse]
 #   --build-dir DIR  where the bench executables live (default: build)
@@ -16,7 +16,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_file="$repo_root/BENCH_7.json"
+out_file="$repo_root/BENCH_8.json"
 smoke=""
 reuse=0
 
@@ -55,6 +55,7 @@ run_bench bench_multi_drone_streaming ${smoke:+$smoke}
 run_bench bench_interaction_dialogue ${smoke:+$smoke}
 run_bench bench_fleet_coordination ${smoke:+$smoke}
 run_bench bench_journal_replay ${smoke:+$smoke}
+run_bench bench_telemetry_overhead ${smoke:+$smoke}
 
 python3 - "$build_dir" "$out_file" <<'PY'
 import json, pathlib, sys
@@ -63,7 +64,8 @@ build_dir, out_file = map(pathlib.Path, sys.argv[1:3])
 benches = {}
 for name in ("bench_distance_micro", "bench_throughput_batch",
              "bench_multi_drone_streaming", "bench_interaction_dialogue",
-             "bench_fleet_coordination", "bench_journal_replay"):
+             "bench_fleet_coordination", "bench_journal_replay",
+             "bench_telemetry_overhead"):
     with open(build_dir / f"{name}.json") as fh:
         payload = json.load(fh)
     benches[payload.pop("bench", name.removeprefix("bench_"))] = payload
@@ -85,13 +87,26 @@ shard_scaling = [
     for c in benches.get("multi_drone_streaming", {}).get("cells", [])
     if "shards" in c
 ]
+# Surface the telemetry story at the top level: the streaming bench's
+# per-stage latency summary (telemetry ON for every cell) plus the
+# overhead gate's verdict. Schema 3 adds this block.
+telemetry = {
+    "stages": benches.get("multi_drone_streaming", {}).get(
+        "telemetry", {}).get("stages", []),
+    "counters": benches.get("multi_drone_streaming", {}).get(
+        "telemetry", {}).get("counters", []),
+    "overhead_pct": benches.get("telemetry_overhead", {}).get("overhead_pct"),
+    "overhead_gate_pct": benches.get("telemetry_overhead", {}).get("gate_pct"),
+    "overhead_pass": benches.get("telemetry_overhead", {}).get("pass"),
+}
 snapshot = {
-    "schema": 2,
+    "schema": 3,
     "snapshot": out_file.name,
     "generated_by": "scripts/collect_bench.sh",
     "hardware_threads": hardware_threads,
     "worker_scaling": worker_scaling,
     "shard_scaling": shard_scaling,
+    "telemetry": telemetry,
     "benches": benches,
 }
 out_file.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/span.hpp"
+
 namespace hdc::coordination {
 
 CoordinationService::CoordinationService(CoordinationConfig config)
@@ -15,6 +17,15 @@ CoordinationService::CoordinationService(CoordinationConfig config)
       ring_(config.queue_capacity, util::OverflowPolicy::kBlock),
       registry_(config.cells, config.grant_ttl),
       arbiter_(config.arbitration) {
+  if (config_.metrics != nullptr) {
+    telemetry::MetricsRegistry& metrics = *config_.metrics;
+    arbitrate_ns_ = metrics.histogram(telemetry::kCoordinationArbitrate);
+    events_counter_ = metrics.counter(telemetry::kCoordinationEvents);
+    arbitrations_counter_ = metrics.counter(telemetry::kCoordinationArbitrations);
+    deferrals_counter_ = metrics.counter(telemetry::kCoordinationDeferrals);
+    queue_depth_ = metrics.gauge(telemetry::kCoordinationQueueDepth);
+    registry_.instrument(metrics);
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -111,12 +122,17 @@ void CoordinationService::admit(FleetEvent event) {
   pending_.raise();  // raise-before-push (PendingCounter contract)
   FleetEvent evicted;
   const util::PushOutcome outcome = ring_.push(std::move(event), &evicted);
-  if (outcome != util::PushOutcome::kEnqueued) pending_.finish(1);
+  if (outcome != util::PushOutcome::kEnqueued) {
+    pending_.finish(1);
+    return;
+  }
+  queue_depth_.add(1);
 }
 
 void CoordinationService::worker_loop() {
   FleetEvent event;
   while (ring_.pop(event)) {
+    queue_depth_.add(-1);
     flush_pending_aborts();
     try {
       process(event);
@@ -140,6 +156,7 @@ std::uint64_t CoordinationService::advance_clock(std::uint64_t sequence) {
 void CoordinationService::process(const FleetEvent& event) {
   if (event_tap_) event_tap_(event);
   events_.fetch_add(1, std::memory_order_relaxed);
+  events_counter_.add(1);
   // `now` is the monotone fleet clock AFTER observing this event. Handlers
   // must timestamp every registry mutation with `now`, never the event's
   // raw sequence: an out-of-order (stale) sequence would otherwise open a
@@ -177,14 +194,19 @@ void CoordinationService::handle_transition(const FleetEvent& event) {
   if (event.source != nullptr) sources_[event.drone_id] = event.source;
 
   decisions_scratch_.clear();
-  arbiter_.on_phase(event.drone_id, event.to,
-                    fleet_clock_.load(std::memory_order_relaxed),
-                    decisions_scratch_);
+  {
+    TELEMETRY_SPAN(arbitrate_ns_);
+    arbiter_.on_phase(event.drone_id, event.to,
+                      fleet_clock_.load(std::memory_order_relaxed),
+                      decisions_scratch_);
+  }
   for (const ArbitrationDecision& decision : decisions_scratch_) {
     if (decision.reason == AbortReason::kLostArbitration) {
       arbitrations_.fetch_add(1, std::memory_order_relaxed);
+      arbitrations_counter_.add(1);
     } else {
       deferrals_.fetch_add(1, std::memory_order_relaxed);
+      deferrals_counter_.add(1);
     }
     {
       std::lock_guard<std::mutex> lock(log_mutex_);

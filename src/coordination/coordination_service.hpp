@@ -62,6 +62,11 @@ struct CoordinationConfig {
   std::uint64_t grant_ttl{600};     ///< lease length, fleet-clock frames
   std::size_t queue_capacity{1024}; ///< fleet-event ring slots
   ArbitrationPolicy arbitration{};
+  /// Optional telemetry registry (must outlive the service). When set, the
+  /// worker records the arbitrate span, event/arbitration/deferral
+  /// counters and the ring-depth gauge, and the GrantRegistry is
+  /// instrumented with its grant/renew/expire spans + mutation counters.
+  telemetry::MetricsRegistry* metrics{nullptr};
 };
 
 /// Aggregate counters (relaxed atomics: exact after drain()).
@@ -220,6 +225,15 @@ class CoordinationService {
 
   mutable std::mutex log_mutex_;
   std::vector<ArbitrationDecision> arbitration_log_;
+
+  // Telemetry handles (disarmed when config_.metrics is null). All except
+  // queue_depth_ are driven only by the single coordination worker, so
+  // their totals are replay-deterministic (telemetry/stage_names.hpp).
+  telemetry::Histogram arbitrate_ns_;
+  telemetry::Counter events_counter_;
+  telemetry::Counter arbitrations_counter_;
+  telemetry::Counter deferrals_counter_;
+  telemetry::Gauge queue_depth_;
 
   std::atomic<std::uint64_t> fleet_clock_{0};
   std::atomic<std::uint64_t> events_{0};

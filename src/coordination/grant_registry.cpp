@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/span.hpp"
+
 namespace hdc::coordination {
+
+void GrantRegistry::instrument(telemetry::MetricsRegistry& metrics) {
+  grant_ns_ = metrics.histogram(telemetry::kCoordinationGrantSpan);
+  renew_ns_ = metrics.histogram(telemetry::kCoordinationRenewSpan);
+  expire_ns_ = metrics.histogram(telemetry::kCoordinationExpireSpan);
+  grants_counter_ = metrics.counter(telemetry::kCoordinationGrants);
+  denials_counter_ = metrics.counter(telemetry::kCoordinationDenials);
+  revocations_counter_ = metrics.counter(telemetry::kCoordinationRevocations);
+  renewals_counter_ = metrics.counter(telemetry::kCoordinationRenewals);
+  expiries_counter_ = metrics.counter(telemetry::kCoordinationExpiries);
+}
 
 GrantRegistry::GrantRegistry(std::size_t cells, std::uint64_t ttl)
     : slots_(cells), ttl_(ttl) {
@@ -95,6 +108,9 @@ bool GrantRegistry::held_by(int cell, std::uint32_t holder,
 
 bool GrantRegistry::grant(int cell, std::uint32_t holder,
                           std::uint64_t sequence) {
+  // Covers the whole call, including the re-grant-as-renewal path (which
+  // then records under the renew span as well).
+  TELEMETRY_SPAN(grant_ns_);
   Slot& s = slot(cell);
   const GrantRecord current = writer_read(s);
   if (live_grant(current, sequence) && current.holder != holder) {
@@ -116,6 +132,7 @@ bool GrantRegistry::grant(int cell, std::uint32_t holder,
   next.renewals = 0;
   publish(s, next);
   grants_.fetch_add(1, std::memory_order_relaxed);
+  grants_counter_.add(1);
   return true;
 }
 
@@ -137,6 +154,7 @@ bool GrantRegistry::deny(int cell, std::uint32_t by, std::uint64_t sequence) {
   next.renewals = 0;
   publish(s, next);
   denials_.fetch_add(1, std::memory_order_relaxed);
+  denials_counter_.add(1);
   return true;
 }
 
@@ -152,11 +170,13 @@ bool GrantRegistry::revoke(int cell, std::uint64_t sequence) {
   current.expires_seq = sequence + ttl_;
   publish(s, current);
   revocations_.fetch_add(1, std::memory_order_relaxed);
+  revocations_counter_.add(1);
   return true;
 }
 
 bool GrantRegistry::renew(int cell, std::uint32_t holder,
                           std::uint64_t sequence) {
+  TELEMETRY_SPAN(renew_ns_);
   Slot& s = slot(cell);
   GrantRecord current = writer_read(s);
   // Revoked/expired/denied grants stay dead: renewal extends a LIVE lease
@@ -168,10 +188,12 @@ bool GrantRegistry::renew(int cell, std::uint32_t holder,
   current.renewals += 1;
   publish(s, current);
   renewals_.fetch_add(1, std::memory_order_relaxed);
+  renewals_counter_.add(1);
   return true;
 }
 
 std::size_t GrantRegistry::expire(std::uint64_t now) {
+  TELEMETRY_SPAN(expire_ns_);
   std::size_t expired = 0;
   for (Slot& s : slots_) {
     GrantRecord current = writer_read(s);
@@ -184,6 +206,7 @@ std::size_t GrantRegistry::expire(std::uint64_t now) {
     ++expired;
   }
   expiries_.fetch_add(expired, std::memory_order_relaxed);
+  if (expired != 0) expiries_counter_.add(expired);
   return expired;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "coordination/fleet_types.hpp"
+#include "telemetry/stage_names.hpp"
 
 namespace hdc::coordination {
 
@@ -44,6 +45,13 @@ class GrantRegistry {
   /// `cells` slots (orchard tree ids 0..cells-1), leases last `ttl` frames
   /// of the fleet clock.
   GrantRegistry(std::size_t cells, std::uint64_t ttl);
+
+  /// Arms telemetry handles (grant/renew/expire latency spans + mutation
+  /// counters mirroring RegistryStats). Call before the single writer
+  /// starts mutating; the registry keeps no back-pointer, so `metrics`
+  /// must outlive this object. All mutations run on the one writer
+  /// thread, so the mirrored counters are replay-deterministic.
+  void instrument(telemetry::MetricsRegistry& metrics);
 
   // --- write side: single writer only ---------------------------------
 
@@ -114,6 +122,16 @@ class GrantRegistry {
   std::atomic<std::uint64_t> renewals_{0};
   std::atomic<std::uint64_t> expiries_{0};
   std::atomic<std::uint64_t> conflicts_{0};
+
+  // Telemetry handles (disarmed until instrument()).
+  telemetry::Histogram grant_ns_;
+  telemetry::Histogram renew_ns_;
+  telemetry::Histogram expire_ns_;
+  telemetry::Counter grants_counter_;
+  telemetry::Counter denials_counter_;
+  telemetry::Counter revocations_counter_;
+  telemetry::Counter renewals_counter_;
+  telemetry::Counter expiries_counter_;
 };
 
 }  // namespace hdc::coordination

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/span.hpp"
+
 namespace hdc::interaction {
 
 InteractionService::InteractionService(InteractionServiceConfig config,
@@ -13,6 +15,17 @@ InteractionService::InteractionService(InteractionServiceConfig config,
   // Surface a misconfigured fusion policy here, at build time, instead of
   // on the worker thread when the first stream's session is created.
   (void)SignEventFuser(config_.fusion, 0);
+  if (config_.metrics != nullptr) {
+    telemetry::MetricsRegistry& metrics = *config_.metrics;
+    fuse_ns_ = metrics.histogram(telemetry::kInteractionFuse);
+    transition_ns_ = metrics.histogram(telemetry::kInteractionTransition);
+    observations_counter_ = metrics.counter(telemetry::kInteractionObservations);
+    events_counter_ = metrics.counter(telemetry::kInteractionEvents);
+    actions_counter_ = metrics.counter(telemetry::kInteractionActions);
+    outcomes_counter_ = metrics.counter(telemetry::kInteractionOutcomes);
+    shed_counter_ = metrics.counter(telemetry::kInteractionShed);
+    queue_depth_ = metrics.gauge(telemetry::kInteractionQueueDepth);
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -66,6 +79,7 @@ void InteractionService::on_result(const recognition::StreamResult& result) {
       }
       if (deepest >= config_.congestion_depth) {
         shed_.fetch_add(1, std::memory_order_relaxed);
+        shed_counter_.add(1);
         return;
       }
     }
@@ -101,8 +115,12 @@ bool InteractionService::try_abort_stream(std::uint32_t stream_id) {
   Observation evicted;
   const util::PushOutcome outcome =
       ring_.try_push(std::move(observation), &evicted);
-  if (outcome == util::PushOutcome::kEnqueued) return true;
+  if (outcome == util::PushOutcome::kEnqueued) {
+    queue_depth_.add(1);
+    return true;
+  }
   finish_observations(1);
+  // kEvictedOldest swaps one queued observation for another: depth net zero.
   return outcome == util::PushOutcome::kEvictedOldest;
 }
 
@@ -115,8 +133,9 @@ void InteractionService::admit(Observation observation) {
   const util::PushOutcome outcome = ring_.push(std::move(observation), &evicted);
   switch (outcome) {
     case util::PushOutcome::kEnqueued:
+      queue_depth_.add(1);
       break;
-    case util::PushOutcome::kEvictedOldest:
+    case util::PushOutcome::kEvictedOldest:  // depth net zero: one in, one out
     case util::PushOutcome::kRejected:
     case util::PushOutcome::kClosed:
       finish_observations(1);
@@ -127,6 +146,7 @@ void InteractionService::admit(Observation observation) {
 void InteractionService::worker_loop() {
   Observation observation;
   while (ring_.pop(observation)) {
+    queue_depth_.add(-1);
     try {
       process(observation);
     } catch (...) {
@@ -140,6 +160,7 @@ void InteractionService::process(const Observation& observation) {
   Session& session = session_for(observation.stream_id);
   std::lock_guard<std::mutex> lock(session.mutex);
   actions_scratch_.clear();
+  observations_counter_.add(1);
 
   if (listener_.on_observation) {
     ObservationSample sample;
@@ -154,7 +175,10 @@ void InteractionService::process(const Observation& observation) {
   }
 
   if (observation.kind == ObservationKind::kAbort) {
-    session.fsm.abort(session.last_sequence, actions_scratch_);
+    {
+      TELEMETRY_SPAN(transition_ns_);
+      session.fsm.abort(session.last_sequence, actions_scratch_);
+    }
     apply_actions(session, actions_scratch_);
     notify_listener(session, events_scratch_, 0, actions_scratch_);
     return;
@@ -162,13 +186,20 @@ void InteractionService::process(const Observation& observation) {
 
   ++session.frames;
   session.last_sequence = observation.sequence;
-  const std::size_t emitted =
-      session.fuser.observe(observation.sequence, observation.sign,
-                            observation.confidence, events_scratch_);
-  for (std::size_t i = 0; i < emitted; ++i) {
-    session.fsm.on_event(events_scratch_[i], actions_scratch_);
+  std::size_t emitted = 0;
+  {
+    TELEMETRY_SPAN(fuse_ns_);
+    emitted = session.fuser.observe(observation.sequence, observation.sign,
+                                    observation.confidence, events_scratch_);
   }
-  session.fsm.on_tick(observation.sequence, actions_scratch_);
+  events_counter_.add(emitted);
+  {
+    TELEMETRY_SPAN(transition_ns_);
+    for (std::size_t i = 0; i < emitted; ++i) {
+      session.fsm.on_event(events_scratch_[i], actions_scratch_);
+    }
+    session.fsm.on_tick(observation.sequence, actions_scratch_);
+  }
   apply_actions(session, actions_scratch_);
   notify_listener(session, events_scratch_, emitted, actions_scratch_);
 }
@@ -182,18 +213,21 @@ void InteractionService::notify_listener(
   if (listener_.on_transition) {
     for (const AckAction& action : actions) listener_.on_transition(action);
   }
-  if (listener_.on_outcome) {
-    const protocol::OutcomeRecord record = session.fsm.outcome_record();
-    if (record.outcome != protocol::Outcome::kPending &&
-        record != session.reported_outcome) {
-      session.reported_outcome = record;
-      listener_.on_outcome(record);
-    }
+  // Outcome decisions are detected (and counted) regardless of whether a
+  // listener is attached, so interaction_outcomes_total does not depend on
+  // the listener configuration.
+  const protocol::OutcomeRecord record = session.fsm.outcome_record();
+  if (record.outcome != protocol::Outcome::kPending &&
+      record != session.reported_outcome) {
+    session.reported_outcome = record;
+    outcomes_counter_.add(1);
+    if (listener_.on_outcome) listener_.on_outcome(record);
   }
 }
 
 void InteractionService::apply_actions(
     Session& session, const DialogueStateMachine::Actions& actions) {
+  if (!actions.empty()) actions_counter_.add(actions.size());
   for (const AckAction& action : actions) {
     if (action.set_ring) session.led.set_mode(action.ring);
     if (action.fly_pattern) {

@@ -55,6 +55,7 @@
 #include "interaction/dialogue_state_machine.hpp"
 #include "interaction/sign_event_fuser.hpp"
 #include "recognition/perception_service.hpp"
+#include "telemetry/stage_names.hpp"
 #include "util/pending_counter.hpp"
 #include "util/ring_buffer.hpp"
 
@@ -75,6 +76,11 @@ struct InteractionServiceConfig {
   /// offset for not queueing stale frames; leaves determinism guarantees
   /// to uncongested runs.
   bool shed_neutral_when_congested{false};
+  /// Optional telemetry registry (must outlive the service). When set, the
+  /// worker records fuse/transition spans, dialogue counters and the
+  /// observation-ring depth gauge; when null every handle stays disarmed
+  /// and recording is a single predictable branch.
+  telemetry::MetricsRegistry* metrics{nullptr};
 };
 
 /// Aggregate per-stream snapshot across fuser, FSM and ack bookkeeping.
@@ -276,6 +282,19 @@ class InteractionService {
 
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::size_t> max_watched_depth_{0};
+
+  // Telemetry handles (disarmed when config_.metrics is null). The counters
+  // below except shed_counter_ are incremented only on the dialogue worker
+  // while processing an admitted observation, so their totals are part of
+  // the replay-deterministic set (see telemetry/stage_names.hpp).
+  telemetry::Histogram fuse_ns_;
+  telemetry::Histogram transition_ns_;
+  telemetry::Counter observations_counter_;
+  telemetry::Counter events_counter_;
+  telemetry::Counter actions_counter_;
+  telemetry::Counter outcomes_counter_;
+  telemetry::Counter shed_counter_;  ///< producer-thread; NOT replay-deterministic
+  telemetry::Gauge queue_depth_;
 
   std::atomic<bool> stopping_{false};
   bool stopped_{false};  ///< guarded by stop_mutex_

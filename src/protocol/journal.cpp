@@ -4,12 +4,22 @@
 #include <bit>
 #include <fstream>
 
+#include "telemetry/span.hpp"
+#include "telemetry/stage_names.hpp"
+
 namespace hdc::protocol {
 
 void EventJournal::append(const wire::AnyRecord& record) {
+  TELEMETRY_SPAN(append_ns_);
   std::lock_guard<std::mutex> lock(mutex_);
   wire::encode(buffer_, record);
   ++records_;
+  records_counter_.add(1);
+}
+
+void EventJournal::instrument(telemetry::MetricsRegistry& metrics) {
+  append_ns_ = metrics.histogram(telemetry::kJournalAppend);
+  records_counter_ = metrics.counter(telemetry::kJournalRecords);
 }
 
 std::vector<std::uint8_t> EventJournal::bytes() const {
@@ -282,10 +292,54 @@ wire::TranscriptDigestRecord digest_record(std::uint32_t stream_id,
   return record;
 }
 
+// ------------------------------------------------- metric snapshots ------
+
+const std::vector<std::string_view>& replay_deterministic_counters() {
+  // Explicit list, NOT a name-prefix filter: interaction_shed_total shares
+  // the interaction_ prefix but is incremented on producer threads (its
+  // total depends on live queue depths), so a prefix rule would silently
+  // journal a nondeterministic counter and break the replay gate.
+  static const std::vector<std::string_view> kCounters = {
+      telemetry::kInteractionObservations,
+      telemetry::kInteractionEvents,
+      telemetry::kInteractionActions,
+      telemetry::kInteractionOutcomes,
+      telemetry::kCoordinationEvents,
+      telemetry::kCoordinationArbitrations,
+      telemetry::kCoordinationDeferrals,
+      telemetry::kCoordinationGrants,
+      telemetry::kCoordinationDenials,
+      telemetry::kCoordinationRevocations,
+      telemetry::kCoordinationRenewals,
+      telemetry::kCoordinationExpiries,
+  };
+  return kCounters;
+}
+
+wire::MetricSnapshotRecord metric_snapshot_record(
+    const telemetry::MetricsSnapshot& snapshot) {
+  wire::MetricSnapshotRecord record;
+  for (std::string_view name : replay_deterministic_counters()) {
+    wire::MetricSnapshotEntry entry;
+    entry.name = std::string(name);
+    const telemetry::CounterSnapshot* counter = snapshot.find_counter(name);
+    entry.value = counter != nullptr ? counter->value : 0;
+    record.entries.push_back(std::move(entry));
+  }
+  std::sort(record.entries.begin(), record.entries.end(),
+            [](const wire::MetricSnapshotEntry& a,
+               const wire::MetricSnapshotEntry& b) { return a.name < b.name; });
+  return record;
+}
+
 // ---------------------------------------------------------- recorder -----
 
 void JournalRecorder::record_config(const wire::RunConfigRecord& config) {
   journal_->append(config);
+}
+
+void JournalRecorder::on_snapshot(const telemetry::MetricsSnapshot& snapshot) {
+  journal_->append(metric_snapshot_record(snapshot));
 }
 
 void JournalRecorder::attach_interaction(
@@ -350,6 +404,9 @@ void JournalRecorder::finalize(interaction::InteractionService& dialogue,
   for (std::uint32_t stream_id : stream_ids) {
     journal_->append(to_wire(stream_id, coordinator.plan_hint(stream_id)));
   }
+  // The run's one deterministic telemetry checkpoint: services are drained,
+  // so the replay-deterministic counters have their final totals.
+  if (metrics_ != nullptr) metrics_->publish(*this);
   wire::JournalEndRecord end;
   end.record_count = journal_->record_count();
   journal_->append(end);

@@ -28,11 +28,14 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "coordination/coordination_service.hpp"
 #include "interaction/interaction_service.hpp"
 #include "protocol/wire.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
 
 namespace hdc::protocol {
 
@@ -40,6 +43,10 @@ namespace hdc::protocol {
 class EventJournal {
  public:
   void append(const wire::AnyRecord& record);
+
+  /// Arms the append-latency span + record counter (disarmed by default;
+  /// `metrics` must outlive this journal). Call before streaming.
+  void instrument(telemetry::MetricsRegistry& metrics);
 
   /// Snapshot of the journal bytes so far (copy under the mutex).
   [[nodiscard]] std::vector<std::uint8_t> bytes() const;
@@ -56,7 +63,25 @@ class EventJournal {
   mutable std::mutex mutex_;
   std::vector<std::uint8_t> buffer_;
   std::uint64_t records_{0};
+  telemetry::Histogram append_ns_;
+  telemetry::Counter records_counter_;
 };
+
+/// The counter names whose totals are a pure function of a run's recorded
+/// input sequence (incremented only on the dialogue / coordination workers
+/// while processing an admitted input — never on producer threads, never
+/// dependent on queue timing). These, and only these, go into a journal's
+/// MetricSnapshotRecord: replaying the journal must reproduce every total
+/// bit-exactly. Notably absent: interaction_shed_total (producer-side,
+/// depends on live queue depths) and all perception metrics.
+[[nodiscard]] const std::vector<std::string_view>& replay_deterministic_counters();
+
+/// Filters a telemetry snapshot down to the replay-deterministic counters,
+/// sorted by name (canonical wire layout). Counters the snapshot lacks are
+/// recorded as 0, so the record's shape is independent of which services
+/// happened to touch the registry.
+[[nodiscard]] wire::MetricSnapshotRecord metric_snapshot_record(
+    const telemetry::MetricsSnapshot& snapshot);
 
 // -------------------------------------------- live <-> wire conversions --
 // Public because the replay driver and tests use them too.
@@ -103,10 +128,17 @@ class EventJournal {
 
 /// Hooks an EventJournal into the live services. One recorder per run;
 /// install the hooks BEFORE streaming (they take the services' listener /
-/// tap slots).
-class JournalRecorder {
+/// tap slots). Also a TelemetrySink: published snapshots land in the
+/// journal as MetricSnapshotRecords (finalize() publishes once, at the
+/// run's deterministic checkpoint, when set_metrics() wired a registry).
+class JournalRecorder : public telemetry::TelemetrySink {
  public:
   explicit JournalRecorder(EventJournal& journal) : journal_(&journal) {}
+
+  /// TelemetrySink: appends the snapshot's replay-deterministic counter
+  /// totals to the journal. Callers other than finalize() must publish
+  /// only at deterministic checkpoints (see sink.hpp).
+  void on_snapshot(const telemetry::MetricsSnapshot& snapshot) override;
 
   /// Writes the journal header. Call first, before streaming.
   void record_config(const wire::RunConfigRecord& config);
@@ -124,6 +156,14 @@ class JournalRecorder {
   /// both observer slots).
   void attach_coordination(coordination::CoordinationService& coordinator);
 
+  /// Wires the run's telemetry registry so finalize() also appends a
+  /// MetricSnapshotRecord (replay-deterministic counter totals, sorted by
+  /// name) right before the JournalEnd trailer. finalize() is the one
+  /// deterministic checkpoint of a run — a wall-clock-driven snapshot
+  /// would not replay bit-identically. `registry` must outlive finalize();
+  /// pass nullptr (the default state) to record no snapshot.
+  void set_metrics(telemetry::MetricsRegistry* registry) { metrics_ = registry; }
+
   /// Writes the end-state section: per-stream transcript digests and final
   /// outcomes (ids deduplicated + sorted for a deterministic layout),
   /// the arbitration log, every grant slot, per-drone plan hints, then the
@@ -134,6 +174,7 @@ class JournalRecorder {
 
  private:
   EventJournal* journal_;
+  telemetry::MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace hdc::protocol

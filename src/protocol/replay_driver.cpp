@@ -13,7 +13,7 @@ namespace {
 /// Records of one journal, bucketed by type (bucket order == append order,
 /// which per type is the single writer's deterministic order).
 struct Buckets {
-  std::array<std::vector<wire::AnyRecord>, 13> by_type;
+  std::array<std::vector<wire::AnyRecord>, 14> by_type;
 
   void add(wire::AnyRecord record) {
     by_type[static_cast<std::size_t>(wire::record_type(record))].push_back(
@@ -29,7 +29,7 @@ struct Buckets {
 /// or "" when they agree everywhere.
 std::string first_mismatch(const Buckets& recorded, const Buckets& replayed) {
   for (std::uint8_t t = static_cast<std::uint8_t>(wire::RecordType::kRunConfig);
-       t <= static_cast<std::uint8_t>(wire::RecordType::kJournalEnd); ++t) {
+       t <= static_cast<std::uint8_t>(wire::RecordType::kMetricSnapshot); ++t) {
     const auto type = static_cast<wire::RecordType>(t);
     const std::vector<wire::AnyRecord>& a = recorded.of(type);
     const std::vector<wire::AnyRecord>& b = replayed.of(type);
@@ -102,11 +102,23 @@ ReplayReport ReplayDriver::replay(std::span<const std::uint8_t> journal) const {
   JournalRecorder recorder(replay_journal);
   recorder.record_config(run_config);
 
+  // A fresh telemetry registry for the fresh services: the replayed run
+  // re-derives the replay-deterministic counter totals from scratch. The
+  // recorder publishes a MetricSnapshotRecord only when the RECORDING has
+  // one — appending a record the recording lacks would itself be a (false)
+  // per-type divergence.
+  telemetry::MetricsRegistry metrics;
+  if (!recorded.of(wire::RecordType::kMetricSnapshot).empty()) {
+    recorder.set_metrics(&metrics);
+  }
+
   // Stage 1: the interaction layer, fed single-threaded in recorded order
   // (record-only wiring — stage 2 gets the RECORDED fleet events, so the
   // replayed dialogue outputs must not reach the coordinator too).
-  interaction::InteractionService dialogue(interaction_config_of(run_config),
-                                           options_.grammar);
+  interaction::InteractionServiceConfig dialogue_config =
+      interaction_config_of(run_config);
+  dialogue_config.metrics = &metrics;
+  interaction::InteractionService dialogue(dialogue_config, options_.grammar);
   recorder.attach_interaction(dialogue, nullptr);
   for (const wire::AnyRecord& any :
        recorded.of(wire::RecordType::kObservation)) {
@@ -125,8 +137,10 @@ ReplayReport ReplayDriver::replay(std::span<const std::uint8_t> journal) const {
   dialogue.stop();
 
   // Stage 2: the coordination layer, fed the recorded worker inputs.
-  coordination::CoordinationService coordinator(
-      coordination_config_of(run_config));
+  coordination::CoordinationConfig coordination_config =
+      coordination_config_of(run_config);
+  coordination_config.metrics = &metrics;
+  coordination::CoordinationService coordinator(coordination_config);
   recorder.attach_coordination(coordinator);
   for (const wire::AnyRecord& any :
        recorded.of(wire::RecordType::kFleetEvent)) {

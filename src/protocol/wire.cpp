@@ -285,6 +285,15 @@ void encode_payload(Writer& w, const JournalEndRecord& r) {
   w.u64(r.record_count);
 }
 
+void encode_payload(Writer& w, const MetricSnapshotRecord& r) {
+  w.u32(static_cast<std::uint32_t>(r.entries.size()));
+  for (const MetricSnapshotEntry& entry : r.entries) {
+    w.u16(static_cast<std::uint16_t>(entry.name.size()));
+    w.bytes(entry.name);
+    w.u64(entry.value);
+  }
+}
+
 // ------------------------------------------------- per-type decoding -----
 // Each decoder must consume the payload EXACTLY (trailing garbage after a
 // valid prefix is kBadPayload — canonical encoding has no slack bytes).
@@ -510,6 +519,36 @@ bool decode_payload(Reader& reader, JournalEndRecord& r, PayloadError& error) {
   return true;
 }
 
+bool decode_payload(Reader& reader, MetricSnapshotRecord& r,
+                    PayloadError& error) {
+  std::size_t at = reader.offset();
+  std::uint32_t count = 0;
+  if (!reader.u32(count)) {
+    return fail(error, at, "MetricSnapshot payload truncated");
+  }
+  r.entries.clear();
+  // No reserve(count): a corrupt count up to 2^32-1 must fail on the first
+  // truncated entry, not pre-allocate gigabytes.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MetricSnapshotEntry entry;
+    at = reader.offset();
+    std::uint16_t name_len = 0;
+    if (!reader.u16(name_len)) {
+      return fail(error, at, "MetricSnapshot payload truncated");
+    }
+    at = reader.offset();
+    if (!reader.bytes(entry.name, name_len)) {
+      return fail(error, at, "MetricSnapshot name overruns payload");
+    }
+    at = reader.offset();
+    if (!reader.u64(entry.value)) {
+      return fail(error, at, "MetricSnapshot payload truncated");
+    }
+    r.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
 template <typename Record>
 bool decode_into(std::span<const std::uint8_t> payload, std::size_t base,
                  AnyRecord& out, PayloadError& error) {
@@ -560,9 +599,11 @@ RecordType record_type(const AnyRecord& record) noexcept {
           return RecordType::kTranscriptDigest;
         } else if constexpr (std::is_same_v<T, GrantSlotRecord>) {
           return RecordType::kGrantSlot;
-        } else {
-          static_assert(std::is_same_v<T, JournalEndRecord>);
+        } else if constexpr (std::is_same_v<T, JournalEndRecord>) {
           return RecordType::kJournalEnd;
+        } else {
+          static_assert(std::is_same_v<T, MetricSnapshotRecord>);
+          return RecordType::kMetricSnapshot;
         }
       },
       record);
@@ -610,8 +651,8 @@ ParseResult parse_record(std::span<const std::uint8_t> buffer,
   }
   const std::uint8_t version = buffer[start + 1];
   if (version != kWireVersion) {
-    // A reader must REJECT records from any other version — in particular
-    // a future v2 — rather than guess at their layout.
+    // A reader must REJECT records from any other version — future or
+    // superseded — rather than guess at their layout.
     error = {WireErrorCode::kBadVersion, start + 1,
              version > kWireVersion
                  ? "record from a future wire version"
@@ -620,9 +661,9 @@ ParseResult parse_record(std::span<const std::uint8_t> buffer,
   }
   const std::uint8_t type_byte = buffer[start + 2];
   if (type_byte < static_cast<std::uint8_t>(RecordType::kRunConfig) ||
-      type_byte > static_cast<std::uint8_t>(RecordType::kJournalEnd)) {
+      type_byte > static_cast<std::uint8_t>(RecordType::kMetricSnapshot)) {
     error = {WireErrorCode::kBadRecordType, start + 2,
-             "unknown record type for wire version 1"};
+             "unknown record type for wire version 2"};
     return ParseResult::kError;
   }
   const std::size_t payload_size = static_cast<std::size_t>(
@@ -704,6 +745,10 @@ ParseResult parse_record(std::span<const std::uint8_t> buffer,
     case RecordType::kJournalEnd:
       ok = decode_into<JournalEndRecord>(payload, payload_base, out,
                                          payload_error);
+      break;
+    case RecordType::kMetricSnapshot:
+      ok = decode_into<MetricSnapshotRecord>(payload, payload_base, out,
+                                             payload_error);
       break;
   }
   if (!ok) {

@@ -5,9 +5,9 @@
 //
 //   offset 0  u8   magic        0xDC (resync guard; a journal is a flat
 //                                concatenation of envelopes)
-//   offset 1  u8   version      kWireVersion (=1); readers REJECT any
-//                                other value — a v1 reader must never
-//                                misparse a v2 record
+//   offset 1  u8   version      kWireVersion (=2); readers REJECT any
+//                                other value — a v2 reader must never
+//                                misparse a v1 or v3 record
 //   offset 2  u8   record type  RecordType; unknown types are rejected
 //   offset 3  u16  payload size little-endian, bytes of payload only
 //   offset 5  ...  payload      little-endian fixed-width fields
@@ -43,7 +43,10 @@
 namespace hdc::protocol::wire {
 
 inline constexpr std::uint8_t kWireMagic = 0xDC;
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v1: record types 1-12. v2: adds kMetricSnapshot (13) — new record types
+/// may only be added together with a version bump (docs/WIRE_FORMAT.md),
+/// so a v1 reader rejects a v2 journal at the envelope, never at the type.
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kEnvelopeHeaderSize = 5;  ///< magic+version+type+len
 inline constexpr std::size_t kEnvelopeTrailerSize = 2; ///< crc16
 /// Hard sanity cap on one record's payload (well above any real record;
@@ -71,6 +74,7 @@ enum class RecordType : std::uint8_t {
   kTranscriptDigest = 10,///< finalise: one stream's transcript digest
   kGrantSlot = 11,       ///< finalise: one cell's final registry slot
   kJournalEnd = 12,      ///< trailer: record count for truncation detection
+  kMetricSnapshot = 13,  ///< v2: replay-deterministic telemetry counter totals
 };
 
 [[nodiscard]] constexpr const char* to_string(RecordType type) noexcept {
@@ -87,6 +91,7 @@ enum class RecordType : std::uint8_t {
     case RecordType::kTranscriptDigest: return "TranscriptDigest";
     case RecordType::kGrantSlot: return "GrantSlot";
     case RecordType::kJournalEnd: return "JournalEnd";
+    case RecordType::kMetricSnapshot: return "MetricSnapshot";
   }
   return "?";
 }
@@ -261,13 +266,32 @@ struct JournalEndRecord {
   [[nodiscard]] bool operator==(const JournalEndRecord&) const = default;
 };
 
+/// One named counter total inside a MetricSnapshotRecord.
+struct MetricSnapshotEntry {
+  std::string name;
+  std::uint64_t value{0};
+
+  [[nodiscard]] bool operator==(const MetricSnapshotEntry&) const = default;
+};
+
+/// v2: totals of the replay-deterministic telemetry counters at a
+/// deterministic checkpoint (JournalRecorder::finalize). Entries are
+/// sorted by name so encoding is canonical; replaying the journal must
+/// reproduce the same totals bit-exactly (the replay test's gate).
+struct MetricSnapshotRecord {
+  std::vector<MetricSnapshotEntry> entries;
+
+  [[nodiscard]] bool operator==(const MetricSnapshotRecord&) const = default;
+};
+
 /// Any parsed record. The variant index is NOT the wire type id — use
 /// record_type().
 using AnyRecord =
     std::variant<RunConfigRecord, ObservationRecord, SignEventRecord,
                  TransitionRecord, OutcomeRecordWire, FleetEventRecord,
                  GrantUpdateRecord, ArbitrationRecord, PlanHintRecord,
-                 TranscriptDigestRecord, GrantSlotRecord, JournalEndRecord>;
+                 TranscriptDigestRecord, GrantSlotRecord, JournalEndRecord,
+                 MetricSnapshotRecord>;
 
 [[nodiscard]] RecordType record_type(const AnyRecord& record) noexcept;
 

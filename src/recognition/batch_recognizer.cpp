@@ -43,6 +43,12 @@ BatchRecognizer::BatchRecognizer(const RecognizerConfig& config,
   }
 }
 
+void BatchRecognizer::instrument(telemetry::MetricsRegistry& metrics) {
+  const telemetry::RecognitionStageMetrics handles =
+      telemetry::RecognitionStageMetrics::from(metrics);
+  for (RecognizerScratch& scratch : scratch_) scratch.metrics = handles;
+}
+
 void BatchRecognizer::recognize_batch(const std::vector<imaging::GrayImage>& frames,
                                       std::vector<RecognitionResult>& results) {
   if (frames.empty()) {

@@ -53,6 +53,12 @@ class BatchRecognizer {
                   std::shared_ptr<const SignDatabase> database,
                   std::size_t workers = 0);
 
+  /// Arms the per-worker recognition stage spans (prepare/match/finalize
+  /// histograms — telemetry/stage_names.hpp) on every worker scratch.
+  /// `metrics` must outlive this engine; call between batches, never
+  /// concurrently with recognize_batch().
+  void instrument(telemetry::MetricsRegistry& metrics);
+
   /// Recognises every frame of the batch; results[i] is frame i's result.
   /// The results vector is reused in place (including each result's string
   /// capacity), so a caller that keeps one results vector across batches

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/span.hpp"
+
 namespace hdc::recognition {
 
 /// Registry entry for one stream. `order_mutex` serialises sequence
@@ -58,12 +60,27 @@ PerceptionService::PerceptionService(const RecognizerConfig& config,
     throw std::invalid_argument(
         "PerceptionService: micro_batch_window must be >= 1");
   }
+  if (telemetry::MetricsRegistry* registry = service_config_.metrics) {
+    submit_ns_ = registry->histogram(telemetry::kPerceptionSubmit);
+    ring_wait_ns_ = registry->histogram(telemetry::kPerceptionRingWait);
+    recognize_ns_ = registry->histogram(telemetry::kPerceptionRecognize);
+    frames_submitted_ = registry->counter(telemetry::kPerceptionFramesSubmitted);
+    frames_dropped_ = registry->counter(telemetry::kPerceptionFramesDropped);
+    frames_rejected_ = registry->counter(telemetry::kPerceptionFramesRejected);
+    queue_depth_ = registry->gauge(telemetry::kPerceptionQueueDepth);
+  }
   const std::size_t shard_count = resolve_shards(service_config.shards);
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(service_config.queue_capacity,
                                               service_config.overflow,
                                               database_.get()));
+    if (service_config_.metrics != nullptr) {
+      // Arm the shared pipeline's prepare/match/finalize spans per shard
+      // scratch (one handle set per worker, same ownership as the buffers).
+      shards_.back()->scratch.metrics =
+          telemetry::RecognitionStageMetrics::from(*service_config_.metrics);
+    }
   }
   // Threads start only after the shard vector is fully built: shard_of()
   // reads shards_.size() and must never observe a growing vector.
@@ -97,6 +114,7 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   if (frame.empty()) {
     throw std::invalid_argument("PerceptionService::submit: empty frame");
   }
+  TELEMETRY_SPAN(submit_ns_);
   SubmitReceipt receipt;
   receipt.shard = shard_of(stream_id);
   if (stopping_.load(std::memory_order_acquire)) {
@@ -119,6 +137,9 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   job.sequence = state.next_sequence;
   job.frame = std::move(frame);
   job.origin = &state;
+  if (ring_wait_ns_.armed() && telemetry::enabled()) {
+    job.submitted_at_ns = telemetry::now_ns();
+  }
   Job evicted;
   const util::PushOutcome outcome = shard.ring.push(std::move(job), &evicted);
   switch (outcome) {
@@ -126,19 +147,25 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
       receipt.status = SubmitStatus::kEnqueued;
       receipt.sequence = state.next_sequence++;
       state.submitted.fetch_add(1, std::memory_order_relaxed);
+      frames_submitted_.add(1);
+      queue_depth_.add(1);
       break;
     case util::PushOutcome::kEvictedOldest:
       // The new frame is in; the shard's oldest queued frame (possibly from
-      // another stream) will never be processed — account it now.
+      // another stream) will never be processed — account it now. Queue
+      // depth is net zero: one frame in, one evicted out.
       receipt.status = SubmitStatus::kEnqueuedDropOldest;
       receipt.sequence = state.next_sequence++;
       state.submitted.fetch_add(1, std::memory_order_relaxed);
       evicted.origin->dropped.fetch_add(1, std::memory_order_relaxed);
+      frames_submitted_.add(1);
+      frames_dropped_.add(1);
       finish_frames(1);
       break;
     case util::PushOutcome::kRejected:
       receipt.status = SubmitStatus::kRejected;
       state.rejected.fetch_add(1, std::memory_order_relaxed);
+      frames_rejected_.add(1);
       finish_frames(1);
       break;
     case util::PushOutcome::kClosed:
@@ -166,14 +193,30 @@ void PerceptionService::shard_loop(Shard& shard) {
     // documents.
     std::size_t m = 1;
     while (m < window && shard.ring.try_pop(jobs[m])) ++m;
+    queue_depth_.add(-static_cast<std::int64_t>(m));
+    if (ring_wait_ns_.armed()) {
+      // One clock read covers the window; frames stamped while telemetry
+      // was off carry 0 and are skipped.
+      const std::uint64_t popped_at_ns = telemetry::now_ns();
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::uint64_t submitted_at_ns = jobs[k].submitted_at_ns;
+        if (submitted_at_ns != 0) {
+          ring_wait_ns_.record(
+              popped_at_ns > submitted_at_ns ? popped_at_ns - submitted_at_ns : 0);
+        }
+      }
+    }
     for (std::size_t k = 0; k < m; ++k) {
       frame_ptrs[k] = &jobs[k].frame;
       result_ptrs[k] = &results[k];
     }
     try {
-      recognize_frames_micro_batch(config_, *shard.database, frame_ptrs.data(),
-                                   m, shard.scratch, shard.micro,
-                                   result_ptrs.data());
+      {
+        TELEMETRY_SPAN(recognize_ns_);
+        recognize_frames_micro_batch(config_, *shard.database, frame_ptrs.data(),
+                                     m, shard.scratch, shard.micro,
+                                     result_ptrs.data());
+      }
       // Deliver in pop (== per-stream sequence) order, preserving the
       // stream-ordering guarantee documented in the header.
       for (std::size_t k = 0; k < m; ++k) {

@@ -113,6 +113,12 @@ struct PerceptionServiceConfig {
   /// without adding latency when the queue is shallow. 1 = micro-batching
   /// off. Must be >= 1 (std::invalid_argument otherwise).
   std::size_t micro_batch_window{4};
+  /// Optional telemetry wiring (must outlive the service). When set, the
+  /// service records submit/ring-wait/recognize spans, the per-stage
+  /// recognition histograms, frame counters and a queue-depth gauge
+  /// (names in telemetry/stage_names.hpp). Null = zero instrumentation
+  /// cost beyond a predictable disarmed-handle branch per site.
+  telemetry::MetricsRegistry* metrics{nullptr};
 };
 
 /// Per-stream accounting snapshot.
@@ -238,6 +244,9 @@ class PerceptionService {
     std::uint64_t sequence{0};
     imaging::GrayImage frame;
     StreamState* origin{nullptr};
+    /// Submit timestamp for the ring-wait span; 0 when telemetry is off at
+    /// submit time (the pop side then skips the frame).
+    std::uint64_t submitted_at_ns{0};
   };
 
   /// One worker shard: FIFO ring, dedicated thread, warm scratch arena.
@@ -273,6 +282,16 @@ class PerceptionService {
   ResultCallback on_result_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> policy_switches_{0};
+
+  /// Telemetry handles — disarmed (no-op) unless the config wired a
+  /// registry. Recording through them is wait-free (see telemetry/).
+  telemetry::Histogram submit_ns_;
+  telemetry::Histogram ring_wait_ns_;
+  telemetry::Histogram recognize_ns_;
+  telemetry::Counter frames_submitted_;
+  telemetry::Counter frames_dropped_;
+  telemetry::Counter frames_rejected_;
+  telemetry::Gauge queue_depth_;
 
   /// Registry shape is read-mostly (one miss per new stream ever): the
   /// steady-state submit path takes only a shared lock.

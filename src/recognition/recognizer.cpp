@@ -6,6 +6,7 @@
 #include "imaging/filter.hpp"
 #include "imaging/morphology.hpp"
 #include "imaging/signature.hpp"
+#include "telemetry/span.hpp"
 #include "timeseries/normalize.hpp"
 
 namespace hdc::recognition {
@@ -217,7 +218,12 @@ void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& da
   reset_result(result);
   util::Stopwatch total;
 
-  if (!prepare_frame(config, frame, scratch, result, timers, trace)) {
+  bool ready;
+  {
+    TELEMETRY_SPAN(scratch.metrics.prepare_ns);
+    ready = prepare_frame(config, frame, scratch, result, timers, trace);
+  }
+  if (!ready) {
     result.total_ms = total.elapsed_ms();
     return;
   }
@@ -226,10 +232,14 @@ void recognize_frame_into(const RecognizerConfig& config, const SignDatabase& da
   std::optional<DatabaseMatch> match;
   {
     MaybeScope scope(timers, "7-sax-search");
+    TELEMETRY_SPAN(scratch.metrics.match_ns);
     match = database.query(scratch.signature, config.exact_verify, scratch.query);
   }
   // The query already encoded this signature's SAX word into its scratch.
-  finalize_from_match(config, match, scratch.query.word.text, result);
+  {
+    TELEMETRY_SPAN(scratch.metrics.finalize_ns);
+    finalize_from_match(config, match, scratch.query.word.text, result);
+  }
   result.total_ms = total.elapsed_ms();
 }
 
@@ -241,8 +251,12 @@ void recognize_frames_micro_batch(const RecognizerConfig& config,
                                   RecognitionResult* const* results) {
   micro.pending.clear();
   micro.prepare_ms.clear();
+  micro.last_batch_ms = 0.0;
   if (count == 0) return;
   if (micro.raw_signatures.size() < count) micro.raw_signatures.resize(count);
+
+  util::Stopwatch batch_watch;
+  double accounted_ms = 0.0;  // per-frame wall time already stamped/recorded
 
   // Imaging stages run frame-at-a-time through the one shared scratch (same
   // calls, same order as the single-frame path), keeping only the signature
@@ -251,37 +265,59 @@ void recognize_frames_micro_batch(const RecognizerConfig& config,
     RecognitionResult& result = *results[i];
     reset_result(result);
     util::Stopwatch watch;
-    if (!prepare_frame(config, *frames[i], scratch, result, nullptr, nullptr)) {
+    bool ready;
+    {
+      TELEMETRY_SPAN(scratch.metrics.prepare_ns);
+      ready = prepare_frame(config, *frames[i], scratch, result, nullptr, nullptr);
+    }
+    if (!ready) {
       result.total_ms = watch.elapsed_ms();
+      accounted_ms += result.total_ms;
       continue;
     }
     const std::size_t j = micro.pending.size();
     micro.raw_signatures[j] = scratch.signature;  // copy reuses slot capacity
     micro.pending.push_back(i);
     micro.prepare_ms.push_back(watch.elapsed_ms());
+    accounted_ms += micro.prepare_ms.back();
   }
-  if (micro.pending.empty()) return;
 
-  // One multi-query call answers every surviving frame; per-query answers
-  // are independent inside the engine, so each equals what query() returns.
-  micro.signature_ptrs.clear();
-  for (std::size_t j = 0; j < micro.pending.size(); ++j) {
-    micro.signature_ptrs.push_back(&micro.raw_signatures[j]);
+  if (!micro.pending.empty()) {
+    // One multi-query call answers every surviving frame; per-query answers
+    // are independent inside the engine, so each equals what query() returns.
+    micro.signature_ptrs.clear();
+    for (std::size_t j = 0; j < micro.pending.size(); ++j) {
+      micro.signature_ptrs.push_back(&micro.raw_signatures[j]);
+    }
+    micro.matches.resize(micro.pending.size());
+    {
+      TELEMETRY_SPAN(scratch.metrics.match_ns);
+      database.query_many(micro.signature_ptrs.data(), micro.pending.size(),
+                          config.exact_verify, micro.query, micro.matches.data());
+    }
+    for (std::size_t j = 0; j < micro.pending.size(); ++j) {
+      RecognitionResult& result = *results[micro.pending[j]];
+      TELEMETRY_SPAN(scratch.metrics.finalize_ns);
+      finalize_from_match(config, micro.matches[j], micro.query.slots[j].word.text,
+                          result);
+      result.total_ms = micro.prepare_ms[j];
+    }
   }
-  micro.matches.resize(micro.pending.size());
-  util::Stopwatch query_watch;
-  database.query_many(micro.signature_ptrs.data(), micro.pending.size(),
-                      config.exact_verify, micro.query, micro.matches.data());
-  const double query_share =
-      query_watch.elapsed_ms() / static_cast<double>(micro.pending.size());
 
-  for (std::size_t j = 0; j < micro.pending.size(); ++j) {
-    RecognitionResult& result = *results[micro.pending[j]];
-    finalize_from_match(config, micro.matches[j], micro.query.slots[j].word.text,
-                        result);
-    // total_ms is a timing field, not a payload field: the batched query's
-    // cost is attributed evenly across the frames it answered.
-    result.total_ms = micro.prepare_ms[j] + query_share;
+  // total_ms is a timing field, not a payload field. Attribution contract
+  // (regression-pinned in tests/recognition_micro_batch_test.cpp): the
+  // per-frame totals sum to the batch wall time. Each frame keeps its own
+  // measured stage 1-6 wall time; the remainder — the shared query, the
+  // finalize pass and loop overhead — is split evenly across the frames
+  // that reached the query (or across all frames when none did).
+  micro.last_batch_ms = batch_watch.elapsed_ms();
+  const std::size_t shared_over = micro.pending.empty() ? count : micro.pending.size();
+  const double shared_ms =
+      (micro.last_batch_ms - accounted_ms) / static_cast<double>(shared_over);
+  if (micro.pending.empty()) {
+    for (std::size_t i = 0; i < count; ++i) results[i]->total_ms += shared_ms;
+  } else {
+    for (const std::size_t i : micro.pending) results[i]->total_ms += shared_ms;
   }
 }
 

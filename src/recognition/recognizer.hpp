@@ -19,6 +19,7 @@
 #include "imaging/contour.hpp"
 #include "imaging/image.hpp"
 #include "recognition/sign_database.hpp"
+#include "telemetry/stage_names.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hdc::recognition {
@@ -106,6 +107,10 @@ struct RecognizerScratch {
   /// the template-side doubled buffers live in the (shared, immutable)
   /// SignDatabase itself, so N scratches never duplicate them.
   QueryScratch query;
+  /// Optional prepare/match/finalize span handles (disarmed by default —
+  /// recording through a disarmed handle is a no-op branch). Engines that
+  /// wire a telemetry::MetricsRegistry arm them once per worker scratch.
+  telemetry::RecognitionStageMetrics metrics;
 };
 
 /// The full single-frame pipeline writing into caller-owned buffers. This is
@@ -129,6 +134,10 @@ struct MicroBatchScratch {
   std::vector<std::size_t> pending;  ///< frame indices that reached the query stage
   std::vector<std::optional<DatabaseMatch>> matches;
   std::vector<double> prepare_ms;  ///< per-pending-frame stage 1-6 wall time
+  /// Wall time of the most recent recognize_frames_micro_batch call. The
+  /// per-frame total_ms values of that call sum to exactly this (the
+  /// attribution invariant pinned in tests/recognition_micro_batch_test.cpp).
+  double last_batch_ms{0.0};
 };
 
 /// Micro-batched recognition: runs the imaging stages (1-6) of each frame in
@@ -138,9 +147,13 @@ struct MicroBatchScratch {
 /// *results[i] for every frame. Every payload field (accepted / sign /
 /// reject_reason / distance / margin / sax_word) is bit-identical to calling
 /// recognize_frame_into on each frame in order with the same scratch; only
-/// total_ms differs (the shared query cost is attributed evenly across the
-/// batched frames). Callers bound `count` (the batching window) to keep
-/// single-frame latency bounded — see BatchRecognizer / PerceptionService.
+/// total_ms differs. Timing attribution: each frame keeps its own measured
+/// stage 1-6 wall time and the remaining batch wall time (the shared query
+/// plus finalize/loop overhead) is split evenly across the frames that
+/// reached the query, so the per-frame totals sum to the batch wall time
+/// (exposed as MicroBatchScratch::last_batch_ms). Callers bound `count`
+/// (the batching window) to keep single-frame latency bounded — see
+/// BatchRecognizer / PerceptionService.
 void recognize_frames_micro_batch(const RecognizerConfig& config,
                                   const SignDatabase& database,
                                   const imaging::GrayImage* const* frames,

@@ -1,0 +1,68 @@
+// Log-bucketed (HDR-style) histogram geometry shared by the metrics
+// registry and its tests.
+//
+// The value domain is unsigned 64-bit (the pipeline records nanoseconds).
+// Buckets are exact below 8 and log-spaced above: each power-of-two octave
+// is split into kSubBuckets (= 8) equal-width sub-buckets, so a bucket's
+// width is at most 1/8th of its lower bound. Reporting the bucket midpoint
+// therefore bounds the relative error of any reported percentile by half a
+// bucket width — 1/16th (6.25%) of the true value, and never worse than a
+// full bucket width (12.5%), the bound `tests/telemetry_metrics_test.cpp`
+// asserts against exact sorted samples.
+//
+// The layout is fixed-size (kBucketCount entries covers the whole u64
+// range), so a histogram never allocates after construction and snapshots
+// are plain array reads.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace hdc::telemetry {
+
+inline constexpr std::size_t kSubBucketBits = 3;
+inline constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;  // 8
+
+/// Buckets 0..7 hold values 0..7 exactly; octave e >= 3 contributes 8
+/// sub-buckets starting at index (e - 2) * 8. The top octave (e = 63) ends
+/// at index 495.
+inline constexpr std::size_t kBucketCount = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+/// Bucket index for a value. Wait-free, branch-light, total over u64.
+[[nodiscard]] constexpr std::size_t bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned exponent = static_cast<unsigned>(std::bit_width(value)) - 1;  // >= 3
+  const std::uint64_t sub = (value >> (exponent - kSubBucketBits)) & (kSubBuckets - 1);
+  return (static_cast<std::size_t>(exponent) - kSubBucketBits + 1) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+/// Smallest value that lands in bucket `index` (inverse of bucket_index).
+[[nodiscard]] constexpr std::uint64_t bucket_lower_bound(std::size_t index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const std::size_t block = index / kSubBuckets;               // >= 1
+  const std::uint64_t sub = static_cast<std::uint64_t>(index % kSubBuckets);
+  const unsigned exponent = static_cast<unsigned>(block) + kSubBucketBits - 1;  // >= 3
+  return (kSubBuckets + sub) << (exponent - kSubBucketBits);
+}
+
+/// Midpoint representative reported for a bucket (exact for the unit-width
+/// buckets below 8).
+[[nodiscard]] constexpr std::uint64_t bucket_representative(std::size_t index) noexcept {
+  const std::uint64_t lower = bucket_lower_bound(index);
+  if (index + 1 >= kBucketCount) return lower;
+  const std::uint64_t width = bucket_lower_bound(index + 1) - lower;
+  return lower + width / 2;
+}
+
+static_assert(bucket_index(0) == 0);
+static_assert(bucket_index(7) == 7);
+static_assert(bucket_index(8) == 8);
+static_assert(bucket_index(15) == 15);
+static_assert(bucket_index(16) == 16);
+static_assert(bucket_lower_bound(bucket_index(8)) == 8);
+static_assert(bucket_lower_bound(bucket_index(1024)) == 1024);
+static_assert(bucket_index(~std::uint64_t{0}) == kBucketCount - 1);
+
+}  // namespace hdc::telemetry

@@ -1,0 +1,147 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/sink.hpp"
+
+namespace hdc::telemetry {
+
+std::uint64_t HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return bucket_representative(i);
+  }
+  return bucket_representative(buckets.size() - 1);
+}
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+  for (const CounterSnapshot& entry : counters) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramSnapshot& entry : histograms) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (detail::CounterNode& node : counters_) {
+    if (node.name == name) return Counter(&node);
+  }
+  detail::CounterNode& node = counters_.emplace_back();
+  node.name.assign(name);
+  return Counter(&node);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (detail::GaugeNode& node : gauges_) {
+    if (node.name == name) return Gauge(&node);
+  }
+  detail::GaugeNode& node = gauges_.emplace_back();
+  node.name.assign(name);
+  return Gauge(&node);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (detail::HistogramNode& node : histograms_) {
+    if (node.name == name) return Histogram(&node);
+  }
+  detail::HistogramNode& node = histograms_.emplace_back();
+  node.name.assign(name);
+  return Histogram(&node);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out.counters.reserve(counters_.size());
+    for (const detail::CounterNode& node : counters_) {
+      std::uint64_t sum = 0;
+      for (const detail::CounterCell& cell : node.cells) {
+        sum += cell.value.load(std::memory_order_relaxed);
+      }
+      out.counters.push_back({node.name, sum});
+    }
+    out.gauges.reserve(gauges_.size());
+    for (const detail::GaugeNode& node : gauges_) {
+      std::int64_t sum = 0;
+      for (const detail::GaugeCell& cell : node.cells) {
+        sum += cell.value.load(std::memory_order_relaxed);
+      }
+      out.gauges.push_back({node.name, sum});
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const detail::HistogramNode& node : histograms_) {
+      HistogramSnapshot snap;
+      snap.name = node.name;
+      snap.buckets.assign(kBucketCount, 0);
+      for (const detail::HistogramStripe& stripe : node.stripes) {
+        for (std::size_t i = 0; i < kBucketCount; ++i) {
+          snap.buckets[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+        }
+        snap.sum += stripe.sum.load(std::memory_order_relaxed);
+        snap.max = std::max(snap.max, stripe.max.load(std::memory_order_relaxed));
+      }
+      // The authoritative count is the bucket sum: count and buckets can
+      // never disagree within one snapshot, even when taken mid-write.
+      for (const std::uint64_t bucket : snap.buckets) snap.count += bucket;
+      out.histograms.push_back(std::move(snap));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+std::string MetricsRegistry::render_text() const { return render_text(snapshot()); }
+
+std::string MetricsRegistry::render_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSnapshot& entry : snapshot.counters) {
+    out << "# TYPE " << entry.name << " counter\n";
+    out << entry.name << ' ' << entry.value << '\n';
+  }
+  for (const GaugeSnapshot& entry : snapshot.gauges) {
+    out << "# TYPE " << entry.name << " gauge\n";
+    out << entry.name << ' ' << entry.value << '\n';
+  }
+  for (const HistogramSnapshot& entry : snapshot.histograms) {
+    out << "# TYPE " << entry.name << " summary\n";
+    out << entry.name << "{quantile=\"0.5\"} " << entry.percentile(0.50) << '\n';
+    out << entry.name << "{quantile=\"0.9\"} " << entry.percentile(0.90) << '\n';
+    out << entry.name << "{quantile=\"0.99\"} " << entry.percentile(0.99) << '\n';
+    out << entry.name << "_count " << entry.count << '\n';
+    out << entry.name << "_sum " << entry.sum << '\n';
+    out << entry.name << "_max " << entry.max << '\n';
+  }
+  return out.str();
+}
+
+void MetricsRegistry::publish(TelemetrySink& sink) const { sink.on_snapshot(snapshot()); }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace hdc::telemetry

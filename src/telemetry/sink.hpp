@@ -1,0 +1,27 @@
+// TelemetrySink — consumer hook for metric snapshots.
+//
+// A sink receives whole MetricsSnapshots (aggregated, name-sorted) from
+// MetricsRegistry::publish(). The canonical subscriber is
+// protocol::JournalRecorder, which filters the snapshot down to the
+// replay-deterministic counter namespace and appends it to the event
+// journal as a wire::MetricSnapshotRecord — so a recorded run's counter
+// totals survive into deterministic replay (docs/OBSERVABILITY.md).
+//
+// Publishing is a cold-path registry scan; call it at deterministic
+// checkpoints (finalize, drain boundaries), never per frame. Snapshots
+// published at wall-clock-driven instants would NOT replay bit-identically.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+
+namespace hdc::telemetry {
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  /// Receives one aggregated snapshot. Called on the publishing thread.
+  virtual void on_snapshot(const MetricsSnapshot& snapshot) = 0;
+};
+
+}  // namespace hdc::telemetry

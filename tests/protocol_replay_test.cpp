@@ -19,6 +19,8 @@
 #include "protocol/wire.hpp"
 #include "recognition/perception_service.hpp"
 #include "signs/multi_drone_feed.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/stage_names.hpp"
 
 namespace hdc::protocol {
 namespace {
@@ -35,14 +37,25 @@ const char* fixture_path() {
 /// drone 0 walks through enough held Attention/Yes frames to fuse events,
 /// the coordination side sees registrations, outcomes, a renewal and a
 /// tick past the TTL. Exercises every journal hook without perception.
-std::vector<std::uint8_t> record_direct_run() {
+/// With `instrumented` the run carries a telemetry registry and the journal
+/// ends with a MetricSnapshotRecord; without, it is a pre-telemetry-style
+/// journal (no snapshot record) — replay must handle both.
+std::vector<std::uint8_t> record_direct_run(bool instrumented = true) {
+  telemetry::MetricsRegistry metrics_storage;
+  telemetry::MetricsRegistry* metrics = &metrics_storage;
+
   interaction::InteractionServiceConfig dialogue_config;
   coordination::CoordinationConfig coordination_config;
   coordination_config.cells = 4;
   coordination_config.grant_ttl = 500;
+  if (instrumented) {
+    dialogue_config.metrics = metrics;
+    coordination_config.metrics = metrics;
+  }
 
   EventJournal journal;
   JournalRecorder recorder(journal);
+  if (instrumented) recorder.set_metrics(metrics);
   recorder.record_config(
       make_run_config(dialogue_config, coordination_config));
 
@@ -112,15 +125,20 @@ std::vector<std::uint8_t> record_contention_run(
   const coordination::ContentionFleet fleet =
       coordination::make_contention_fleet(8, grammar);
 
+  telemetry::MetricsRegistry metrics;
   coordination::CoordinationConfig coordination_config;
   coordination_config.cells = fleet.pairs.size();
   coordination_config.grant_ttl = 1'000'000;
+  coordination_config.metrics = &metrics;
   interaction::InteractionServiceConfig dialogue_config;
   dialogue_config.fusion =
       interaction::FusionPolicy::matching(reference.config());
+  dialogue_config.metrics = &metrics;
 
   EventJournal journal;
+  journal.instrument(metrics);
   JournalRecorder recorder(journal);
+  recorder.set_metrics(&metrics);
   recorder.record_config(
       make_run_config(dialogue_config, coordination_config));
 
@@ -136,6 +154,7 @@ std::vector<std::uint8_t> record_contention_run(
   const signs::MultiDroneFeed feed(make_fleet_feed_config(fleet));
   recognition::PerceptionServiceConfig perception_config;
   perception_config.shards = 2;
+  perception_config.metrics = &metrics;
   recognition::PerceptionService perception(
       reference.config(), reference.database_ptr(), dialogue.callback(),
       perception_config);
@@ -168,6 +187,30 @@ std::vector<std::uint8_t> record_contention_run(
   return journal.bytes();
 }
 
+/// The journal's one MetricSnapshotRecord (asserts exactly one exists).
+wire::MetricSnapshotRecord snapshot_of(const std::vector<std::uint8_t>& bytes) {
+  std::vector<wire::AnyRecord> records;
+  wire::WireError error;
+  EXPECT_TRUE(wire::parse_all(bytes, records, error)) << error.message;
+  std::vector<wire::MetricSnapshotRecord> found;
+  for (const wire::AnyRecord& record : records) {
+    if (wire::record_type(record) == wire::RecordType::kMetricSnapshot) {
+      found.push_back(std::get<wire::MetricSnapshotRecord>(record));
+    }
+  }
+  EXPECT_EQ(found.size(), 1u);
+  return found.empty() ? wire::MetricSnapshotRecord{} : found.front();
+}
+
+std::uint64_t value_of(const wire::MetricSnapshotRecord& snapshot,
+                       std::string_view name) {
+  for (const wire::MetricSnapshotEntry& entry : snapshot.entries) {
+    if (entry.name == name) return entry.value;
+  }
+  ADD_FAILURE() << "snapshot has no entry named " << name;
+  return 0;
+}
+
 // -------------------------------------------------------------- tests ----
 
 TEST(Replay, DirectAdmissionRunReplaysBitIdentically) {
@@ -185,6 +228,55 @@ TEST(Replay, DirectAdmissionRunReplaysBitIdentically) {
   const ReplayReport second = driver.replay(recorded);
   ASSERT_TRUE(second.ok) << second.mismatch;
   EXPECT_EQ(first.journal_bytes, second.journal_bytes);
+}
+
+TEST(Replay, MetricSnapshotCounterTotalsReplayBitExactly) {
+  const std::vector<std::uint8_t> recorded = record_direct_run();
+  const wire::MetricSnapshotRecord recorded_snapshot = snapshot_of(recorded);
+
+  // One entry per replay-deterministic counter, sorted by name (the
+  // canonical wire layout metric_snapshot_record() promises).
+  const std::vector<std::string_view>& names = replay_deterministic_counters();
+  ASSERT_EQ(recorded_snapshot.entries.size(), names.size());
+  for (std::size_t i = 1; i < recorded_snapshot.entries.size(); ++i) {
+    EXPECT_LT(recorded_snapshot.entries[i - 1].name,
+              recorded_snapshot.entries[i].name);
+  }
+  for (std::string_view name : names) {
+    (void)value_of(recorded_snapshot, name);  // fails if absent
+  }
+
+  // The run demonstrably moved the workers' counters — an all-zero
+  // snapshot would make the bit-exactness assertion below vacuous.
+  EXPECT_GT(value_of(recorded_snapshot, telemetry::kInteractionObservations), 0u);
+  EXPECT_GT(value_of(recorded_snapshot, telemetry::kInteractionEvents), 0u);
+  EXPECT_GT(value_of(recorded_snapshot, telemetry::kInteractionOutcomes), 0u);
+  EXPECT_GT(value_of(recorded_snapshot, telemetry::kCoordinationEvents), 0u);
+  EXPECT_GT(value_of(recorded_snapshot, telemetry::kCoordinationGrants), 0u);
+  EXPECT_GT(value_of(recorded_snapshot, telemetry::kCoordinationExpiries), 0u);
+
+  // Replaying the journal re-derives every counter total bit-exactly from
+  // fresh services (the driver also compares the records itself — this
+  // pins the guarantee independently).
+  const ReplayReport report = ReplayDriver().replay(recorded);
+  ASSERT_TRUE(report.ok) << report.mismatch;
+  EXPECT_EQ(snapshot_of(report.journal_bytes), recorded_snapshot);
+}
+
+TEST(Replay, UninstrumentedJournalReplaysWithoutASnapshotRecord) {
+  // A journal recorded with no telemetry registry has no snapshot record;
+  // the replay must not invent one (that would be a per-type divergence).
+  const std::vector<std::uint8_t> recorded =
+      record_direct_run(/*instrumented=*/false);
+  std::vector<wire::AnyRecord> records;
+  wire::WireError error;
+  ASSERT_TRUE(wire::parse_all(recorded, records, error));
+  for (const wire::AnyRecord& record : records) {
+    EXPECT_NE(wire::record_type(record), wire::RecordType::kMetricSnapshot);
+  }
+
+  const ReplayReport report = ReplayDriver().replay(recorded);
+  EXPECT_TRUE(report.ok) << report.mismatch;
 }
 
 TEST(Replay, RecordingIsItselfReplayableAsAJournal) {
@@ -320,6 +412,15 @@ TEST_F(ReplayEndToEnd, CommittedContentionFixtureReplaysTwiceIdentically) {
   const ReplayReport second = driver.replay(bytes);
   ASSERT_TRUE(second.ok) << second.mismatch;
   EXPECT_EQ(first.journal_bytes, second.journal_bytes);
+
+  // The committed fixture carries the run's replay-deterministic counter
+  // totals, and the fresh-service replay re-derived them bit-exactly.
+  const wire::MetricSnapshotRecord snapshot = snapshot_of(bytes);
+  EXPECT_GT(value_of(snapshot, telemetry::kInteractionObservations), 0u);
+  EXPECT_GT(value_of(snapshot, telemetry::kInteractionEvents), 0u);
+  EXPECT_GT(value_of(snapshot, telemetry::kCoordinationArbitrations), 0u);
+  EXPECT_GT(value_of(snapshot, telemetry::kCoordinationGrants), 0u);
+  EXPECT_EQ(snapshot_of(first.journal_bytes), snapshot);
 
   // The scripted ground truth still holds through the wire: every pair
   // produced one arbitration decision, and the winner holds its cell.

@@ -131,6 +131,12 @@ class Fuzz {
         return wire::GrantSlotRecord{i32(), u8(4), u32(), u64(), u64(), u32()};
       case wire::RecordType::kJournalEnd:
         return wire::JournalEndRecord{u64()};
+      case wire::RecordType::kMetricSnapshot: {
+        wire::MetricSnapshotRecord r;
+        const std::uint8_t n = u8(6);
+        for (std::uint8_t i = 0; i < n; ++i) r.entries.push_back({text(), u64()});
+        return r;
+      }
     }
     return wire::JournalEndRecord{};
   }
@@ -146,6 +152,7 @@ constexpr wire::RecordType kAllTypes[] = {
     wire::RecordType::kGrantUpdate,  wire::RecordType::kArbitration,
     wire::RecordType::kPlanHint,     wire::RecordType::kTranscriptDigest,
     wire::RecordType::kGrantSlot,    wire::RecordType::kJournalEnd,
+    wire::RecordType::kMetricSnapshot,
 };
 
 }  // namespace
@@ -203,12 +210,12 @@ TEST(Wire, FuzzRoundTripEveryRecordTypeIsLosslessAndCanonical) {
 TEST(Wire, GoldenObservationBytes) {
   const wire::ObservationRecord record{7, 0x0123456789ABCDEFull, 2, 0, 0.5};
   const std::vector<std::uint8_t> expected = {
-      0xDC, 0x01, 0x02, 0x16, 0x00,                    // magic ver type len
+      0xDC, 0x02, 0x02, 0x16, 0x00,                    // magic ver type len
       0x07, 0x00, 0x00, 0x00,                          // stream_id
       0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01,  // sequence
       0x02, 0x00,                                      // sign, abort
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,  // confidence 0.5
-      0xA3, 0xA7,                                      // crc16
+      0x21, 0x43,                                      // crc16
   };
   EXPECT_EQ(wire::encode_one(record), expected);
 
@@ -222,13 +229,41 @@ TEST(Wire, GoldenObservationBytes) {
 TEST(Wire, GoldenTransitionBytes) {
   const wire::TransitionRecord record{1, 1, 3, 1, 2, 0, 4, 1, 1000, "confirm"};
   const std::vector<std::uint8_t> expected = {
-      0xDC, 0x01, 0x04, 0x1C, 0x00,                    // magic ver type len
+      0xDC, 0x02, 0x04, 0x1C, 0x00,                    // magic ver type len
       0x01, 0x00, 0x00, 0x00,                          // stream_id
       0x01, 0x03, 0x01, 0x02, 0x00, 0x04, 0x01,        // state/command bytes
       0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // tick 1000
       0x07, 0x00,                                      // event length
       0x63, 0x6F, 0x6E, 0x66, 0x69, 0x72, 0x6D,        // "confirm"
-      0x48, 0xF8,                                      // crc16
+      0x82, 0x13,                                      // crc16
+  };
+  EXPECT_EQ(wire::encode_one(record), expected);
+
+  std::vector<wire::AnyRecord> parsed;
+  wire::WireError error;
+  ASSERT_TRUE(wire::parse_all(expected, parsed, error));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], wire::AnyRecord(record));
+}
+
+TEST(Wire, GoldenMetricSnapshotBytes) {
+  const wire::MetricSnapshotRecord record{
+      {{"coordination_grants_total", 3}, {"interaction_events_total", 7}}};
+  const std::vector<std::uint8_t> expected = {
+      0xDC, 0x02, 0x0D, 0x49, 0x00,                    // magic ver type len
+      0x02, 0x00, 0x00, 0x00,                          // entry count
+      0x19, 0x00,                                      // name length 25
+      0x63, 0x6F, 0x6F, 0x72, 0x64, 0x69, 0x6E, 0x61,  // "coordina"
+      0x74, 0x69, 0x6F, 0x6E, 0x5F, 0x67, 0x72, 0x61,  // "tion_gra"
+      0x6E, 0x74, 0x73, 0x5F, 0x74, 0x6F, 0x74, 0x61,  // "nts_tota"
+      0x6C,                                            // "l"
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // value 3
+      0x18, 0x00,                                      // name length 24
+      0x69, 0x6E, 0x74, 0x65, 0x72, 0x61, 0x63, 0x74,  // "interact"
+      0x69, 0x6F, 0x6E, 0x5F, 0x65, 0x76, 0x65, 0x6E,  // "ion_even"
+      0x74, 0x73, 0x5F, 0x74, 0x6F, 0x74, 0x61, 0x6C,  // "ts_total"
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // value 7
+      0xA8, 0xA9,                                      // crc16
   };
   EXPECT_EQ(wire::encode_one(record), expected);
 
@@ -295,7 +330,7 @@ TEST(Wire, EveryPossibleBitFlipIsRejected) {
 TEST(Wire, OversizedDeclaredLengthIsRejectedAtTheLengthField) {
   // Declared length far beyond the per-record cap, with a buffer that
   // would even cover it: the cap rejects first.
-  std::vector<std::uint8_t> bytes = {0xDC, 0x01, 0x02, 0xFF, 0xFF};
+  std::vector<std::uint8_t> bytes = {0xDC, 0x02, 0x02, 0xFF, 0xFF};
   bytes.resize(wire::kEnvelopeHeaderSize + 0xFFFF +
                wire::kEnvelopeTrailerSize);
   wire::WireError error = parse_expecting_error(bytes);
@@ -303,7 +338,7 @@ TEST(Wire, OversizedDeclaredLengthIsRejectedAtTheLengthField) {
   EXPECT_EQ(error.offset, 3u);
 
   // Declared length under the cap but overrunning the actual buffer.
-  std::vector<std::uint8_t> short_buffer = {0xDC, 0x01, 0x02, 0x40, 0x00,
+  std::vector<std::uint8_t> short_buffer = {0xDC, 0x02, 0x02, 0x40, 0x00,
                                             0x00, 0x00, 0x00};
   error = parse_expecting_error(short_buffer);
   EXPECT_EQ(error.code, wire::WireErrorCode::kBadLength);
@@ -313,11 +348,18 @@ TEST(Wire, OversizedDeclaredLengthIsRejectedAtTheLengthField) {
 TEST(Wire, FutureVersionIsRejectedBeforeTheChecksum) {
   std::vector<std::uint8_t> bytes =
       wire::encode_one(wire::JournalEndRecord{42});
-  bytes[1] = 2;  // CRC left stale on purpose: version must reject first
+  bytes[1] = wire::kWireVersion + 1;  // stale CRC on purpose: version first
   wire::WireError error = parse_expecting_error(bytes);
   EXPECT_EQ(error.code, wire::WireErrorCode::kBadVersion);
   EXPECT_EQ(error.offset, 1u);
   EXPECT_NE(error.message.find("future"), std::string::npos);
+
+  // Superseded versions (v1 predates the MetricSnapshot record) and the
+  // never-valid version 0 are rejected at the same offset.
+  bytes[1] = 1;
+  error = parse_expecting_error(bytes);
+  EXPECT_EQ(error.code, wire::WireErrorCode::kBadVersion);
+  EXPECT_EQ(error.offset, 1u);
 
   bytes[1] = 0;
   error = parse_expecting_error(bytes);
@@ -335,7 +377,7 @@ TEST(Wire, BadMagicIsRejectedAtTheEnvelopeStart) {
 }
 
 TEST(Wire, UnknownRecordTypeIsRejectedEvenWithAValidChecksum) {
-  for (std::uint8_t type : {std::uint8_t{0}, std::uint8_t{13},
+  for (std::uint8_t type : {std::uint8_t{0}, std::uint8_t{14},
                             std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
     const std::vector<std::uint8_t> bytes =
         envelope(wire::kWireVersion, type,

@@ -172,6 +172,42 @@ TEST(MicroBatch, PayloadBitIdenticalToPerFramePipeline) {
   }
 }
 
+TEST(MicroBatch, PerFrameTimingSumsToBatchWallTime) {
+  // Timing-attribution regression: the batch's wall time is apportioned
+  // across its frames, so the per-frame total_ms values must sum back to
+  // the measured batch time exactly (no double-counted shared work, no
+  // unattributed remainder).
+  const RecognizerConfig config;
+  const SaxSignRecognizer reference(config, DatabaseBuildOptions{});
+  const std::vector<imaging::GrayImage> frames = render_frames(10);
+
+  RecognizerScratch scratch;
+  MicroBatchScratch micro;
+  for (const std::size_t window : {1u, 3u, 10u}) {
+    std::vector<RecognitionResult> results(frames.size());
+    for (std::size_t begin = 0; begin < frames.size(); begin += window) {
+      const std::size_t end = std::min(begin + window, frames.size());
+      std::vector<const imaging::GrayImage*> frame_ptrs;
+      std::vector<RecognitionResult*> result_ptrs;
+      for (std::size_t i = begin; i < end; ++i) {
+        frame_ptrs.push_back(&frames[i]);
+        result_ptrs.push_back(&results[i]);
+      }
+      recognize_frames_micro_batch(config, reference.database(),
+                                   frame_ptrs.data(), frame_ptrs.size(),
+                                   scratch, micro, result_ptrs.data());
+      EXPECT_GT(micro.last_batch_ms, 0.0);
+      double sum = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        EXPECT_GE(results[i].total_ms, 0.0) << "frame " << i;
+        sum += results[i].total_ms;
+      }
+      EXPECT_NEAR(sum, micro.last_batch_ms, 1e-9)
+          << "window=" << window << " begin=" << begin;
+    }
+  }
+}
+
 TEST(MicroBatch, ServiceValidatesWindowAndStaysBitIdentical) {
   const RecognizerConfig config;
   const SaxSignRecognizer reference(config, DatabaseBuildOptions{});

@@ -1,0 +1,302 @@
+// Telemetry registry tests: bucket geometry (index/lower-bound inverses,
+// exact unit buckets, the <= 12.5% width bound), percentile error against
+// exact sorted samples, concurrent multi-thread recording vs a serial
+// ground truth, snapshot-during-write consistency (monotonic, never torn
+// below the field level), the pinned render_text() exposition format, and
+// the disarmed-handle no-op contract.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/sink.hpp"
+#include "telemetry/span.hpp"
+
+namespace hdc::telemetry {
+namespace {
+
+// ------------------------------------------------------ bucket geometry --
+
+TEST(HistogramBuckets, UnitBucketsBelowEightAreExact) {
+  for (std::uint64_t v = 0; v < kSubBuckets; ++v) {
+    EXPECT_EQ(bucket_index(v), v);
+    EXPECT_EQ(bucket_lower_bound(v), v);
+    EXPECT_EQ(bucket_representative(v), v);
+  }
+}
+
+TEST(HistogramBuckets, LowerBoundIsTheInverseOfIndexAtEveryBoundary) {
+  // Every bucket's lower bound maps back to that bucket, and the value one
+  // below it maps to the previous bucket (no gaps, no overlaps).
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t lower = bucket_lower_bound(i);
+    EXPECT_EQ(bucket_index(lower), i) << "bucket " << i;
+    if (i > 0) {
+      EXPECT_EQ(bucket_index(lower - 1), i - 1) << "bucket " << i;
+    }
+  }
+  EXPECT_EQ(bucket_index(~std::uint64_t{0}), kBucketCount - 1);
+}
+
+TEST(HistogramBuckets, BucketWidthIsAtMostAnEighthOfItsLowerBound) {
+  // The percentile error bound rests on this: midpoint reporting is off by
+  // at most half a width (6.25%), never more than a full width (12.5%).
+  for (std::size_t i = kSubBuckets; i + 1 < kBucketCount; ++i) {
+    const std::uint64_t lower = bucket_lower_bound(i);
+    const std::uint64_t width = bucket_lower_bound(i + 1) - lower;
+    EXPECT_LE(width, lower / kSubBuckets) << "bucket " << i;
+    const std::uint64_t representative = bucket_representative(i);
+    EXPECT_GE(representative, lower);
+    EXPECT_LT(representative, lower + width);
+  }
+}
+
+// ---------------------------------------------------------- percentiles --
+
+TEST(Histogram, PercentilesStayWithinTheBucketWidthOfExactSortedSamples) {
+  std::mt19937_64 rng(0xC0FFEEu);
+  // Log-uniform nanosecond-scale samples: exercises many octaves.
+  std::uniform_real_distribution<double> log_range(0.0, 30.0);
+  MetricsRegistry registry;
+  Histogram histogram = registry.histogram("latency_ns");
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t value =
+        static_cast<std::uint64_t>(std::exp2(log_range(rng)));
+    samples.push_back(value);
+    histogram.record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.find_histogram("latency_ns");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->count, samples.size());
+
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    // The same rank convention percentile() uses, against the exact sort.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(samples.size()));
+    rank = std::clamp<std::uint64_t>(rank, 1, samples.size());
+    const double exact = static_cast<double>(samples[rank - 1]);
+    const double reported = static_cast<double>(snap->percentile(q));
+    EXPECT_LE(std::abs(reported - exact), exact * 0.125 + 1.0)
+        << "q=" << q << " exact=" << exact << " reported=" << reported;
+  }
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  (void)registry.histogram("empty_ns");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.find_histogram("empty_ns");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, 0u);
+  EXPECT_EQ(snap->percentile(0.5), 0u);
+  EXPECT_EQ(snap->percentile(0.99), 0u);
+}
+
+// ----------------------------------------------- concurrent aggregation --
+
+TEST(Registry, ConcurrentRecordingMatchesSerialGroundTruth) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+
+  MetricsRegistry registry;
+  Counter counter = registry.counter("ops_total");
+  Gauge gauge = registry.gauge("depth");
+  Histogram histogram = registry.histogram("work_ns");
+
+  // Serial ground truth over the same deterministic per-thread sequences.
+  std::vector<std::uint64_t> expected_buckets(kBucketCount, 0);
+  std::uint64_t expected_sum = 0, expected_max = 0, expected_count = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    std::mt19937_64 rng(1000 + t);
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::uint64_t value = rng() % 1'000'000;
+      ++expected_buckets[bucket_index(value)];
+      expected_sum += value;
+      expected_max = std::max(expected_max, value);
+      ++expected_count;
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t value = rng() % 1'000'000;
+        histogram.record(value);
+        counter.add(1);
+        gauge.add(i % 2 == 0 ? 1 : -1);  // net 0 per pair, exact either way
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.total(), expected_count);
+  EXPECT_EQ(gauge.value(), kThreads * (kPerThread % 2 == 0 ? 0 : 1));
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.find_histogram("work_ns");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, expected_count);
+  EXPECT_EQ(snap->sum, expected_sum);
+  EXPECT_EQ(snap->max, expected_max);
+  EXPECT_EQ(snap->buckets, expected_buckets);
+
+  const CounterSnapshot* ops = snapshot.find_counter("ops_total");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->value, expected_count);
+}
+
+TEST(Registry, SnapshotDuringWritesIsMonotonicAndInternallyConsistent) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("events_total");
+  Histogram histogram = registry.histogram("tick_ns");
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter.add(1);
+      histogram.record(i++ % 4096);
+    }
+  });
+
+  std::uint64_t last_counter = 0, last_count = 0, last_sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const CounterSnapshot* events = snapshot.find_counter("events_total");
+    const HistogramSnapshot* ticks = snapshot.find_histogram("tick_ns");
+    ASSERT_NE(events, nullptr);
+    ASSERT_NE(ticks, nullptr);
+    // Monotonic across snapshots; count always equals the bucket sum (the
+    // snapshot derives it that way, so they can never disagree mid-write).
+    EXPECT_GE(events->value, last_counter);
+    EXPECT_GE(ticks->count, last_count);
+    EXPECT_GE(ticks->sum, last_sum);
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t bucket : ticks->buckets) bucket_total += bucket;
+    EXPECT_EQ(ticks->count, bucket_total);
+    last_counter = events->value;
+    last_count = ticks->count;
+    last_sum = ticks->sum;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(registry.snapshot().find_counter("events_total")->value, 0u);
+}
+
+// ------------------------------------------------------------- handles --
+
+TEST(Registry, DisarmedHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  EXPECT_FALSE(counter.armed());
+  EXPECT_FALSE(gauge.armed());
+  EXPECT_FALSE(histogram.armed());
+  counter.add(7);
+  gauge.add(-3);
+  histogram.record(42);
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  { TELEMETRY_SPAN(histogram); }  // must not crash or record
+}
+
+TEST(Registry, SameNameReturnsTheSameMetric) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("shared_total");
+  Counter b = registry.counter("shared_total");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(registry.snapshot().counters.size(), 1u);
+}
+
+TEST(Span, RecordsElapsedTimeOnlyWhenEnabled) {
+  MetricsRegistry registry;
+  Histogram histogram = registry.histogram("span_ns");
+  { TELEMETRY_SPAN(histogram); }
+  EXPECT_EQ(registry.snapshot().find_histogram("span_ns")->count, 1u);
+
+  set_enabled(false);
+  { TELEMETRY_SPAN(histogram); }
+  set_enabled(true);
+  EXPECT_EQ(registry.snapshot().find_histogram("span_ns")->count, 1u);
+
+  { TELEMETRY_SPAN(histogram); }
+  EXPECT_EQ(registry.snapshot().find_histogram("span_ns")->count, 2u);
+}
+
+// ----------------------------------------------------------- exposition --
+
+TEST(RenderText, PinnedExpositionFormat) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("alpha_total");
+  Gauge gauge = registry.gauge("queue_depth");
+  Histogram histogram = registry.histogram("stage_ns");
+  counter.add(3);
+  gauge.add(-2);
+  histogram.record(4);
+  histogram.record(6);
+  histogram.record(6);
+
+  // The format is part of the public surface (docs/OBSERVABILITY.md):
+  // changing it breaks downstream scrapers, so it is pinned verbatim.
+  const std::string expected =
+      "# TYPE alpha_total counter\n"
+      "alpha_total 3\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth -2\n"
+      "# TYPE stage_ns summary\n"
+      "stage_ns{quantile=\"0.5\"} 4\n"
+      "stage_ns{quantile=\"0.9\"} 6\n"
+      "stage_ns{quantile=\"0.99\"} 6\n"
+      "stage_ns_count 3\n"
+      "stage_ns_sum 16\n"
+      "stage_ns_max 6\n";
+  EXPECT_EQ(registry.render_text(), expected);
+}
+
+TEST(RenderText, EntriesAreSortedByName) {
+  MetricsRegistry registry;
+  (void)registry.counter("zeta_total");
+  (void)registry.counter("alpha_total");
+  const std::string text = registry.render_text();
+  EXPECT_LT(text.find("alpha_total"), text.find("zeta_total"));
+}
+
+// ----------------------------------------------------------------- sink --
+
+TEST(Sink, PublishDeliversOneAggregatedSnapshot) {
+  struct CapturingSink : TelemetrySink {
+    std::vector<MetricsSnapshot> snapshots;
+    void on_snapshot(const MetricsSnapshot& snapshot) override {
+      snapshots.push_back(snapshot);
+    }
+  };
+
+  MetricsRegistry registry;
+  Counter counter = registry.counter("published_total");
+  counter.add(9);
+
+  CapturingSink sink;
+  registry.publish(sink);
+  ASSERT_EQ(sink.snapshots.size(), 1u);
+  const CounterSnapshot* entry =
+      sink.snapshots.front().find_counter("published_total");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, 9u);
+}
+
+}  // namespace
+}  // namespace hdc::telemetry
