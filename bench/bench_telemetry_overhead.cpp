@@ -2,13 +2,18 @@
 // within the 3 % measurement-noise floor of docs/PERFORMANCE.md relative
 // to the un-instrumented path. This is the enforcement arm of the
 // telemetry layer's cost contract (src/telemetry/metrics.hpp): wait-free
-// striped recording, zero locks and zero allocation per frame.
+// striped recording, zero locks and zero allocation per frame — and, since
+// the causal-tracing layer, of the flight recorder's contract too
+// (src/telemetry/flight_recorder.hpp): emitting per-frame TraceEvents must
+// ride the same clock reads the histograms already pay.
 //
-// Method: the same micro-batched recognition loop runs three ways —
+// Method: the same micro-batched recognition loop runs four ways —
 // disarmed handles (no registry wired), armed handles with spans globally
-// disabled (counters only), and fully armed — interleaved rep by rep so
-// thermal/scheduler drift hits all three equally, best-of-N per mode.
-// Exit code 1 when the fully-armed overhead exceeds the gate (CI fails).
+// disabled (counters only), fully armed, and fully armed + a wired
+// FlightRecorder emitting one kRecognize TraceEvent per frame —
+// interleaved rep by rep so thermal/scheduler drift hits all modes
+// equally, best-of-N per mode. Exit code 1 when the fully-armed OR the
+// traced overhead exceeds the gate (CI fails on either).
 //
 // Flags: --smoke (CI-sized run), --reps N, --json PATH, --gate PCT.
 #include <algorithm>
@@ -19,6 +24,7 @@
 
 #include "recognition/recognizer.hpp"
 #include "signs/scene.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -49,12 +55,16 @@ std::vector<imaging::GrayImage> make_frames(std::size_t total) {
   return frames;
 }
 
-/// One full pass of the micro-batched hot loop over the frame set.
+/// One full pass of the micro-batched hot loop over the frame set. When
+/// `recorder` is wired, the pass mirrors PerceptionService::shard_loop's
+/// traced window: ONE clock pair per window feeds per-frame kRecognize
+/// events — exactly the production cost shape the gate protects.
 double timed_pass(const RecognizerConfig& config,
                   const recognition::SignDatabase& database,
                   const std::vector<imaging::GrayImage>& frames,
                   RecognizerScratch& scratch, MicroBatchScratch& micro,
-                  std::vector<RecognitionResult>& results) {
+                  std::vector<RecognitionResult>& results,
+                  telemetry::FlightRecorder* recorder = nullptr) {
   constexpr std::size_t kWindow = 8;
   util::Stopwatch watch;
   for (std::size_t begin = 0; begin < frames.size(); begin += kWindow) {
@@ -65,8 +75,19 @@ double timed_pass(const RecognizerConfig& config,
       frame_ptrs[i - begin] = &frames[i];
       result_ptrs[i - begin] = &results[i];
     }
+    const std::uint64_t t0 = recorder != nullptr ? telemetry::now_ns() : 0;
     recognize_frames_micro_batch(config, database, frame_ptrs, end - begin,
                                  scratch, micro, result_ptrs);
+    if (recorder != nullptr) {
+      const std::uint64_t t1 = telemetry::now_ns();
+      for (std::size_t i = begin; i < end; ++i) {
+        recorder->emit({telemetry::make_trace_id(0, i), 0, i,
+                        telemetry::TraceStage::kRecognize,
+                        results[i].accepted ? telemetry::TraceOutcome::kAccepted
+                                            : telemetry::TraceOutcome::kNoMatch,
+                        t0, t1});
+      }
+    }
   }
   return watch.elapsed_seconds();
 }
@@ -75,12 +96,13 @@ struct Mode {
   std::string name;
   bool armed{false};
   bool spans_enabled{true};
+  bool traced{false};
   double best_seconds{1e300};
 };
 
 void write_json(const std::string& path, const std::vector<Mode>& modes,
-                std::size_t frames, double overhead_pct, double gate_pct,
-                bool pass) {
+                std::size_t frames, double overhead_pct,
+                double traced_overhead_pct, double gate_pct, bool pass) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot open " << path << " for JSON output\n";
@@ -95,6 +117,7 @@ void write_json(const std::string& path, const std::vector<Mode>& modes,
         << (i + 1 < modes.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"overhead_pct\": " << overhead_pct
+      << ",\n  \"traced_overhead_pct\": " << traced_overhead_pct
       << ",\n  \"gate_pct\": " << gate_pct
       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
 }
@@ -132,11 +155,13 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry registry;
   const telemetry::RecognitionStageMetrics armed_handles =
       telemetry::RecognitionStageMetrics::from(registry);
+  telemetry::FlightRecorder recorder;
 
   std::vector<Mode> modes = {
-      {"disarmed", false, true, 1e300},
-      {"counters_only", true, false, 1e300},
-      {"armed", true, true, 1e300},
+      {"disarmed", false, true, false, 1e300},
+      {"counters_only", true, false, false, 1e300},
+      {"armed", true, true, false, 1e300},
+      {"traced", true, true, true, 1e300},
   };
 
   RecognizerScratch scratch;
@@ -145,6 +170,8 @@ int main(int argc, char** argv) {
   // Warm-up sizes every arena so no mode pays first-touch allocation.
   (void)timed_pass(reference.config(), reference.database(), frames, scratch,
                    micro, results);
+  (void)timed_pass(reference.config(), reference.database(), frames, scratch,
+                   micro, results, &recorder);  // registers the writer lane
 
   // Interleaved best-of-N: mode order rotates inside each rep so no mode
   // systematically runs hotter or colder than the others.
@@ -153,8 +180,9 @@ int main(int argc, char** argv) {
       scratch.metrics =
           mode.armed ? armed_handles : telemetry::RecognitionStageMetrics{};
       telemetry::set_enabled(mode.spans_enabled);
-      const double seconds = timed_pass(reference.config(), reference.database(),
-                                        frames, scratch, micro, results);
+      const double seconds =
+          timed_pass(reference.config(), reference.database(), frames, scratch,
+                     micro, results, mode.traced ? &recorder : nullptr);
       mode.best_seconds = std::min(mode.best_seconds, seconds);
     }
   }
@@ -172,11 +200,14 @@ int main(int argc, char** argv) {
             << frames_count << " frames, best of " << reps << ") ---\n";
   table.print(std::cout);
 
-  // The gate: fully armed vs disarmed.
+  // The gate: fully armed vs disarmed, AND armed+traced vs disarmed.
   const double overhead_pct =
       100.0 * (modes[2].best_seconds / modes[0].best_seconds - 1.0);
-  const bool pass = overhead_pct <= gate_pct;
+  const double traced_overhead_pct =
+      100.0 * (modes[3].best_seconds / modes[0].best_seconds - 1.0);
+  const bool pass = overhead_pct <= gate_pct && traced_overhead_pct <= gate_pct;
   std::cout << "armed overhead: " << util::fmt(overhead_pct, 2)
+            << "%, traced overhead: " << util::fmt(traced_overhead_pct, 2)
             << "% (gate: <= " << util::fmt(gate_pct, 1) << "%) -> "
             << (pass ? "PASS" : "FAIL") << "\n";
 
@@ -192,9 +223,16 @@ int main(int argc, char** argv) {
                  "(instrumentation is not actually wired)\n";
     return 1;
   }
+  // And the traced reps really emitted per-frame events.
+  if (recorder.total_emitted() == 0) {
+    std::cout << "FAIL: traced reps emitted no TraceEvents "
+                 "(the flight recorder is not actually wired)\n";
+    return 1;
+  }
 
   if (!json_path.empty()) {
-    write_json(json_path, modes, frames_count, overhead_pct, gate_pct, pass);
+    write_json(json_path, modes, frames_count, overhead_pct,
+               traced_overhead_pct, gate_pct, pass);
     std::cout << "wrote " << json_path << "\n";
   }
   return pass ? 0 : 1;

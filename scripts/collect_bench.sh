@@ -8,7 +8,7 @@
 #
 # Usage: scripts/collect_bench.sh [--build-dir DIR] [--out FILE] [--smoke] [--reuse]
 #   --build-dir DIR  where the bench executables live (default: build)
-#   --out FILE       merged snapshot path (default: BENCH_7.json at repo root)
+#   --out FILE       merged snapshot path (default: BENCH_10.json at repo root)
 #   --smoke          pass --smoke to the benches that support it (CI-sized runs)
 #   --reuse          skip running a bench whose per-bench JSON already exists
 #                    in the build dir (CI runs some benches in earlier steps)
@@ -16,7 +16,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_file="$repo_root/BENCH_8.json"
+out_file="$repo_root/BENCH_10.json"
 smoke=""
 reuse=0
 
@@ -51,7 +51,7 @@ run_bench() {
 
 run_bench bench_distance_micro ${smoke:+$smoke}
 run_bench bench_throughput_batch
-run_bench bench_multi_drone_streaming ${smoke:+$smoke}
+run_bench bench_multi_drone_streaming ${smoke:+$smoke} --trace bench_streaming_trace.json
 run_bench bench_interaction_dialogue ${smoke:+$smoke}
 run_bench bench_fleet_coordination ${smoke:+$smoke}
 run_bench bench_journal_replay ${smoke:+$smoke}
@@ -89,24 +89,35 @@ shard_scaling = [
 ]
 # Surface the telemetry story at the top level: the streaming bench's
 # per-stage latency summary (telemetry ON for every cell) plus the
-# overhead gate's verdict. Schema 3 adds this block.
+# overhead gate's verdict. Schema 3 added this block; schema 4 adds the
+# traced overhead column and the causal-tracing artifacts
+# (tail_attribution + health from the streaming bench's traced cell).
 telemetry = {
     "stages": benches.get("multi_drone_streaming", {}).get(
         "telemetry", {}).get("stages", []),
     "counters": benches.get("multi_drone_streaming", {}).get(
         "telemetry", {}).get("counters", []),
     "overhead_pct": benches.get("telemetry_overhead", {}).get("overhead_pct"),
+    "traced_overhead_pct": benches.get("telemetry_overhead", {}).get(
+        "traced_overhead_pct"),
     "overhead_gate_pct": benches.get("telemetry_overhead", {}).get("gate_pct"),
     "overhead_pass": benches.get("telemetry_overhead", {}).get("pass"),
 }
+# Tail-latency attribution of the streaming bench's traced (largest) cell:
+# which stage dominated the worst frames behind the reported p99.
+tail_attribution = benches.get("multi_drone_streaming", {}).pop(
+    "tail_attribution", None)
+health = benches.get("multi_drone_streaming", {}).pop("health", None)
 snapshot = {
-    "schema": 3,
+    "schema": 4,
     "snapshot": out_file.name,
     "generated_by": "scripts/collect_bench.sh",
     "hardware_threads": hardware_threads,
     "worker_scaling": worker_scaling,
     "shard_scaling": shard_scaling,
     "telemetry": telemetry,
+    "tail_attribution": tail_attribution,
+    "health": health,
     "benches": benches,
 }
 out_file.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace hdc::coordination {
@@ -26,6 +27,7 @@ CoordinationService::CoordinationService(CoordinationConfig config)
     queue_depth_ = metrics.gauge(telemetry::kCoordinationQueueDepth);
     registry_.instrument(metrics);
   }
+  recorder_ = config_.recorder;
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -195,7 +197,12 @@ void CoordinationService::handle_transition(const FleetEvent& event) {
 
   decisions_scratch_.clear();
   {
-    TELEMETRY_SPAN(arbitrate_ns_);
+    // The trace identity rides the FleetEvent's own (drone_id, sequence)
+    // — the propagation map's FleetEvent row.
+    telemetry::TracedSpan span(
+        arbitrate_ns_, recorder_,
+        telemetry::TraceContext::of(event.drone_id, event.sequence),
+        telemetry::TraceStage::kArbitrate);
     arbiter_.on_phase(event.drone_id, event.to,
                       fleet_clock_.load(std::memory_order_relaxed),
                       decisions_scratch_);
@@ -236,11 +243,25 @@ void CoordinationService::handle_outcome(const FleetEvent& event,
       // that is already expired — the sweep below would kill it in the
       // same breath.
       const bool accepted = registry_.grant(cell, event.drone_id, now);
+      if (recorder_ != nullptr && telemetry::enabled()) {
+        recorder_->emit_instant(
+            telemetry::TraceContext::of(event.drone_id, event.sequence),
+            telemetry::TraceStage::kGrantUpdate,
+            accepted ? telemetry::TraceOutcome::kOk
+                     : telemetry::TraceOutcome::kConflict);
+      }
       observe({cell, registry_.read(cell), !accepted});
       break;
     }
     case protocol::Outcome::kDenied: {
       const bool accepted = registry_.deny(cell, event.drone_id, now);
+      if (recorder_ != nullptr && telemetry::enabled()) {
+        recorder_->emit_instant(
+            telemetry::TraceContext::of(event.drone_id, event.sequence),
+            telemetry::TraceStage::kGrantUpdate,
+            accepted ? telemetry::TraceOutcome::kOk
+                     : telemetry::TraceOutcome::kConflict);
+      }
       observe({cell, registry_.read(cell), !accepted});
       break;
     }
@@ -275,10 +296,20 @@ void CoordinationService::handle_sign_event(const FleetEvent& event,
   if (!live) return;
   if (event.label == signs::HumanSign::kNo) {
     if (registry_.revoke(cell, now)) {
+      if (recorder_ != nullptr && telemetry::enabled()) {
+        recorder_->emit_instant(
+            telemetry::TraceContext::of(event.drone_id, event.sequence),
+            telemetry::TraceStage::kGrantUpdate, telemetry::TraceOutcome::kOk);
+      }
       observe({cell, registry_.read(cell), false});
     }
   } else if (event.label == signs::HumanSign::kYes) {
     if (registry_.renew(cell, record.holder, now)) {
+      if (recorder_ != nullptr && telemetry::enabled()) {
+        recorder_->emit_instant(
+            telemetry::TraceContext::of(event.drone_id, event.sequence),
+            telemetry::TraceStage::kGrantUpdate, telemetry::TraceOutcome::kOk);
+      }
       observe({cell, registry_.read(cell), false});
     }
   }

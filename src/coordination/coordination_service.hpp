@@ -67,6 +67,10 @@ struct CoordinationConfig {
   /// counters and the ring-depth gauge, and the GrantRegistry is
   /// instrumented with its grant/renew/expire spans + mutation counters.
   telemetry::MetricsRegistry* metrics{nullptr};
+  /// Optional causal tracing (must outlive the service). When set, the
+  /// worker emits arbitrate spans and grant-update events carrying the
+  /// triggering (drone_id, sequence) trace identity. Null = disarmed.
+  telemetry::FlightRecorder* recorder{nullptr};
 };
 
 /// Aggregate counters (relaxed atomics: exact after drain()).
@@ -234,6 +238,7 @@ class CoordinationService {
   telemetry::Counter arbitrations_counter_;
   telemetry::Counter deferrals_counter_;
   telemetry::Gauge queue_depth_;
+  telemetry::FlightRecorder* recorder_{nullptr};
 
   std::atomic<std::uint64_t> fleet_clock_{0};
   std::atomic<std::uint64_t> events_{0};

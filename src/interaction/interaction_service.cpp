@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace hdc::interaction {
@@ -26,6 +27,7 @@ InteractionService::InteractionService(InteractionServiceConfig config,
     shed_counter_ = metrics.counter(telemetry::kInteractionShed);
     queue_depth_ = metrics.gauge(telemetry::kInteractionQueueDepth);
   }
+  recorder_ = config_.recorder;
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -80,6 +82,15 @@ void InteractionService::on_result(const recognition::StreamResult& result) {
       if (deepest >= config_.congestion_depth) {
         shed_.fetch_add(1, std::memory_order_relaxed);
         shed_counter_.add(1);
+        if (recorder_ != nullptr && telemetry::enabled()) {
+          // A shed frame dies here: close its trace terminally.
+          recorder_->emit_instant(
+              result.trace.trace_id != 0
+                  ? result.trace
+                  : telemetry::TraceContext::of(result.stream_id,
+                                                result.sequence),
+              telemetry::TraceStage::kAdmit, telemetry::TraceOutcome::kShed);
+        }
         return;
       }
     }
@@ -126,18 +137,40 @@ bool InteractionService::try_abort_stream(std::uint32_t stream_id) {
 
 void InteractionService::admit(Observation observation) {
   if (stopping_.load(std::memory_order_acquire)) return;
+  // push() consumes the observation, so its identity must be saved first
+  // for the terminal trace events on the refusal paths.
+  const telemetry::TraceContext admitted_context =
+      telemetry::TraceContext::of(observation.stream_id, observation.sequence);
   // Raise pending BEFORE the push — the worker can process the observation
   // before push() returns (PendingCounter's contract).
   pending_.raise();
   Observation evicted;
   const util::PushOutcome outcome = ring_.push(std::move(observation), &evicted);
+  const bool traced = recorder_ != nullptr && telemetry::enabled();
   switch (outcome) {
     case util::PushOutcome::kEnqueued:
       queue_depth_.add(1);
       break;
     case util::PushOutcome::kEvictedOldest:  // depth net zero: one in, one out
+      if (traced) {
+        recorder_->emit_instant(
+            telemetry::TraceContext::of(evicted.stream_id, evicted.sequence),
+            telemetry::TraceStage::kAdmit, telemetry::TraceOutcome::kDropped);
+      }
+      finish_observations(1);
+      break;
     case util::PushOutcome::kRejected:
+      if (traced) {
+        recorder_->emit_instant(admitted_context, telemetry::TraceStage::kAdmit,
+                                telemetry::TraceOutcome::kRejected);
+      }
+      finish_observations(1);
+      break;
     case util::PushOutcome::kClosed:
+      if (traced) {
+        recorder_->emit_instant(admitted_context, telemetry::TraceStage::kAdmit,
+                                telemetry::TraceOutcome::kClosed);
+      }
       finish_observations(1);
       break;
   }
@@ -176,7 +209,13 @@ void InteractionService::process(const Observation& observation) {
 
   if (observation.kind == ObservationKind::kAbort) {
     {
-      TELEMETRY_SPAN(transition_ns_);
+      // Aborts carry no frame: their trace anchors to the last processed
+      // sequence, the same identity the journal sample records.
+      telemetry::TracedSpan span(
+          transition_ns_, recorder_,
+          telemetry::TraceContext::of(observation.stream_id,
+                                      session.last_sequence),
+          telemetry::TraceStage::kTransition);
       session.fsm.abort(session.last_sequence, actions_scratch_);
     }
     apply_actions(session, actions_scratch_);
@@ -186,15 +225,19 @@ void InteractionService::process(const Observation& observation) {
 
   ++session.frames;
   session.last_sequence = observation.sequence;
+  const telemetry::TraceContext trace_context =
+      telemetry::TraceContext::of(observation.stream_id, observation.sequence);
   std::size_t emitted = 0;
   {
-    TELEMETRY_SPAN(fuse_ns_);
+    telemetry::TracedSpan span(fuse_ns_, recorder_, trace_context,
+                               telemetry::TraceStage::kFuse);
     emitted = session.fuser.observe(observation.sequence, observation.sign,
                                     observation.confidence, events_scratch_);
   }
   events_counter_.add(emitted);
   {
-    TELEMETRY_SPAN(transition_ns_);
+    telemetry::TracedSpan span(transition_ns_, recorder_, trace_context,
+                               telemetry::TraceStage::kTransition);
     for (std::size_t i = 0; i < emitted; ++i) {
       session.fsm.on_event(events_scratch_[i], actions_scratch_);
     }
@@ -221,6 +264,13 @@ void InteractionService::notify_listener(
       record != session.reported_outcome) {
     session.reported_outcome = record;
     outcomes_counter_.add(1);
+    if (recorder_ != nullptr && telemetry::enabled()) {
+      // The outcome's trace identity derives from the record's own
+      // deciding-sequence field — the propagation map's OutcomeRecord row.
+      recorder_->emit_instant(
+          telemetry::TraceContext::of(record.stream_id, record.final_sequence),
+          telemetry::TraceStage::kOutcome, telemetry::TraceOutcome::kOk);
+    }
     if (listener_.on_outcome) listener_.on_outcome(record);
   }
 }
@@ -239,6 +289,13 @@ void InteractionService::apply_actions(
           action.pattern, {0.0, 0.0, params.comm_altitude}, {0.0, 1.0}, params);
     }
     ++session.acks;
+    if (recorder_ != nullptr && telemetry::enabled()) {
+      // An ack's trace identity is (stream_id, tick) — the sequence the
+      // FSM acted on — per the propagation map's AckAction row.
+      recorder_->emit_instant(
+          telemetry::TraceContext::of(action.stream_id, action.tick),
+          telemetry::TraceStage::kAck, telemetry::TraceOutcome::kOk);
+    }
     if (ack_observer_) ack_observer_(action);
   }
 }

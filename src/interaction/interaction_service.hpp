@@ -81,6 +81,11 @@ struct InteractionServiceConfig {
   /// observation-ring depth gauge; when null every handle stays disarmed
   /// and recording is a single predictable branch.
   telemetry::MetricsRegistry* metrics{nullptr};
+  /// Optional causal tracing (must outlive the service). When set, the
+  /// worker emits admit/fuse/transition/ack/outcome TraceEvents, and the
+  /// backpressure paths close dying traces with terminal kShed/kDropped/
+  /// kRejected events. Null = disarmed, same cost contract as `metrics`.
+  telemetry::FlightRecorder* recorder{nullptr};
 };
 
 /// Aggregate per-stream snapshot across fuser, FSM and ack bookkeeping.
@@ -295,6 +300,7 @@ class InteractionService {
   telemetry::Counter outcomes_counter_;
   telemetry::Counter shed_counter_;  ///< producer-thread; NOT replay-deterministic
   telemetry::Gauge queue_depth_;
+  telemetry::FlightRecorder* recorder_{nullptr};
 
   std::atomic<bool> stopping_{false};
   bool stopped_{false};  ///< guarded by stop_mutex_

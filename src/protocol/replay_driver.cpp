@@ -118,6 +118,7 @@ ReplayReport ReplayDriver::replay(std::span<const std::uint8_t> journal) const {
   interaction::InteractionServiceConfig dialogue_config =
       interaction_config_of(run_config);
   dialogue_config.metrics = &metrics;
+  dialogue_config.recorder = options_.recorder;
   interaction::InteractionService dialogue(dialogue_config, options_.grammar);
   recorder.attach_interaction(dialogue, nullptr);
   for (const wire::AnyRecord& any :
@@ -140,6 +141,7 @@ ReplayReport ReplayDriver::replay(std::span<const std::uint8_t> journal) const {
   coordination::CoordinationConfig coordination_config =
       coordination_config_of(run_config);
   coordination_config.metrics = &metrics;
+  coordination_config.recorder = options_.recorder;
   coordination::CoordinationService coordinator(coordination_config);
   recorder.attach_coordination(coordinator);
   for (const wire::AnyRecord& any :

@@ -34,12 +34,22 @@
 #include "interaction/command_grammar.hpp"
 #include "protocol/wire.hpp"
 
+namespace hdc::telemetry {
+class FlightRecorder;
+}  // namespace hdc::telemetry
+
 namespace hdc::protocol {
 
 struct ReplayOptions {
   /// The command grammar the recorded services ran with (grammars are
   /// code-defined, not serialised; scenarios use the standard one).
   interaction::CommandGrammar grammar{interaction::CommandGrammar::standard()};
+  /// Optional causal tracing of the replayed run (must outlive replay()).
+  /// Trace ids are pure functions of the (stream_id, sequence) identities
+  /// the journal records, so the replayed traces mint the SAME ids as the
+  /// live run's — and tracing never perturbs the replayed journal bytes
+  /// (tests/protocol_replay_test.cpp pins both).
+  telemetry::FlightRecorder* recorder{nullptr};
 };
 
 struct ReplayReport {

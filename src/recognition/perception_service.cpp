@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace hdc::recognition {
@@ -69,6 +70,7 @@ PerceptionService::PerceptionService(const RecognizerConfig& config,
     frames_rejected_ = registry->counter(telemetry::kPerceptionFramesRejected);
     queue_depth_ = registry->gauge(telemetry::kPerceptionQueueDepth);
   }
+  recorder_ = service_config_.recorder;
   const std::size_t shard_count = resolve_shards(service_config.shards);
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -114,7 +116,8 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   if (frame.empty()) {
     throw std::invalid_argument("PerceptionService::submit: empty frame");
   }
-  TELEMETRY_SPAN(submit_ns_);
+  telemetry::TracedSpan span(submit_ns_, recorder_, {},
+                             telemetry::TraceStage::kSubmit);
   SubmitReceipt receipt;
   receipt.shard = shard_of(stream_id);
   if (stopping_.load(std::memory_order_acquire)) {
@@ -128,6 +131,13 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   }
 
   std::lock_guard<std::mutex> order(state.order_mutex);
+  // The trace context is minted here, once the sequence this frame will
+  // claim is known. A rejected/closed submit never consumes the sequence,
+  // so its terminal trace carries the stream's next UNCONSUMED sequence —
+  // exactly which admission attempt died.
+  const telemetry::TraceContext trace_context =
+      telemetry::TraceContext::of(stream_id, state.next_sequence);
+  span.set_context(trace_context);
   // Raise pending BEFORE the push: a shard can pop, process and deliver
   // this frame before push() even returns, and its decrement must never
   // precede our increment.
@@ -137,7 +147,7 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
   job.sequence = state.next_sequence;
   job.frame = std::move(frame);
   job.origin = &state;
-  if (ring_wait_ns_.armed() && telemetry::enabled()) {
+  if ((ring_wait_ns_.armed() || recorder_ != nullptr) && telemetry::enabled()) {
     job.submitted_at_ns = telemetry::now_ns();
   }
   Job evicted;
@@ -150,7 +160,7 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
       frames_submitted_.add(1);
       queue_depth_.add(1);
       break;
-    case util::PushOutcome::kEvictedOldest:
+    case util::PushOutcome::kEvictedOldest: {
       // The new frame is in; the shard's oldest queued frame (possibly from
       // another stream) will never be processed — account it now. Queue
       // depth is net zero: one frame in, one evicted out.
@@ -160,16 +170,32 @@ SubmitReceipt PerceptionService::submit_job(std::uint32_t stream_id,
       evicted.origin->dropped.fetch_add(1, std::memory_order_relaxed);
       frames_submitted_.add(1);
       frames_dropped_.add(1);
+      if (recorder_ != nullptr && telemetry::enabled()) {
+        // The evicted frame's trace must not end open: close it with a
+        // terminal kDropped event spanning its time in the ring.
+        const std::uint64_t now = telemetry::now_ns();
+        recorder_->emit({telemetry::make_trace_id(evicted.stream_id,
+                                                  evicted.sequence),
+                         evicted.stream_id, evicted.sequence,
+                         telemetry::TraceStage::kQueueWait,
+                         telemetry::TraceOutcome::kDropped,
+                         evicted.submitted_at_ns != 0 ? evicted.submitted_at_ns
+                                                      : now,
+                         now});
+      }
       finish_frames(1);
       break;
+    }
     case util::PushOutcome::kRejected:
       receipt.status = SubmitStatus::kRejected;
       state.rejected.fetch_add(1, std::memory_order_relaxed);
       frames_rejected_.add(1);
+      span.set_outcome(telemetry::TraceOutcome::kRejected);  // terminal
       finish_frames(1);
       break;
     case util::PushOutcome::kClosed:
       receipt.status = SubmitStatus::kStopped;
+      span.set_outcome(telemetry::TraceOutcome::kClosed);  // terminal
       finish_frames(1);
       break;
   }
@@ -194,15 +220,23 @@ void PerceptionService::shard_loop(Shard& shard) {
     std::size_t m = 1;
     while (m < window && shard.ring.try_pop(jobs[m])) ++m;
     queue_depth_.add(-static_cast<std::int64_t>(m));
-    if (ring_wait_ns_.armed()) {
+    if ((ring_wait_ns_.armed() || recorder_ != nullptr) &&
+        telemetry::enabled()) {
       // One clock read covers the window; frames stamped while telemetry
       // was off carry 0 and are skipped.
       const std::uint64_t popped_at_ns = telemetry::now_ns();
       for (std::size_t k = 0; k < m; ++k) {
         const std::uint64_t submitted_at_ns = jobs[k].submitted_at_ns;
-        if (submitted_at_ns != 0) {
-          ring_wait_ns_.record(
-              popped_at_ns > submitted_at_ns ? popped_at_ns - submitted_at_ns : 0);
+        if (submitted_at_ns == 0) continue;
+        ring_wait_ns_.record(
+            popped_at_ns > submitted_at_ns ? popped_at_ns - submitted_at_ns : 0);
+        if (recorder_ != nullptr) {
+          recorder_->emit({telemetry::make_trace_id(jobs[k].stream_id,
+                                                    jobs[k].sequence),
+                           jobs[k].stream_id, jobs[k].sequence,
+                           telemetry::TraceStage::kQueueWait,
+                           telemetry::TraceOutcome::kOk, submitted_at_ns,
+                           popped_at_ns});
         }
       }
     }
@@ -211,11 +245,32 @@ void PerceptionService::shard_loop(Shard& shard) {
       result_ptrs[k] = &results[k];
     }
     try {
-      {
-        TELEMETRY_SPAN(recognize_ns_);
-        recognize_frames_micro_batch(config_, *shard.database, frame_ptrs.data(),
-                                     m, shard.scratch, shard.micro,
-                                     result_ptrs.data());
+      // The recognize window is timed manually rather than via a span so
+      // ONE clock pair can feed both the stage histogram and the per-frame
+      // kRecognize trace events (tracing never buys a second clock read).
+      const bool timed = (recognize_ns_.armed() || recorder_ != nullptr) &&
+                         telemetry::enabled();
+      const std::uint64_t recognize_start_ns = timed ? telemetry::now_ns() : 0;
+      recognize_frames_micro_batch(config_, *shard.database, frame_ptrs.data(),
+                                   m, shard.scratch, shard.micro,
+                                   result_ptrs.data());
+      if (timed) {
+        const std::uint64_t recognize_end_ns = telemetry::now_ns();
+        if (recognize_ns_.armed()) {
+          recognize_ns_.record(recognize_end_ns - recognize_start_ns);
+        }
+        if (recorder_ != nullptr) {
+          for (std::size_t k = 0; k < m; ++k) {
+            recorder_->emit({telemetry::make_trace_id(jobs[k].stream_id,
+                                                      jobs[k].sequence),
+                             jobs[k].stream_id, jobs[k].sequence,
+                             telemetry::TraceStage::kRecognize,
+                             results[k].accepted
+                                 ? telemetry::TraceOutcome::kAccepted
+                                 : telemetry::TraceOutcome::kNoMatch,
+                             recognize_start_ns, recognize_end_ns});
+          }
+        }
       }
       // Deliver in pop (== per-stream sequence) order, preserving the
       // stream-ordering guarantee documented in the header.
@@ -223,10 +278,22 @@ void PerceptionService::shard_loop(Shard& shard) {
         delivery.stream_id = jobs[k].stream_id;
         delivery.sequence = jobs[k].sequence;
         delivery.result = results[k];  // copy: both sides keep warm capacity
+        delivery.trace =
+            telemetry::TraceContext::of(jobs[k].stream_id, jobs[k].sequence);
         if (on_result_) on_result_(delivery);
         jobs[k].origin->delivered.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (...) {
+      if (recorder_ != nullptr && telemetry::enabled()) {
+        // The window's frames will never be delivered: close their traces
+        // with terminal kError events.
+        for (std::size_t k = 0; k < m; ++k) {
+          recorder_->emit_instant(
+              telemetry::TraceContext::of(jobs[k].stream_id, jobs[k].sequence),
+              telemetry::TraceStage::kRecognize,
+              telemetry::TraceOutcome::kError);
+        }
+      }
       pending_.record_error(std::current_exception());
     }
     finish_frames(m);
@@ -280,7 +347,7 @@ ShardGauge PerceptionService::shard_gauge(std::size_t shard) const {
   }
   const util::BoundedRing<Job>& ring = shards_[shard]->ring;
   return {ring.size(), ring.capacity(), ring.evicted_count(),
-          ring.rejected_count(), ring.policy()};
+          ring.rejected_count(), ring.popped_count(), ring.policy()};
 }
 
 util::OverflowPolicy PerceptionService::shard_policy(std::size_t shard) const {

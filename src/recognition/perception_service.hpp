@@ -54,8 +54,13 @@
 #include <vector>
 
 #include "recognition/recognizer.hpp"
+#include "telemetry/trace.hpp"
 #include "util/pending_counter.hpp"
 #include "util/ring_buffer.hpp"
+
+namespace hdc::telemetry {
+class FlightRecorder;
+}  // namespace hdc::telemetry
 
 namespace hdc::recognition {
 
@@ -65,6 +70,10 @@ struct StreamResult {
   std::uint32_t stream_id{0};
   std::uint64_t sequence{0};  ///< per-stream, assigned at submit, starts at 0
   RecognitionResult result;
+  /// Causal trace identity minted at submit. Always populated (the id is
+  /// a pure function of stream_id/sequence, so filling it is branch-free
+  /// integer math); only consulted when a FlightRecorder is wired.
+  telemetry::TraceContext trace{};
 };
 
 /// What happened to a submitted frame at admission time.
@@ -119,6 +128,12 @@ struct PerceptionServiceConfig {
   /// (names in telemetry/stage_names.hpp). Null = zero instrumentation
   /// cost beyond a predictable disarmed-handle branch per site.
   telemetry::MetricsRegistry* metrics{nullptr};
+  /// Optional causal tracing (must outlive the service). When set, every
+  /// frame's submit/queue-wait/recognize stages emit TraceEvents into the
+  /// flight recorder, including terminal kDropped/kRejected events on the
+  /// backpressure paths — no trace ends open. Null = same disarmed cost
+  /// contract as `metrics`.
+  telemetry::FlightRecorder* recorder{nullptr};
 };
 
 /// Per-stream accounting snapshot.
@@ -139,6 +154,10 @@ struct ShardGauge {
   std::size_t capacity{0};      ///< ring capacity
   std::uint64_t evicted{0};     ///< cumulative kDropOldest evictions
   std::uint64_t rejected{0};    ///< cumulative kReject refusals
+  /// Cumulative frames ever popped by the shard worker — the liveness
+  /// signal the stalled-shard watchdog keys on (depth without popped
+  /// progress across observations = stalled).
+  std::uint64_t popped{0};
   /// The shard's overflow policy right now (== the configured policy
   /// unless dynamic backpressure switched it).
   util::OverflowPolicy policy{util::OverflowPolicy::kBlock};
@@ -292,6 +311,7 @@ class PerceptionService {
   telemetry::Counter frames_dropped_;
   telemetry::Counter frames_rejected_;
   telemetry::Gauge queue_depth_;
+  telemetry::FlightRecorder* recorder_{nullptr};
 
   /// Registry shape is read-mostly (one miss per new stream ever): the
   /// steady-state submit path takes only a shared lock.

@@ -215,6 +215,16 @@ struct MetricsSnapshot {
   [[nodiscard]] const CounterSnapshot* find_counter(std::string_view name) const noexcept;
   [[nodiscard]] const HistogramSnapshot* find_histogram(
       std::string_view name) const noexcept;
+
+  /// The activity between `prev` and this snapshot of the SAME registry:
+  /// counters and histogram count/sum/buckets subtract element-wise (a
+  /// metric absent from `prev` keeps its full value), gauges keep their
+  /// current level (a gauge is a level, not a rate), and a histogram's
+  /// max is kept from the current snapshot — max is not delta-able, so it
+  /// is an upper bound for the interval, documented as such. Lets one
+  /// registry span a benchmark matrix while each cell reports only its
+  /// own percentiles (the streaming bench's per-cell stage stats).
+  [[nodiscard]] MetricsSnapshot delta(const MetricsSnapshot& prev) const;
 };
 
 class TelemetrySink;

@@ -95,6 +95,7 @@ class BoundedRing {
     out = std::move(storage_[head_]);
     head_ = next(head_);
     --size_;
+    ++popped_;
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -107,6 +108,7 @@ class BoundedRing {
     out = std::move(storage_[head_]);
     head_ = next(head_);
     --size_;
+    ++popped_;
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -159,6 +161,13 @@ class BoundedRing {
     std::lock_guard<std::mutex> lock(mutex_);
     return rejected_;
   }
+  /// Items ever popped since construction. Monotonic: a consumer that is
+  /// alive makes this advance, which is exactly the progress signal the
+  /// stalled-shard watchdog (telemetry::FleetHealthMonitor) keys on.
+  [[nodiscard]] std::uint64_t popped_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return popped_;
+  }
 
  private:
   [[nodiscard]] static std::size_t checked_capacity(std::size_t capacity) {
@@ -210,6 +219,7 @@ class BoundedRing {
   bool closed_{false};
   std::uint64_t evicted_{0};
   std::uint64_t rejected_{0};
+  std::uint64_t popped_{0};
 };
 
 }  // namespace hdc::util

@@ -20,6 +20,7 @@
 
 #include "recognition/batch_recognizer.hpp"
 #include "signs/multi_drone_feed.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace hdc::recognition {
 namespace {
@@ -304,6 +305,180 @@ TEST_F(PerceptionServiceSuite, RejectPolicyRefusesWithoutConsumingSequences) {
   EXPECT_EQ(stats.delivered, 3u);
   EXPECT_EQ(stats.rejected, 3u);
   EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST_F(PerceptionServiceSuite, DropOldestEmitsTerminalDroppedTraceEvents) {
+  // Same overload script as DropOldestLosesOnlyTheOldestFramesUnderOverload,
+  // with a flight recorder wired: every evicted frame's trace must be
+  // CLOSED by a terminal kQueueWait/kDropped event — no trace ends open.
+  constexpr std::size_t kCapacity = 4;
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+
+  telemetry::FlightRecorder recorder;
+  Collector collect;
+  PerceptionServiceConfig service_config;
+  service_config.shards = 1;
+  service_config.queue_capacity = kCapacity;
+  service_config.overflow = util::OverflowPolicy::kDropOldest;
+  service_config.recorder = &recorder;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&](const StreamResult& r) {
+        collect(r);
+        if (r.sequence == 0) {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          worker_parked = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release_worker; });
+        }
+      },
+      service_config);
+
+  const imaging::GrayImage& frame = (*scripts_)[0].front();
+  EXPECT_EQ(service.submit(0, frame).status, SubmitStatus::kEnqueued);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  for (std::uint64_t i = 1; i <= 2 * kCapacity + 1; ++i) {
+    (void)service.submit(0, frame);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_worker = true;
+  }
+  gate_cv.notify_all();
+  service.drain();
+
+  const StreamStats stats = service.stream_stats(0);
+  EXPECT_EQ(stats.dropped, 5u);
+
+  std::set<std::uint64_t> dropped_sequences;
+  std::set<std::uint64_t> recognized_sequences;
+  for (const telemetry::TraceEvent& event : recorder.collect()) {
+    if (event.outcome == telemetry::TraceOutcome::kDropped) {
+      EXPECT_EQ(event.stage, telemetry::TraceStage::kQueueWait);
+      EXPECT_EQ(event.trace_id,
+                telemetry::make_trace_id(event.stream_id, event.sequence));
+      EXPECT_GE(event.t_end_ns, event.t_start_ns);  // ring-residency interval
+      dropped_sequences.insert(event.sequence);
+    }
+    if (event.stage == telemetry::TraceStage::kRecognize) {
+      recognized_sequences.insert(event.sequence);
+    }
+  }
+  // One terminal kDropped per evicted frame — count matches stats.dropped,
+  // and no dropped frame also has a recognize event (it died in the ring).
+  const std::set<std::uint64_t> want = {1, 2, 3, 4, 5};
+  EXPECT_EQ(dropped_sequences, want);
+  for (const std::uint64_t seq : dropped_sequences) {
+    EXPECT_EQ(recognized_sequences.count(seq), 0u)
+        << "sequence " << seq << " was both dropped and recognized";
+  }
+}
+
+TEST_F(PerceptionServiceSuite, RejectPolicyEmitsTerminalRejectedTraceEvents) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+
+  telemetry::FlightRecorder recorder;
+  Collector collect;
+  PerceptionServiceConfig service_config;
+  service_config.shards = 1;
+  service_config.queue_capacity = 2;
+  service_config.overflow = util::OverflowPolicy::kReject;
+  service_config.recorder = &recorder;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&](const StreamResult& r) {
+        collect(r);
+        if (r.sequence == 0) {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          worker_parked = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release_worker; });
+        }
+      },
+      service_config);
+
+  const imaging::GrayImage& frame = (*scripts_)[0].front();
+  EXPECT_EQ(service.submit(0, frame).status, SubmitStatus::kEnqueued);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  EXPECT_EQ(service.submit(0, frame).sequence, 1u);
+  EXPECT_EQ(service.submit(0, frame).sequence, 2u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.submit(0, frame).status, SubmitStatus::kRejected);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_worker = true;
+  }
+  gate_cv.notify_all();
+  service.drain();
+
+  // Each refused submit closes its (never-started) trace with a terminal
+  // kSubmit/kRejected event. Rejected submits do not consume a sequence,
+  // so all three carry the stream's unconsumed next sequence (3).
+  std::size_t rejected_events = 0;
+  for (const telemetry::TraceEvent& event : recorder.collect()) {
+    if (event.outcome != telemetry::TraceOutcome::kRejected) continue;
+    ++rejected_events;
+    EXPECT_EQ(event.stage, telemetry::TraceStage::kSubmit);
+    EXPECT_EQ(event.stream_id, 0u);
+    EXPECT_EQ(event.sequence, 3u);
+  }
+  EXPECT_EQ(rejected_events, 3u);
+  EXPECT_EQ(service.stream_stats(0).rejected, 3u);
+}
+
+TEST_F(PerceptionServiceSuite, DeliveredResultsCarryTheirTraceContext) {
+  telemetry::FlightRecorder recorder;
+  PerceptionServiceConfig service_config;
+  service_config.shards = 2;
+  service_config.recorder = &recorder;
+  std::mutex mutex;
+  std::vector<StreamResult> delivered;
+  PerceptionService service(
+      sequential_->config(), sequential_->database_ptr(),
+      [&](const StreamResult& r) {
+        std::lock_guard<std::mutex> lock(mutex);
+        delivered.push_back(r);
+      },
+      service_config);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      (void)service.submit(static_cast<std::uint32_t>(s), (*scripts_)[s][i]);
+    }
+  }
+  service.drain();
+
+  ASSERT_EQ(delivered.size(), 6u);
+  for (const StreamResult& r : delivered) {
+    EXPECT_EQ(r.trace.stream_id, r.stream_id);
+    EXPECT_EQ(r.trace.sequence, r.sequence);
+    EXPECT_EQ(r.trace.trace_id,
+              telemetry::make_trace_id(r.stream_id, r.sequence));
+  }
+  // And every delivered frame has submit + queue_wait + recognize events.
+  std::map<std::uint64_t, std::set<telemetry::TraceStage>> stages_by_trace;
+  for (const telemetry::TraceEvent& event : recorder.collect()) {
+    stages_by_trace[event.trace_id].insert(event.stage);
+  }
+  for (const StreamResult& r : delivered) {
+    const auto it = stages_by_trace.find(r.trace.trace_id);
+    ASSERT_NE(it, stages_by_trace.end());
+    EXPECT_TRUE(it->second.count(telemetry::TraceStage::kSubmit));
+    EXPECT_TRUE(it->second.count(telemetry::TraceStage::kQueueWait));
+    EXPECT_TRUE(it->second.count(telemetry::TraceStage::kRecognize));
+  }
 }
 
 TEST_F(PerceptionServiceSuite, ConcurrentSameStreamSubmittersStayOrdered) {

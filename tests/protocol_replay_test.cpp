@@ -19,6 +19,7 @@
 #include "protocol/wire.hpp"
 #include "recognition/perception_service.hpp"
 #include "signs/multi_drone_feed.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/stage_names.hpp"
 
@@ -450,6 +451,50 @@ TEST_F(ReplayEndToEnd, CommittedContentionFixtureReplaysTwiceIdentically) {
               static_cast<std::uint8_t>(coordination::GrantState::kGranted))
         << "cell " << pair.cell;
   }
+}
+
+TEST_F(ReplayEndToEnd, TracingTheReplayDoesNotPerturbItsBytes) {
+  // The acceptance criterion for causal tracing under replay: replaying
+  // the committed 8-drone fixture with a flight recorder wired must (a)
+  // still verify bit-exactly, (b) produce journal bytes identical to an
+  // UNTRACED replay of the same fixture, and (c) actually record the
+  // replayed frames' causal events — with ids minted purely from the
+  // (stream, sequence) identities the journal already carries.
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(EventJournal::load(fixture_path(), bytes));
+
+  const ReplayReport untraced = ReplayDriver().replay(bytes);
+  ASSERT_TRUE(untraced.ok) << untraced.mismatch;
+
+  telemetry::FlightRecorder flight(1 << 15);
+  ReplayOptions options;
+  options.recorder = &flight;
+  const ReplayReport traced = ReplayDriver(std::move(options)).replay(bytes);
+  EXPECT_TRUE(traced.ok) << traced.mismatch;
+  EXPECT_EQ(traced.journal_bytes, untraced.journal_bytes);
+
+  const std::vector<telemetry::TraceEvent> events = flight.collect();
+  ASSERT_FALSE(events.empty());
+  for (const telemetry::TraceEvent& event : events) {
+    EXPECT_EQ(event.trace_id,
+              telemetry::make_trace_id(event.stream_id, event.sequence));
+  }
+  // Both replayed layers traced: interaction stages and coordination
+  // stages are present.
+  bool saw_interaction = false;
+  bool saw_coordination = false;
+  for (const telemetry::TraceEvent& event : events) {
+    if (event.stage == telemetry::TraceStage::kFuse ||
+        event.stage == telemetry::TraceStage::kTransition) {
+      saw_interaction = true;
+    }
+    if (event.stage == telemetry::TraceStage::kArbitrate ||
+        event.stage == telemetry::TraceStage::kGrantUpdate) {
+      saw_coordination = true;
+    }
+  }
+  EXPECT_TRUE(saw_interaction);
+  EXPECT_TRUE(saw_coordination);
 }
 
 }  // namespace

@@ -190,6 +190,11 @@ TEST(Registry, SnapshotDuringWritesIsMonotonicAndInternallyConsistent) {
     last_count = ticks->count;
     last_sum = ticks->sum;
   }
+  // The snapshot loop can outrun thread startup: wait for the writer to
+  // make progress before stopping it, so the final check is not a race.
+  while (registry.snapshot().find_counter("events_total")->value == 0) {
+    std::this_thread::yield();
+  }
   stop.store(true);
   writer.join();
   EXPECT_GT(registry.snapshot().find_counter("events_total")->value, 0u);

@@ -8,6 +8,7 @@
 // particular scenario happened to touch.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,8 +19,10 @@
 #include "protocol/journal.hpp"
 #include "recognition/perception_service.hpp"
 #include "signs/multi_drone_feed.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/stage_names.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hdc {
 namespace {
@@ -158,6 +161,125 @@ TEST(TelemetryPipeline, EveryInstrumentedStageReportsFromALiveRun) {
     // A reported stage must not expose an all-zero summary.
     EXPECT_EQ(text.find(quantile_50 + "0\n"), std::string::npos)
         << name << " reports p50 = 0";
+  }
+}
+
+TEST(TelemetryPipeline, TraceContextPropagatesAcrossAllThreeServices) {
+  // Same contention fleet, now with a flight recorder wired into every
+  // service: the causal story of a frame must span perception (submit /
+  // queue_wait / recognize), interaction (fuse / transition / ack /
+  // outcome) and coordination (arbitrate / grant_update) — and because
+  // trace ids are pure functions of (stream, sequence), a fused frame's
+  // interaction events carry the SAME trace_id its recognition events do.
+  const recognition::SaxSignRecognizer reference(
+      recognition::RecognizerConfig{}, recognition::DatabaseBuildOptions{});
+  const interaction::CommandGrammar grammar =
+      interaction::CommandGrammar::standard();
+  const coordination::ContentionFleet fleet =
+      coordination::make_contention_fleet(4, grammar);
+
+  telemetry::FlightRecorder flight(1 << 15);
+  telemetry::MetricsRegistry metrics;
+
+  coordination::CoordinationConfig coordination_config;
+  coordination_config.cells = fleet.pairs.size();
+  coordination_config.grant_ttl = 1'000'000;
+  coordination_config.metrics = &metrics;
+  coordination_config.recorder = &flight;
+  interaction::InteractionServiceConfig dialogue_config;
+  dialogue_config.fusion =
+      interaction::FusionPolicy::matching(reference.config());
+  dialogue_config.metrics = &metrics;
+  dialogue_config.recorder = &flight;
+
+  protocol::EventJournal journal;
+  protocol::JournalRecorder recorder(journal);
+  recorder.record_config(
+      protocol::make_run_config(dialogue_config, coordination_config));
+
+  coordination::CoordinationService coordinator(coordination_config);
+  interaction::InteractionService dialogue(
+      dialogue_config, interaction::CommandGrammar(grammar.rules()));
+  recorder.attach_interaction(dialogue, &coordinator);
+  recorder.attach_coordination(coordinator);
+  for (const coordination::DroneDescriptor& descriptor : fleet.drones) {
+    coordinator.register_drone(descriptor);
+  }
+
+  const signs::MultiDroneFeed feed(make_fleet_feed_config(fleet));
+  recognition::PerceptionServiceConfig perception_config;
+  perception_config.shards = 2;
+  perception_config.metrics = &metrics;
+  perception_config.recorder = &flight;
+  recognition::PerceptionService perception(
+      reference.config(), reference.database_ptr(), dialogue.callback(),
+      perception_config);
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < fleet.scripts.size(); ++s) {
+    producers.emplace_back([&, s] {
+      const std::uint64_t period = feed.script_period(s);
+      for (std::uint64_t t = 0; t < period; ++t) {
+        perception.submit(static_cast<std::uint32_t>(s),
+                          feed.render_frame(s, t));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (int round = 0; round < 3; ++round) {
+    perception.drain();
+    dialogue.drain();
+    coordinator.drain();
+  }
+  perception.stop();
+  dialogue.stop();
+  coordinator.stop();
+
+  const std::vector<telemetry::TraceEvent> events = flight.collect();
+  ASSERT_FALSE(events.empty());
+
+  // Every layer's stages are present in the one recorder.
+  std::set<telemetry::TraceStage> stages;
+  for (const telemetry::TraceEvent& event : events) {
+    EXPECT_NE(event.trace_id, 0u);
+    stages.insert(event.stage);
+  }
+  for (const telemetry::TraceStage stage :
+       {telemetry::TraceStage::kSubmit, telemetry::TraceStage::kQueueWait,
+        telemetry::TraceStage::kRecognize, telemetry::TraceStage::kFuse,
+        telemetry::TraceStage::kTransition, telemetry::TraceStage::kAck,
+        telemetry::TraceStage::kOutcome, telemetry::TraceStage::kArbitrate,
+        telemetry::TraceStage::kGrantUpdate}) {
+    EXPECT_TRUE(stages.count(stage))
+        << "no " << to_string(stage) << " events recorded";
+  }
+
+  // The join: every fused frame's trace_id must also appear on recognition
+  // events — the context crossed the perception -> interaction boundary
+  // intact (carried by StreamResult, reconstituted from the same identity).
+  std::set<std::uint64_t> recognized;
+  for (const telemetry::TraceEvent& event : events) {
+    if (event.stage == telemetry::TraceStage::kRecognize) {
+      recognized.insert(event.trace_id);
+    }
+  }
+  std::size_t fused = 0;
+  for (const telemetry::TraceEvent& event : events) {
+    if (event.stage != telemetry::TraceStage::kFuse) continue;
+    ++fused;
+    EXPECT_TRUE(recognized.count(event.trace_id))
+        << "fuse event for stream " << event.stream_id << " seq "
+        << event.sequence << " has no matching recognize event";
+  }
+  EXPECT_GT(fused, 0u);
+
+  // Arbitration events reconstitute identity from FleetEvent fields —
+  // their stream must be a registered drone.
+  for (const telemetry::TraceEvent& event : events) {
+    if (event.stage != telemetry::TraceStage::kArbitrate) continue;
+    EXPECT_LT(event.stream_id, fleet.drones.size());
+    EXPECT_EQ(event.trace_id,
+              telemetry::make_trace_id(event.stream_id, event.sequence));
   }
 }
 

@@ -47,6 +47,32 @@ TEST(BoundedRing, WrapAroundKeepsFifoOrder) {
   }
 }
 
+TEST(BoundedRing, PoppedCountAdvancesOnBothPopPaths) {
+  // popped_count() is the stalled-shard watchdog's liveness signal: it
+  // must advance once per successful pop() AND try_pop(), and never on a
+  // failed try_pop, an eviction, or a rejection.
+  BoundedRing<int> ring(4, OverflowPolicy::kDropOldest);
+  EXPECT_EQ(ring.popped_count(), 0u);
+  for (int v = 0; v < 4; ++v) ring.push(v);
+  int out = -1;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(ring.popped_count(), 1u);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(ring.popped_count(), 2u);
+  // Evictions churn the ring's contents but are not pops.
+  ring.push(4);
+  ring.push(5);
+  ring.push(6);  // full again -> evicts the oldest
+  const std::uint64_t before = ring.popped_count();
+  EXPECT_EQ(before, 2u);
+  // Drain; every success counts once, the final failed try_pop does not.
+  while (ring.try_pop(out)) {
+  }
+  EXPECT_EQ(ring.popped_count(), before + 4);
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.popped_count(), before + 4);
+}
+
 TEST(BoundedRing, DropOldestEvictsExactlyTheOldest) {
   BoundedRing<int> ring(3, OverflowPolicy::kDropOldest);
   for (int v = 0; v < 3; ++v) ring.push(v);
